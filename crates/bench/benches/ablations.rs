@@ -1,0 +1,170 @@
+//! Ablation studies for the design choices called out in DESIGN.md.
+//!
+//! 1. **Routing link margin** — hop-count routing vs the same protocol
+//!    with a 6 dB minimum link margin, on a topology with a marginal
+//!    shortcut. Measures end-to-end delivery.
+//! 2. **Record filter** — uplink bytes with full capture vs data-only.
+//! 3. **Drop policy** — freshness of what survives an overloaded client
+//!    buffer (oldest-drop vs newest-drop).
+//!
+//! Figure-generation harness (prints tables).
+//!
+//! ```sh
+//! cargo bench -p loramon-bench --bench ablations
+//! ```
+
+use loramon::core::{DropPolicy, MonitorConfig, RecordFilter, UplinkModel};
+use loramon::mesh::TrafficPattern;
+use loramon::phy::{LogDistance, Position};
+use loramon::scenario::{run_scenario, ScenarioConfig};
+use loramon::server::Window;
+use loramon::sim::NodeId;
+use std::time::Duration;
+
+fn main() {
+    routing_margin_ablation();
+    println!();
+    record_filter_ablation();
+    println!();
+    drop_policy_ablation();
+}
+
+/// Diamond with a marginal direct shortcut: 1 – {2,3} – 4, where 1↔4 is
+/// occasionally demodulable. Hop-count routing takes the bad shortcut;
+/// margin-gated routing relays.
+fn margin_scenario(margin_db: f64) -> ScenarioConfig {
+    let positions = vec![
+        Position::new(0.0, 0.0),
+        Position::new(369.0, 240.0),
+        Position::new(369.0, -240.0),
+        Position::new(738.0, 0.0),
+    ];
+    let mut config = ScenarioConfig::new(positions, 3, 4242)
+        .with_duration(Duration::from_secs(3600))
+        .with_uplink(UplinkModel::perfect());
+    // Obstructed campus, no shadowing: the 738 m diagonal sits ~0.5 dB
+    // *below* SF7 sensitivity so only fading spikes demodulate it — a
+    // textbook marginal shortcut. The 440 m legs have ~8 dB of margin.
+    config.path_loss = LogDistance::new(30.0, 1.0, 3.8, 0.0);
+    config.mesh = config.mesh.with_min_link_margin_db(margin_db);
+    config.traffic = Some(
+        TrafficPattern::to_gateway(config.gateway(), Duration::from_secs(30), 12)
+            .with_start_delay(Duration::from_secs(120)),
+    );
+    config
+}
+
+fn routing_margin_ablation() {
+    println!("Ablation 1: routing link margin (marginal-shortcut diamond, 1 h)");
+    println!("margin | e2e delivery 1→4 | relays forwarded | weak-link rejections");
+    println!("-------|------------------|------------------|---------------------");
+    for margin in [0.0f64, 3.0, 6.0] {
+        let result = run_scenario(&margin_scenario(margin));
+        let e2e = result.server.end_to_end(Window::all());
+        let pair = e2e
+            .iter()
+            .find(|e| e.origin == NodeId(1) && e.final_dst == NodeId(4));
+        let (ratio, sent) = pair.map_or((0.0, 0), |e| (e.delivery_ratio(), e.sent));
+        let forwarded: u64 = result
+            .ground_truth
+            .mesh_stats
+            .values()
+            .map(|s| s.forwarded)
+            .sum();
+        let rejections: u64 = result
+            .ground_truth
+            .mesh_stats
+            .values()
+            .map(|s| s.weak_link_rejections)
+            .sum();
+        println!(
+            "{margin:>4} dB | {:>7.1}% of {sent:>3} | {forwarded:>16} | {rejections:>19}",
+            ratio * 100.0
+        );
+    }
+    println!(
+        "Expected shape: with no margin the origin sometimes prefers the\n\
+         marginal 1-hop shortcut (lower delivery); a 6 dB margin forces the\n\
+         solid 2-hop path (higher delivery, more forwarding)."
+    );
+}
+
+fn filter_run(filter: RecordFilter) -> (u64, usize) {
+    let monitor = MonitorConfig::new().with_filter(filter);
+    let config = ScenarioConfig::line(4, 700.0, 909)
+        .with_duration(Duration::from_secs(1800))
+        .with_monitor(monitor)
+        .with_uplink(UplinkModel::perfect());
+    let result = run_scenario(&config);
+    let records: u64 = result
+        .server
+        .node_summaries()
+        .iter()
+        .map(|s| s.records)
+        .sum();
+    // Approximate uplink bytes: reports × fixed overhead + records × ~184 B.
+    let reports: u64 = result
+        .server
+        .node_summaries()
+        .iter()
+        .map(|s| s.reports)
+        .sum();
+    let approx_bytes = reports as usize * 96 + records as usize * 184;
+    (records, approx_bytes)
+}
+
+fn record_filter_ablation() {
+    println!("Ablation 2: record filter (4-node line, 30 min, JSON uplink)");
+    println!("filter     | records at server | approx uplink bytes");
+    println!("-----------|-------------------|--------------------");
+    let (all_records, all_bytes) = filter_run(RecordFilter::all());
+    println!("everything | {all_records:>17} | {all_bytes:>18}");
+    let (data_records, data_bytes) = filter_run(RecordFilter::data_only());
+    println!("data-only  | {data_records:>17} | {data_bytes:>18}");
+    println!(
+        "Expected shape: routing beacons dominate a quiet mesh, so the\n\
+         data-only filter cuts record volume severalfold — at the price of\n\
+         losing the links/topology view (no routing packets to infer from)."
+    );
+}
+
+fn drop_policy_ablation() {
+    println!("Ablation 3: drop policy under client overload (buffer 16, period 120 s)");
+    println!("policy | records kept | dropped | mean record age at report (s)");
+    println!("-------|--------------|---------|------------------------------");
+    for (label, policy) in [("oldest", DropPolicy::Oldest), ("newest", DropPolicy::Newest)] {
+        let mut monitor = MonitorConfig::new()
+            .with_report_period(Duration::from_secs(120))
+            .with_buffer_capacity(16)
+            .with_max_records(16);
+        monitor.drop_policy = policy;
+        let mut config = ScenarioConfig::line(3, 500.0, 808)
+            .with_duration(Duration::from_secs(1800))
+            .with_monitor(monitor)
+            .with_uplink(UplinkModel::perfect());
+        config.server.archive = true;
+        let result = run_scenario(&config);
+        let entries = result.server.archive_entries();
+        let mut ages = Vec::new();
+        for e in &entries {
+            for r in &e.report.records {
+                ages.push(
+                    e.report.generated_at_ms.saturating_sub(r.timestamp_ms) as f64 / 1000.0,
+                );
+            }
+        }
+        let kept = ages.len();
+        let dropped: u64 = result.client_stats.iter().map(|c| c.dropped).sum();
+        let mean_age = if kept > 0 {
+            ages.iter().sum::<f64>() / kept as f64
+        } else {
+            0.0
+        };
+        println!("{label:>6} | {kept:>12} | {dropped:>7} | {mean_age:>28.1}");
+    }
+    println!(
+        "Expected shape: equal drop counts (same load), but oldest-drop\n\
+         reports fresh records (low age) while newest-drop preserves the\n\
+         start of each interval (high age)."
+    );
+}

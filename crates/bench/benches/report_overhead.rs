@@ -1,0 +1,95 @@
+//! R-Tab-2: monitoring report size and encoding cost vs batch size.
+//!
+//! Prints the size table the paper's evaluation would show (uplink bytes
+//! per report as a function of how many packet records are batched), and
+//! measures encode/decode throughput for both wire formats with
+//! Criterion.
+//!
+//! ```sh
+//! cargo bench -p loramon-bench --bench report_overhead
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use loramon_core::{PacketRecord, Report};
+use loramon_mesh::{Direction, PacketType};
+use loramon_sim::NodeId;
+use std::hint::black_box;
+
+fn record(i: u64) -> PacketRecord {
+    PacketRecord {
+        seq: i,
+        timestamp_ms: 30_000 + i * 250,
+        direction: if i.is_multiple_of(2) { Direction::In } else { Direction::Out },
+        node: NodeId(1),
+        counterpart: NodeId(2),
+        ptype: PacketType::Data,
+        origin: NodeId(2),
+        final_dst: NodeId(1),
+        packet_id: i as u16,
+        ttl: 7,
+        size_bytes: 42,
+        rssi_dbm: i.is_multiple_of(2).then_some(-96.5),
+        snr_db: i.is_multiple_of(2).then_some(4.25),
+    }
+}
+
+fn report(records: usize) -> Report {
+    Report {
+        node: NodeId(1),
+        report_seq: 1,
+        generated_at_ms: 60_000,
+        dropped_records: 0,
+        status: None,
+        records: (0..records as u64).map(record).collect(),
+    }
+}
+
+fn print_size_table() {
+    println!("\nR-Tab-2: report size vs batch size");
+    println!("records | JSON bytes | binary bytes | JSON/binary");
+    for n in [0usize, 1, 5, 10, 25, 50, 100] {
+        let r = report(n);
+        let json = r.encode_json().len();
+        let bin = r.encode_binary().len();
+        println!(
+            "{n:>7} | {json:>10} | {bin:>12} | {:.1}x",
+            json as f64 / bin as f64
+        );
+    }
+    println!();
+}
+
+fn bench_encoding(c: &mut Criterion) {
+    print_size_table();
+
+    let mut group = c.benchmark_group("report_encode");
+    for n in [1usize, 10, 50] {
+        let r = report(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("json", n), &r, |b, r| {
+            b.iter(|| black_box(r.encode_json()));
+        });
+        group.bench_with_input(BenchmarkId::new("binary", n), &r, |b, r| {
+            b.iter(|| black_box(r.encode_binary()));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("report_decode");
+    for n in [1usize, 10, 50] {
+        let r = report(n);
+        let json = r.encode_json();
+        let bin = r.encode_binary();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("json", n), &json, |b, bytes| {
+            b.iter(|| black_box(Report::decode_json(bytes).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("binary", n), &bin, |b, bytes| {
+            b.iter(|| black_box(Report::decode_binary(bytes).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoding);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! R-Fig-8: scalability with mesh size.
+//!
+//! Grows the network from 5 to 60 nodes on a fixed-density grid and
+//! measures, per size: routing convergence (mean reachable destinations
+//! per node), monitoring completeness, record volume at the server,
+//! server ingest wall-time, and simulation wall-time.
+//!
+//! Figure-generation harness (prints the series).
+//!
+//! ```sh
+//! cargo bench -p loramon-bench --bench scalability
+//! ```
+
+use loramon_core::{MonitorClient, MonitorConfig, UplinkModel};
+use loramon_mesh::{MeshConfig, MeshNode, TrafficPattern};
+use loramon_phy::RadioConfig;
+use loramon_server::{MonitorServer, ServerConfig};
+use loramon_sim::{placement, NodeId, SimBuilder, SimTime};
+use std::time::{Duration, Instant};
+
+struct Row {
+    nodes: usize,
+    sim_wall_ms: u128,
+    ingest_wall_ms: u128,
+    reports: usize,
+    records: usize,
+    completeness: f64,
+    mean_reachable: f64,
+    transmissions: u64,
+}
+
+fn run(n: usize) -> Row {
+    let positions = placement::grid(n, 900.0);
+    let gateway = NodeId(n as u16);
+    let monitor = MonitorConfig::new();
+    let mut sim = SimBuilder::new().seed(0x5CA1E + n as u64).build();
+    let cfg = RadioConfig::mesher_default();
+    let mut ids = Vec::new();
+    for (i, &pos) in positions.iter().enumerate() {
+        let mut node = MeshNode::with_observer(MeshConfig::fast(), MonitorClient::new(monitor));
+        if i != n - 1 {
+            node = node.with_traffic(TrafficPattern::to_gateway(
+                gateway,
+                Duration::from_secs(120),
+                16,
+            ));
+        }
+        ids.push(sim.add_node(pos, cfg, Box::new(node)));
+    }
+
+    let t0 = Instant::now();
+    sim.run_for(Duration::from_secs(900));
+    let sim_wall_ms = t0.elapsed().as_millis();
+
+    // Reachability: mean routing-table size as a fraction of peers.
+    let mut reach = 0usize;
+    for &id in &ids {
+        let node: &MeshNode<MonitorClient> = sim.app_as(id).unwrap();
+        reach += node.routing_table().len();
+    }
+    let mean_reachable = reach as f64 / n as f64 / (n - 1).max(1) as f64;
+
+    // Drain reports and ingest.
+    let uplink = UplinkModel::perfect();
+    let mut pending = Vec::new();
+    for &id in &ids {
+        let node = sim.app_as_mut::<MeshNode<MonitorClient>>(id).unwrap();
+        for r in node.observer_mut().take_outbox() {
+            pending.push((SimTime::from_millis(r.generated_at_ms), r));
+        }
+    }
+    let delivered = uplink.deliver_all(pending);
+    let reports = delivered.len();
+    let server = MonitorServer::new(ServerConfig::default());
+    let t1 = Instant::now();
+    for (at, report) in delivered {
+        server.ingest(&report, at);
+    }
+    let ingest_wall_ms = t1.elapsed().as_millis();
+
+    let transmissions = sim.trace().transmissions(None) as u64;
+    Row {
+        nodes: n,
+        sim_wall_ms,
+        ingest_wall_ms,
+        reports,
+        records: server.total_records(),
+        completeness: server.completeness(transmissions),
+        mean_reachable,
+        transmissions,
+    }
+}
+
+fn main() {
+    println!("R-Fig-8: scalability with mesh size (900 m grid, 15 simulated minutes)\n");
+    println!("nodes | tx frames | reports | records | complete | reach | sim wall | ingest wall");
+    println!("------|-----------|---------|---------|----------|-------|----------|------------");
+    for n in [5usize, 10, 20, 40, 60] {
+        let r = run(n);
+        println!(
+            "{:>5} | {:>9} | {:>7} | {:>7} | {:>7.1}% | {:>4.0}% | {:>6} ms | {:>8} ms",
+            r.nodes,
+            r.transmissions,
+            r.reports,
+            r.records,
+            r.completeness * 100.0,
+            r.mean_reachable * 100.0,
+            r.sim_wall_ms,
+            r.ingest_wall_ms
+        );
+    }
+    println!(
+        "\nExpected shape: reports and records grow linearly with node count;\n\
+         completeness stays high (out-of-band uplink); reachability dips as\n\
+         the duty-cycled routing plane saturates in larger meshes."
+    );
+}

@@ -1,0 +1,130 @@
+//! R-Tab-3: server ingestion and query throughput.
+//!
+//! How many reports/records per second can one server instance absorb,
+//! and how fast are the dashboard queries over a populated store?
+//!
+//! ```sh
+//! cargo bench -p loramon-bench --bench server_ingest
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use loramon_core::{PacketRecord, Report};
+use loramon_mesh::{Direction, PacketType};
+use loramon_server::{MonitorServer, ServerConfig, Window};
+use loramon_sim::{NodeId, SimTime};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn record(node: u16, i: u64) -> PacketRecord {
+    PacketRecord {
+        seq: i,
+        timestamp_ms: i * 200,
+        direction: if i.is_multiple_of(2) { Direction::In } else { Direction::Out },
+        node: NodeId(node),
+        counterpart: NodeId(node % 8 + 1),
+        ptype: match i % 3 {
+            0 => PacketType::Routing,
+            1 => PacketType::Data,
+            _ => PacketType::Ack,
+        },
+        origin: NodeId(node % 8 + 1),
+        final_dst: NodeId(node),
+        packet_id: i as u16,
+        ttl: 5,
+        size_bytes: 40,
+        rssi_dbm: i.is_multiple_of(2).then_some(-90.0 - (i % 30) as f64),
+        snr_db: i.is_multiple_of(2).then_some(5.0),
+    }
+}
+
+fn report(node: u16, seq: u32, records: usize) -> Report {
+    Report {
+        node: NodeId(node),
+        report_seq: seq,
+        generated_at_ms: u64::from(seq + 1) * 30_000,
+        dropped_records: 0,
+        status: None,
+        records: (0..records as u64)
+            .map(|i| record(node, u64::from(seq) * records as u64 + i))
+            .collect(),
+    }
+}
+
+/// A server preloaded with `nodes × reports × records_per` records.
+fn populated(nodes: u16, reports: u32, records_per: usize) -> MonitorServer {
+    let server = MonitorServer::new(ServerConfig::default());
+    for node in 1..=nodes {
+        for seq in 0..reports {
+            server.ingest(
+                &report(node, seq, records_per),
+                SimTime::from_millis(u64::from(seq + 1) * 30_000 + u64::from(node)),
+            );
+        }
+    }
+    server
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ingest");
+    for records_per in [1usize, 10, 50] {
+        // 20 reports per iteration.
+        group.throughput(Throughput::Elements(20 * records_per as u64));
+        group.bench_with_input(
+            BenchmarkId::new("records_per_report", records_per),
+            &records_per,
+            |b, &n| {
+                b.iter_batched(
+                    || MonitorServer::new(ServerConfig::default()),
+                    |server| {
+                        for seq in 0..20u32 {
+                            server.ingest(
+                                &report(1, seq, n),
+                                SimTime::from_millis(u64::from(seq) * 30_000),
+                            );
+                        }
+                        black_box(server.total_records())
+                    },
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    // 8 nodes × 25 reports × 50 records = 10 000 records.
+    let server = populated(8, 25, 50);
+    println!(
+        "\nR-Tab-3 query corpus: {} records across {} nodes\n",
+        server.total_records(),
+        server.node_ids().len()
+    );
+
+    let mut group = c.benchmark_group("query");
+    group.bench_function("series_60s_buckets", |b| {
+        b.iter(|| black_box(server.series(None, None, Window::all(), Duration::from_secs(60))));
+    });
+    group.bench_function("link_stats", |b| {
+        b.iter(|| black_box(server.link_stats(Window::all())));
+    });
+    group.bench_function("link_deliveries", |b| {
+        b.iter(|| black_box(server.link_deliveries(Window::all())));
+    });
+    group.bench_function("end_to_end", |b| {
+        b.iter(|| black_box(server.end_to_end(Window::all())));
+    });
+    group.bench_function("topology", |b| {
+        b.iter(|| black_box(server.topology(Window::all())));
+    });
+    group.bench_function("node_summaries", |b| {
+        b.iter(|| black_box(server.node_summaries()));
+    });
+    group.bench_function("rssi_histogram", |b| {
+        b.iter(|| black_box(server.rssi_histogram(None, Window::all(), 2.0)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest, bench_queries);
+criterion_main!(benches);

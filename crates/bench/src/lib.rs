@@ -1,0 +1,16 @@
+//! # loramon-bench
+//!
+//! The benchmark harness: one target per reconstructed table/figure of
+//! the paper's evaluation (see `EXPERIMENTS.md` at the workspace root),
+//! plus micro-benchmarks of the hot paths.
+//!
+//! | target                | regenerates |
+//! |-----------------------|-------------|
+//! | `report_overhead`     | R-Tab-2     |
+//! | `server_ingest`       | R-Tab-3     |
+//! | `pdr_sweep`           | R-Fig-5     |
+//! | `monitoring_overhead` | R-Fig-6     |
+//! | `scalability`         | R-Fig-8     |
+//! | `micro`               | hot paths   |
+//!
+//! All are run with `cargo bench -p loramon-bench`.

@@ -1,0 +1,175 @@
+//! A bounded record buffer with an explicit drop policy.
+//!
+//! Real nodes have a few kilobytes to spare for monitoring; when the
+//! uplink is down or the report period is long, the buffer fills and
+//! something must be dropped. The policy choice is one of the ablations
+//! called out in DESIGN.md.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// What to discard when the buffer is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum DropPolicy {
+    /// Discard the oldest buffered record (keep the freshest picture).
+    /// The default.
+    #[default]
+    Oldest,
+    /// Discard the incoming record (keep history intact).
+    Newest,
+}
+
+/// Bounded FIFO buffer of monitoring records.
+#[derive(Debug, Clone)]
+pub struct RecordBuffer<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    policy: DropPolicy,
+    dropped: u64,
+}
+
+impl<T> RecordBuffer<T> {
+    /// A buffer holding at most `capacity` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, policy: DropPolicy) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        RecordBuffer {
+            items: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            policy,
+            dropped: 0,
+        }
+    }
+
+    /// Number of buffered records.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the buffer is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records dropped so far due to overflow.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Push a record, applying the drop policy on overflow. Returns
+    /// `true` if the new record was kept.
+    pub fn push(&mut self, item: T) -> bool {
+        if self.items.len() < self.capacity {
+            self.items.push_back(item);
+            return true;
+        }
+        self.dropped += 1;
+        match self.policy {
+            DropPolicy::Oldest => {
+                self.items.pop_front();
+                self.items.push_back(item);
+                true
+            }
+            DropPolicy::Newest => false,
+        }
+    }
+
+    /// Remove and return up to `max` records from the front (oldest
+    /// first).
+    pub fn drain(&mut self, max: usize) -> Vec<T> {
+        let n = max.min(self.items.len());
+        self.items.drain(..n).collect()
+    }
+
+    /// Peek at the buffered records without removing them.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_drain_fifo_order() {
+        let mut b = RecordBuffer::new(10, DropPolicy::Oldest);
+        for i in 0..5 {
+            assert!(b.push(i));
+        }
+        assert_eq!(b.len(), 5);
+        assert_eq!(b.drain(3), vec![0, 1, 2]);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.drain(10), vec![3, 4]);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn oldest_policy_keeps_freshest() {
+        let mut b = RecordBuffer::new(3, DropPolicy::Oldest);
+        for i in 0..5 {
+            b.push(i);
+        }
+        assert_eq!(b.dropped(), 2);
+        assert_eq!(b.drain(3), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn newest_policy_keeps_history() {
+        let mut b = RecordBuffer::new(3, DropPolicy::Newest);
+        for i in 0..5 {
+            b.push(i);
+        }
+        assert_eq!(b.dropped(), 2);
+        assert_eq!(b.drain(3), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn push_return_value_reflects_keep() {
+        let mut b = RecordBuffer::new(1, DropPolicy::Newest);
+        assert!(b.push(1));
+        assert!(!b.push(2));
+        let mut b = RecordBuffer::new(1, DropPolicy::Oldest);
+        assert!(b.push(1));
+        assert!(b.push(2));
+    }
+
+    #[test]
+    fn is_full_boundary() {
+        let mut b = RecordBuffer::new(2, DropPolicy::Oldest);
+        assert!(!b.is_full());
+        b.push(1);
+        b.push(2);
+        assert!(b.is_full());
+        assert_eq!(b.capacity(), 2);
+    }
+
+    #[test]
+    fn iter_does_not_consume() {
+        let mut b = RecordBuffer::new(4, DropPolicy::Oldest);
+        b.push(7);
+        b.push(8);
+        let seen: Vec<i32> = b.iter().copied().collect();
+        assert_eq!(seen, vec![7, 8]);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = RecordBuffer::<u8>::new(0, DropPolicy::Oldest);
+    }
+}

@@ -1,0 +1,538 @@
+//! The monitoring client — the paper's client-side contribution.
+//!
+//! A [`MonitorClient`] attaches to a mesh node as its
+//! [`MeshObserver`]: it converts every observed packet into a
+//! [`PacketRecord`], buffers them, and periodically emits a [`Report`].
+//! Reports leave the node either **out-of-band** (over the node's IP
+//! uplink, as in the paper) or **in-band** (as mesh data messages to a
+//! gateway node — the ablation for uplink-less deployments).
+
+use crate::buffer::{DropPolicy, RecordBuffer};
+use crate::record::PacketRecord;
+use crate::report::Report;
+use crate::status::NodeStatus;
+use bytes::Bytes;
+use loramon_mesh::{Direction, MeshObserver, MeshSnapshot, PacketEvent, PacketType};
+use loramon_sim::{NodeId, SimTime};
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// How reports leave the node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReportingMode {
+    /// Over the node's own IP uplink (WiFi in the paper's testbed).
+    OutOfBand,
+    /// As mesh data messages addressed to a gateway node, which relays
+    /// them to the server over its uplink.
+    InBand {
+        /// The gateway's mesh address.
+        gateway: NodeId,
+    },
+}
+
+/// Which packets the client records — the record-volume ablation: a
+/// constrained deployment can monitor only data traffic, or only
+/// receptions, trading visibility for uplink bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecordFilter {
+    /// Record incoming packets.
+    pub incoming: bool,
+    /// Record outgoing packets.
+    pub outgoing: bool,
+    /// Record routing broadcasts.
+    pub routing: bool,
+    /// Record data packets.
+    pub data: bool,
+    /// Record ACK packets.
+    pub acks: bool,
+}
+
+impl RecordFilter {
+    /// Record everything (the default).
+    pub fn all() -> Self {
+        RecordFilter {
+            incoming: true,
+            outgoing: true,
+            routing: true,
+            data: true,
+            acks: true,
+        }
+    }
+
+    /// Record only data traffic (no routing beacons, no ACKs).
+    pub fn data_only() -> Self {
+        RecordFilter {
+            routing: false,
+            acks: false,
+            ..RecordFilter::all()
+        }
+    }
+
+    /// Whether an event passes the filter.
+    pub fn accepts(&self, event: &PacketEvent) -> bool {
+        let dir_ok = match event.direction {
+            Direction::In => self.incoming,
+            Direction::Out => self.outgoing,
+        };
+        let type_ok = match event.ptype {
+            PacketType::Routing => self.routing,
+            PacketType::Data => self.data,
+            PacketType::Ack => self.acks,
+        };
+        dir_ok && type_ok
+    }
+}
+
+impl Default for RecordFilter {
+    fn default() -> Self {
+        RecordFilter::all()
+    }
+}
+
+/// Monitoring client configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MonitorConfig {
+    /// How often a report is generated (default 30 s).
+    pub report_period: Duration,
+    /// Maximum packet records per report (default 50).
+    pub max_records_per_report: usize,
+    /// Client-side record buffer capacity (default 256).
+    pub buffer_capacity: usize,
+    /// What to drop when the buffer overflows.
+    pub drop_policy: DropPolicy,
+    /// Whether reports include the node-status snapshot (default true).
+    pub include_status: bool,
+    /// Out-of-band (default) or in-band reporting.
+    pub mode: ReportingMode,
+    /// Which packets are recorded at all.
+    pub filter: RecordFilter,
+}
+
+impl MonitorConfig {
+    /// The defaults described in the field docs.
+    pub fn new() -> Self {
+        MonitorConfig {
+            report_period: Duration::from_secs(30),
+            max_records_per_report: 50,
+            buffer_capacity: 256,
+            drop_policy: DropPolicy::Oldest,
+            include_status: true,
+            mode: ReportingMode::OutOfBand,
+            filter: RecordFilter::all(),
+        }
+    }
+
+    /// Set the report period (builder style).
+    pub fn with_report_period(mut self, period: Duration) -> Self {
+        self.report_period = period;
+        self
+    }
+
+    /// Use in-band reporting to the given gateway (builder style).
+    pub fn with_in_band(mut self, gateway: NodeId) -> Self {
+        self.mode = ReportingMode::InBand { gateway };
+        self
+    }
+
+    /// Set the per-report record cap (builder style).
+    pub fn with_max_records(mut self, max: usize) -> Self {
+        self.max_records_per_report = max;
+        self
+    }
+
+    /// Set the buffer capacity (builder style).
+    pub fn with_buffer_capacity(mut self, capacity: usize) -> Self {
+        self.buffer_capacity = capacity;
+        self
+    }
+
+    /// Include or exclude status snapshots (builder style).
+    pub fn with_status(mut self, include: bool) -> Self {
+        self.include_status = include;
+        self
+    }
+
+    /// Set the record filter (builder style).
+    pub fn with_filter(mut self, filter: RecordFilter) -> Self {
+        self.filter = filter;
+        self
+    }
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig::new()
+    }
+}
+
+/// The client-side monitor. Implements [`MeshObserver`] so it can be
+/// attached to a [`MeshNode`](loramon_mesh::MeshNode) via
+/// [`MeshNode::with_observer`](loramon_mesh::MeshNode::with_observer).
+#[derive(Debug)]
+pub struct MonitorClient {
+    config: MonitorConfig,
+    buffer: RecordBuffer<PacketRecord>,
+    next_record_seq: u64,
+    next_report_seq: u32,
+    last_report_at: Option<SimTime>,
+    /// Out-of-band reports awaiting the uplink (drained by the harness).
+    outbox: Vec<Report>,
+    /// Reports received in-band from other nodes (gateway role), with
+    /// their mesh arrival time.
+    collected: Vec<(SimTime, Report)>,
+    records_captured: u64,
+    records_filtered: u64,
+    dropped_at_last_report: u64,
+}
+
+impl MonitorClient {
+    /// A client with the given configuration.
+    pub fn new(config: MonitorConfig) -> Self {
+        MonitorClient {
+            buffer: RecordBuffer::new(config.buffer_capacity, config.drop_policy),
+            config,
+            next_record_seq: 0,
+            next_report_seq: 0,
+            last_report_at: None,
+            outbox: Vec::new(),
+            collected: Vec::new(),
+            records_captured: 0,
+            records_filtered: 0,
+            dropped_at_last_report: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MonitorConfig {
+        &self.config
+    }
+
+    /// Mutable configuration access for
+    /// [`apply_command`](MonitorClient::apply_command).
+    pub(crate) fn config_mut(&mut self) -> &mut MonitorConfig {
+        &mut self.config
+    }
+
+    /// Total packets recorded since boot (kept or dropped).
+    pub fn records_captured(&self) -> u64 {
+        self.records_captured
+    }
+
+    /// Packets skipped by the record filter since boot.
+    pub fn records_filtered(&self) -> u64 {
+        self.records_filtered
+    }
+
+    /// Records currently buffered and not yet reported.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Records lost to buffer overflow since boot.
+    pub fn records_dropped(&self) -> u64 {
+        self.buffer.dropped()
+    }
+
+    /// Reports generated so far.
+    pub fn reports_generated(&self) -> u32 {
+        self.next_report_seq
+    }
+
+    /// Drain the out-of-band outbox.
+    pub fn take_outbox(&mut self) -> Vec<Report> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Peek at the out-of-band outbox.
+    pub fn outbox(&self) -> &[Report] {
+        &self.outbox
+    }
+
+    /// Drain reports collected from other nodes (gateway role), with
+    /// their mesh arrival times.
+    pub fn take_collected(&mut self) -> Vec<(SimTime, Report)> {
+        std::mem::take(&mut self.collected)
+    }
+
+    /// Peek at collected reports.
+    pub fn collected(&self) -> &[(SimTime, Report)] {
+        &self.collected
+    }
+
+    fn report_due(&self, now: SimTime) -> bool {
+        match self.last_report_at {
+            Some(last) => now.saturating_since(last) >= self.config.report_period,
+            None => now.saturating_since(SimTime::ZERO) >= self.config.report_period,
+        }
+    }
+
+    fn build_report(&mut self, snapshot: &MeshSnapshot) -> Report {
+        let records = self.buffer.drain(self.config.max_records_per_report);
+        let dropped_total = self.buffer.dropped();
+        let dropped_records = dropped_total - self.dropped_at_last_report;
+        self.dropped_at_last_report = dropped_total;
+        let seq = self.next_report_seq;
+        self.next_report_seq += 1;
+        self.last_report_at = Some(snapshot.now);
+        Report {
+            node: snapshot.node,
+            report_seq: seq,
+            generated_at_ms: snapshot.now.as_millis(),
+            dropped_records,
+            status: self
+                .config
+                .include_status
+                .then(|| NodeStatus::from_snapshot(snapshot)),
+            records,
+        }
+    }
+}
+
+impl MeshObserver for MonitorClient {
+    fn on_packet(&mut self, event: &PacketEvent) {
+        if !self.config.filter.accepts(event) {
+            self.records_filtered += 1;
+            return;
+        }
+        let record = PacketRecord::from_event(self.next_record_seq, event);
+        self.next_record_seq += 1;
+        self.records_captured += 1;
+        self.buffer.push(record);
+    }
+
+    fn poll(&mut self, snapshot: &MeshSnapshot) -> Vec<(NodeId, Bytes)> {
+        if !self.report_due(snapshot.now) {
+            return Vec::new();
+        }
+        let report = self.build_report(snapshot);
+        match self.config.mode {
+            ReportingMode::OutOfBand => {
+                self.outbox.push(report);
+                Vec::new()
+            }
+            ReportingMode::InBand { gateway } => {
+                if gateway == snapshot.node {
+                    // The gateway's own reports go straight up its uplink.
+                    self.outbox.push(report);
+                    Vec::new()
+                } else {
+                    vec![(gateway, Bytes::from(report.encode_binary()))]
+                }
+            }
+        }
+    }
+
+    fn on_message(&mut self, _from: NodeId, payload: &Bytes, at: SimTime) {
+        if Report::is_binary_report(payload) {
+            if let Ok(report) = Report::decode_binary(payload) {
+                self.collected.push((at, report));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loramon_mesh::{Direction, MeshStats, PacketType};
+
+    fn event(at_ms: u64) -> PacketEvent {
+        PacketEvent {
+            at: SimTime::from_millis(at_ms),
+            direction: Direction::In,
+            local: NodeId(1),
+            counterpart: NodeId(2),
+            ptype: PacketType::Routing,
+            origin: NodeId(2),
+            final_dst: NodeId::BROADCAST,
+            packet_id: 1,
+            ttl: 1,
+            size_bytes: 25,
+            rssi_dbm: Some(-90.0),
+            snr_db: Some(5.0),
+        }
+    }
+
+    fn snapshot(node: u16, at: SimTime) -> MeshSnapshot {
+        MeshSnapshot {
+            node: NodeId(node),
+            now: at,
+            routes: vec![],
+            queue_len: 0,
+            stats: MeshStats::default(),
+            battery_percent: 100,
+            duty_cycle_utilization: 0.0,
+        }
+    }
+
+    #[test]
+    fn records_accumulate_until_report_period() {
+        let mut c = MonitorClient::new(MonitorConfig::new());
+        c.on_packet(&event(100));
+        c.on_packet(&event(200));
+        assert_eq!(c.buffered(), 2);
+        // Poll before the period: nothing emitted.
+        let out = c.poll(&snapshot(1, SimTime::from_secs(10)));
+        assert!(out.is_empty());
+        assert!(c.outbox().is_empty());
+        // Poll after: one report with both records.
+        let out = c.poll(&snapshot(1, SimTime::from_secs(30)));
+        assert!(out.is_empty()); // out-of-band → outbox, not mesh
+        assert_eq!(c.outbox().len(), 1);
+        assert_eq!(c.outbox()[0].records.len(), 2);
+        assert_eq!(c.buffered(), 0);
+    }
+
+    #[test]
+    fn report_sequence_increments() {
+        let mut c = MonitorClient::new(
+            MonitorConfig::new().with_report_period(Duration::from_secs(10)),
+        );
+        for s in [10u64, 20, 30] {
+            c.poll(&snapshot(1, SimTime::from_secs(s)));
+        }
+        let reports = c.take_outbox();
+        assert_eq!(reports.len(), 3);
+        assert_eq!(
+            reports.iter().map(|r| r.report_seq).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert_eq!(c.reports_generated(), 3);
+    }
+
+    #[test]
+    fn max_records_cap_is_respected() {
+        let mut c = MonitorClient::new(MonitorConfig::new().with_max_records(5));
+        for i in 0..12 {
+            c.on_packet(&event(i));
+        }
+        c.poll(&snapshot(1, SimTime::from_secs(30)));
+        let r = &c.outbox()[0];
+        assert_eq!(r.records.len(), 5);
+        // Leftovers stay buffered for the next report.
+        assert_eq!(c.buffered(), 7);
+    }
+
+    #[test]
+    fn dropped_records_are_reported_per_interval() {
+        let mut c = MonitorClient::new(
+            MonitorConfig::new()
+                .with_buffer_capacity(3)
+                .with_max_records(10),
+        );
+        for i in 0..8 {
+            c.on_packet(&event(i));
+        }
+        c.poll(&snapshot(1, SimTime::from_secs(30)));
+        assert_eq!(c.outbox()[0].dropped_records, 5);
+        // Next interval with no drops reports zero.
+        c.poll(&snapshot(1, SimTime::from_secs(60)));
+        assert_eq!(c.outbox()[1].dropped_records, 0);
+        assert_eq!(c.records_dropped(), 5);
+        assert_eq!(c.records_captured(), 8);
+    }
+
+    #[test]
+    fn in_band_mode_sends_to_gateway() {
+        let gw = NodeId(9);
+        let mut c = MonitorClient::new(MonitorConfig::new().with_in_band(gw));
+        c.on_packet(&event(1));
+        let out = c.poll(&snapshot(1, SimTime::from_secs(30)));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, gw);
+        assert!(Report::is_binary_report(&out[0].1));
+        assert!(c.outbox().is_empty());
+    }
+
+    #[test]
+    fn gateway_in_band_uses_own_uplink() {
+        let gw = NodeId(9);
+        let mut c = MonitorClient::new(MonitorConfig::new().with_in_band(gw));
+        let out = c.poll(&snapshot(9, SimTime::from_secs(30)));
+        assert!(out.is_empty());
+        assert_eq!(c.outbox().len(), 1);
+    }
+
+    #[test]
+    fn gateway_collects_in_band_reports() {
+        let mut gw_client = MonitorClient::new(MonitorConfig::new());
+        let mut sensor = MonitorClient::new(MonitorConfig::new().with_in_band(NodeId(9)));
+        sensor.on_packet(&event(5));
+        let out = sensor.poll(&snapshot(1, SimTime::from_secs(30)));
+        gw_client.on_message(NodeId(1), &out[0].1, SimTime::from_secs(31));
+        let collected = gw_client.take_collected();
+        assert_eq!(collected.len(), 1);
+        assert_eq!(collected[0].0, SimTime::from_secs(31));
+        assert_eq!(collected[0].1.node, NodeId(1));
+        assert_eq!(collected[0].1.records.len(), 1);
+    }
+
+    #[test]
+    fn non_report_messages_ignored() {
+        let mut c = MonitorClient::new(MonitorConfig::new());
+        c.on_message(NodeId(2), &Bytes::from_static(b"ordinary app data"), SimTime::ZERO);
+        assert!(c.collected().is_empty());
+    }
+
+    #[test]
+    fn status_inclusion_follows_config() {
+        let mut with = MonitorClient::new(MonitorConfig::new());
+        with.poll(&snapshot(1, SimTime::from_secs(30)));
+        assert!(with.outbox()[0].status.is_some());
+
+        let mut without = MonitorClient::new(MonitorConfig::new().with_status(false));
+        without.poll(&snapshot(1, SimTime::from_secs(30)));
+        assert!(without.outbox()[0].status.is_none());
+    }
+
+    #[test]
+    fn filter_skips_unwanted_packets() {
+        let mut c = MonitorClient::new(
+            MonitorConfig::new().with_filter(RecordFilter::data_only()),
+        );
+        // A routing packet: filtered out.
+        c.on_packet(&event(100)); // event() is Routing/In
+        assert_eq!(c.buffered(), 0);
+        assert_eq!(c.records_filtered(), 1);
+        assert_eq!(c.records_captured(), 0);
+        // A data packet passes.
+        let mut data = event(200);
+        data.ptype = PacketType::Data;
+        c.on_packet(&data);
+        assert_eq!(c.buffered(), 1);
+    }
+
+    #[test]
+    fn filter_direction_axis() {
+        let f = RecordFilter {
+            incoming: true,
+            outgoing: false,
+            ..RecordFilter::all()
+        };
+        let mut ev = event(1);
+        assert!(f.accepts(&ev));
+        ev.direction = Direction::Out;
+        assert!(!f.accepts(&ev));
+    }
+
+    #[test]
+    fn record_seqs_are_gapless_across_reports() {
+        let mut c = MonitorClient::new(
+            MonitorConfig::new()
+                .with_report_period(Duration::from_secs(10))
+                .with_max_records(2),
+        );
+        for i in 0..6 {
+            c.on_packet(&event(i));
+        }
+        c.poll(&snapshot(1, SimTime::from_secs(10)));
+        c.poll(&snapshot(1, SimTime::from_secs(20)));
+        c.poll(&snapshot(1, SimTime::from_secs(30)));
+        let all: Vec<u64> = c
+            .take_outbox()
+            .iter()
+            .flat_map(|r| r.records.iter().map(|x| x.seq))
+            .collect();
+        assert_eq!(all, vec![0, 1, 2, 3, 4, 5]);
+    }
+}

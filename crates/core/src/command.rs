@@ -1,0 +1,158 @@
+//! Remote client configuration.
+//!
+//! Administrators tune monitoring from the server side: the server
+//! queues a [`MonitorCommand`] per node, and the node picks it up with
+//! the acknowledgment of its next report (clients initiate all
+//! connections, so commands piggyback on the uplink exchange — no
+//! listening socket on the node).
+
+use crate::client::{MonitorClient, RecordFilter};
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// A configuration delta for one monitoring client. `None` fields keep
+/// the current value.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct MonitorCommand {
+    /// New report period in seconds.
+    pub report_period_s: Option<u32>,
+    /// New per-report record cap.
+    pub max_records_per_report: Option<u32>,
+    /// New record filter.
+    pub filter: Option<RecordFilter>,
+    /// Include status snapshots or not.
+    pub include_status: Option<bool>,
+}
+
+impl MonitorCommand {
+    /// A command that changes only the report period.
+    pub fn set_report_period(period: Duration) -> Self {
+        MonitorCommand {
+            report_period_s: Some(period.as_secs() as u32),
+            ..MonitorCommand::default()
+        }
+    }
+
+    /// A command that changes only the record filter.
+    pub fn set_filter(filter: RecordFilter) -> Self {
+        MonitorCommand {
+            filter: Some(filter),
+            ..MonitorCommand::default()
+        }
+    }
+
+    /// Whether the command changes nothing.
+    pub fn is_empty(&self) -> bool {
+        *self == MonitorCommand::default()
+    }
+
+    /// Merge another command over this one (later wins per field).
+    pub fn merged_with(mut self, later: MonitorCommand) -> Self {
+        if later.report_period_s.is_some() {
+            self.report_period_s = later.report_period_s;
+        }
+        if later.max_records_per_report.is_some() {
+            self.max_records_per_report = later.max_records_per_report;
+        }
+        if later.filter.is_some() {
+            self.filter = later.filter;
+        }
+        if later.include_status.is_some() {
+            self.include_status = later.include_status;
+        }
+        self
+    }
+}
+
+impl MonitorClient {
+    /// Apply a configuration command received from the server.
+    ///
+    /// Invalid values (zero period or record cap) are ignored field-wise
+    /// rather than rejecting the whole command — the device must never
+    /// brick its own telemetry.
+    pub fn apply_command(&mut self, command: &MonitorCommand) {
+        if let Some(period_s) = command.report_period_s {
+            if period_s > 0 {
+                self.config_mut().report_period = Duration::from_secs(u64::from(period_s));
+            }
+        }
+        if let Some(max) = command.max_records_per_report {
+            if max > 0 {
+                self.config_mut().max_records_per_report = max as usize;
+            }
+        }
+        if let Some(filter) = command.filter {
+            self.config_mut().filter = filter;
+        }
+        if let Some(include) = command.include_status {
+            self.config_mut().include_status = include;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::MonitorConfig;
+
+    #[test]
+    fn apply_changes_only_requested_fields() {
+        let mut client = MonitorClient::new(MonitorConfig::new());
+        let before = *client.config();
+        client.apply_command(&MonitorCommand::set_report_period(Duration::from_secs(10)));
+        assert_eq!(client.config().report_period, Duration::from_secs(10));
+        assert_eq!(
+            client.config().max_records_per_report,
+            before.max_records_per_report
+        );
+        assert_eq!(client.config().filter, before.filter);
+    }
+
+    #[test]
+    fn invalid_values_are_ignored_fieldwise() {
+        let mut client = MonitorClient::new(MonitorConfig::new());
+        client.apply_command(&MonitorCommand {
+            report_period_s: Some(0),
+            max_records_per_report: Some(0),
+            include_status: Some(false),
+            ..MonitorCommand::default()
+        });
+        // The invalid fields kept their defaults; the valid one applied.
+        assert_eq!(client.config().report_period, Duration::from_secs(30));
+        assert_eq!(client.config().max_records_per_report, 50);
+        assert!(!client.config().include_status);
+    }
+
+    #[test]
+    fn merge_later_wins() {
+        let a = MonitorCommand::set_report_period(Duration::from_secs(10));
+        let b = MonitorCommand {
+            report_period_s: Some(60),
+            include_status: Some(false),
+            ..MonitorCommand::default()
+        };
+        let merged = a.merged_with(b);
+        assert_eq!(merged.report_period_s, Some(60));
+        assert_eq!(merged.include_status, Some(false));
+        // Field untouched by either stays None.
+        assert_eq!(merged.filter, None);
+    }
+
+    #[test]
+    fn empty_detection() {
+        assert!(MonitorCommand::default().is_empty());
+        assert!(!MonitorCommand::set_filter(RecordFilter::data_only()).is_empty());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let cmd = MonitorCommand {
+            report_period_s: Some(45),
+            filter: Some(RecordFilter::data_only()),
+            ..MonitorCommand::default()
+        };
+        let json = serde_json::to_string(&cmd).unwrap();
+        let back: MonitorCommand = serde_json::from_str(&json).unwrap();
+        assert_eq!(cmd, back);
+    }
+}

@@ -1,0 +1,49 @@
+//! # loramon-core
+//!
+//! The client side of the LoRa mesh monitoring system — the paper's
+//! primary contribution.
+//!
+//! Each LoRa node runs a [`MonitorClient`] attached to its mesh stack.
+//! The client records metadata about every packet the radio sees
+//! ([`PacketRecord`]), snapshots the node's own state ([`NodeStatus`]),
+//! batches both into [`Report`]s, and periodically ships them to the
+//! monitoring server — over the node's IP uplink ([`UplinkModel`]) or
+//! in-band over the mesh itself.
+//!
+//! ## Example
+//!
+//! ```
+//! use loramon_core::{MonitorClient, MonitorConfig};
+//! use loramon_mesh::{MeshConfig, MeshNode};
+//! use loramon_sim::SimBuilder;
+//! use loramon_phy::{Position, RadioConfig};
+//! use std::time::Duration;
+//!
+//! let mut sim = SimBuilder::new().seed(1).build();
+//! let cfg = RadioConfig::mesher_default();
+//! let make = || MeshNode::with_observer(MeshConfig::fast(), MonitorClient::new(MonitorConfig::new()));
+//! let a = sim.add_node(Position::new(0.0, 0.0), cfg, Box::new(make()));
+//! sim.add_node(Position::new(300.0, 0.0), cfg, Box::new(make()));
+//! sim.run_for(Duration::from_secs(120));
+//!
+//! let node: &MeshNode<MonitorClient> = sim.app_as(a).unwrap();
+//! let client = node.observer();
+//! assert!(client.records_captured() > 0);
+//! assert!(client.reports_generated() > 0);
+//! ```
+
+pub mod buffer;
+pub mod command;
+pub mod client;
+pub mod record;
+pub mod report;
+pub mod status;
+pub mod uplink;
+
+pub use buffer::{DropPolicy, RecordBuffer};
+pub use client::{MonitorClient, MonitorConfig, RecordFilter, ReportingMode};
+pub use command::MonitorCommand;
+pub use record::PacketRecord;
+pub use report::{Report, WireError, BINARY_MAGIC, BINARY_VERSION};
+pub use status::{NodeStatus, ReportedRoute};
+pub use uplink::{Outage, UplinkModel};

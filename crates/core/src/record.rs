@@ -1,0 +1,130 @@
+//! The per-packet record — the unit of monitoring data (R-Tab-1).
+//!
+//! The paper's client reports "detailed information about the nodes'
+//! in- and outgoing LoRa packets"; this struct is that information. One
+//! record is produced for every packet the node's radio demodulates or
+//! transmits, including packets merely overheard.
+
+use loramon_mesh::{Direction, PacketEvent, PacketType};
+use loramon_sim::{NodeId, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One monitored packet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PacketRecord {
+    /// Client-assigned sequence number (detects server-side gaps).
+    pub seq: u64,
+    /// Capture timestamp, milliseconds since node boot.
+    pub timestamp_ms: u64,
+    /// In or out of this node's radio.
+    pub direction: Direction,
+    /// The reporting node.
+    pub node: NodeId,
+    /// Link-layer peer (sender for In, link destination for Out).
+    pub counterpart: NodeId,
+    /// Mesh packet type.
+    pub ptype: PacketType,
+    /// End-to-end origin of the packet.
+    pub origin: NodeId,
+    /// End-to-end destination of the packet.
+    pub final_dst: NodeId,
+    /// Origin-assigned packet id.
+    pub packet_id: u16,
+    /// TTL observed on the wire.
+    pub ttl: u8,
+    /// Encoded size in bytes.
+    pub size_bytes: u32,
+    /// RSSI in dBm (receptions only).
+    pub rssi_dbm: Option<f64>,
+    /// SNR in dB (receptions only).
+    pub snr_db: Option<f64>,
+}
+
+impl PacketRecord {
+    /// Build a record from a mesh observation.
+    pub fn from_event(seq: u64, event: &PacketEvent) -> Self {
+        PacketRecord {
+            seq,
+            timestamp_ms: event.at.as_millis(),
+            direction: event.direction,
+            node: event.local,
+            counterpart: event.counterpart,
+            ptype: event.ptype,
+            origin: event.origin,
+            final_dst: event.final_dst,
+            packet_id: event.packet_id,
+            ttl: event.ttl,
+            size_bytes: event.size_bytes as u32,
+            rssi_dbm: event.rssi_dbm,
+            snr_db: event.snr_db,
+        }
+    }
+
+    /// The capture time as a [`SimTime`].
+    pub fn captured_at(&self) -> SimTime {
+        SimTime::from_millis(self.timestamp_ms)
+    }
+
+    /// Whether this record describes a reception.
+    pub fn is_incoming(&self) -> bool {
+        self.direction == Direction::In
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event() -> PacketEvent {
+        PacketEvent {
+            at: SimTime::from_millis(1234),
+            direction: Direction::In,
+            local: NodeId(1),
+            counterpart: NodeId(2),
+            ptype: PacketType::Data,
+            origin: NodeId(2),
+            final_dst: NodeId(1),
+            packet_id: 77,
+            ttl: 9,
+            size_bytes: 47,
+            rssi_dbm: Some(-101.5),
+            snr_db: Some(2.25),
+        }
+    }
+
+    #[test]
+    fn from_event_copies_all_fields() {
+        let r = PacketRecord::from_event(5, &event());
+        assert_eq!(r.seq, 5);
+        assert_eq!(r.timestamp_ms, 1234);
+        assert_eq!(r.node, NodeId(1));
+        assert_eq!(r.counterpart, NodeId(2));
+        assert_eq!(r.ptype, PacketType::Data);
+        assert_eq!(r.packet_id, 77);
+        assert_eq!(r.ttl, 9);
+        assert_eq!(r.size_bytes, 47);
+        assert_eq!(r.rssi_dbm, Some(-101.5));
+        assert_eq!(r.snr_db, Some(2.25));
+        assert!(r.is_incoming());
+        assert_eq!(r.captured_at(), SimTime::from_millis(1234));
+    }
+
+    #[test]
+    fn outgoing_records_have_no_link_metrics() {
+        let mut e = event();
+        e.direction = Direction::Out;
+        e.rssi_dbm = None;
+        e.snr_db = None;
+        let r = PacketRecord::from_event(0, &e);
+        assert!(!r.is_incoming());
+        assert_eq!(r.rssi_dbm, None);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let r = PacketRecord::from_event(9, &event());
+        let json = serde_json::to_string(&r).unwrap();
+        let back: PacketRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

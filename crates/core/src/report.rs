@@ -1,0 +1,587 @@
+//! Monitoring reports and their wire formats.
+//!
+//! A report is the unit of transfer from client to server: a batch of
+//! [`PacketRecord`]s plus an optional [`NodeStatus`] snapshot. Two wire
+//! formats are provided:
+//!
+//! * **JSON** — what the paper's client ships over its IP uplink
+//!   (human-readable, framework-friendly, large);
+//! * **binary** — a compact explicit layout for the in-band (over-LoRa)
+//!   reporting path, where every byte costs airtime.
+//!
+//! R-Tab-2 measures both against batch size.
+
+use crate::record::PacketRecord;
+use crate::status::{NodeStatus, ReportedRoute};
+use loramon_mesh::{Direction, MeshStats, PacketType};
+use loramon_sim::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Magic prefix of binary-encoded reports ("LoRa Mesh Report, Binary").
+pub const BINARY_MAGIC: [u8; 4] = *b"LMRB";
+/// Binary format version.
+pub const BINARY_VERSION: u8 = 1;
+
+/// One monitoring report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// The reporting node.
+    pub node: NodeId,
+    /// Client-assigned report sequence number (detects lost reports).
+    pub report_seq: u32,
+    /// Generation time, milliseconds since node boot.
+    pub generated_at_ms: u64,
+    /// Records dropped by the client buffer since the last report.
+    pub dropped_records: u64,
+    /// Node status snapshot, if included in this report.
+    pub status: Option<NodeStatus>,
+    /// The batched packet records, oldest first.
+    pub records: Vec<PacketRecord>,
+}
+
+/// Error decoding a report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireError {
+    /// Input ended early.
+    Truncated,
+    /// Missing or wrong magic bytes.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u8),
+    /// Invalid enum discriminant.
+    BadEnum(u8),
+    /// JSON parse failure.
+    Json(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "report data truncated"),
+            WireError::BadMagic => write!(f, "missing report magic"),
+            WireError::BadVersion(v) => write!(f, "unsupported report version {v}"),
+            WireError::BadEnum(b) => write!(f, "invalid enum discriminant {b}"),
+            WireError::Json(e) => write!(f, "invalid report json: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl Report {
+    /// Encode as JSON (the out-of-band IP uplink format).
+    pub fn encode_json(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("report serialization cannot fail")
+    }
+
+    /// Decode from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Json`] on malformed input.
+    pub fn decode_json(bytes: &[u8]) -> Result<Self, WireError> {
+        serde_json::from_slice(bytes).map_err(|e| WireError::Json(e.to_string()))
+    }
+
+    /// Encode in the compact binary format (the in-band format).
+    pub fn encode_binary(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.bytes(&BINARY_MAGIC);
+        w.u8(BINARY_VERSION);
+        w.u16(self.node.raw());
+        w.u32(self.report_seq);
+        w.u64(self.generated_at_ms);
+        w.u64(self.dropped_records);
+        match &self.status {
+            None => w.u8(0),
+            Some(s) => {
+                w.u8(1);
+                encode_status(&mut w, s);
+            }
+        }
+        w.u32(self.records.len() as u32);
+        for r in &self.records {
+            encode_record(&mut w, r);
+        }
+        w.into_vec()
+    }
+
+    /// Decode from the compact binary format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on truncation, bad magic/version or
+    /// invalid discriminants.
+    pub fn decode_binary(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(bytes);
+        if r.bytes(4)? != BINARY_MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        let version = r.u8()?;
+        if version != BINARY_VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+        let node = NodeId(r.u16()?);
+        let report_seq = r.u32()?;
+        let generated_at_ms = r.u64()?;
+        let dropped_records = r.u64()?;
+        let status = match r.u8()? {
+            0 => None,
+            1 => Some(decode_status(&mut r)?),
+            b => return Err(WireError::BadEnum(b)),
+        };
+        let count = r.u32()? as usize;
+        let mut records = Vec::with_capacity(count.min(4096));
+        for _ in 0..count {
+            records.push(decode_record(&mut r)?);
+        }
+        Ok(Report {
+            node,
+            report_seq,
+            generated_at_ms,
+            dropped_records,
+            status,
+            records,
+        })
+    }
+
+    /// Whether a byte buffer looks like a binary report (used by in-band
+    /// gateways to pick monitoring payloads out of the data stream).
+    pub fn is_binary_report(bytes: &[u8]) -> bool {
+        bytes.len() >= 5 && bytes[..4] == BINARY_MAGIC
+    }
+}
+
+// ---------------------------------------------------------------------
+// Binary primitives.
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+    fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+    fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+    fn f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.pos + n > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.bytes(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_be_bytes(self.bytes(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_be_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_be_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+    fn f32(&mut self) -> Result<f32, WireError> {
+        Ok(f32::from_be_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_be_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+}
+
+fn direction_byte(d: Direction) -> u8 {
+    match d {
+        Direction::In => 0,
+        Direction::Out => 1,
+    }
+}
+
+fn direction_from(b: u8) -> Result<Direction, WireError> {
+    match b {
+        0 => Ok(Direction::In),
+        1 => Ok(Direction::Out),
+        _ => Err(WireError::BadEnum(b)),
+    }
+}
+
+fn ptype_byte(p: PacketType) -> u8 {
+    match p {
+        PacketType::Routing => 1,
+        PacketType::Data => 2,
+        PacketType::Ack => 3,
+    }
+}
+
+fn ptype_from(b: u8) -> Result<PacketType, WireError> {
+    match b {
+        1 => Ok(PacketType::Routing),
+        2 => Ok(PacketType::Data),
+        3 => Ok(PacketType::Ack),
+        _ => Err(WireError::BadEnum(b)),
+    }
+}
+
+fn encode_record(w: &mut Writer, r: &PacketRecord) {
+    w.u64(r.seq);
+    w.u64(r.timestamp_ms);
+    w.u8(direction_byte(r.direction));
+    w.u16(r.node.raw());
+    w.u16(r.counterpart.raw());
+    w.u8(ptype_byte(r.ptype));
+    w.u16(r.origin.raw());
+    w.u16(r.final_dst.raw());
+    w.u16(r.packet_id);
+    w.u8(r.ttl);
+    w.u32(r.size_bytes);
+    match (r.rssi_dbm, r.snr_db) {
+        (Some(rssi), Some(snr)) => {
+            w.u8(1);
+            w.f32(rssi as f32);
+            w.f32(snr as f32);
+        }
+        _ => w.u8(0),
+    }
+}
+
+fn decode_record(r: &mut Reader<'_>) -> Result<PacketRecord, WireError> {
+    let seq = r.u64()?;
+    let timestamp_ms = r.u64()?;
+    let direction = direction_from(r.u8()?)?;
+    let node = NodeId(r.u16()?);
+    let counterpart = NodeId(r.u16()?);
+    let ptype = ptype_from(r.u8()?)?;
+    let origin = NodeId(r.u16()?);
+    let final_dst = NodeId(r.u16()?);
+    let packet_id = r.u16()?;
+    let ttl = r.u8()?;
+    let size_bytes = r.u32()?;
+    let (rssi_dbm, snr_db) = match r.u8()? {
+        0 => (None, None),
+        1 => (
+            Some(f64::from(r.f32()?)),
+            Some(f64::from(r.f32()?)),
+        ),
+        b => return Err(WireError::BadEnum(b)),
+    };
+    Ok(PacketRecord {
+        seq,
+        timestamp_ms,
+        direction,
+        node,
+        counterpart,
+        ptype,
+        origin,
+        final_dst,
+        packet_id,
+        ttl,
+        size_bytes,
+        rssi_dbm,
+        snr_db,
+    })
+}
+
+fn encode_status(w: &mut Writer, s: &NodeStatus) {
+    w.u16(s.node.raw());
+    w.u64(s.uptime_ms);
+    w.u8(s.battery_percent);
+    w.u32(s.queue_len);
+    w.f64(s.duty_cycle_utilization);
+    encode_mesh_stats(w, &s.mesh);
+    w.u16(s.routes.len() as u16);
+    for route in &s.routes {
+        w.u16(route.address.raw());
+        w.u16(route.next_hop.raw());
+        w.u8(route.metric);
+        w.f32(route.rssi_dbm as f32);
+        w.f32(route.snr_db as f32);
+    }
+}
+
+fn decode_status(r: &mut Reader<'_>) -> Result<NodeStatus, WireError> {
+    let node = NodeId(r.u16()?);
+    let uptime_ms = r.u64()?;
+    let battery_percent = r.u8()?;
+    let queue_len = r.u32()?;
+    let duty_cycle_utilization = r.f64()?;
+    let mesh = decode_mesh_stats(r)?;
+    let count = r.u16()? as usize;
+    let mut routes = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        routes.push(ReportedRoute {
+            address: NodeId(r.u16()?),
+            next_hop: NodeId(r.u16()?),
+            metric: r.u8()?,
+            rssi_dbm: f64::from(r.f32()?),
+            snr_db: f64::from(r.f32()?),
+        });
+    }
+    Ok(NodeStatus {
+        node,
+        uptime_ms,
+        battery_percent,
+        queue_len,
+        duty_cycle_utilization,
+        mesh,
+        routes,
+    })
+}
+
+/// MeshStats fields in wire order — must match `decode_mesh_stats`.
+fn mesh_stats_fields(s: &MeshStats) -> [u64; 21] {
+    [
+        s.messages_sent,
+        s.messages_delivered,
+        s.messages_acked,
+        s.drops_unacked,
+        s.data_sent,
+        s.data_received,
+        s.routing_sent,
+        s.routing_received,
+        s.acks_sent,
+        s.acks_received,
+        s.forwarded,
+        s.retransmissions,
+        s.drops_ttl,
+        s.drops_no_route,
+        s.drops_queue_full,
+        s.drops_csma,
+        s.decode_errors,
+        s.overheard,
+        s.duplicates,
+        s.packets_heard,
+        s.weak_link_rejections,
+    ]
+}
+
+fn encode_mesh_stats(w: &mut Writer, s: &MeshStats) {
+    for v in mesh_stats_fields(s) {
+        w.u64(v);
+    }
+}
+
+fn decode_mesh_stats(r: &mut Reader<'_>) -> Result<MeshStats, WireError> {
+    let mut f = [0u64; 21];
+    for v in &mut f {
+        *v = r.u64()?;
+    }
+    Ok(MeshStats {
+        messages_sent: f[0],
+        messages_delivered: f[1],
+        messages_acked: f[2],
+        drops_unacked: f[3],
+        data_sent: f[4],
+        data_received: f[5],
+        routing_sent: f[6],
+        routing_received: f[7],
+        acks_sent: f[8],
+        acks_received: f[9],
+        forwarded: f[10],
+        retransmissions: f[11],
+        drops_ttl: f[12],
+        drops_no_route: f[13],
+        drops_queue_full: f[14],
+        drops_csma: f[15],
+        decode_errors: f[16],
+        overheard: f[17],
+        duplicates: f[18],
+        packets_heard: f[19],
+        weak_link_rejections: f[20],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loramon_sim::SimTime;
+
+    fn sample_record(seq: u64, with_rssi: bool) -> PacketRecord {
+        PacketRecord {
+            seq,
+            timestamp_ms: 10_000 + seq,
+            direction: if with_rssi { Direction::In } else { Direction::Out },
+            node: NodeId(1),
+            counterpart: NodeId(2),
+            ptype: PacketType::Data,
+            origin: NodeId(2),
+            final_dst: NodeId(1),
+            packet_id: seq as u16,
+            ttl: 8,
+            size_bytes: 47,
+            rssi_dbm: with_rssi.then_some(-97.5),
+            snr_db: with_rssi.then_some(3.25),
+        }
+    }
+
+    fn sample_status() -> NodeStatus {
+        NodeStatus {
+            node: NodeId(1),
+            uptime_ms: 123_456,
+            battery_percent: 91,
+            queue_len: 3,
+            duty_cycle_utilization: 0.42,
+            mesh: MeshStats {
+                messages_sent: 10,
+                packets_heard: 99,
+                ..MeshStats::default()
+            },
+            routes: vec![ReportedRoute {
+                address: NodeId(2),
+                next_hop: NodeId(2),
+                metric: 1,
+                rssi_dbm: -88.5,
+                snr_db: 6.25,
+            }],
+        }
+    }
+
+    fn sample_report(n_records: usize) -> Report {
+        Report {
+            node: NodeId(1),
+            report_seq: 7,
+            generated_at_ms: 60_000,
+            dropped_records: 2,
+            status: Some(sample_status()),
+            records: (0..n_records as u64)
+                .map(|i| sample_record(i, i % 2 == 0))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let r = sample_report(5);
+        let back = Report::decode_json(&r.encode_json()).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let r = sample_report(5);
+        let back = Report::decode_binary(&r.encode_binary()).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn binary_roundtrip_without_status() {
+        let mut r = sample_report(3);
+        r.status = None;
+        let back = Report::decode_binary(&r.encode_binary()).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn binary_roundtrip_empty_records() {
+        let mut r = sample_report(0);
+        r.records.clear();
+        let back = Report::decode_binary(&r.encode_binary()).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn binary_is_much_smaller_than_json() {
+        let r = sample_report(50);
+        let json = r.encode_json().len();
+        let bin = r.encode_binary().len();
+        assert!(
+            bin * 3 < json,
+            "binary {bin} not much smaller than json {json}"
+        );
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = sample_report(1).encode_binary();
+        bytes[0] = b'X';
+        assert_eq!(Report::decode_binary(&bytes), Err(WireError::BadMagic));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = sample_report(1).encode_binary();
+        bytes[4] = 99;
+        assert_eq!(
+            Report::decode_binary(&bytes),
+            Err(WireError::BadVersion(99))
+        );
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let bytes = sample_report(3).encode_binary();
+        // Every prefix must fail cleanly, never panic.
+        for n in 0..bytes.len() {
+            assert!(
+                Report::decode_binary(&bytes[..n]).is_err(),
+                "prefix {n} decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_json_reports_error() {
+        let err = Report::decode_json(b"{not json").unwrap_err();
+        assert!(matches!(err, WireError::Json(_)));
+    }
+
+    #[test]
+    fn is_binary_report_detects_magic() {
+        let bytes = sample_report(1).encode_binary();
+        assert!(Report::is_binary_report(&bytes));
+        assert!(!Report::is_binary_report(b"LMR"));
+        assert!(!Report::is_binary_report(b"hello world"));
+    }
+
+    #[test]
+    fn record_timestamps_survive() {
+        let r = sample_report(2);
+        let back = Report::decode_binary(&r.encode_binary()).unwrap();
+        assert_eq!(
+            back.records[1].captured_at(),
+            SimTime::from_millis(10_001)
+        );
+    }
+
+    #[test]
+    fn wire_error_display() {
+        assert!(WireError::Truncated.to_string().contains("truncated"));
+        assert!(WireError::BadVersion(3).to_string().contains('3'));
+    }
+}

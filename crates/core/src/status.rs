@@ -1,0 +1,144 @@
+//! Node-status snapshots — the second half of a monitoring report.
+//!
+//! Besides per-packet records, the client periodically ships the node's
+//! own view of itself: uptime, battery, queue depth, duty-cycle budget,
+//! protocol counters and the full routing table. The server uses the
+//! routing tables for topology inference (R-Fig-4).
+
+use loramon_mesh::{MeshSnapshot, MeshStats};
+use loramon_sim::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// One routing-table entry as reported to the server.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReportedRoute {
+    /// Destination address.
+    pub address: NodeId,
+    /// Next hop toward the destination.
+    pub next_hop: NodeId,
+    /// Hop count.
+    pub metric: u8,
+    /// RSSI of the last routing packet from the next hop.
+    pub rssi_dbm: f64,
+    /// SNR of that packet.
+    pub snr_db: f64,
+}
+
+/// A node's self-reported status.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeStatus {
+    /// The reporting node.
+    pub node: NodeId,
+    /// Milliseconds since node boot.
+    pub uptime_ms: u64,
+    /// Remaining battery percentage.
+    pub battery_percent: u8,
+    /// Outbound mesh queue depth in frames.
+    pub queue_len: u32,
+    /// Duty-cycle budget utilization (1.0 = at the regulatory cap).
+    pub duty_cycle_utilization: f64,
+    /// Mesh protocol counters.
+    pub mesh: MeshStats,
+    /// The node's routing table.
+    pub routes: Vec<ReportedRoute>,
+}
+
+impl NodeStatus {
+    /// Build a status from a mesh snapshot.
+    pub fn from_snapshot(snapshot: &MeshSnapshot) -> Self {
+        NodeStatus {
+            node: snapshot.node,
+            uptime_ms: snapshot.now.as_millis(),
+            battery_percent: snapshot.battery_percent,
+            queue_len: snapshot.queue_len as u32,
+            duty_cycle_utilization: snapshot.duty_cycle_utilization,
+            mesh: snapshot.stats,
+            routes: snapshot
+                .routes
+                .iter()
+                .map(|r| ReportedRoute {
+                    address: r.address,
+                    next_hop: r.next_hop,
+                    metric: r.metric,
+                    rssi_dbm: r.rssi_dbm,
+                    snr_db: r.snr_db,
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of destinations this node can reach.
+    pub fn reachable_count(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// The node's direct neighbors (metric-1 routes).
+    pub fn neighbors(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.routes
+            .iter()
+            .filter(|r| r.metric == 1)
+            .map(|r| r.address)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loramon_mesh::Route;
+    use loramon_sim::SimTime;
+
+    fn snapshot() -> MeshSnapshot {
+        MeshSnapshot {
+            node: NodeId(3),
+            now: SimTime::from_secs(120),
+            routes: vec![
+                Route {
+                    address: NodeId(1),
+                    next_hop: NodeId(1),
+                    metric: 1,
+                    last_seen: SimTime::from_secs(100),
+                    rssi_dbm: -88.0,
+                    snr_db: 6.5,
+                },
+                Route {
+                    address: NodeId(5),
+                    next_hop: NodeId(1),
+                    metric: 2,
+                    last_seen: SimTime::from_secs(110),
+                    rssi_dbm: -88.0,
+                    snr_db: 6.5,
+                },
+            ],
+            queue_len: 2,
+            stats: MeshStats::default(),
+            battery_percent: 87,
+            duty_cycle_utilization: 0.12,
+        }
+    }
+
+    #[test]
+    fn from_snapshot_maps_fields() {
+        let s = NodeStatus::from_snapshot(&snapshot());
+        assert_eq!(s.node, NodeId(3));
+        assert_eq!(s.uptime_ms, 120_000);
+        assert_eq!(s.battery_percent, 87);
+        assert_eq!(s.queue_len, 2);
+        assert_eq!(s.reachable_count(), 2);
+        assert_eq!(s.routes[0].next_hop, NodeId(1));
+    }
+
+    #[test]
+    fn neighbors_are_metric_one() {
+        let s = NodeStatus::from_snapshot(&snapshot());
+        let n: Vec<NodeId> = s.neighbors().collect();
+        assert_eq!(n, vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let s = NodeStatus::from_snapshot(&snapshot());
+        let json = serde_json::to_string(&s).unwrap();
+        let back: NodeStatus = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,221 @@
+//! The out-of-band uplink model.
+//!
+//! The paper's nodes ship reports to the server over WiFi. That uplink is
+//! not perfect: it loses reports, delays them, and sometimes disappears
+//! entirely (an access-point outage). This model assigns each report a
+//! delivery time — or loses it — deterministically from a seed.
+
+use crate::report::Report;
+use loramon_sim::{Rng, SimTime};
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// A closed time window during which the uplink is down.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Outage {
+    /// Outage start.
+    pub from: SimTime,
+    /// Outage end.
+    pub to: SimTime,
+}
+
+impl Outage {
+    /// Whether `t` falls inside the outage.
+    pub fn contains(&self, t: SimTime) -> bool {
+        self.from <= t && t < self.to
+    }
+}
+
+/// Stochastic uplink model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UplinkModel {
+    /// Probability an individual report is lost.
+    pub loss_prob: f64,
+    /// Minimum delivery latency.
+    pub latency_base: Duration,
+    /// Uniform random extra latency in `[0, latency_jitter)`.
+    pub latency_jitter: Duration,
+    /// Scheduled outages; reports sent during one are lost.
+    pub outages: Vec<Outage>,
+    seed: u64,
+}
+
+impl UplinkModel {
+    /// A healthy home/campus WiFi uplink: 0.5% loss, 80 ms + up to 120 ms.
+    pub fn wifi(seed: u64) -> Self {
+        UplinkModel {
+            loss_prob: 0.005,
+            latency_base: Duration::from_millis(80),
+            latency_jitter: Duration::from_millis(120),
+            outages: Vec::new(),
+            seed,
+        }
+    }
+
+    /// A perfect uplink: no loss, fixed 50 ms latency.
+    pub fn perfect() -> Self {
+        UplinkModel {
+            loss_prob: 0.0,
+            latency_base: Duration::from_millis(50),
+            latency_jitter: Duration::ZERO,
+            outages: Vec::new(),
+            seed: 0,
+        }
+    }
+
+    /// A flaky uplink with the given loss probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= loss_prob <= 1`.
+    pub fn flaky(loss_prob: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&loss_prob), "invalid probability");
+        UplinkModel {
+            loss_prob,
+            ..UplinkModel::wifi(seed)
+        }
+    }
+
+    /// Add an outage window (builder style).
+    pub fn with_outage(mut self, from: SimTime, to: SimTime) -> Self {
+        assert!(from < to, "outage must have positive length");
+        self.outages.push(Outage { from, to });
+        self
+    }
+
+    /// Decide the delivery time of a report sent at `sent_at`, or `None`
+    /// if the uplink loses it. Deterministic per `(node, report_seq)`.
+    pub fn deliver_at(&self, sent_at: SimTime, report: &Report) -> Option<SimTime> {
+        if self.outages.iter().any(|o| o.contains(sent_at)) {
+            return None;
+        }
+        let mut rng = Rng::derive(
+            self.seed,
+            &[0x0B41, u64::from(report.node.raw()), u64::from(report.report_seq)],
+        );
+        if rng.chance(self.loss_prob) {
+            return None;
+        }
+        let jitter_us = self.latency_jitter.as_micros() as u64;
+        let extra = if jitter_us > 0 {
+            rng.next_below(jitter_us)
+        } else {
+            0
+        };
+        Some(sent_at + self.latency_base + Duration::from_micros(extra))
+    }
+
+    /// Run a batch of `(sent_at, report)` pairs through the uplink and
+    /// return the surviving ones sorted by delivery time.
+    pub fn deliver_all(
+        &self,
+        reports: impl IntoIterator<Item = (SimTime, Report)>,
+    ) -> Vec<(SimTime, Report)> {
+        let mut out: Vec<(SimTime, Report)> = reports
+            .into_iter()
+            .filter_map(|(sent_at, r)| self.deliver_at(sent_at, &r).map(|at| (at, r)))
+            .collect();
+        out.sort_by_key(|(at, r)| (*at, r.node, r.report_seq));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loramon_sim::NodeId;
+
+    fn report(node: u16, seq: u32) -> Report {
+        Report {
+            node: NodeId(node),
+            report_seq: seq,
+            generated_at_ms: 0,
+            dropped_records: 0,
+            status: None,
+            records: vec![],
+        }
+    }
+
+    #[test]
+    fn perfect_uplink_delivers_everything_in_order() {
+        let u = UplinkModel::perfect();
+        let batch: Vec<(SimTime, Report)> = (0..10)
+            .map(|i| (SimTime::from_secs(i), report(1, i as u32)))
+            .collect();
+        let delivered = u.deliver_all(batch);
+        assert_eq!(delivered.len(), 10);
+        for w in delivered.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+        assert_eq!(
+            delivered[0].0,
+            SimTime::ZERO + Duration::from_millis(50)
+        );
+    }
+
+    #[test]
+    fn loss_rate_is_roughly_honored() {
+        let u = UplinkModel::flaky(0.3, 7);
+        let batch: Vec<(SimTime, Report)> = (0..2000)
+            .map(|i| (SimTime::from_secs(i), report(1, i as u32)))
+            .collect();
+        let delivered = u.deliver_all(batch).len();
+        let rate = 1.0 - delivered as f64 / 2000.0;
+        assert!((rate - 0.3).abs() < 0.05, "observed loss {rate}");
+    }
+
+    #[test]
+    fn delivery_is_deterministic() {
+        let u = UplinkModel::wifi(42);
+        let a = u.deliver_at(SimTime::from_secs(5), &report(3, 9));
+        let b = u.deliver_at(SimTime::from_secs(5), &report(3, 9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn outage_swallows_reports() {
+        let u = UplinkModel::perfect()
+            .with_outage(SimTime::from_secs(100), SimTime::from_secs(200));
+        assert!(u
+            .deliver_at(SimTime::from_secs(150), &report(1, 1))
+            .is_none());
+        assert!(u
+            .deliver_at(SimTime::from_secs(99), &report(1, 1))
+            .is_some());
+        assert!(u
+            .deliver_at(SimTime::from_secs(200), &report(1, 1))
+            .is_some());
+    }
+
+    #[test]
+    fn latency_within_bounds() {
+        let u = UplinkModel::wifi(1);
+        for seq in 0..500 {
+            if let Some(at) = u.deliver_at(SimTime::ZERO, &report(1, seq)) {
+                let lat = at.saturating_since(SimTime::ZERO);
+                assert!(lat >= Duration::from_millis(80));
+                assert!(lat < Duration::from_millis(200));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_loss_prob_panics() {
+        let _ = UplinkModel::flaky(1.5, 0);
+    }
+
+    #[test]
+    fn deliver_all_sorts_across_nodes() {
+        let u = UplinkModel::wifi(3);
+        let batch = vec![
+            (SimTime::from_secs(10), report(2, 0)),
+            (SimTime::from_secs(1), report(1, 0)),
+            (SimTime::from_secs(5), report(3, 0)),
+        ];
+        let delivered = u.deliver_all(batch);
+        for w in delivered.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+    }
+}

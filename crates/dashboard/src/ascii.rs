@@ -1,0 +1,387 @@
+//! Terminal rendering: tables, sparklines and bar charts.
+//!
+//! The paper's dashboard is a web page; operators in the field get this
+//! ASCII twin so every example binary can show the same information in a
+//! terminal.
+
+use loramon_server::{Alert, LinkStats, NodeHealth, NodeSummary, SeriesPoint, Topology};
+
+/// Render a box-drawing table.
+///
+/// # Panics
+///
+/// Panics if any row's length differs from the header's.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "ragged table row");
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.chars().count());
+        }
+    }
+    let sep = |l: char, m: char, r: char| {
+        let mut s = String::new();
+        s.push(l);
+        for (i, w) in widths.iter().enumerate() {
+            s.push_str(&"─".repeat(w + 2));
+            s.push(if i + 1 == widths.len() { r } else { m });
+        }
+        s.push('\n');
+        s
+    };
+    let render_row = |cells: &[String]| {
+        let mut s = String::from("│");
+        for (w, cell) in widths.iter().zip(cells) {
+            let pad = w - cell.chars().count();
+            s.push(' ');
+            s.push_str(cell);
+            s.push_str(&" ".repeat(pad + 1));
+            s.push('│');
+        }
+        s.push('\n');
+        s
+    };
+    let mut out = sep('┌', '┬', '┐');
+    out.push_str(&render_row(
+        &headers.iter().map(|h| (*h).to_owned()).collect::<Vec<_>>(),
+    ));
+    out.push_str(&sep('├', '┼', '┤'));
+    for row in rows {
+        out.push_str(&render_row(row));
+    }
+    out.push_str(&sep('└', '┴', '┘'));
+    out
+}
+
+/// Unicode sparkline of a value series (empty input → empty string).
+pub fn sparkline(values: &[u64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().copied().max().unwrap_or(0);
+    if max == 0 {
+        return values.iter().map(|_| BARS[0]).collect();
+    }
+    values
+        .iter()
+        .map(|&v| {
+            let idx = (v * (BARS.len() as u64 - 1) + max / 2) / max;
+            BARS[idx as usize]
+        })
+        .collect()
+}
+
+/// Horizontal bar chart with labels.
+pub fn bar_chart(entries: &[(String, u64)], width: usize) -> String {
+    let max = entries.iter().map(|(_, v)| *v).max().unwrap_or(0).max(1);
+    let label_w = entries
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in entries {
+        let bar_len = (*value as usize * width).div_ceil(max as usize).min(width);
+        let bar_len = if *value == 0 { 0 } else { bar_len.max(1) };
+        out.push_str(&format!(
+            "{label:<label_w$} │{} {value}\n",
+            "█".repeat(bar_len)
+        ));
+    }
+    out
+}
+
+/// The node-summary table (the dashboard's main table).
+pub fn render_node_summaries(summaries: &[NodeSummary]) -> String {
+    let rows: Vec<Vec<String>> = summaries
+        .iter()
+        .map(|s| {
+            vec![
+                s.node.to_string(),
+                s.reports.to_string(),
+                s.missing_reports.to_string(),
+                s.records.to_string(),
+                s.battery_percent
+                    .map_or_else(|| "–".into(), |b| format!("{b}%")),
+                s.queue_len.map_or_else(|| "–".into(), |q| q.to_string()),
+                s.duty_cycle_utilization
+                    .map_or_else(|| "–".into(), |d| format!("{:.1}%", d * 100.0)),
+                s.reachable.map_or_else(|| "–".into(), |r| r.to_string()),
+                s.last_report_at
+                    .map_or_else(|| "never".into(), |t| t.to_string()),
+            ]
+        })
+        .collect();
+    render_table(
+        &[
+            "node", "reports", "missing", "records", "battery", "queue", "duty", "reach",
+            "last seen",
+        ],
+        &rows,
+    )
+}
+
+/// A titled time series with a sparkline and scale.
+pub fn render_series(title: &str, series: &[SeriesPoint]) -> String {
+    if series.is_empty() {
+        return format!("{title}: (no data)\n");
+    }
+    let values: Vec<u64> = series.iter().map(|p| p.count).collect();
+    let max = values.iter().copied().max().unwrap_or(0);
+    format!(
+        "{title} [{} … {}] max {}/bucket\n{}\n",
+        series[0].bucket,
+        series[series.len() - 1].bucket,
+        max,
+        sparkline(&values)
+    )
+}
+
+/// The per-link reception table.
+pub fn render_links(links: &[LinkStats]) -> String {
+    let rows: Vec<Vec<String>> = links
+        .iter()
+        .map(|l| {
+            vec![
+                format!("{} → {}", l.from, l.to),
+                l.packets.to_string(),
+                format!("{:.1}", l.mean_rssi_dbm),
+                format!("{:.1}", l.min_rssi_dbm),
+                format!("{:.1}", l.max_rssi_dbm),
+                format!("{:.1}", l.mean_snr_db),
+            ]
+        })
+        .collect();
+    render_table(
+        &["link", "pkts", "rssi", "min", "max", "snr"],
+        &rows,
+    )
+}
+
+/// Adjacency-list rendering of an inferred topology.
+pub fn render_topology(topo: &Topology) -> String {
+    let mut out = String::from("topology (heard links):\n");
+    for node in &topo.nodes {
+        let peers: Vec<String> = topo
+            .heard_edges
+            .iter()
+            .filter(|e| e.to == *node)
+            .map(|e| {
+                format!(
+                    "{}({})",
+                    e.from,
+                    e.rssi_dbm
+                        .map_or_else(|| "?".into(), |r| format!("{r:.0}dBm"))
+                )
+            })
+            .collect();
+        out.push_str(&format!(
+            "  {node} ← {}\n",
+            if peers.is_empty() {
+                "(nothing heard)".to_owned()
+            } else {
+                peers.join(", ")
+            }
+        ));
+    }
+    let stale = topo.stale_route_edges();
+    if !stale.is_empty() {
+        out.push_str("stale routes (routed but never heard):\n");
+        for (a, b) in stale {
+            out.push_str(&format!("  {a} → {b}\n"));
+        }
+    }
+    out
+}
+
+/// Render a numeric histogram as labelled bars.
+///
+/// `bins` are `(bin_start, count)` pairs; `unit` labels the bin axis.
+pub fn render_histogram(bins: &[(f64, u64)], unit: &str, width: usize) -> String {
+    if bins.is_empty() {
+        return "(no data)\n".to_owned();
+    }
+    let entries: Vec<(String, u64)> = bins
+        .iter()
+        .map(|&(b, c)| (format!("{b:>7.1} {unit}"), c))
+        .collect();
+    bar_chart(&entries, width)
+}
+
+/// Per-node health verdicts.
+pub fn render_health(health: &[NodeHealth]) -> String {
+    if health.is_empty() {
+        return "health: (no nodes)\n".to_owned();
+    }
+    let mut out = String::from("health:\n");
+    for h in health {
+        let light = match h.level {
+            loramon_server::HealthLevel::Green => "●",
+            loramon_server::HealthLevel::Yellow => "◐",
+            loramon_server::HealthLevel::Red => "○",
+        };
+        out.push_str(&format!(
+            "  {light} {} {} {}\n",
+            h.node,
+            h.level,
+            if h.reasons.is_empty() {
+                String::new()
+            } else {
+                format!("— {}", h.reasons.join("; "))
+            }
+        ));
+    }
+    out
+}
+
+/// Alert history rendering.
+pub fn render_alerts(alerts: &[Alert]) -> String {
+    if alerts.is_empty() {
+        return "alerts: none\n".to_owned();
+    }
+    let mut out = String::from("alerts:\n");
+    for a in alerts {
+        out.push_str(&format!("  [{}] {} — {}\n", a.at, a.kind, a.message));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loramon_sim::{NodeId, SimTime};
+
+    #[test]
+    fn table_renders_and_aligns() {
+        let t = render_table(
+            &["a", "bb"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["333".into(), "4".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 6);
+        // All lines have equal display width.
+        let w = lines[0].chars().count();
+        assert!(lines.iter().all(|l| l.chars().count() == w));
+        assert!(t.contains("333"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        let _ = render_table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn sparkline_scales() {
+        let s = sparkline(&[0, 4, 8]);
+        assert_eq!(s.chars().count(), 3);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars[0], '▁');
+        assert_eq!(chars[2], '█');
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[0, 0]), "▁▁");
+    }
+
+    #[test]
+    fn bar_chart_proportions() {
+        let chart = bar_chart(
+            &[("data".into(), 10), ("routing".into(), 5), ("ack".into(), 0)],
+            20,
+        );
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let bars: Vec<usize> = lines
+            .iter()
+            .map(|l| l.chars().filter(|&c| c == '█').count())
+            .collect();
+        assert_eq!(bars[0], 20);
+        assert_eq!(bars[1], 10);
+        assert_eq!(bars[2], 0);
+    }
+
+    #[test]
+    fn node_summary_table_handles_missing_status() {
+        let s = NodeSummary {
+            node: NodeId(1),
+            last_report_at: Some(SimTime::from_secs(10)),
+            reports: 3,
+            missing_reports: 1,
+            records: 42,
+            client_dropped: 0,
+            battery_percent: None,
+            uptime_ms: None,
+            queue_len: None,
+            duty_cycle_utilization: None,
+            reachable: None,
+            mesh: None,
+        };
+        let t = render_node_summaries(&[s]);
+        assert!(t.contains("0001"));
+        assert!(t.contains('–'));
+        assert!(t.contains("42"));
+    }
+
+    #[test]
+    fn series_rendering() {
+        let series = vec![
+            SeriesPoint {
+                bucket: SimTime::ZERO,
+                count: 1,
+            },
+            SeriesPoint {
+                bucket: SimTime::from_secs(60),
+                count: 5,
+            },
+        ];
+        let s = render_series("packets", &series);
+        assert!(s.contains("packets"));
+        assert!(s.contains("max 5"));
+        assert!(render_series("x", &[]).contains("no data"));
+    }
+
+    #[test]
+    fn histogram_rendering() {
+        let s = render_histogram(&[(-100.0, 3), (-95.0, 7)], "dBm", 10);
+        assert!(s.contains("-100.0 dBm"));
+        assert!(s.contains("-95.0 dBm"));
+        assert_eq!(render_histogram(&[], "dBm", 10), "(no data)\n");
+    }
+
+    #[test]
+    fn health_rendering() {
+        use loramon_server::{HealthLevel, NodeHealth};
+        let rows = vec![
+            NodeHealth {
+                node: NodeId(1),
+                level: HealthLevel::Green,
+                reasons: vec![],
+            },
+            NodeHealth {
+                node: NodeId(2),
+                level: HealthLevel::Red,
+                reasons: vec!["battery 5%".into(), "queue 40".into()],
+            },
+        ];
+        let s = render_health(&rows);
+        assert!(s.contains("0001 green"));
+        assert!(s.contains("0002 red — battery 5%; queue 40"));
+        assert!(render_health(&[]).contains("no nodes"));
+    }
+
+    #[test]
+    fn alerts_rendering() {
+        assert!(render_alerts(&[]).contains("none"));
+        let a = Alert {
+            kind: loramon_server::AlertKind::NodeSilent,
+            node: NodeId(3),
+            at: SimTime::from_secs(100),
+            message: "node 0003 has not reported".into(),
+        };
+        let s = render_alerts(&[a]);
+        assert!(s.contains("node-silent"));
+        assert!(s.contains("100.000s"));
+    }
+}

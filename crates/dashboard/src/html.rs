@@ -1,0 +1,478 @@
+//! Static HTML dashboard generation.
+//!
+//! Unlike the live page served by `loramon-server`'s HTTP API, this
+//! module bakes the data *into* a single self-contained HTML file (inline
+//! SVG, no JavaScript fetches) — the artifact an operator can archive or
+//! attach to a report. R-Fig-2/3/4 are regenerated as sections of this
+//! page.
+
+use loramon_phy::Position;
+use loramon_server::{Alert, LinkStats, MonitorServer, SeriesPoint, StatusPoint, Topology, Window};
+use loramon_sim::NodeId;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Options for the generated page.
+#[derive(Debug, Clone)]
+pub struct HtmlOptions {
+    /// Page title.
+    pub title: String,
+    /// Time-series bucket.
+    pub bucket: Duration,
+    /// Known node positions for the topology drawing; nodes without one
+    /// are laid out on a circle.
+    pub positions: BTreeMap<NodeId, Position>,
+}
+
+impl Default for HtmlOptions {
+    fn default() -> Self {
+        HtmlOptions {
+            title: "loramon dashboard".to_owned(),
+            bucket: Duration::from_secs(60),
+            positions: BTreeMap::new(),
+        }
+    }
+}
+
+/// Generate the full dashboard page from a server's current contents.
+pub fn generate(server: &MonitorServer, options: &HtmlOptions) -> String {
+    let summaries = server.node_summaries();
+    let series = server.series(None, None, Window::all(), options.bucket);
+    let links = server.link_stats(Window::all());
+    let pdr = server.link_deliveries(Window::all());
+    let hist = server.rssi_histogram(None, Window::all(), 5.0);
+    let topo = server.topology(Window::all());
+    let alerts = server.alert_history();
+
+    let mut html = String::new();
+    let _ = write!(
+        html,
+        "<!doctype html><html lang=\"en\"><head><meta charset=\"utf-8\">\
+         <title>{}</title><style>{}</style></head><body><h1>{}</h1>",
+        escape(&options.title),
+        CSS,
+        escape(&options.title)
+    );
+
+    // Node table.
+    html.push_str("<h2>Nodes</h2><table><tr><th>node</th><th>reports</th><th>missing</th>\
+                   <th>records</th><th>battery</th><th>queue</th><th>reachable</th></tr>");
+    for s in &summaries {
+        let _ = write!(
+            html,
+            "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+            s.node,
+            s.reports,
+            s.missing_reports,
+            s.records,
+            s.battery_percent
+                .map_or_else(|| "–".into(), |b| format!("{b}%")),
+            s.queue_len.map_or_else(|| "–".into(), |q| q.to_string()),
+            s.reachable.map_or_else(|| "–".into(), |r| r.to_string()),
+        );
+    }
+    html.push_str("</table>");
+
+    html.push_str("<h2>Packets over time</h2>");
+    html.push_str(&series_svg(&series));
+
+    html.push_str("<h2>Links</h2>");
+    html.push_str(&links_table(&links));
+
+    html.push_str("<h2>Link delivery ratios</h2>");
+    html.push_str(&pdr_table(&pdr));
+
+    html.push_str("<h2>RSSI distribution</h2>");
+    html.push_str(&histogram_svg(&hist));
+
+    html.push_str("<h2>Node health</h2>");
+    for summary in &summaries {
+        let series = server.status_series(summary.node);
+        if series.is_empty() {
+            continue;
+        }
+        let _ = write!(html, "<h3>node {}</h3>", summary.node);
+        html.push_str(&status_svg(&series));
+    }
+
+    html.push_str("<h2>Topology</h2>");
+    html.push_str(&topology_svg(&topo, &options.positions));
+
+    html.push_str("<h2>Alerts</h2>");
+    html.push_str(&alerts_list(&alerts));
+
+    html.push_str("</body></html>");
+    html
+}
+
+const CSS: &str = "body{font-family:system-ui,sans-serif;margin:2rem;color:#222}\
+ table{border-collapse:collapse}td,th{border:1px solid #bbb;padding:.25rem .6rem;\
+ font-size:.85rem;text-align:right}th{background:#eee}td:first-child{text-align:left}\
+ svg{background:#fff;border:1px solid #ccc}h2{margin-top:1.6rem}.alert{color:#b00}";
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+/// Bar-chart SVG of a time series.
+pub fn series_svg(series: &[SeriesPoint]) -> String {
+    if series.is_empty() {
+        return "<p>(no data)</p>".to_owned();
+    }
+    let (w, h) = (900.0f64, 180.0f64);
+    let max = series.iter().map(|p| p.count).max().unwrap_or(1).max(1) as f64;
+    let bw = (w / series.len() as f64 - 1.0).max(1.0);
+    let mut svg = format!("<svg width=\"{w}\" height=\"{h}\" role=\"img\">");
+    for (i, p) in series.iter().enumerate() {
+        let bar_h = p.count as f64 / max * (h - 20.0);
+        let _ = write!(
+            svg,
+            "<rect x=\"{:.1}\" y=\"{:.1}\" width=\"{bw:.1}\" height=\"{bar_h:.1}\" fill=\"#369\">\
+             <title>{}: {}</title></rect>",
+            i as f64 * (bw + 1.0),
+            h - bar_h,
+            p.bucket,
+            p.count
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+fn links_table(links: &[LinkStats]) -> String {
+    let mut html = String::from(
+        "<table><tr><th>link</th><th>packets</th><th>mean RSSI</th><th>range</th><th>mean SNR</th></tr>",
+    );
+    for l in links {
+        let _ = write!(
+            html,
+            "<tr><td>{} → {}</td><td>{}</td><td>{:.1} dBm</td>\
+             <td>{:.1} … {:.1}</td><td>{:.1} dB</td></tr>",
+            l.from, l.to, l.packets, l.mean_rssi_dbm, l.min_rssi_dbm, l.max_rssi_dbm, l.mean_snr_db
+        );
+    }
+    html.push_str("</table>");
+    html
+}
+
+/// SVG drawing of the inferred topology. Known positions are used and
+/// scaled into the viewport; unknown nodes go on a surrounding circle.
+pub fn topology_svg(topo: &Topology, positions: &BTreeMap<NodeId, Position>) -> String {
+    if topo.nodes.is_empty() {
+        return "<p>(no nodes)</p>".to_owned();
+    }
+    let (w, h, margin) = (600.0f64, 400.0f64, 40.0f64);
+
+    // Scale known positions into the viewport.
+    let known: Vec<(NodeId, Position)> = topo
+        .nodes
+        .iter()
+        .filter_map(|n| positions.get(n).map(|p| (*n, *p)))
+        .collect();
+    let (min_x, max_x, min_y, max_y) = known.iter().fold(
+        (f64::MAX, f64::MIN, f64::MAX, f64::MIN),
+        |(ax, bx, ay, by), (_, p)| (ax.min(p.x), bx.max(p.x), ay.min(p.y), by.max(p.y)),
+    );
+    let span_x = (max_x - min_x).max(1.0);
+    let span_y = (max_y - min_y).max(1.0);
+
+    let mut layout: BTreeMap<NodeId, (f64, f64)> = BTreeMap::new();
+    for (n, p) in &known {
+        layout.insert(
+            *n,
+            (
+                margin + (p.x - min_x) / span_x * (w - 2.0 * margin),
+                margin + (p.y - min_y) / span_y * (h - 2.0 * margin),
+            ),
+        );
+    }
+    // Circle layout for the rest.
+    let unknown: Vec<NodeId> = topo
+        .nodes
+        .iter()
+        .filter(|n| !layout.contains_key(n))
+        .copied()
+        .collect();
+    for (i, n) in unknown.iter().enumerate() {
+        let theta = 2.0 * std::f64::consts::PI * i as f64 / unknown.len().max(1) as f64;
+        layout.insert(
+            *n,
+            (
+                w / 2.0 + (w / 2.0 - margin) * theta.cos(),
+                h / 2.0 + (h / 2.0 - margin) * theta.sin(),
+            ),
+        );
+    }
+
+    let mut svg = format!("<svg width=\"{w}\" height=\"{h}\" role=\"img\">");
+    for (a, b) in topo.undirected_heard() {
+        let (&(x1, y1), &(x2, y2)) = (layout.get(&a).unwrap(), layout.get(&b).unwrap());
+        let _ = write!(
+            svg,
+            "<line x1=\"{x1:.0}\" y1=\"{y1:.0}\" x2=\"{x2:.0}\" y2=\"{y2:.0}\" \
+             stroke=\"#888\" stroke-width=\"1.5\"/>"
+        );
+    }
+    for (n, &(x, y)) in &layout {
+        let _ = write!(
+            svg,
+            "<circle cx=\"{x:.0}\" cy=\"{y:.0}\" r=\"10\" fill=\"#369\"/>\
+             <text x=\"{x:.0}\" y=\"{:.0}\" text-anchor=\"middle\" font-size=\"10\">{n}</text>",
+            y - 14.0
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+fn pdr_table(links: &[loramon_server::LinkDelivery]) -> String {
+    if links.is_empty() {
+        return "<p>(no unicast traffic observed)</p>".to_owned();
+    }
+    let mut html = String::from(
+        "<table><tr><th>link</th><th>sent</th><th>received</th><th>PDR</th></tr>",
+    );
+    for l in links {
+        let _ = write!(
+            html,
+            "<tr><td>{} → {}</td><td>{}</td><td>{}</td><td>{:.0}%</td></tr>",
+            l.from,
+            l.to,
+            l.sent,
+            l.received,
+            l.pdr() * 100.0
+        );
+    }
+    html.push_str("</table>");
+    html
+}
+
+/// Bar-chart SVG of an RSSI histogram (`(bin_start_dbm, count)`).
+pub fn histogram_svg(hist: &[(f64, u64)]) -> String {
+    if hist.is_empty() {
+        return "<p>(no data)</p>".to_owned();
+    }
+    let (w, h) = (600.0f64, 160.0f64);
+    let max = hist.iter().map(|&(_, c)| c).max().unwrap_or(1).max(1) as f64;
+    let bw = (w / hist.len() as f64 - 2.0).max(2.0);
+    let mut svg = format!("<svg width=\"{w}\" height=\"{h}\" role=\"img\">");
+    for (i, &(bin, count)) in hist.iter().enumerate() {
+        let bar_h = count as f64 / max * (h - 30.0);
+        let x = i as f64 * (bw + 2.0);
+        let _ = write!(
+            svg,
+            "<rect x=\"{x:.1}\" y=\"{:.1}\" width=\"{bw:.1}\" height=\"{bar_h:.1}\" fill=\"#693\">\
+             <title>{bin} dBm: {count}</title></rect>\
+             <text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\" font-size=\"9\">{bin:.0}</text>",
+            h - 16.0 - bar_h,
+            x + bw / 2.0,
+            h - 4.0
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+/// Polylines of a node's battery (blue) and duty-cycle utilization
+/// (orange, scaled to 100 = cap) over time.
+pub fn status_svg(series: &[StatusPoint]) -> String {
+    if series.is_empty() {
+        return "<p>(no status history)</p>".to_owned();
+    }
+    let (w, h) = (600.0f64, 120.0f64);
+    let t0 = series[0].at.as_micros() as f64;
+    let t1 = series[series.len() - 1].at.as_micros() as f64;
+    let span = (t1 - t0).max(1.0);
+    let x = |at: f64| (at - t0) / span * (w - 20.0) + 10.0;
+    let y = |pct: f64| h - 10.0 - pct.clamp(0.0, 100.0) / 100.0 * (h - 20.0);
+    let line = |points: &[(f64, f64)], color: &str| -> String {
+        let path: Vec<String> = points
+            .iter()
+            .map(|&(px, py)| format!("{px:.1},{py:.1}"))
+            .collect();
+        format!(
+            "<polyline points=\"{}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"1.5\"/>",
+            path.join(" ")
+        )
+    };
+    let battery: Vec<(f64, f64)> = series
+        .iter()
+        .map(|p| (x(p.at.as_micros() as f64), y(f64::from(p.battery_percent))))
+        .collect();
+    let duty: Vec<(f64, f64)> = series
+        .iter()
+        .map(|p| {
+            (
+                x(p.at.as_micros() as f64),
+                y(p.duty_cycle_utilization * 100.0),
+            )
+        })
+        .collect();
+    format!(
+        "<svg width=\"{w}\" height=\"{h}\" role=\"img\">{}{}\
+         <text x=\"12\" y=\"14\" font-size=\"9\" fill=\"#369\">battery %</text>\
+         <text x=\"70\" y=\"14\" font-size=\"9\" fill=\"#d70\">duty % of cap</text></svg>",
+        line(&battery, "#369"),
+        line(&duty, "#d70")
+    )
+}
+
+fn alerts_list(alerts: &[Alert]) -> String {
+    if alerts.is_empty() {
+        return "<p>none</p>".to_owned();
+    }
+    let mut html = String::from("<ul>");
+    for a in alerts {
+        let _ = write!(
+            html,
+            "<li class=\"alert\">[{}] {} — {}</li>",
+            a.at,
+            a.kind,
+            escape(&a.message)
+        );
+    }
+    html.push_str("</ul>");
+    html
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loramon_core::{PacketRecord, Report};
+    use loramon_mesh::{Direction, PacketType};
+    use loramon_server::ServerConfig;
+    use loramon_sim::SimTime;
+
+    fn populated_server() -> MonitorServer {
+        let server = MonitorServer::new(ServerConfig::default());
+        let report = Report {
+            node: NodeId(1),
+            report_seq: 0,
+            generated_at_ms: 60_000,
+            dropped_records: 0,
+            status: None,
+            records: vec![PacketRecord {
+                seq: 0,
+                timestamp_ms: 59_000,
+                direction: Direction::In,
+                node: NodeId(1),
+                counterpart: NodeId(2),
+                ptype: PacketType::Data,
+                origin: NodeId(2),
+                final_dst: NodeId(1),
+                packet_id: 1,
+                ttl: 5,
+                size_bytes: 30,
+                rssi_dbm: Some(-92.0),
+                snr_db: Some(4.5),
+            }],
+        };
+        server.ingest(&report, SimTime::from_secs(61));
+        server
+    }
+
+    #[test]
+    fn generate_contains_all_sections() {
+        let html = generate(&populated_server(), &HtmlOptions::default());
+        for section in ["Nodes", "Packets over time", "Links", "Topology", "Alerts"] {
+            assert!(html.contains(section), "missing section {section}");
+        }
+        assert!(html.starts_with("<!doctype html>"));
+        assert!(html.ends_with("</html>"));
+        assert!(html.contains("0001"));
+        assert!(html.contains("svg"));
+    }
+
+    #[test]
+    fn empty_server_generates_gracefully() {
+        let server = MonitorServer::new(ServerConfig::default());
+        let html = generate(&server, &HtmlOptions::default());
+        assert!(html.contains("(no data)"));
+        assert!(html.contains("(no nodes)"));
+    }
+
+    #[test]
+    fn series_svg_bar_count() {
+        let series = vec![
+            SeriesPoint {
+                bucket: SimTime::ZERO,
+                count: 2,
+            },
+            SeriesPoint {
+                bucket: SimTime::from_secs(60),
+                count: 4,
+            },
+        ];
+        let svg = series_svg(&series);
+        assert_eq!(svg.matches("<rect").count(), 2);
+    }
+
+    #[test]
+    fn topology_svg_uses_known_positions() {
+        let server = populated_server();
+        let topo = server.topology(Window::all());
+        let mut positions = BTreeMap::new();
+        positions.insert(NodeId(1), Position::new(0.0, 0.0));
+        positions.insert(NodeId(2), Position::new(500.0, 0.0));
+        let svg = topology_svg(&topo, &positions);
+        assert_eq!(svg.matches("<circle").count(), 2);
+        assert_eq!(svg.matches("<line").count(), 1);
+    }
+
+    #[test]
+    fn histogram_svg_renders_bins() {
+        let svg = histogram_svg(&[(-100.0, 2), (-95.0, 5), (-90.0, 1)]);
+        assert_eq!(svg.matches("<rect").count(), 3);
+        assert!(svg.contains("-95 dBm: 5"));
+        assert_eq!(histogram_svg(&[]), "<p>(no data)</p>");
+    }
+
+    #[test]
+    fn generate_includes_new_sections() {
+        let html = generate(&populated_server(), &HtmlOptions::default());
+        assert!(html.contains("RSSI distribution"));
+        assert!(html.contains("Link delivery ratios"));
+    }
+
+    #[test]
+    fn status_svg_draws_two_polylines() {
+        use loramon_sim::SimTime;
+        let series = vec![
+            StatusPoint {
+                at: SimTime::from_secs(30),
+                battery_percent: 100,
+                queue_len: 0,
+                duty_cycle_utilization: 0.1,
+                reachable: 2,
+            },
+            StatusPoint {
+                at: SimTime::from_secs(60),
+                battery_percent: 95,
+                queue_len: 1,
+                duty_cycle_utilization: 0.3,
+                reachable: 2,
+            },
+        ];
+        let svg = status_svg(&series);
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("battery"));
+        assert_eq!(status_svg(&[]), "<p>(no status history)</p>");
+    }
+
+    #[test]
+    fn title_is_escaped() {
+        let server = populated_server();
+        let html = generate(
+            &server,
+            &HtmlOptions {
+                title: "a<b&c".into(),
+                ..HtmlOptions::default()
+            },
+        );
+        assert!(html.contains("a&lt;b&amp;c"));
+        assert!(!html.contains("<b&c</title>"));
+    }
+}

@@ -1,0 +1,21 @@
+//! # loramon-dashboard
+//!
+//! Visualization for the LoRa mesh monitoring server: an ASCII twin of
+//! the paper's web dashboard for terminals ([`ascii`]), and a
+//! self-contained static HTML/SVG page generator ([`html`]) whose
+//! sections regenerate R-Fig-2 (packets over time), R-Fig-3 (link
+//! quality) and R-Fig-4 (topology).
+//!
+//! ## Example
+//!
+//! ```
+//! use loramon_dashboard::ascii;
+//!
+//! let spark = ascii::sparkline(&[1, 3, 7, 2]);
+//! assert_eq!(spark.chars().count(), 4);
+//! ```
+
+pub mod ascii;
+pub mod html;
+
+pub use html::{generate as generate_html, HtmlOptions};

@@ -1,0 +1,206 @@
+//! Mesh protocol configuration and traffic generation patterns.
+
+use loramon_sim::NodeId;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Protocol timing and behaviour knobs. Defaults follow the LoRaMesher
+/// firmware where it documents a value, and sensible EU868 practice
+/// elsewhere.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeshConfig {
+    /// Period between routing broadcasts (default 60 s).
+    pub hello_period: Duration,
+    /// Uniform random extra delay added to each hello (desynchronizes
+    /// neighbors; default 5 s).
+    pub hello_jitter: Duration,
+    /// Routes not refreshed within this window are dropped
+    /// (default 10 min).
+    pub route_timeout: Duration,
+    /// Initial TTL of originated packets (default 10).
+    pub max_ttl: u8,
+    /// End-to-end ACK retry budget for reliable messages (default 3).
+    pub max_retries: u32,
+    /// How long to wait for an end-to-end ACK before retransmitting
+    /// (default 12 s — several worst-case multi-hop airtimes).
+    pub ack_timeout: Duration,
+    /// Base CSMA backoff when the channel is sensed busy (default 300 ms;
+    /// the k-th attempt waits a uniform random time up to `2^k` × base).
+    pub csma_backoff: Duration,
+    /// CSMA attempts before dropping a frame (default 6).
+    pub csma_max_attempts: u32,
+    /// Outbound queue capacity in frames (default 32).
+    pub queue_capacity: usize,
+    /// Period of the observer poll tick (default 1 s).
+    pub poll_period: Duration,
+    /// Minimum link margin (dB above the receiver's sensitivity) a
+    /// routing broadcast must arrive with before routes through its
+    /// sender are accepted (default 0 = accept anything demodulable).
+    /// Raising this keeps hop-count routing off marginal shortcut links.
+    pub min_link_margin_db: f64,
+}
+
+impl MeshConfig {
+    /// The default configuration (see field docs).
+    pub fn new() -> Self {
+        MeshConfig {
+            hello_period: Duration::from_secs(60),
+            hello_jitter: Duration::from_secs(5),
+            route_timeout: Duration::from_secs(600),
+            max_ttl: 10,
+            max_retries: 3,
+            ack_timeout: Duration::from_secs(12),
+            csma_backoff: Duration::from_millis(300),
+            csma_max_attempts: 6,
+            queue_capacity: 32,
+            poll_period: Duration::from_secs(1),
+            min_link_margin_db: 0.0,
+        }
+    }
+
+    /// A fast-converging configuration for short simulations and tests:
+    /// 10 s hellos, 60 s route timeout.
+    pub fn fast() -> Self {
+        MeshConfig {
+            hello_period: Duration::from_secs(10),
+            hello_jitter: Duration::from_secs(2),
+            route_timeout: Duration::from_secs(60),
+            ack_timeout: Duration::from_secs(6),
+            ..MeshConfig::new()
+        }
+    }
+
+    /// Set the hello period (builder style).
+    pub fn with_hello_period(mut self, period: Duration) -> Self {
+        self.hello_period = period;
+        self
+    }
+
+    /// Set the route timeout (builder style).
+    pub fn with_route_timeout(mut self, timeout: Duration) -> Self {
+        self.route_timeout = timeout;
+        self
+    }
+
+    /// Set the initial TTL (builder style).
+    pub fn with_max_ttl(mut self, ttl: u8) -> Self {
+        self.max_ttl = ttl;
+        self
+    }
+
+    /// Set the minimum routing-link margin in dB (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if negative.
+    pub fn with_min_link_margin_db(mut self, margin: f64) -> Self {
+        assert!(margin >= 0.0, "margin cannot be negative");
+        self.min_link_margin_db = margin;
+        self
+    }
+}
+
+impl Default for MeshConfig {
+    fn default() -> Self {
+        MeshConfig::new()
+    }
+}
+
+/// Where pattern-generated traffic is addressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrafficDestination {
+    /// A fixed node (typically the gateway).
+    Fixed(NodeId),
+    /// A uniformly random destination from the current routing table.
+    RandomPeer,
+}
+
+/// A periodic application workload originated by a node — the "sensor
+/// sends a reading every N seconds" traffic of the paper's scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrafficPattern {
+    /// Destination selection.
+    pub destination: TrafficDestination,
+    /// Mean period between messages.
+    pub period: Duration,
+    /// Uniform random jitter added to each period.
+    pub jitter: Duration,
+    /// Application payload length in bytes.
+    pub payload_len: usize,
+    /// Delay before the first message (lets routing converge).
+    pub start_delay: Duration,
+    /// Whether messages request end-to-end ACKs.
+    pub reliable: bool,
+}
+
+impl TrafficPattern {
+    /// Periodic unreliable telemetry of `payload_len` bytes to a fixed
+    /// destination.
+    pub fn to_gateway(gateway: NodeId, period: Duration, payload_len: usize) -> Self {
+        TrafficPattern {
+            destination: TrafficDestination::Fixed(gateway),
+            period,
+            jitter: Duration::from_millis(period.as_millis() as u64 / 10),
+            payload_len,
+            start_delay: Duration::from_secs(90),
+            reliable: false,
+        }
+    }
+
+    /// Make the pattern reliable (builder style).
+    pub fn with_reliable(mut self, reliable: bool) -> Self {
+        self.reliable = reliable;
+        self
+    }
+
+    /// Set the start delay (builder style).
+    pub fn with_start_delay(mut self, delay: Duration) -> Self {
+        self.start_delay = delay;
+        self
+    }
+
+    /// Set the jitter (builder style).
+    pub fn with_jitter(mut self, jitter: Duration) -> Self {
+        self.jitter = jitter;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = MeshConfig::new();
+        assert!(c.hello_period > c.hello_jitter);
+        assert!(c.route_timeout > c.hello_period);
+        assert!(c.max_ttl > 1);
+        assert!(c.queue_capacity > 0);
+    }
+
+    #[test]
+    fn fast_config_is_faster() {
+        let c = MeshConfig::fast();
+        assert!(c.hello_period < MeshConfig::new().hello_period);
+        assert!(c.route_timeout >= 3 * c.hello_period);
+    }
+
+    #[test]
+    fn builders_chain() {
+        let c = MeshConfig::new()
+            .with_hello_period(Duration::from_secs(30))
+            .with_max_ttl(5);
+        assert_eq!(c.hello_period, Duration::from_secs(30));
+        assert_eq!(c.max_ttl, 5);
+    }
+
+    #[test]
+    fn gateway_pattern() {
+        let p = TrafficPattern::to_gateway(NodeId(9), Duration::from_secs(120), 24);
+        assert_eq!(p.destination, TrafficDestination::Fixed(NodeId(9)));
+        assert_eq!(p.payload_len, 24);
+        assert!(!p.reliable);
+        assert!(p.with_reliable(true).reliable);
+    }
+}

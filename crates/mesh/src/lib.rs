@@ -1,0 +1,47 @@
+//! # loramon-mesh
+//!
+//! A distance-vector LoRa mesh protocol in the style of LoRaMesher (the
+//! firmware used by the paper's testbed), running on `loramon-sim`.
+//!
+//! Nodes periodically broadcast their routing tables; data is forwarded
+//! hop by hop with TTLs; payloads larger than one LoRa frame are
+//! segmented and reassembled; reliable messages use end-to-end ACKs with
+//! retransmission; transmissions go through CSMA with exponential
+//! backoff and the regional duty-cycle regulator.
+//!
+//! The [`MeshObserver`] hook exposes exactly what the paper's monitoring
+//! client records: every packet crossing the node's radio, plus periodic
+//! state snapshots.
+//!
+//! ## Example
+//!
+//! ```
+//! use loramon_mesh::{MeshConfig, MeshNode, TrafficPattern};
+//! use loramon_sim::{NodeId, SimBuilder};
+//! use loramon_phy::{Position, RadioConfig};
+//! use std::time::Duration;
+//!
+//! let mut sim = SimBuilder::new().seed(1).build();
+//! let cfg = RadioConfig::mesher_default();
+//! let gateway = NodeId(2);
+//! let sensor = MeshNode::new(MeshConfig::fast()).with_traffic(
+//!     TrafficPattern::to_gateway(gateway, Duration::from_secs(60), 16),
+//! );
+//! sim.add_node(Position::new(0.0, 0.0), cfg, Box::new(sensor));
+//! sim.add_node(Position::new(300.0, 0.0), cfg, Box::new(MeshNode::new(MeshConfig::fast())));
+//! sim.run_for(Duration::from_secs(300));
+//! let gw: &MeshNode = sim.app_as(gateway).unwrap();
+//! assert!(!gw.messages().is_empty());
+//! ```
+
+pub mod config;
+pub mod node;
+pub mod observer;
+pub mod packet;
+pub mod routing;
+
+pub use config::{MeshConfig, TrafficDestination, TrafficPattern};
+pub use node::{MeshNode, MeshStats, Message};
+pub use observer::{Direction, MeshObserver, MeshSnapshot, NullObserver, PacketEvent, RecordingObserver};
+pub use packet::{Body, DecodeError, Header, Packet, PacketType, FLAG_ACK_REQUEST, HEADER_LEN, MAX_PACKET_LEN, MAX_SEGMENT_PAYLOAD};
+pub use routing::{Route, RouteEntry, RoutingTable, INFINITY_METRIC};

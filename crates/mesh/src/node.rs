@@ -1,0 +1,1224 @@
+//! The mesh protocol engine: one [`MeshNode`] runs on each simulated node.
+//!
+//! Responsibilities: periodic routing broadcasts, distance-vector table
+//! maintenance, CSMA transmission with exponential backoff, TTL
+//! forwarding, payload segmentation/reassembly, end-to-end ACKs with
+//! retransmission, and feeding every observed packet to the attached
+//! [`MeshObserver`].
+
+use crate::config::{MeshConfig, TrafficDestination, TrafficPattern};
+use crate::observer::{Direction, MeshObserver, MeshSnapshot, NullObserver, PacketEvent};
+use crate::packet::{Body, Packet, PacketType, FLAG_ACK_REQUEST, MAX_SEGMENT_PAYLOAD};
+use crate::routing::RoutingTable;
+use bytes::Bytes;
+use loramon_sim::{Application, Context, NodeId, ReceivedFrame, SimTime, TxResult, TxToken};
+use serde::{Deserialize, Serialize};
+use std::any::Any;
+use std::collections::{BTreeMap, VecDeque};
+use std::time::Duration;
+
+const TIMER_HELLO: u64 = 1;
+const TIMER_QUEUE: u64 = 2;
+const TIMER_ACK_CHECK: u64 = 3;
+const TIMER_EXPIRE: u64 = 4;
+const TIMER_TRAFFIC: u64 = 5;
+const TIMER_POLL: u64 = 6;
+
+/// Mesh-layer protocol counters (the "node status" numbers the monitoring
+/// client ships to the server).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MeshStats {
+    /// Application messages this node originated.
+    pub messages_sent: u64,
+    /// Complete application messages delivered to this node.
+    pub messages_delivered: u64,
+    /// Originated reliable messages confirmed by an end-to-end ACK.
+    pub messages_acked: u64,
+    /// Originated reliable messages abandoned after the retry budget.
+    pub drops_unacked: u64,
+    /// Data segments transmitted (originated + forwarded).
+    pub data_sent: u64,
+    /// Data segments received addressed to this node (final or next hop).
+    pub data_received: u64,
+    /// Routing broadcasts transmitted.
+    pub routing_sent: u64,
+    /// Routing broadcasts received.
+    pub routing_received: u64,
+    /// ACK packets transmitted.
+    pub acks_sent: u64,
+    /// ACK packets received (for us or forwarded).
+    pub acks_received: u64,
+    /// Data segments forwarded toward another node.
+    pub forwarded: u64,
+    /// Whole-message retransmissions triggered by ACK timeout.
+    pub retransmissions: u64,
+    /// Segments dropped because TTL expired.
+    pub drops_ttl: u64,
+    /// Segments/messages dropped for lack of a route.
+    pub drops_no_route: u64,
+    /// Frames dropped because the outbound queue was full.
+    pub drops_queue_full: u64,
+    /// Frames dropped after exhausting CSMA attempts.
+    pub drops_csma: u64,
+    /// Undecodable frames heard.
+    pub decode_errors: u64,
+    /// Valid frames heard that were link-addressed to someone else.
+    pub overheard: u64,
+    /// Duplicate segments suppressed.
+    pub duplicates: u64,
+    /// Every valid frame demodulated, regardless of addressing.
+    pub packets_heard: u64,
+    /// Routing broadcasts ignored because their link margin was below
+    /// [`MeshConfig::min_link_margin_db`].
+    pub weak_link_rejections: u64,
+}
+
+/// A complete application message delivered by the mesh.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Message {
+    /// Originating node.
+    pub from: NodeId,
+    /// Reassembled payload.
+    pub payload: Bytes,
+    /// Delivery time.
+    pub at: SimTime,
+}
+
+#[derive(Debug)]
+struct QueuedFrame {
+    packet: Packet,
+    csma_attempts: u32,
+}
+
+#[derive(Debug)]
+struct PendingAck {
+    segments: Vec<Packet>,
+    retries_left: u32,
+    deadline: SimTime,
+}
+
+#[derive(Debug)]
+struct Reassembly {
+    segments: Vec<Option<Bytes>>,
+    received: usize,
+    ack_requested: bool,
+}
+
+/// The mesh protocol application. Generic over the attached observer so
+/// harnesses can recover it (e.g. the monitoring client) after a run via
+/// [`Simulator::app_as`](loramon_sim::Simulator::app_as).
+#[derive(Debug)]
+pub struct MeshNode<O: MeshObserver = NullObserver> {
+    config: MeshConfig,
+    traffic: Option<TrafficPattern>,
+    observer: O,
+    local: NodeId,
+    routing: RoutingTable,
+    next_packet_id: u16,
+    queue: VecDeque<QueuedFrame>,
+    in_flight: Option<Packet>,
+    pending_acks: BTreeMap<u16, PendingAck>,
+    reassembly: BTreeMap<(u16, u16), Reassembly>,
+    seen: VecDeque<(u16, u16, u8, PacketType)>,
+    inbox: Vec<Message>,
+    stats: MeshStats,
+}
+
+impl MeshNode<NullObserver> {
+    /// A mesh node with the given configuration and no observer.
+    pub fn new(config: MeshConfig) -> Self {
+        MeshNode::with_observer(config, NullObserver)
+    }
+}
+
+impl<O: MeshObserver> MeshNode<O> {
+    /// A mesh node with an attached observer.
+    pub fn with_observer(config: MeshConfig, observer: O) -> Self {
+        MeshNode {
+            config,
+            traffic: None,
+            observer,
+            local: NodeId(0),
+            routing: RoutingTable::new(),
+            next_packet_id: 0,
+            queue: VecDeque::new(),
+            in_flight: None,
+            pending_acks: BTreeMap::new(),
+            reassembly: BTreeMap::new(),
+            seen: VecDeque::new(),
+            inbox: Vec::new(),
+            stats: MeshStats::default(),
+        }
+    }
+
+    /// Attach a periodic traffic pattern (builder style).
+    pub fn with_traffic(mut self, pattern: TrafficPattern) -> Self {
+        self.traffic = Some(pattern);
+        self
+    }
+
+    /// This node's address (valid once the simulation has started).
+    pub fn local_id(&self) -> NodeId {
+        self.local
+    }
+
+    /// Protocol counters.
+    pub fn stats(&self) -> MeshStats {
+        self.stats
+    }
+
+    /// The routing table.
+    pub fn routing_table(&self) -> &RoutingTable {
+        &self.routing
+    }
+
+    /// Messages delivered so far (does not drain).
+    pub fn messages(&self) -> &[Message] {
+        &self.inbox
+    }
+
+    /// Drain delivered messages.
+    pub fn take_messages(&mut self) -> Vec<Message> {
+        std::mem::take(&mut self.inbox)
+    }
+
+    /// The attached observer.
+    pub fn observer(&self) -> &O {
+        &self.observer
+    }
+
+    /// Mutable access to the attached observer.
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.observer
+    }
+
+    /// Current outbound queue depth in frames.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len() + usize::from(self.in_flight.is_some())
+    }
+
+    fn next_id(&mut self) -> u16 {
+        self.next_packet_id = self.next_packet_id.wrapping_add(1);
+        self.next_packet_id
+    }
+
+    /// Send an application message through the mesh. Returns `false` when
+    /// there is no route to `dst` (the message is counted and dropped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload needs more than 255 segments.
+    pub fn send_message(
+        &mut self,
+        ctx: &mut Context<'_>,
+        dst: NodeId,
+        payload: Bytes,
+        reliable: bool,
+    ) -> bool {
+        self.stats.messages_sent += 1;
+        if dst == self.local {
+            // Loopback: deliver immediately.
+            let msg = Message {
+                from: self.local,
+                payload: payload.clone(),
+                at: ctx.now(),
+            };
+            self.observer.on_message(self.local, &payload, ctx.now());
+            self.inbox.push(msg);
+            self.stats.messages_delivered += 1;
+            return true;
+        }
+        let Some(next_hop) = self.routing.next_hop(dst) else {
+            self.stats.drops_no_route += 1;
+            return false;
+        };
+        let chunks: Vec<Bytes> = if payload.is_empty() {
+            vec![Bytes::new()]
+        } else {
+            (0..payload.len())
+                .step_by(MAX_SEGMENT_PAYLOAD)
+                .map(|off| payload.slice(off..payload.len().min(off + MAX_SEGMENT_PAYLOAD)))
+                .collect()
+        };
+        assert!(chunks.len() <= 255, "payload needs more than 255 segments");
+        let total = chunks.len() as u8;
+        let id = self.next_id();
+        let flags = if reliable { FLAG_ACK_REQUEST } else { 0 };
+        let mut segments = Vec::with_capacity(chunks.len());
+        for (i, chunk) in chunks.into_iter().enumerate() {
+            segments.push(Packet::data(
+                next_hop,
+                self.local,
+                self.local,
+                dst,
+                id,
+                self.config.max_ttl,
+                i as u8,
+                total,
+                flags,
+                chunk,
+            ));
+        }
+        if reliable {
+            self.pending_acks.insert(
+                id,
+                PendingAck {
+                    segments: segments.clone(),
+                    retries_left: self.config.max_retries,
+                    deadline: ctx.now() + self.config.ack_timeout,
+                },
+            );
+        }
+        for p in segments {
+            self.enqueue(ctx, p);
+        }
+        true
+    }
+
+    fn enqueue(&mut self, ctx: &mut Context<'_>, packet: Packet) {
+        if self.queue.len() >= self.config.queue_capacity {
+            self.stats.drops_queue_full += 1;
+            return;
+        }
+        self.queue.push_back(QueuedFrame {
+            packet,
+            csma_attempts: 0,
+        });
+        self.service_queue(ctx);
+    }
+
+    fn service_queue(&mut self, ctx: &mut Context<'_>) {
+        if self.in_flight.is_some() {
+            return;
+        }
+        while let Some(mut frame) = self.queue.pop_front() {
+            if ctx.channel_busy() {
+                frame.csma_attempts += 1;
+                if frame.csma_attempts > self.config.csma_max_attempts {
+                    self.stats.drops_csma += 1;
+                    continue; // drop, try the next frame
+                }
+                let exp = frame.csma_attempts.min(4);
+                let base = self.config.csma_backoff.as_micros() as u64;
+                let spread = base << exp;
+                let wait = Duration::from_micros(
+                    base + ctx.rng().next_below(spread.max(1)),
+                );
+                self.queue.push_front(frame);
+                ctx.set_timer(wait, TIMER_QUEUE);
+                return;
+            }
+            let bytes = frame.packet.encode();
+            ctx.transmit(bytes);
+            self.in_flight = Some(frame.packet);
+            return;
+        }
+    }
+
+    fn send_ack(&mut self, ctx: &mut Context<'_>, to: NodeId, fallback_hop: NodeId, acked_id: u16) {
+        let next_hop = self.routing.next_hop(to).unwrap_or(fallback_hop);
+        let id = self.next_id();
+        let packet = Packet::ack(
+            next_hop,
+            self.local,
+            self.local,
+            to,
+            id,
+            self.config.max_ttl,
+            to,
+            acked_id,
+        );
+        // `acked_origin` is the origin of the *data* packet, i.e. `to`.
+        self.enqueue(ctx, packet);
+    }
+
+    fn remember(&mut self, key: (u16, u16, u8, PacketType)) -> bool {
+        if self.seen.contains(&key) {
+            return false;
+        }
+        if self.seen.len() >= 512 {
+            self.seen.pop_front();
+        }
+        self.seen.push_back(key);
+        true
+    }
+
+    fn emit_packet_event(&mut self, packet: &Packet, direction: Direction, at: SimTime, rssi: Option<f64>, snr: Option<f64>) {
+        let h = &packet.header;
+        self.observer.on_packet(&PacketEvent {
+            at,
+            direction,
+            local: self.local,
+            counterpart: match direction {
+                Direction::In => h.link_src,
+                Direction::Out => h.link_dst,
+            },
+            ptype: h.ptype,
+            origin: h.origin,
+            final_dst: h.final_dst,
+            packet_id: h.packet_id,
+            ttl: h.ttl,
+            size_bytes: packet.encoded_len(),
+            rssi_dbm: rssi,
+            snr_db: snr,
+        });
+    }
+
+    fn snapshot(&self, ctx: &Context<'_>) -> MeshSnapshot {
+        MeshSnapshot {
+            node: self.local,
+            now: ctx.now(),
+            routes: self.routing.routes().copied().collect(),
+            queue_len: self.queue_len(),
+            stats: self.stats,
+            battery_percent: ctx.battery_percent(),
+            duty_cycle_utilization: ctx.duty_cycle_utilization(),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn deliver_complete(
+        &mut self,
+        ctx: &mut Context<'_>,
+        origin: NodeId,
+        link_src: NodeId,
+        packet_id: u16,
+        payload: Bytes,
+        ack_requested: bool,
+        to_us: bool,
+    ) {
+        self.observer.on_message(origin, &payload, ctx.now());
+        self.inbox.push(Message {
+            from: origin,
+            payload,
+            at: ctx.now(),
+        });
+        self.stats.messages_delivered += 1;
+        if ack_requested && to_us {
+            self.send_ack(ctx, origin, link_src, packet_id);
+        }
+    }
+
+    fn handle_data(&mut self, ctx: &mut Context<'_>, packet: Packet) {
+        let h = packet.header;
+        let Body::Data(payload) = packet.body else {
+            return;
+        };
+        self.stats.data_received += 1;
+        let to_us = h.final_dst == self.local;
+        let broadcast = h.final_dst.is_broadcast();
+        if to_us || broadcast {
+            if h.seg_total == 1 {
+                self.deliver_complete(
+                    ctx,
+                    h.origin,
+                    h.link_src,
+                    h.packet_id,
+                    payload,
+                    h.ack_requested(),
+                    to_us,
+                );
+            } else {
+                let key = (h.origin.raw(), h.packet_id);
+                let entry = self.reassembly.entry(key).or_insert_with(|| Reassembly {
+                    segments: vec![None; h.seg_total as usize],
+                    received: 0,
+                    ack_requested: h.ack_requested(),
+                });
+                let slot = &mut entry.segments[h.seg_index as usize];
+                if slot.is_none() {
+                    *slot = Some(payload);
+                    entry.received += 1;
+                }
+                if entry.received == entry.segments.len() {
+                    let entry = self.reassembly.remove(&key).expect("present");
+                    let mut whole = Vec::new();
+                    for seg in entry.segments {
+                        whole.extend_from_slice(&seg.expect("complete"));
+                    }
+                    self.deliver_complete(
+                        ctx,
+                        h.origin,
+                        h.link_src,
+                        h.packet_id,
+                        Bytes::from(whole),
+                        entry.ack_requested,
+                        to_us,
+                    );
+                }
+            }
+            return;
+        }
+
+        // Forwarding role.
+        if h.ttl <= 1 {
+            self.stats.drops_ttl += 1;
+            return;
+        }
+        let Some(next_hop) = self.routing.next_hop(h.final_dst) else {
+            self.stats.drops_no_route += 1;
+            return;
+        };
+        let forwarded = Packet::data(
+            next_hop,
+            self.local,
+            h.origin,
+            h.final_dst,
+            h.packet_id,
+            h.ttl - 1,
+            h.seg_index,
+            h.seg_total,
+            h.flags,
+            payload,
+        );
+        self.stats.forwarded += 1;
+        self.enqueue(ctx, forwarded);
+    }
+
+    fn handle_ack(&mut self, ctx: &mut Context<'_>, packet: Packet) {
+        let h = packet.header;
+        let Body::Ack {
+            acked_origin,
+            acked_id,
+        } = packet.body
+        else {
+            return;
+        };
+        self.stats.acks_received += 1;
+        if h.final_dst == self.local {
+            if acked_origin == self.local && self.pending_acks.remove(&acked_id).is_some() {
+                self.stats.messages_acked += 1;
+            }
+            return;
+        }
+        if h.ttl <= 1 {
+            self.stats.drops_ttl += 1;
+            return;
+        }
+        let Some(next_hop) = self.routing.next_hop(h.final_dst) else {
+            self.stats.drops_no_route += 1;
+            return;
+        };
+        let forwarded = Packet::ack(
+            next_hop,
+            self.local,
+            h.origin,
+            h.final_dst,
+            h.packet_id,
+            h.ttl - 1,
+            acked_origin,
+            acked_id,
+        );
+        self.enqueue(ctx, forwarded);
+    }
+
+    fn fire_traffic(&mut self, ctx: &mut Context<'_>) {
+        let Some(pattern) = self.traffic else {
+            return;
+        };
+        let dst = match pattern.destination {
+            TrafficDestination::Fixed(d) => Some(d),
+            TrafficDestination::RandomPeer => {
+                let peers: Vec<NodeId> = self.routing.routes().map(|r| r.address).collect();
+                if peers.is_empty() {
+                    None
+                } else {
+                    let i = ctx.rng().next_below(peers.len() as u64) as usize;
+                    Some(peers[i])
+                }
+            }
+        };
+        if let Some(dst) = dst {
+            // A recognizable payload: sequence number then padding.
+            let mut payload = vec![0u8; pattern.payload_len.max(2)];
+            payload[..2].copy_from_slice(&self.next_packet_id.to_be_bytes());
+            self.send_message(ctx, dst, Bytes::from(payload), pattern.reliable);
+        }
+        let jitter_us = pattern.jitter.as_micros() as u64;
+        let extra = if jitter_us > 0 {
+            ctx.rng().next_below(jitter_us)
+        } else {
+            0
+        };
+        ctx.set_timer(pattern.period + Duration::from_micros(extra), TIMER_TRAFFIC);
+    }
+
+    fn check_ack_deadlines(&mut self, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        let due: Vec<u16> = self
+            .pending_acks
+            .iter()
+            .filter(|(_, p)| p.deadline <= now)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in due {
+            let mut entry = self.pending_acks.remove(&id).expect("present");
+            if entry.retries_left == 0 {
+                self.stats.drops_unacked += 1;
+                continue;
+            }
+            entry.retries_left -= 1;
+            entry.deadline = now + self.config.ack_timeout;
+            self.stats.retransmissions += 1;
+            // Refresh the next hop — the topology may have moved.
+            let final_dst = entry.segments[0].header.final_dst;
+            let next_hop = self.routing.next_hop(final_dst);
+            let segments = entry.segments.clone();
+            self.pending_acks.insert(id, entry);
+            match next_hop {
+                Some(hop) => {
+                    for mut p in segments {
+                        p.header.link_dst = hop;
+                        p.header.link_src = self.local;
+                        self.enqueue(ctx, p);
+                    }
+                }
+                None => {
+                    self.stats.drops_no_route += 1;
+                }
+            }
+        }
+    }
+}
+
+impl<O: MeshObserver + 'static> Application for MeshNode<O> {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.local = ctx.node_id();
+        let mut rng = ctx.rng();
+        let hello_us = self.config.hello_period.as_micros() as u64;
+        ctx.set_timer(
+            Duration::from_micros(rng.next_below(hello_us.max(1))),
+            TIMER_HELLO,
+        );
+        ctx.set_timer(self.config.route_timeout / 4, TIMER_EXPIRE);
+        ctx.set_timer(self.config.ack_timeout / 2, TIMER_ACK_CHECK);
+        ctx.set_timer(self.config.poll_period, TIMER_POLL);
+        if let Some(pattern) = self.traffic {
+            let jitter_us = pattern.jitter.as_micros() as u64;
+            let extra = if jitter_us > 0 {
+                rng.next_below(jitter_us)
+            } else {
+                0
+            };
+            ctx.set_timer(
+                pattern.start_delay + Duration::from_micros(extra),
+                TIMER_TRAFFIC,
+            );
+        }
+    }
+
+    fn on_frame(&mut self, ctx: &mut Context<'_>, frame: &ReceivedFrame) {
+        let packet = match Packet::decode(&frame.payload) {
+            Ok(p) => p,
+            Err(_) => {
+                self.stats.decode_errors += 1;
+                return;
+            }
+        };
+        self.stats.packets_heard += 1;
+        self.emit_packet_event(
+            &packet,
+            Direction::In,
+            ctx.now(),
+            Some(frame.rssi_dbm),
+            Some(frame.snr_db),
+        );
+
+        let h = packet.header;
+        if h.link_dst != self.local && !h.link_dst.is_broadcast() {
+            self.stats.overheard += 1;
+            return;
+        }
+
+        match h.ptype {
+            PacketType::Routing => {
+                if let Body::Routing(entries) = &packet.body {
+                    self.stats.routing_received += 1;
+                    let cfg = ctx.radio_config();
+                    let floor = loramon_phy::sensitivity_dbm(cfg.sf(), cfg.bw())
+                        + self.config.min_link_margin_db;
+                    if frame.rssi_dbm < floor {
+                        // Too weak to route over; still recorded above.
+                        self.stats.weak_link_rejections += 1;
+                        return;
+                    }
+                    self.routing.apply_broadcast(
+                        self.local,
+                        h.link_src,
+                        entries,
+                        frame.rssi_dbm,
+                        frame.snr_db,
+                        ctx.now(),
+                    );
+                }
+            }
+            PacketType::Data => {
+                let key = (h.origin.raw(), h.packet_id, h.seg_index, PacketType::Data);
+                if !self.remember(key) {
+                    self.stats.duplicates += 1;
+                    // Our earlier ACK may have been lost; repeat it.
+                    if h.final_dst == self.local && h.ack_requested() {
+                        self.send_ack(ctx, h.origin, h.link_src, h.packet_id);
+                    }
+                    return;
+                }
+                self.handle_data(ctx, packet);
+            }
+            PacketType::Ack => {
+                let key = (h.origin.raw(), h.packet_id, 0, PacketType::Ack);
+                if !self.remember(key) {
+                    self.stats.duplicates += 1;
+                    return;
+                }
+                self.handle_ack(ctx, packet);
+            }
+        }
+    }
+
+    fn on_tx_result(&mut self, ctx: &mut Context<'_>, _token: TxToken, result: TxResult) {
+        match result {
+            TxResult::Sent { .. } => {
+                if let Some(packet) = self.in_flight.take() {
+                    match packet.header.ptype {
+                        PacketType::Routing => self.stats.routing_sent += 1,
+                        PacketType::Data => self.stats.data_sent += 1,
+                        PacketType::Ack => self.stats.acks_sent += 1,
+                    }
+                    self.emit_packet_event(&packet, Direction::Out, ctx.now(), None, None);
+                }
+                self.service_queue(ctx);
+            }
+            TxResult::Busy => {
+                if let Some(packet) = self.in_flight.take() {
+                    self.queue.push_front(QueuedFrame {
+                        packet,
+                        csma_attempts: 0,
+                    });
+                }
+                ctx.set_timer(self.config.csma_backoff, TIMER_QUEUE);
+            }
+            TxResult::DutyCycleBlocked { retry_at } => {
+                if let Some(packet) = self.in_flight.take() {
+                    self.queue.push_front(QueuedFrame {
+                        packet,
+                        csma_attempts: 0,
+                    });
+                }
+                let wait = match retry_at {
+                    Some(at) => at.saturating_since(ctx.now()) + Duration::from_millis(10),
+                    None => self.config.hello_period,
+                };
+                ctx.set_timer(wait, TIMER_QUEUE);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, timer: u64) {
+        match timer {
+            TIMER_HELLO => {
+                let id = self.next_id();
+                let adv = self.routing.advertisement();
+                let packet = Packet::routing(self.local, id, adv);
+                self.enqueue(ctx, packet);
+                let jitter_us = self.config.hello_jitter.as_micros() as u64;
+                let extra = if jitter_us > 0 {
+                    ctx.rng().next_below(jitter_us)
+                } else {
+                    0
+                };
+                ctx.set_timer(
+                    self.config.hello_period + Duration::from_micros(extra),
+                    TIMER_HELLO,
+                );
+            }
+            TIMER_QUEUE => self.service_queue(ctx),
+            TIMER_ACK_CHECK => {
+                self.check_ack_deadlines(ctx);
+                ctx.set_timer(self.config.ack_timeout / 2, TIMER_ACK_CHECK);
+            }
+            TIMER_EXPIRE => {
+                let expired = self.routing.expire(ctx.now(), self.config.route_timeout);
+                for dead in expired {
+                    self.routing.purge_via(dead);
+                }
+                ctx.set_timer(self.config.route_timeout / 4, TIMER_EXPIRE);
+            }
+            TIMER_TRAFFIC => self.fire_traffic(ctx),
+            TIMER_POLL => {
+                let snapshot = self.snapshot(ctx);
+                let outgoing = self.observer.poll(&snapshot);
+                for (dst, payload) in outgoing {
+                    self.send_message(ctx, dst, payload, false);
+                }
+                ctx.set_timer(self.config.poll_period, TIMER_POLL);
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::RecordingObserver;
+    use loramon_phy::{Position, RadioConfig};
+    use loramon_sim::{SimBuilder, Simulator};
+
+    type RecNode = MeshNode<RecordingObserver>;
+
+    fn build_line(n: usize, spacing: f64, seed: u64) -> (Simulator, Vec<NodeId>) {
+        let mut sim = SimBuilder::new().seed(seed).build();
+        let cfg = RadioConfig::mesher_default();
+        let ids: Vec<NodeId> = (0..n)
+            .map(|i| {
+                sim.add_node(
+                    Position::new(i as f64 * spacing, 0.0),
+                    cfg,
+                    Box::new(MeshNode::with_observer(
+                        MeshConfig::fast(),
+                        RecordingObserver::default(),
+                    )),
+                )
+            })
+            .collect();
+        (sim, ids)
+    }
+
+    #[test]
+    fn neighbors_discover_each_other() {
+        let (mut sim, ids) = build_line(2, 200.0, 1);
+        sim.run_for(Duration::from_secs(60));
+        for (&a, &b) in [(&ids[0], &ids[1]), (&ids[1], &ids[0])] {
+            let node: &RecNode = sim.app_as(a).unwrap();
+            let r = node.routing_table().route_to(b).expect("route missing");
+            assert_eq!(r.metric, 1);
+            assert_eq!(r.next_hop, b);
+        }
+    }
+
+    #[test]
+    fn multihop_routes_converge_on_a_line() {
+        // 5 nodes, 1.6 km apart: each can only reach its direct neighbors
+        // (suburban path loss at 3.2 km is far past SF7 sensitivity).
+        let (mut sim, ids) = build_line(5, 1600.0, 3);
+        sim.run_for(Duration::from_secs(300));
+        let first: &RecNode = sim.app_as(ids[0]).unwrap();
+        let route = first.routing_table().route_to(ids[4]);
+        let r = route.expect("end-to-end route missing");
+        assert_eq!(r.next_hop, ids[1], "must route through the chain");
+        assert!(r.metric >= 3, "metric {} too small", r.metric);
+    }
+
+    #[test]
+    fn data_is_forwarded_end_to_end() {
+        let (mut sim, ids) = build_line(3, 1600.0, 5);
+        // Give routing time to converge, then have node 0 send to node 2.
+        sim.run_for(Duration::from_secs(120));
+        let dst = ids[2];
+        {
+            // Use traffic injection through a poll-less path: direct call
+            // via app_as_mut needs a Context, so emulate with traffic
+            // pattern instead in other tests; here shortcut via routing:
+            // verify a route exists, then restart-free send using the
+            // traffic pattern is covered elsewhere.
+            let first: &RecNode = sim.app_as(ids[0]).unwrap();
+            assert!(first.routing_table().route_to(dst).is_some());
+        }
+    }
+
+    #[test]
+    fn traffic_pattern_delivers_messages_end_to_end() {
+        let mut sim = SimBuilder::new().seed(7).build();
+        let cfg = RadioConfig::mesher_default();
+        let positions = [0.0, 1600.0, 3200.0];
+        let gateway_pos = positions[2];
+        // Node 0 sends periodic telemetry to node 2 through node 1.
+        let gw_id = NodeId(3);
+        let mut ids = Vec::new();
+        for (i, &x) in positions.iter().enumerate() {
+            let mut node = MeshNode::with_observer(MeshConfig::fast(), RecordingObserver::default());
+            let app: Box<dyn Application> = if i == 0 {
+                node = node.with_traffic(
+                    TrafficPattern::to_gateway(gw_id, Duration::from_secs(30), 16)
+                        .with_start_delay(Duration::from_secs(60)),
+                );
+                Box::new(node)
+            } else {
+                Box::new(node)
+            };
+            ids.push(sim.add_node(Position::new(x, 0.0), cfg, app));
+        }
+        assert_eq!(ids[2], gw_id);
+        let _ = gateway_pos;
+        sim.run_for(Duration::from_secs(600));
+        let gw: &RecNode = sim.app_as(gw_id).unwrap();
+        assert!(
+            !gw.messages().is_empty(),
+            "gateway received no telemetry messages"
+        );
+        assert_eq!(gw.messages()[0].from, ids[0]);
+        // The relay actually forwarded.
+        let relay: &RecNode = sim.app_as(ids[1]).unwrap();
+        assert!(relay.stats().forwarded > 0, "relay never forwarded");
+    }
+
+    #[test]
+    fn reliable_messages_get_acked() {
+        let mut sim = SimBuilder::new().seed(11).build();
+        let cfg = RadioConfig::mesher_default();
+        let gw = NodeId(2);
+        let sender = MeshNode::with_observer(MeshConfig::fast(), RecordingObserver::default())
+            .with_traffic(
+                TrafficPattern::to_gateway(gw, Duration::from_secs(60), 16)
+                    .with_reliable(true)
+                    .with_start_delay(Duration::from_secs(30)),
+            );
+        let a = sim.add_node(Position::new(0.0, 0.0), cfg, Box::new(sender));
+        sim.add_node(
+            Position::new(300.0, 0.0),
+            cfg,
+            Box::new(MeshNode::with_observer(
+                MeshConfig::fast(),
+                RecordingObserver::default(),
+            )),
+        );
+        sim.run_for(Duration::from_secs(300));
+        let s: &RecNode = sim.app_as(a).unwrap();
+        assert!(s.stats().messages_sent >= 3);
+        assert!(
+            s.stats().messages_acked >= 2,
+            "acked {} of {} sent",
+            s.stats().messages_acked,
+            s.stats().messages_sent
+        );
+    }
+
+    #[test]
+    fn large_payload_is_segmented_and_reassembled() {
+        let mut sim = SimBuilder::new().seed(13).duty_cycle(1.0).build();
+        let cfg = RadioConfig::mesher_default();
+        let gw = NodeId(2);
+        // 600 bytes > 240-byte segment limit → 3 segments.
+        let sender = MeshNode::with_observer(MeshConfig::fast(), RecordingObserver::default())
+            .with_traffic(
+                TrafficPattern {
+                    destination: TrafficDestination::Fixed(gw),
+                    period: Duration::from_secs(120),
+                    jitter: Duration::ZERO,
+                    payload_len: 600,
+                    start_delay: Duration::from_secs(30),
+                    reliable: false,
+                },
+            );
+        let a = sim.add_node(Position::new(0.0, 0.0), cfg, Box::new(sender));
+        let b = sim.add_node(
+            Position::new(200.0, 0.0),
+            cfg,
+            Box::new(MeshNode::with_observer(
+                MeshConfig::fast(),
+                RecordingObserver::default(),
+            )),
+        );
+        sim.run_for(Duration::from_secs(200));
+        let gw_node: &RecNode = sim.app_as(b).unwrap();
+        assert!(!gw_node.messages().is_empty(), "no reassembled message");
+        assert_eq!(gw_node.messages()[0].payload.len(), 600);
+        let s: &RecNode = sim.app_as(a).unwrap();
+        assert!(s.stats().data_sent >= 3, "sent {} segments", s.stats().data_sent);
+    }
+
+    #[test]
+    fn observer_sees_in_and_out_packets() {
+        let (mut sim, ids) = build_line(2, 200.0, 17);
+        sim.run_for(Duration::from_secs(60));
+        let node: &RecNode = sim.app_as(ids[0]).unwrap();
+        let obs = node.observer();
+        let outs = obs
+            .packets
+            .iter()
+            .filter(|p| p.direction == Direction::Out)
+            .count();
+        let ins = obs
+            .packets
+            .iter()
+            .filter(|p| p.direction == Direction::In)
+            .count();
+        assert!(outs > 0, "no outgoing packets observed");
+        assert!(ins > 0, "no incoming packets observed");
+        // Incoming events carry RSSI, outgoing do not.
+        assert!(obs
+            .packets
+            .iter()
+            .all(|p| (p.direction == Direction::In) == p.rssi_dbm.is_some()));
+        assert!(obs.polls > 0, "observer was never polled");
+    }
+
+    #[test]
+    fn stats_track_routing_exchange() {
+        let (mut sim, ids) = build_line(2, 200.0, 19);
+        sim.run_for(Duration::from_secs(120));
+        for &id in &ids {
+            let node: &RecNode = sim.app_as(id).unwrap();
+            assert!(node.stats().routing_sent >= 5, "sent {}", node.stats().routing_sent);
+            assert!(node.stats().routing_received >= 5);
+        }
+    }
+
+    #[test]
+    fn isolated_node_has_empty_table_and_drops() {
+        let mut sim = SimBuilder::new().seed(23).build();
+        let cfg = RadioConfig::mesher_default();
+        let lonely = MeshNode::with_observer(MeshConfig::fast(), RecordingObserver::default())
+            .with_traffic(
+                TrafficPattern::to_gateway(NodeId(99), Duration::from_secs(30), 8)
+                    .with_start_delay(Duration::from_secs(10)),
+            );
+        let a = sim.add_node(Position::new(0.0, 0.0), cfg, Box::new(lonely));
+        sim.run_for(Duration::from_secs(200));
+        let node: &RecNode = sim.app_as(a).unwrap();
+        assert!(node.routing_table().is_empty());
+        assert!(node.stats().drops_no_route > 0);
+        assert_eq!(node.stats().messages_delivered, 0);
+    }
+
+    #[test]
+    fn dead_relay_breaks_delivery_until_reroute() {
+        // Diamond: 1 -- {2,3} -- 4. Kill relay 2; traffic 1→4 should
+        // continue through 3 after routes re-form.
+        let mut sim = SimBuilder::new().seed(29).build();
+        let cfg = RadioConfig::mesher_default();
+        let gw = NodeId(4);
+        let sender = MeshNode::with_observer(MeshConfig::fast(), RecordingObserver::default())
+            .with_traffic(
+                TrafficPattern::to_gateway(gw, Duration::from_secs(20), 12)
+                    .with_start_delay(Duration::from_secs(60)),
+            );
+        let _n1 = sim.add_node(Position::new(0.0, 0.0), cfg, Box::new(sender));
+        let n2 = sim.add_node(
+            Position::new(1200.0, 900.0),
+            cfg,
+            Box::new(RecNode::with_observer(MeshConfig::fast(), RecordingObserver::default())),
+        );
+        let _n3 = sim.add_node(
+            Position::new(1200.0, -900.0),
+            cfg,
+            Box::new(RecNode::with_observer(MeshConfig::fast(), RecordingObserver::default())),
+        );
+        let n4 = sim.add_node(
+            Position::new(2400.0, 0.0),
+            cfg,
+            Box::new(RecNode::with_observer(MeshConfig::fast(), RecordingObserver::default())),
+        );
+        assert_eq!(n4, gw);
+        // Let everything converge and flow, then kill node 2 at t=300 s.
+        sim.schedule_failure(n2, SimTime::from_secs(300));
+        sim.run_for(Duration::from_secs(900));
+        let gw_node: &RecNode = sim.app_as(gw).unwrap();
+        let before = gw_node
+            .messages()
+            .iter()
+            .filter(|m| m.at < SimTime::from_secs(300))
+            .count();
+        let after = gw_node
+            .messages()
+            .iter()
+            .filter(|m| m.at > SimTime::from_secs(420))
+            .count();
+        assert!(before > 0, "no messages before the failure");
+        assert!(after > 0, "mesh never recovered after relay death");
+    }
+
+    #[test]
+    fn duplicate_suppression_counts() {
+        // Two paths can deliver the same segment twice to the gateway in
+        // the diamond topology with retransmissions; simply assert the
+        // counter stays consistent: duplicates ≤ data_received overall.
+        let (mut sim, ids) = build_line(3, 1600.0, 31);
+        sim.run_for(Duration::from_secs(300));
+        for &id in &ids {
+            let node: &RecNode = sim.app_as(id).unwrap();
+            let s = node.stats();
+            assert!(s.duplicates <= s.packets_heard);
+        }
+    }
+
+    #[test]
+    fn weak_link_margin_rejects_marginal_neighbors() {
+        // Two nodes at 2.6 km suburban: demodulable (~2 dB margin) but
+        // below a 6 dB routing threshold → hellos are heard yet no
+        // routes form, and the rejection counter ticks.
+        let mut sim = SimBuilder::new().seed(3).build();
+        let cfg = RadioConfig::mesher_default();
+        let strict = MeshConfig::fast().with_min_link_margin_db(6.0);
+        let a = sim.add_node(
+            Position::new(0.0, 0.0),
+            cfg,
+            Box::new(RecNode::with_observer(strict, RecordingObserver::default())),
+        );
+        let b = sim.add_node(
+            Position::new(2600.0, 0.0),
+            cfg,
+            Box::new(RecNode::with_observer(strict, RecordingObserver::default())),
+        );
+        sim.run_for(Duration::from_secs(300));
+        for id in [a, b] {
+            let node: &RecNode = sim.app_as(id).unwrap();
+            assert!(
+                node.stats().packets_heard > 0,
+                "node {id} heard nothing — geometry broke"
+            );
+            assert!(
+                node.stats().weak_link_rejections > 0,
+                "node {id} rejected nothing"
+            );
+            assert!(
+                node.routing_table().is_empty(),
+                "node {id} installed a weak route"
+            );
+        }
+    }
+
+    #[test]
+    fn weak_link_margin_prefers_relay_over_marginal_shortcut() {
+        // A(0) – B(1200) – C(2400): with a 6 dB margin, A must reach C
+        // through B even when C's hellos are occasionally demodulable.
+        let mut sim = SimBuilder::new().seed(5).build();
+        let cfg = RadioConfig::mesher_default();
+        let strict = MeshConfig::fast().with_min_link_margin_db(6.0);
+        let ids: Vec<NodeId> = [0.0, 1200.0, 2400.0]
+            .iter()
+            .map(|&x| {
+                sim.add_node(
+                    Position::new(x, 0.0),
+                    cfg,
+                    Box::new(RecNode::with_observer(strict, RecordingObserver::default())),
+                )
+            })
+            .collect();
+        sim.run_for(Duration::from_secs(300));
+        let a: &RecNode = sim.app_as(ids[0]).unwrap();
+        let route = a
+            .routing_table()
+            .route_to(ids[2])
+            .expect("no route A→C at all");
+        assert_eq!(route.next_hop, ids[1], "A took the marginal shortcut");
+        assert_eq!(route.metric, 2);
+    }
+
+    #[test]
+    fn tiny_queue_overflows_under_burst() {
+        // Queue capacity 2 + an 800-byte payload (4 segments) → the tail
+        // segments are dropped and counted.
+        let mut sim = SimBuilder::new().seed(37).duty_cycle(1.0).build();
+        let cfg = RadioConfig::mesher_default();
+        let mut config = MeshConfig::fast();
+        config.queue_capacity = 2;
+        let sender = MeshNode::with_observer(config, RecordingObserver::default())
+            .with_traffic(TrafficPattern {
+                destination: TrafficDestination::Fixed(NodeId(2)),
+                period: Duration::from_secs(60),
+                jitter: Duration::ZERO,
+                payload_len: 800,
+                start_delay: Duration::from_secs(30),
+                reliable: false,
+            });
+        let a = sim.add_node(Position::new(0.0, 0.0), cfg, Box::new(sender));
+        sim.add_node(
+            Position::new(200.0, 0.0),
+            cfg,
+            Box::new(RecNode::with_observer(MeshConfig::fast(), RecordingObserver::default())),
+        );
+        sim.run_for(Duration::from_secs(120));
+        let node: &RecNode = sim.app_as(a).unwrap();
+        assert!(
+            node.stats().drops_queue_full > 0,
+            "queue never overflowed: {:?}",
+            node.stats()
+        );
+    }
+
+    #[test]
+    fn csma_backs_off_and_eventually_drops_under_jamming() {
+        // A saturating jammer sits between two mesh nodes with the duty
+        // cycle disabled: CSMA keeps finding the channel busy.
+        let mut sim = SimBuilder::new().seed(41).duty_cycle(1.0).build();
+        let cfg = RadioConfig::mesher_default();
+        let mut config = MeshConfig::fast();
+        config.csma_max_attempts = 2;
+        config.csma_backoff = Duration::from_millis(50);
+        let a = sim.add_node(
+            Position::new(0.0, 0.0),
+            cfg,
+            Box::new(RecNode::with_observer(config, RecordingObserver::default())),
+        );
+        sim.add_node(
+            Position::new(200.0, 0.0),
+            cfg,
+            Box::new(RecNode::with_observer(config, RecordingObserver::default())),
+        );
+        sim.add_node(
+            Position::new(100.0, 0.0),
+            cfg,
+            Box::new(loramon_sim::Jammer::new(200)),
+        );
+        sim.run_for(Duration::from_secs(600));
+        let node: &RecNode = sim.app_as(a).unwrap();
+        assert!(
+            node.stats().drops_csma > 0,
+            "CSMA never gave up under a saturating jammer: {:?}",
+            node.stats()
+        );
+    }
+
+    #[test]
+    fn reliable_delivery_retransmits_over_a_lossy_link() {
+        // A link pinned at exactly SF7 sensitivity (no shadowing, so
+        // only per-packet fading decides): ~50% PDR. Reliable messages
+        // need retries, and most eventually get acked.
+        let mut sim = SimBuilder::new()
+            .seed(47)
+            .path_loss(loramon_phy::LogDistance::new(38.0, 1.0, 2.9, 0.0))
+            .build();
+        let cfg = RadioConfig::mesher_default();
+        let sender = MeshNode::with_observer(MeshConfig::fast(), RecordingObserver::default())
+            .with_traffic(
+                TrafficPattern::to_gateway(NodeId(2), Duration::from_secs(60), 12)
+                    .with_reliable(true)
+                    .with_start_delay(Duration::from_secs(60)),
+            );
+        let a = sim.add_node(Position::new(0.0, 0.0), cfg, Box::new(sender));
+        sim.add_node(
+            Position::new(2925.0, 0.0),
+            cfg,
+            Box::new(RecNode::with_observer(MeshConfig::fast(), RecordingObserver::default())),
+        );
+        sim.run_for(Duration::from_secs(3600));
+        let node: &RecNode = sim.app_as(a).unwrap();
+        let s = node.stats();
+        assert!(s.messages_sent >= 30, "sent {}", s.messages_sent);
+        assert!(
+            s.retransmissions > 0,
+            "lossy link needed no retries: {s:?}"
+        );
+        assert!(
+            s.messages_acked > s.messages_sent / 3,
+            "acked {}/{}",
+            s.messages_acked,
+            s.messages_sent
+        );
+    }
+
+    #[test]
+    fn queue_len_reports_inflight() {
+        let node = MeshNode::new(MeshConfig::new());
+        assert_eq!(node.queue_len(), 0);
+    }
+}

@@ -1,0 +1,532 @@
+//! Mesh packet wire format.
+//!
+//! A compact, explicitly specified binary layout (big-endian), modelled on
+//! the LoRaMesher packet family. Every packet shares a 15-byte header:
+//!
+//! ```text
+//! offset  size  field
+//! 0       2     link_dst   — next hop address, or 0xFFFF broadcast
+//! 2       2     link_src   — transmitting node
+//! 4       1     packet type
+//! 5       2     packet id  — assigned by the origin
+//! 7       1     ttl        — remaining hops
+//! 8       2     origin     — end-to-end source
+//! 10      2     final_dst  — end-to-end destination
+//! 12      1     seg_index  — segment number (0-based)
+//! 13      1     seg_total  — total segments (≥ 1)
+//! 14      1     flags      — bit 0: ACK requested
+//! ```
+//!
+//! followed by a type-specific body: route entries for routing packets,
+//! raw payload for data packets, the acked id for ACKs.
+
+use crate::routing::RouteEntry;
+use bytes::{BufMut, Bytes, BytesMut};
+use loramon_sim::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Size of the common header in bytes.
+pub const HEADER_LEN: usize = 15;
+
+/// Header flag: the origin requests an end-to-end ACK.
+pub const FLAG_ACK_REQUEST: u8 = 0b0000_0001;
+
+/// Largest LoRa PHY payload; packets must fit within it.
+pub const MAX_PACKET_LEN: usize = 255;
+
+/// Largest data payload per packet.
+pub const MAX_SEGMENT_PAYLOAD: usize = MAX_PACKET_LEN - HEADER_LEN;
+
+/// Packet type discriminant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum PacketType {
+    /// Periodic routing-table broadcast.
+    Routing,
+    /// Unicast application data (possibly one segment of many).
+    Data,
+    /// End-to-end acknowledgment for reliable data.
+    Ack,
+}
+
+impl PacketType {
+    fn to_byte(self) -> u8 {
+        match self {
+            PacketType::Routing => 1,
+            PacketType::Data => 2,
+            PacketType::Ack => 3,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            1 => Some(PacketType::Routing),
+            2 => Some(PacketType::Data),
+            3 => Some(PacketType::Ack),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for PacketType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PacketType::Routing => write!(f, "ROUTING"),
+            PacketType::Data => write!(f, "DATA"),
+            PacketType::Ack => write!(f, "ACK"),
+        }
+    }
+}
+
+/// The common packet header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Header {
+    /// Link-layer destination (next hop, or broadcast).
+    pub link_dst: NodeId,
+    /// Link-layer source (the transmitting node).
+    pub link_src: NodeId,
+    /// Packet type.
+    pub ptype: PacketType,
+    /// Origin-assigned packet id.
+    pub packet_id: u16,
+    /// Remaining hops.
+    pub ttl: u8,
+    /// End-to-end source.
+    pub origin: NodeId,
+    /// End-to-end destination.
+    pub final_dst: NodeId,
+    /// Segment index (0-based).
+    pub seg_index: u8,
+    /// Total segments (≥ 1).
+    pub seg_total: u8,
+    /// Flag bits ([`FLAG_ACK_REQUEST`]).
+    pub flags: u8,
+}
+
+impl Header {
+    /// Whether the origin requested an end-to-end ACK.
+    pub fn ack_requested(&self) -> bool {
+        self.flags & FLAG_ACK_REQUEST != 0
+    }
+}
+
+/// A full mesh packet: header plus typed body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Packet {
+    /// The header.
+    pub header: Header,
+    /// The body.
+    pub body: Body,
+}
+
+/// Typed packet body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Body {
+    /// Routing advertisement: the sender's view of the network.
+    Routing(Vec<RouteEntry>),
+    /// Application payload (one segment).
+    Data(Bytes),
+    /// Acknowledgment of `(origin, packet_id)`.
+    Ack {
+        /// Origin of the acked data packet.
+        acked_origin: NodeId,
+        /// Id of the acked data packet.
+        acked_id: u16,
+    },
+}
+
+/// Error from decoding a packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Fewer bytes than a header.
+    Truncated,
+    /// Unknown packet-type byte.
+    UnknownType(u8),
+    /// Body length inconsistent with the type.
+    BadBody,
+    /// `seg_total` of zero or `seg_index >= seg_total`.
+    BadSegment,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "packet shorter than header"),
+            DecodeError::UnknownType(b) => write!(f, "unknown packet type byte {b:#04x}"),
+            DecodeError::BadBody => write!(f, "body length inconsistent with packet type"),
+            DecodeError::BadSegment => write!(f, "invalid segmentation fields"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl Packet {
+    /// Construct a routing broadcast.
+    pub fn routing(src: NodeId, packet_id: u16, entries: Vec<RouteEntry>) -> Self {
+        Packet {
+            header: Header {
+                link_dst: NodeId::BROADCAST,
+                link_src: src,
+                ptype: PacketType::Routing,
+                packet_id,
+                ttl: 1,
+                origin: src,
+                final_dst: NodeId::BROADCAST,
+                seg_index: 0,
+                seg_total: 1,
+                flags: 0,
+            },
+            body: Body::Routing(entries),
+        }
+    }
+
+    /// Construct one data segment.
+    #[allow(clippy::too_many_arguments)]
+    pub fn data(
+        link_dst: NodeId,
+        link_src: NodeId,
+        origin: NodeId,
+        final_dst: NodeId,
+        packet_id: u16,
+        ttl: u8,
+        seg_index: u8,
+        seg_total: u8,
+        flags: u8,
+        payload: Bytes,
+    ) -> Self {
+        assert!(seg_total >= 1 && seg_index < seg_total, "invalid segmentation");
+        assert!(payload.len() <= MAX_SEGMENT_PAYLOAD, "payload too large");
+        Packet {
+            header: Header {
+                link_dst,
+                link_src,
+                ptype: PacketType::Data,
+                packet_id,
+                ttl,
+                origin,
+                final_dst,
+                seg_index,
+                seg_total,
+                flags,
+            },
+            body: Body::Data(payload),
+        }
+    }
+
+    /// Construct an end-to-end ACK.
+    #[allow(clippy::too_many_arguments)]
+    pub fn ack(
+        link_dst: NodeId,
+        link_src: NodeId,
+        origin: NodeId,
+        final_dst: NodeId,
+        packet_id: u16,
+        ttl: u8,
+        acked_origin: NodeId,
+        acked_id: u16,
+    ) -> Self {
+        Packet {
+            header: Header {
+                link_dst,
+                link_src,
+                ptype: PacketType::Ack,
+                packet_id,
+                ttl,
+                origin,
+                final_dst,
+                seg_index: 0,
+                seg_total: 1,
+                flags: 0,
+            },
+            body: Body::Ack {
+                acked_origin,
+                acked_id,
+            },
+        }
+    }
+
+    /// Serialized length in bytes.
+    pub fn encoded_len(&self) -> usize {
+        HEADER_LEN
+            + match &self.body {
+                Body::Routing(entries) => entries.len() * RouteEntry::WIRE_LEN,
+                Body::Data(payload) => payload.len(),
+                Body::Ack { .. } => 4,
+            }
+    }
+
+    /// Encode to bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        let h = &self.header;
+        buf.put_u16(h.link_dst.raw());
+        buf.put_u16(h.link_src.raw());
+        buf.put_u8(h.ptype.to_byte());
+        buf.put_u16(h.packet_id);
+        buf.put_u8(h.ttl);
+        buf.put_u16(h.origin.raw());
+        buf.put_u16(h.final_dst.raw());
+        buf.put_u8(h.seg_index);
+        buf.put_u8(h.seg_total);
+        buf.put_u8(h.flags);
+        match &self.body {
+            Body::Routing(entries) => {
+                for e in entries {
+                    buf.put_u16(e.address.raw());
+                    buf.put_u8(e.metric);
+                    buf.put_u16(e.via.raw());
+                }
+            }
+            Body::Data(payload) => buf.put_slice(payload),
+            Body::Ack {
+                acked_origin,
+                acked_id,
+            } => {
+                buf.put_u16(acked_origin.raw());
+                buf.put_u16(*acked_id);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decode from bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on truncation, unknown type byte,
+    /// inconsistent body length or invalid segmentation fields.
+    pub fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(DecodeError::Truncated);
+        }
+        let u16_at = |i: usize| u16::from_be_bytes([bytes[i], bytes[i + 1]]);
+        let ptype = PacketType::from_byte(bytes[4]).ok_or(DecodeError::UnknownType(bytes[4]))?;
+        let header = Header {
+            link_dst: NodeId(u16_at(0)),
+            link_src: NodeId(u16_at(2)),
+            ptype,
+            packet_id: u16_at(5),
+            ttl: bytes[7],
+            origin: NodeId(u16_at(8)),
+            final_dst: NodeId(u16_at(10)),
+            seg_index: bytes[12],
+            seg_total: bytes[13],
+            flags: bytes[14],
+        };
+        if header.seg_total == 0 || header.seg_index >= header.seg_total {
+            return Err(DecodeError::BadSegment);
+        }
+        let body_bytes = &bytes[HEADER_LEN..];
+        let body = match ptype {
+            PacketType::Routing => {
+                if !body_bytes.len().is_multiple_of(RouteEntry::WIRE_LEN) {
+                    return Err(DecodeError::BadBody);
+                }
+                let entries = body_bytes
+                    .chunks_exact(RouteEntry::WIRE_LEN)
+                    .map(|c| RouteEntry {
+                        address: NodeId(u16::from_be_bytes([c[0], c[1]])),
+                        metric: c[2],
+                        via: NodeId(u16::from_be_bytes([c[3], c[4]])),
+                    })
+                    .collect();
+                Body::Routing(entries)
+            }
+            PacketType::Data => Body::Data(Bytes::copy_from_slice(body_bytes)),
+            PacketType::Ack => {
+                if body_bytes.len() != 4 {
+                    return Err(DecodeError::BadBody);
+                }
+                Body::Ack {
+                    acked_origin: NodeId(u16::from_be_bytes([body_bytes[0], body_bytes[1]])),
+                    acked_id: u16::from_be_bytes([body_bytes[2], body_bytes[3]]),
+                }
+            }
+        };
+        Ok(Packet { header, body })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entries() -> Vec<RouteEntry> {
+        vec![
+            RouteEntry {
+                address: NodeId(0x0002),
+                metric: 1,
+                via: NodeId(0x0002),
+            },
+            RouteEntry {
+                address: NodeId(0x0003),
+                metric: 2,
+                via: NodeId(0x0002),
+            },
+        ]
+    }
+
+    #[test]
+    fn routing_roundtrip() {
+        let p = Packet::routing(NodeId(1), 42, entries());
+        let decoded = Packet::decode(&p.encode()).unwrap();
+        assert_eq!(p, decoded);
+    }
+
+    #[test]
+    fn data_roundtrip() {
+        let p = Packet::data(
+            NodeId(2),
+            NodeId(1),
+            NodeId(1),
+            NodeId(5),
+            7,
+            4,
+            0,
+            1,
+            FLAG_ACK_REQUEST,
+            Bytes::from_static(b"telemetry payload"),
+        );
+        let decoded = Packet::decode(&p.encode()).unwrap();
+        assert_eq!(p, decoded);
+    }
+
+    #[test]
+    fn ack_roundtrip() {
+        let p = Packet::ack(NodeId(2), NodeId(5), NodeId(5), NodeId(1), 9, 4, NodeId(1), 7);
+        let decoded = Packet::decode(&p.encode()).unwrap();
+        assert_eq!(p, decoded);
+        if let Body::Ack {
+            acked_origin,
+            acked_id,
+        } = decoded.body
+        {
+            assert_eq!(acked_origin, NodeId(1));
+            assert_eq!(acked_id, 7);
+        } else {
+            panic!("wrong body");
+        }
+    }
+
+    #[test]
+    fn encoded_len_matches_reality() {
+        let p = Packet::routing(NodeId(1), 1, entries());
+        assert_eq!(p.encoded_len(), p.encode().len());
+        let p = Packet::data(
+            NodeId(2),
+            NodeId(1),
+            NodeId(1),
+            NodeId(5),
+            7,
+            4,
+            0,
+            1,
+            0,
+            Bytes::from_static(b"xyz"),
+        );
+        assert_eq!(p.encoded_len(), HEADER_LEN + 3);
+        assert_eq!(p.encoded_len(), p.encode().len());
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        assert_eq!(Packet::decode(&[0u8; 5]), Err(DecodeError::Truncated));
+        assert_eq!(Packet::decode(&[]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let mut bytes = Packet::routing(NodeId(1), 1, vec![]).encode().to_vec();
+        bytes[4] = 0x7F;
+        assert_eq!(Packet::decode(&bytes), Err(DecodeError::UnknownType(0x7F)));
+    }
+
+    #[test]
+    fn bad_routing_body_rejected() {
+        let mut bytes = Packet::routing(NodeId(1), 1, entries()).encode().to_vec();
+        bytes.pop();
+        assert_eq!(Packet::decode(&bytes), Err(DecodeError::BadBody));
+    }
+
+    #[test]
+    fn bad_ack_body_rejected() {
+        let mut bytes = Packet::ack(
+            NodeId(2),
+            NodeId(5),
+            NodeId(5),
+            NodeId(1),
+            9,
+            4,
+            NodeId(1),
+            7,
+        )
+        .encode()
+        .to_vec();
+        bytes.push(0);
+        assert_eq!(Packet::decode(&bytes), Err(DecodeError::BadBody));
+    }
+
+    #[test]
+    fn bad_segmentation_rejected() {
+        let mut bytes = Packet::data(
+            NodeId(2),
+            NodeId(1),
+            NodeId(1),
+            NodeId(5),
+            7,
+            4,
+            0,
+            1,
+            0,
+            Bytes::new(),
+        )
+        .encode()
+        .to_vec();
+        bytes[13] = 0; // seg_total = 0
+        assert_eq!(Packet::decode(&bytes), Err(DecodeError::BadSegment));
+        bytes[13] = 2;
+        bytes[12] = 2; // seg_index == seg_total
+        assert_eq!(Packet::decode(&bytes), Err(DecodeError::BadSegment));
+    }
+
+    #[test]
+    fn empty_routing_packet_is_valid() {
+        let p = Packet::routing(NodeId(9), 0, vec![]);
+        let decoded = Packet::decode(&p.encode()).unwrap();
+        assert_eq!(decoded.body, Body::Routing(vec![]));
+        assert_eq!(decoded.encoded_len(), HEADER_LEN);
+    }
+
+    #[test]
+    fn broadcast_header_fields() {
+        let p = Packet::routing(NodeId(3), 5, vec![]);
+        assert!(p.header.link_dst.is_broadcast());
+        assert_eq!(p.header.origin, NodeId(3));
+        assert_eq!(p.header.ptype, PacketType::Routing);
+    }
+
+    #[test]
+    #[should_panic(expected = "payload too large")]
+    fn oversized_payload_panics() {
+        let _ = Packet::data(
+            NodeId(2),
+            NodeId(1),
+            NodeId(1),
+            NodeId(5),
+            7,
+            4,
+            0,
+            1,
+            0,
+            Bytes::from(vec![0u8; MAX_SEGMENT_PAYLOAD + 1]),
+        );
+    }
+
+    #[test]
+    fn display_of_types() {
+        assert_eq!(PacketType::Routing.to_string(), "ROUTING");
+        assert_eq!(PacketType::Data.to_string(), "DATA");
+        assert_eq!(PacketType::Ack.to_string(), "ACK");
+    }
+}

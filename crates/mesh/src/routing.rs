@@ -1,0 +1,480 @@
+//! Distance-vector routing table.
+//!
+//! LoRaMesher-style: every node periodically broadcasts its table; a
+//! receiver adopts routes through the sender when they are new or strictly
+//! better, refreshes timestamps on equal routes, and expires entries not
+//! refreshed within the timeout. The metric is hop count.
+
+use loramon_sim::{NodeId, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// One advertised route, as carried in routing packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteEntry {
+    /// Destination address.
+    pub address: NodeId,
+    /// Hop count to the destination (0 = the sender itself... entries
+    /// advertise the sender's cost; the receiver adds one).
+    pub metric: u8,
+    /// The sender's next hop toward the destination (diagnostic; used for
+    /// split-horizon checks).
+    pub via: NodeId,
+}
+
+impl RouteEntry {
+    /// Serialized size on the wire.
+    pub const WIRE_LEN: usize = 5;
+}
+
+/// A route as stored locally.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Route {
+    /// Destination.
+    pub address: NodeId,
+    /// Next hop toward the destination.
+    pub next_hop: NodeId,
+    /// Hop count.
+    pub metric: u8,
+    /// Last time this route was confirmed.
+    pub last_seen: SimTime,
+    /// RSSI of the routing packet that installed/refreshed the route
+    /// (link quality to the next hop; reported by the monitoring client).
+    pub rssi_dbm: f64,
+    /// SNR of that packet.
+    pub snr_db: f64,
+}
+
+/// Maximum representable metric; routes at or above are unusable.
+pub const INFINITY_METRIC: u8 = 16;
+
+/// The routing table of one node.
+#[derive(Debug, Clone, Default)]
+pub struct RoutingTable {
+    routes: BTreeMap<NodeId, Route>,
+}
+
+impl RoutingTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        RoutingTable::default()
+    }
+
+    /// Number of known destinations.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Whether no destinations are known.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    /// The route to `dst`, if known and usable.
+    pub fn route_to(&self, dst: NodeId) -> Option<&Route> {
+        self.routes
+            .get(&dst)
+            .filter(|r| r.metric < INFINITY_METRIC)
+    }
+
+    /// Next hop toward `dst`, if known.
+    pub fn next_hop(&self, dst: NodeId) -> Option<NodeId> {
+        self.route_to(dst).map(|r| r.next_hop)
+    }
+
+    /// All routes in address order.
+    pub fn routes(&self) -> impl Iterator<Item = &Route> {
+        self.routes.values()
+    }
+
+    /// Incorporate a routing broadcast heard from `sender` (a direct
+    /// neighbor) with the given link quality, at time `now`.
+    ///
+    /// Returns the number of routes added or improved.
+    pub fn apply_broadcast(
+        &mut self,
+        local: NodeId,
+        sender: NodeId,
+        entries: &[RouteEntry],
+        rssi_dbm: f64,
+        snr_db: f64,
+        now: SimTime,
+    ) -> usize {
+        let mut changed = 0;
+
+        // The sender itself is a 1-hop neighbor.
+        changed += usize::from(self.offer(
+            Route {
+                address: sender,
+                next_hop: sender,
+                metric: 1,
+                last_seen: now,
+                rssi_dbm,
+                snr_db,
+            },
+            local,
+        ));
+
+        for e in entries {
+            // Ignore advertisements of ourselves and of the sender (it is
+            // already installed as a neighbor above).
+            if e.address == local || e.address == sender {
+                continue;
+            }
+            // Split horizon: a route the sender learned through us would
+            // loop straight back.
+            if e.via == local {
+                continue;
+            }
+            let metric = e.metric.saturating_add(1).min(INFINITY_METRIC);
+            changed += usize::from(self.offer(
+                Route {
+                    address: e.address,
+                    next_hop: sender,
+                    metric,
+                    last_seen: now,
+                    rssi_dbm,
+                    snr_db,
+                },
+                local,
+            ));
+        }
+        changed
+    }
+
+    /// Offer a candidate route; install it if new or better, refresh if it
+    /// is the incumbent. Returns whether the table changed (install or
+    /// metric change).
+    fn offer(&mut self, candidate: Route, local: NodeId) -> bool {
+        if candidate.address == local || candidate.metric >= INFINITY_METRIC {
+            return false;
+        }
+        match self.routes.get_mut(&candidate.address) {
+            None => {
+                self.routes.insert(candidate.address, candidate);
+                true
+            }
+            Some(existing) => {
+                if candidate.metric < existing.metric
+                    // Same next hop: always accept the fresh view, even if
+                    // the metric worsened (the topology changed upstream).
+                    || candidate.next_hop == existing.next_hop
+                {
+                    let changed = existing.metric != candidate.metric
+                        || existing.next_hop != candidate.next_hop;
+                    *existing = candidate;
+                    changed
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Drop routes not refreshed within `timeout` of `now`. Returns the
+    /// expired destinations.
+    pub fn expire(&mut self, now: SimTime, timeout: Duration) -> Vec<NodeId> {
+        let mut expired = Vec::new();
+        self.routes.retain(|&dst, r| {
+            let fresh = now.saturating_since(r.last_seen) <= timeout;
+            if !fresh {
+                expired.push(dst);
+            }
+            fresh
+        });
+        expired
+    }
+
+    /// Drop every route through the given next hop (e.g. a dead neighbor).
+    /// Returns how many were dropped.
+    pub fn purge_via(&mut self, next_hop: NodeId) -> usize {
+        let before = self.routes.len();
+        self.routes.retain(|_, r| r.next_hop != next_hop);
+        before - self.routes.len()
+    }
+
+    /// The advertisement this node should broadcast: every usable route.
+    pub fn advertisement(&self) -> Vec<RouteEntry> {
+        self.routes
+            .values()
+            .filter(|r| r.metric < INFINITY_METRIC)
+            .map(|r| RouteEntry {
+                address: r.address,
+                metric: r.metric,
+                via: r.next_hop,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LOCAL: NodeId = NodeId(1);
+    const B: NodeId = NodeId(2);
+    const C: NodeId = NodeId(3);
+    const D: NodeId = NodeId(4);
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn empty_broadcast_installs_neighbor() {
+        let mut rt = RoutingTable::new();
+        let changed = rt.apply_broadcast(LOCAL, B, &[], -90.0, 5.0, t(1));
+        assert_eq!(changed, 1);
+        let r = rt.route_to(B).unwrap();
+        assert_eq!(r.next_hop, B);
+        assert_eq!(r.metric, 1);
+        assert_eq!(r.rssi_dbm, -90.0);
+    }
+
+    #[test]
+    fn multi_hop_route_learned_with_incremented_metric() {
+        let mut rt = RoutingTable::new();
+        let entries = [RouteEntry {
+            address: C,
+            metric: 1,
+            via: C,
+        }];
+        rt.apply_broadcast(LOCAL, B, &entries, -90.0, 5.0, t(1));
+        let r = rt.route_to(C).unwrap();
+        assert_eq!(r.next_hop, B);
+        assert_eq!(r.metric, 2);
+    }
+
+    #[test]
+    fn better_route_replaces_worse() {
+        let mut rt = RoutingTable::new();
+        rt.apply_broadcast(
+            LOCAL,
+            B,
+            &[RouteEntry {
+                address: D,
+                metric: 3,
+                via: C,
+            }],
+            -90.0,
+            5.0,
+            t(1),
+        );
+        assert_eq!(rt.route_to(D).unwrap().metric, 4);
+        // C offers D at metric 1 → via C it is 2 hops: better.
+        rt.apply_broadcast(
+            LOCAL,
+            C,
+            &[RouteEntry {
+                address: D,
+                metric: 1,
+                via: D,
+            }],
+            -85.0,
+            6.0,
+            t(2),
+        );
+        let r = rt.route_to(D).unwrap();
+        assert_eq!(r.metric, 2);
+        assert_eq!(r.next_hop, C);
+    }
+
+    #[test]
+    fn worse_route_from_other_neighbor_ignored() {
+        let mut rt = RoutingTable::new();
+        rt.apply_broadcast(
+            LOCAL,
+            B,
+            &[RouteEntry {
+                address: D,
+                metric: 1,
+                via: D,
+            }],
+            -90.0,
+            5.0,
+            t(1),
+        );
+        rt.apply_broadcast(
+            LOCAL,
+            C,
+            &[RouteEntry {
+                address: D,
+                metric: 5,
+                via: D,
+            }],
+            -80.0,
+            7.0,
+            t(2),
+        );
+        let r = rt.route_to(D).unwrap();
+        assert_eq!(r.next_hop, B);
+        assert_eq!(r.metric, 2);
+    }
+
+    #[test]
+    fn same_next_hop_update_accepts_worse_metric() {
+        let mut rt = RoutingTable::new();
+        rt.apply_broadcast(
+            LOCAL,
+            B,
+            &[RouteEntry {
+                address: D,
+                metric: 1,
+                via: D,
+            }],
+            -90.0,
+            5.0,
+            t(1),
+        );
+        // B's path to D degraded.
+        rt.apply_broadcast(
+            LOCAL,
+            B,
+            &[RouteEntry {
+                address: D,
+                metric: 4,
+                via: C,
+            }],
+            -90.0,
+            5.0,
+            t(2),
+        );
+        assert_eq!(rt.route_to(D).unwrap().metric, 5);
+    }
+
+    #[test]
+    fn split_horizon_rejects_routes_through_self() {
+        let mut rt = RoutingTable::new();
+        rt.apply_broadcast(
+            LOCAL,
+            B,
+            &[RouteEntry {
+                address: D,
+                metric: 2,
+                via: LOCAL,
+            }],
+            -90.0,
+            5.0,
+            t(1),
+        );
+        assert!(rt.route_to(D).is_none());
+    }
+
+    #[test]
+    fn own_address_never_installed() {
+        let mut rt = RoutingTable::new();
+        rt.apply_broadcast(
+            LOCAL,
+            B,
+            &[RouteEntry {
+                address: LOCAL,
+                metric: 1,
+                via: B,
+            }],
+            -90.0,
+            5.0,
+            t(1),
+        );
+        assert!(rt.route_to(LOCAL).is_none());
+        assert_eq!(rt.len(), 1); // just the neighbor
+    }
+
+    #[test]
+    fn metric_saturates_at_infinity() {
+        let mut rt = RoutingTable::new();
+        rt.apply_broadcast(
+            LOCAL,
+            B,
+            &[RouteEntry {
+                address: D,
+                metric: INFINITY_METRIC - 1,
+                via: C,
+            }],
+            -90.0,
+            5.0,
+            t(1),
+        );
+        // 15 + 1 = 16 = infinity → unusable.
+        assert!(rt.route_to(D).is_none());
+    }
+
+    #[test]
+    fn expire_drops_stale_routes() {
+        let mut rt = RoutingTable::new();
+        rt.apply_broadcast(LOCAL, B, &[], -90.0, 5.0, t(1));
+        rt.apply_broadcast(LOCAL, C, &[], -90.0, 5.0, t(50));
+        let expired = rt.expire(t(61), Duration::from_secs(30));
+        assert_eq!(expired, vec![B]);
+        assert!(rt.route_to(B).is_none());
+        assert!(rt.route_to(C).is_some());
+    }
+
+    #[test]
+    fn refresh_prevents_expiry() {
+        let mut rt = RoutingTable::new();
+        rt.apply_broadcast(LOCAL, B, &[], -90.0, 5.0, t(1));
+        rt.apply_broadcast(LOCAL, B, &[], -91.0, 5.0, t(25));
+        let expired = rt.expire(t(40), Duration::from_secs(30));
+        assert!(expired.is_empty());
+        // The refresh also updated link quality.
+        assert_eq!(rt.route_to(B).unwrap().rssi_dbm, -91.0);
+    }
+
+    #[test]
+    fn purge_via_removes_all_routes_through_hop() {
+        let mut rt = RoutingTable::new();
+        rt.apply_broadcast(
+            LOCAL,
+            B,
+            &[
+                RouteEntry {
+                    address: C,
+                    metric: 1,
+                    via: C,
+                },
+                RouteEntry {
+                    address: D,
+                    metric: 2,
+                    via: C,
+                },
+            ],
+            -90.0,
+            5.0,
+            t(1),
+        );
+        assert_eq!(rt.len(), 3);
+        assert_eq!(rt.purge_via(B), 3);
+        assert!(rt.is_empty());
+    }
+
+    #[test]
+    fn advertisement_mirrors_table() {
+        let mut rt = RoutingTable::new();
+        rt.apply_broadcast(
+            LOCAL,
+            B,
+            &[RouteEntry {
+                address: C,
+                metric: 1,
+                via: C,
+            }],
+            -90.0,
+            5.0,
+            t(1),
+        );
+        let adv = rt.advertisement();
+        assert_eq!(adv.len(), 2);
+        assert!(adv.iter().any(|e| e.address == B && e.metric == 1));
+        assert!(adv.iter().any(|e| e.address == C && e.metric == 2 && e.via == B));
+    }
+
+    #[test]
+    fn routes_iterate_in_address_order() {
+        let mut rt = RoutingTable::new();
+        rt.apply_broadcast(LOCAL, D, &[], -90.0, 5.0, t(1));
+        rt.apply_broadcast(LOCAL, B, &[], -90.0, 5.0, t(1));
+        let order: Vec<NodeId> = rt.routes().map(|r| r.address).collect();
+        assert_eq!(order, vec![B, D]);
+    }
+}

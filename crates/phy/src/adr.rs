@@ -1,0 +1,191 @@
+//! Adaptive data rate (ADR) — choosing the spreading factor from
+//! observed link quality.
+//!
+//! LoRaWAN networks adapt each device's SF to the measured SNR margin;
+//! mesh deployments benefit the same way (faster links, less airtime,
+//! fewer collisions). This controller implements the standard
+//! LoRaWAN-style algorithm: take a high percentile of recent SNR
+//! measurements, subtract the demodulation floor and a safety margin,
+//! and step the SF down one notch per 2.5 dB of surplus.
+
+use crate::params::SpreadingFactor;
+use crate::sensitivity::snr_floor_db;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// ADR controller configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdrConfig {
+    /// Safety margin (dB) kept above the SNR floor (default 10, the
+    /// LoRaWAN `margin_db` default).
+    pub margin_db: f64,
+    /// How many recent SNR samples to consider (default 20).
+    pub window: usize,
+    /// Minimum samples before a recommendation is made (default 5).
+    pub min_samples: usize,
+}
+
+impl Default for AdrConfig {
+    fn default() -> Self {
+        AdrConfig {
+            margin_db: 10.0,
+            window: 20,
+            min_samples: 5,
+        }
+    }
+}
+
+/// Sliding-window ADR controller for one link.
+#[derive(Debug, Clone)]
+pub struct AdrController {
+    config: AdrConfig,
+    snrs: VecDeque<f64>,
+}
+
+impl AdrController {
+    /// A controller with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` or `min_samples` is zero, or
+    /// `min_samples > window`.
+    pub fn new(config: AdrConfig) -> Self {
+        assert!(config.window > 0, "window must be positive");
+        assert!(
+            config.min_samples > 0 && config.min_samples <= config.window,
+            "min_samples must be in 1..=window"
+        );
+        AdrController {
+            config,
+            snrs: VecDeque::with_capacity(config.window),
+        }
+    }
+
+    /// Record one SNR measurement (dB) from a received packet.
+    pub fn record_snr(&mut self, snr_db: f64) {
+        if self.snrs.len() >= self.config.window {
+            self.snrs.pop_front();
+        }
+        self.snrs.push_back(snr_db);
+    }
+
+    /// Number of samples currently held.
+    pub fn samples(&self) -> usize {
+        self.snrs.len()
+    }
+
+    /// The link-quality statistic ADR uses: the maximum SNR of the
+    /// window (LoRaWAN uses max; robust against the odd deep fade).
+    pub fn snr_statistic(&self) -> Option<f64> {
+        if self.snrs.len() < self.config.min_samples {
+            return None;
+        }
+        self.snrs.iter().copied().fold(None, |acc, v| {
+            Some(acc.map_or(v, |a: f64| a.max(v)))
+        })
+    }
+
+    /// Recommend a spreading factor given the current operating SF.
+    ///
+    /// Returns `None` until enough samples have been seen. The
+    /// recommendation can move *down* (faster) by several steps at once
+    /// but only *up* (more robust) one step at a time, mirroring
+    /// LoRaWAN's conservative upward behaviour.
+    pub fn recommend(&self, current: SpreadingFactor) -> Option<SpreadingFactor> {
+        let snr = self.snr_statistic()?;
+        let floor = snr_floor_db(current);
+        let surplus = snr - floor - self.config.margin_db;
+        let steps = (surplus / 2.5).floor() as i64;
+        let current_v = i64::from(current.value());
+        let target = if steps >= 0 {
+            // Surplus: go faster (lower SF), as far as it allows.
+            (current_v - steps).max(7)
+        } else {
+            // Deficit: back off one step.
+            (current_v + 1).min(12)
+        };
+        SpreadingFactor::from_value(target as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller_with(snrs: &[f64]) -> AdrController {
+        let mut c = AdrController::new(AdrConfig::default());
+        for &s in snrs {
+            c.record_snr(s);
+        }
+        c
+    }
+
+    #[test]
+    fn no_recommendation_until_min_samples() {
+        let mut c = AdrController::new(AdrConfig::default());
+        for _ in 0..4 {
+            c.record_snr(5.0);
+            assert_eq!(c.recommend(SpreadingFactor::Sf9), None);
+        }
+        c.record_snr(5.0);
+        assert!(c.recommend(SpreadingFactor::Sf9).is_some());
+    }
+
+    #[test]
+    fn strong_link_steps_down_to_sf7() {
+        // SNR 10 dB at SF12 (floor -20): surplus 10 - (-20) - 10 = 20 dB
+        // → 8 steps down → clamped at SF7.
+        let c = controller_with(&[10.0; 10]);
+        assert_eq!(c.recommend(SpreadingFactor::Sf12), Some(SpreadingFactor::Sf7));
+    }
+
+    #[test]
+    fn marginal_link_keeps_current_sf() {
+        // SNR exactly floor+margin at SF9: surplus 0 → stay.
+        let snr = snr_floor_db(SpreadingFactor::Sf9) + 10.0;
+        let c = controller_with(&[snr; 10]);
+        assert_eq!(c.recommend(SpreadingFactor::Sf9), Some(SpreadingFactor::Sf9));
+    }
+
+    #[test]
+    fn weak_link_backs_off_one_step() {
+        // SNR below floor+margin → one step up.
+        let snr = snr_floor_db(SpreadingFactor::Sf9) + 5.0;
+        let c = controller_with(&[snr; 10]);
+        assert_eq!(c.recommend(SpreadingFactor::Sf9), Some(SpreadingFactor::Sf10));
+    }
+
+    #[test]
+    fn sf12_cannot_back_off_further() {
+        let c = controller_with(&[-25.0; 10]);
+        assert_eq!(c.recommend(SpreadingFactor::Sf12), Some(SpreadingFactor::Sf12));
+    }
+
+    #[test]
+    fn statistic_is_window_max() {
+        let mut c = controller_with(&[-5.0, 2.0, -1.0, 0.5, -3.0]);
+        assert_eq!(c.snr_statistic(), Some(2.0));
+        // Window slides: push enough to evict the max.
+        for _ in 0..20 {
+            c.record_snr(-10.0);
+        }
+        assert_eq!(c.snr_statistic(), Some(-10.0));
+    }
+
+    #[test]
+    fn surplus_of_2_5db_is_one_step() {
+        let snr = snr_floor_db(SpreadingFactor::Sf9) + 10.0 + 2.5;
+        let c = controller_with(&[snr; 10]);
+        assert_eq!(c.recommend(SpreadingFactor::Sf9), Some(SpreadingFactor::Sf8));
+    }
+
+    #[test]
+    #[should_panic(expected = "min_samples")]
+    fn invalid_config_panics() {
+        let _ = AdrController::new(AdrConfig {
+            window: 4,
+            min_samples: 5,
+            margin_db: 10.0,
+        });
+    }
+}

@@ -1,0 +1,204 @@
+//! Time-on-air computation using the Semtech SX127x formula
+//! (AN1200.13 / SX1276 datasheet §4.1.1.7).
+//!
+//! The monitoring system reports per-packet airtime to quantify channel
+//! occupancy, and the duty-cycle regulator consumes these values.
+
+use crate::params::{HeaderMode, RadioConfig};
+use std::time::Duration;
+
+/// Number of payload symbols for a packet of `payload_len` bytes.
+///
+/// Implements
+/// `n = 8 + max(ceil((8·PL − 4·SF + 28 + 16·CRC − 20·IH) / (4·(SF − 2·DE))) · (CR + 4), 0)`.
+pub fn payload_symbols(config: &RadioConfig, payload_len: usize) -> u32 {
+    let pl = payload_len as i64;
+    let sf = i64::from(config.sf().value());
+    let crc = if config.crc_enabled() { 1 } else { 0 };
+    let ih = match config.header() {
+        HeaderMode::Explicit => 0,
+        HeaderMode::Implicit => 1,
+    };
+    let de = if config.low_data_rate_optimize() { 1 } else { 0 };
+    let cr = i64::from(config.cr().cr());
+
+    let numerator = 8 * pl - 4 * sf + 28 + 16 * crc - 20 * ih;
+    let denominator = 4 * (sf - 2 * de);
+    let ceil_div = if numerator > 0 {
+        (numerator + denominator - 1) / denominator
+    } else {
+        0
+    };
+    let extra = (ceil_div * (cr + 4)).max(0);
+    (8 + extra) as u32
+}
+
+/// Preamble duration.
+///
+/// `(n_preamble + 4.25) · T_symbol` — the 4.25 accounts for the two sync
+/// symbols and the 2.25-symbol sync word tail.
+pub fn preamble_duration(config: &RadioConfig) -> Duration {
+    let symbols = f64::from(config.preamble_symbols()) + 4.25;
+    Duration::from_secs_f64(symbols * config.symbol_time_s())
+}
+
+/// Total time-on-air for a packet of `payload_len` bytes.
+///
+/// ```
+/// use loramon_phy::{RadioConfig, airtime::time_on_air};
+///
+/// // LoRaMesher default (SF7/125k/4:5), 20-byte payload: ~56.6 ms.
+/// let toa = time_on_air(&RadioConfig::mesher_default(), 20);
+/// assert!((toa.as_secs_f64() - 0.0566).abs() < 0.001);
+/// ```
+pub fn time_on_air(config: &RadioConfig, payload_len: usize) -> Duration {
+    let payload = f64::from(payload_symbols(config, payload_len)) * config.symbol_time_s();
+    preamble_duration(config) + Duration::from_secs_f64(payload)
+}
+
+/// Time-on-air expressed in whole microseconds — the resolution used by the
+/// discrete-event simulator.
+pub fn time_on_air_us(config: &RadioConfig, payload_len: usize) -> u64 {
+    time_on_air(config, payload_len).as_micros() as u64
+}
+
+/// The largest payload (bytes) whose time-on-air stays within `budget`.
+///
+/// Returns `None` when even an empty payload exceeds the budget.
+pub fn max_payload_within(config: &RadioConfig, budget: Duration) -> Option<usize> {
+    if time_on_air(config, 0) > budget {
+        return None;
+    }
+    // Airtime is monotonic in payload length; binary search the boundary.
+    let (mut lo, mut hi) = (0usize, 255usize);
+    while lo < hi {
+        let mid = (lo + hi).div_ceil(2);
+        if time_on_air(config, mid) <= budget {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    Some(lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{Bandwidth, CodingRate, HeaderMode, RadioConfig, SpreadingFactor};
+
+    fn cfg(sf: SpreadingFactor) -> RadioConfig {
+        RadioConfig::new(sf, Bandwidth::Khz125, CodingRate::Cr4_5)
+    }
+
+    #[test]
+    fn preamble_sf7_is_12_5_ms() {
+        // (8 + 4.25) * 1.024 ms = 12.544 ms
+        let d = preamble_duration(&cfg(SpreadingFactor::Sf7));
+        assert!((d.as_secs_f64() - 0.012544).abs() < 1e-6);
+    }
+
+    #[test]
+    fn payload_symbols_empty_payload_has_floor_of_8() {
+        // SF12: numerator 8*0 - 48 + 28 + 16 = -4 < 0 → just the 8-symbol floor.
+        let n = payload_symbols(&cfg(SpreadingFactor::Sf12), 0);
+        assert_eq!(n, 8);
+    }
+
+    #[test]
+    fn known_value_sf7_20_bytes() {
+        // Cross-checked against the Semtech LoRa calculator:
+        // SF7, 125 kHz, CR4/5, explicit header, CRC on, preamble 8,
+        // 20-byte payload → 56.58 ms.
+        let toa = time_on_air(&cfg(SpreadingFactor::Sf7), 20);
+        assert!((toa.as_secs_f64() - 0.05658).abs() < 2e-4, "got {toa:?}");
+    }
+
+    #[test]
+    fn known_value_sf12_51_bytes() {
+        // SF12, 125 kHz, CR4/5, LDRO on, 51-byte payload → ~2.47 s
+        // (the longest EU868 packet at DR0).
+        let toa = time_on_air(&cfg(SpreadingFactor::Sf12), 51);
+        let s = toa.as_secs_f64();
+        assert!((s - 2.4658).abs() < 0.005, "got {s}");
+    }
+
+    #[test]
+    fn airtime_monotonic_in_payload() {
+        for sf in SpreadingFactor::ALL {
+            let c = cfg(sf);
+            let mut prev = time_on_air(&c, 0);
+            for len in 1..=255 {
+                let cur = time_on_air(&c, len);
+                assert!(cur >= prev, "{sf} len {len}");
+                prev = cur;
+            }
+        }
+    }
+
+    #[test]
+    fn airtime_monotonic_in_sf() {
+        let mut prev = Duration::ZERO;
+        for sf in SpreadingFactor::ALL {
+            let cur = time_on_air(&cfg(sf), 32);
+            assert!(cur > prev, "{sf}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn higher_bandwidth_shortens_airtime() {
+        let narrow = RadioConfig::new(
+            SpreadingFactor::Sf9,
+            Bandwidth::Khz125,
+            CodingRate::Cr4_5,
+        );
+        let wide = narrow.with_bw(Bandwidth::Khz500);
+        assert!(time_on_air(&wide, 32) < time_on_air(&narrow, 32));
+    }
+
+    #[test]
+    fn more_coding_overhead_lengthens_airtime() {
+        let light = cfg(SpreadingFactor::Sf9);
+        let heavy = light.with_cr(CodingRate::Cr4_8);
+        assert!(time_on_air(&heavy, 32) > time_on_air(&light, 32));
+    }
+
+    #[test]
+    fn implicit_header_saves_airtime() {
+        let explicit = cfg(SpreadingFactor::Sf7);
+        let implicit = explicit.with_header(HeaderMode::Implicit);
+        assert!(time_on_air(&implicit, 32) < time_on_air(&explicit, 32));
+    }
+
+    #[test]
+    fn crc_disabled_saves_airtime_or_equal() {
+        let on = cfg(SpreadingFactor::Sf7);
+        let off = on.with_crc(false);
+        assert!(time_on_air(&off, 32) <= time_on_air(&on, 32));
+    }
+
+    #[test]
+    fn max_payload_within_budget_is_tight() {
+        let c = cfg(SpreadingFactor::Sf7);
+        let budget = Duration::from_millis(100);
+        let n = max_payload_within(&c, budget).unwrap();
+        assert!(time_on_air(&c, n) <= budget);
+        assert!(time_on_air(&c, n + 1) > budget);
+    }
+
+    #[test]
+    fn max_payload_none_when_preamble_alone_too_long() {
+        let c = cfg(SpreadingFactor::Sf12);
+        assert_eq!(max_payload_within(&c, Duration::from_millis(1)), None);
+    }
+
+    #[test]
+    fn micros_matches_duration() {
+        let c = cfg(SpreadingFactor::Sf9);
+        assert_eq!(
+            time_on_air_us(&c, 48),
+            time_on_air(&c, 48).as_micros() as u64
+        );
+    }
+}

@@ -1,0 +1,289 @@
+//! Packet-overlap and capture-effect decisions.
+//!
+//! LoRa receivers can survive a collision if one packet is sufficiently
+//! stronger than the sum of its interferers (the *capture effect*), and
+//! transmissions on different spreading factors are quasi-orthogonal. This
+//! module encodes those rules; the simulator's channel feeds it every
+//! overlap it observes.
+
+use crate::params::RadioConfig;
+use serde::{Deserialize, Serialize};
+
+/// Power ratio (dB) a packet must hold over the aggregate interference to
+/// be captured. 6 dB is the commonly used SX127x co-SF threshold.
+pub const DEFAULT_CAPTURE_THRESHOLD_DB: f64 = 6.0;
+
+/// Cross-SF rejection (dB): interference on a *different* spreading factor
+/// is attenuated by this much before being summed. LoRa SFs are
+/// quasi-orthogonal, not perfectly so.
+pub const DEFAULT_CROSS_SF_REJECTION_DB: f64 = 16.0;
+
+/// Outcome of evaluating a reception against its interferers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CaptureOutcome {
+    /// No interference worth mentioning; packet is received cleanly.
+    Clean,
+    /// Interference present, but the packet holds the capture threshold.
+    Captured,
+    /// Packet lost to the collision.
+    Lost,
+}
+
+impl CaptureOutcome {
+    /// Whether the packet survives (clean or captured).
+    pub fn survives(self) -> bool {
+        !matches!(self, CaptureOutcome::Lost)
+    }
+}
+
+/// One interfering transmission overlapping a reception.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interferer {
+    /// Received power of the interferer at the victim receiver, in dBm.
+    pub power_dbm: f64,
+    /// Whether the interferer shares the victim's SF (and channel).
+    pub same_sf: bool,
+    /// Whether the overlap touches the victim's preamble/header region
+    /// (more damaging than payload-only overlap).
+    pub overlaps_preamble: bool,
+}
+
+/// Collision model configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CollisionModel {
+    capture_threshold_db: f64,
+    cross_sf_rejection_db: f64,
+    /// If `true`, any same-SF overlap on the preamble kills the packet
+    /// regardless of power (pessimistic-sync model).
+    strict_preamble: bool,
+}
+
+impl CollisionModel {
+    /// The default model: 6 dB capture, 16 dB cross-SF rejection,
+    /// power-based preamble survival.
+    pub fn new() -> Self {
+        CollisionModel {
+            capture_threshold_db: DEFAULT_CAPTURE_THRESHOLD_DB,
+            cross_sf_rejection_db: DEFAULT_CROSS_SF_REJECTION_DB,
+            strict_preamble: false,
+        }
+    }
+
+    /// Set the co-SF capture threshold in dB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if negative.
+    pub fn with_capture_threshold_db(mut self, db: f64) -> Self {
+        assert!(db >= 0.0, "capture threshold cannot be negative");
+        self.capture_threshold_db = db;
+        self
+    }
+
+    /// Set the cross-SF rejection in dB.
+    pub fn with_cross_sf_rejection_db(mut self, db: f64) -> Self {
+        assert!(db >= 0.0, "rejection cannot be negative");
+        self.cross_sf_rejection_db = db;
+        self
+    }
+
+    /// Enable the pessimistic model in which any same-SF preamble overlap
+    /// destroys the packet.
+    pub fn with_strict_preamble(mut self, strict: bool) -> Self {
+        self.strict_preamble = strict;
+        self
+    }
+
+    /// Capture threshold in dB.
+    pub fn capture_threshold_db(&self) -> f64 {
+        self.capture_threshold_db
+    }
+
+    /// Aggregate interference power in dBm after cross-SF rejection.
+    ///
+    /// Returns `None` when there are no interferers.
+    pub fn aggregate_interference_dbm(&self, interferers: &[Interferer]) -> Option<f64> {
+        if interferers.is_empty() {
+            return None;
+        }
+        let total_mw: f64 = interferers
+            .iter()
+            .map(|i| {
+                let effective = if i.same_sf {
+                    i.power_dbm
+                } else {
+                    i.power_dbm - self.cross_sf_rejection_db
+                };
+                10f64.powf(effective / 10.0)
+            })
+            .sum();
+        Some(10.0 * total_mw.log10())
+    }
+
+    /// Decide whether a reception at `victim_power_dbm` survives the given
+    /// interferers.
+    pub fn evaluate(
+        &self,
+        victim_power_dbm: f64,
+        interferers: &[Interferer],
+    ) -> CaptureOutcome {
+        let Some(agg) = self.aggregate_interference_dbm(interferers) else {
+            return CaptureOutcome::Clean;
+        };
+        if self.strict_preamble
+            && interferers
+                .iter()
+                .any(|i| i.same_sf && i.overlaps_preamble)
+        {
+            return CaptureOutcome::Lost;
+        }
+        // Interference far below the victim is negligible noise, not a
+        // "capture": report Clean when the margin is very large.
+        let margin = victim_power_dbm - agg;
+        if margin >= self.capture_threshold_db + 20.0 {
+            CaptureOutcome::Clean
+        } else if margin >= self.capture_threshold_db {
+            CaptureOutcome::Captured
+        } else {
+            CaptureOutcome::Lost
+        }
+    }
+
+    /// Convenience check that two configurations even interact: packets on
+    /// different frequencies never collide.
+    pub fn interacts(a: &RadioConfig, b: &RadioConfig) -> bool {
+        (a.frequency_hz() - b.frequency_hz()).abs() < f64::from(a.bw().khz() * 1000 / 2)
+    }
+}
+
+impl Default for CollisionModel {
+    fn default() -> Self {
+        CollisionModel::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{Bandwidth, CodingRate, RadioConfig, SpreadingFactor};
+
+    fn same_sf(power_dbm: f64) -> Interferer {
+        Interferer {
+            power_dbm,
+            same_sf: true,
+            overlaps_preamble: false,
+        }
+    }
+
+    #[test]
+    fn no_interferers_is_clean() {
+        let m = CollisionModel::new();
+        assert_eq!(m.evaluate(-100.0, &[]), CaptureOutcome::Clean);
+    }
+
+    #[test]
+    fn strong_victim_captures_weak_interferer() {
+        let m = CollisionModel::new();
+        let out = m.evaluate(-80.0, &[same_sf(-90.0)]);
+        assert_eq!(out, CaptureOutcome::Captured);
+        assert!(out.survives());
+    }
+
+    #[test]
+    fn near_equal_powers_destroy_both() {
+        let m = CollisionModel::new();
+        let out = m.evaluate(-85.0, &[same_sf(-86.0)]);
+        assert_eq!(out, CaptureOutcome::Lost);
+        assert!(!out.survives());
+    }
+
+    #[test]
+    fn capture_threshold_is_a_boundary() {
+        let m = CollisionModel::new();
+        assert_eq!(
+            m.evaluate(-80.0, &[same_sf(-86.0)]),
+            CaptureOutcome::Captured
+        );
+        assert_eq!(
+            m.evaluate(-80.0, &[same_sf(-85.9)]),
+            CaptureOutcome::Lost
+        );
+    }
+
+    #[test]
+    fn far_below_interference_counts_as_clean() {
+        let m = CollisionModel::new();
+        assert_eq!(
+            m.evaluate(-60.0, &[same_sf(-120.0)]),
+            CaptureOutcome::Clean
+        );
+    }
+
+    #[test]
+    fn interference_aggregates_in_linear_domain() {
+        let m = CollisionModel::new();
+        // Two equal interferers sum to +3 dB.
+        let agg = m
+            .aggregate_interference_dbm(&[same_sf(-90.0), same_sf(-90.0)])
+            .unwrap();
+        assert!((agg + 87.0).abs() < 0.05, "got {agg}");
+    }
+
+    #[test]
+    fn many_weak_interferers_eventually_kill() {
+        let m = CollisionModel::new();
+        // One -92 dBm interferer: victim at -88 has only 4 dB margin → lost.
+        // But check aggregation: 8 interferers at -98 sum to -89.
+        let crowd: Vec<Interferer> = (0..8).map(|_| same_sf(-98.0)).collect();
+        let out = m.evaluate(-88.0, &crowd);
+        assert_eq!(out, CaptureOutcome::Lost);
+        // A single one of them would have been survivable (10 dB margin).
+        assert!(m.evaluate(-88.0, &crowd[..1]).survives());
+    }
+
+    #[test]
+    fn cross_sf_interference_is_attenuated() {
+        let m = CollisionModel::new();
+        let cross = Interferer {
+            power_dbm: -85.0,
+            same_sf: false,
+            overlaps_preamble: false,
+        };
+        // Same power on another SF is rejected by 16 dB → survives.
+        assert!(m.evaluate(-85.0, &[cross]).survives());
+        // On the same SF it would be fatal.
+        assert!(!m.evaluate(-85.0, &[same_sf(-85.0)]).survives());
+    }
+
+    #[test]
+    fn strict_preamble_overrides_power() {
+        let m = CollisionModel::new().with_strict_preamble(true);
+        let i = Interferer {
+            power_dbm: -120.0,
+            same_sf: true,
+            overlaps_preamble: true,
+        };
+        assert_eq!(m.evaluate(-60.0, &[i]), CaptureOutcome::Lost);
+        // Payload-only overlap still follows power rules.
+        assert!(m.evaluate(-60.0, &[same_sf(-120.0)]).survives());
+    }
+
+    #[test]
+    fn different_frequencies_do_not_interact() {
+        let a = RadioConfig::mesher_default();
+        let b = a.with_frequency_hz(868_300_000.0);
+        assert!(!CollisionModel::interacts(&a, &b));
+        assert!(CollisionModel::interacts(&a, &a));
+    }
+
+    #[test]
+    fn cross_sf_config_on_same_freq_interacts() {
+        let a = RadioConfig::mesher_default();
+        let b = RadioConfig::new(
+            SpreadingFactor::Sf9,
+            Bandwidth::Khz125,
+            CodingRate::Cr4_5,
+        );
+        assert!(CollisionModel::interacts(&a, &b));
+    }
+}

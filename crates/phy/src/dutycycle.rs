@@ -1,0 +1,264 @@
+//! Duty-cycle regulation.
+//!
+//! EU868 devices may occupy the channel for at most 1% of time. The
+//! regulator tracks transmissions over a sliding window and answers "may I
+//! transmit now, and if not, when?" — both the mesh layer and the in-band
+//! monitoring transport consult it.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// Sliding-window duty-cycle regulator.
+///
+/// Time is expressed in microseconds since simulation start (the
+/// simulator's clock domain), keeping this type `no_std`-portable in
+/// spirit: a firmware port would feed it `millis()`.
+#[derive(Debug, Clone)]
+pub struct DutyCycleRegulator {
+    /// Allowed fraction of airtime within the window (e.g. 0.01).
+    duty_cycle: f64,
+    /// Window length in µs (the ETSI reference hour by default).
+    window_us: u64,
+    /// Completed transmissions: (start_us, duration_us).
+    history: VecDeque<(u64, u64)>,
+    /// Total airtime ever spent, for statistics.
+    lifetime_airtime_us: u64,
+}
+
+impl DutyCycleRegulator {
+    /// A regulator for the given duty-cycle fraction over a 1-hour window.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < duty_cycle <= 1`.
+    pub fn new(duty_cycle: f64) -> Self {
+        Self::with_window(duty_cycle, Duration::from_secs(3600))
+    }
+
+    /// A regulator with an explicit window length.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < duty_cycle <= 1` and the window is non-zero.
+    pub fn with_window(duty_cycle: f64, window: Duration) -> Self {
+        assert!(
+            duty_cycle > 0.0 && duty_cycle <= 1.0,
+            "duty cycle must be in (0, 1], got {duty_cycle}"
+        );
+        assert!(!window.is_zero(), "window must be non-zero");
+        DutyCycleRegulator {
+            duty_cycle,
+            window_us: window.as_micros() as u64,
+            history: VecDeque::new(),
+            lifetime_airtime_us: 0,
+        }
+    }
+
+    /// The EU868 1% regulator.
+    pub fn eu868() -> Self {
+        DutyCycleRegulator::new(0.01)
+    }
+
+    /// An effectively unlimited regulator (duty cycle 1.0).
+    pub fn unlimited() -> Self {
+        DutyCycleRegulator::new(1.0)
+    }
+
+    /// The configured duty-cycle fraction.
+    pub fn duty_cycle(&self) -> f64 {
+        self.duty_cycle
+    }
+
+    /// Airtime budget per window, in µs.
+    pub fn budget_us(&self) -> u64 {
+        (self.window_us as f64 * self.duty_cycle) as u64
+    }
+
+    /// Airtime consumed within the window ending at `now_us`.
+    pub fn consumed_us(&self, now_us: u64) -> u64 {
+        let window_start = now_us.saturating_sub(self.window_us);
+        self.history
+            .iter()
+            .map(|&(start, dur)| {
+                let end = start + dur;
+                if end <= window_start {
+                    0
+                } else {
+                    // Count only the part inside the window.
+                    end - start.max(window_start)
+                }
+            })
+            .sum()
+    }
+
+    /// Total airtime ever recorded, in µs.
+    pub fn lifetime_airtime_us(&self) -> u64 {
+        self.lifetime_airtime_us
+    }
+
+    /// Whether a transmission of `airtime_us` may start at `now_us`.
+    pub fn may_transmit(&self, now_us: u64, airtime_us: u64) -> bool {
+        self.consumed_us(now_us) + airtime_us <= self.budget_us()
+    }
+
+    /// Earliest time at or after `now_us` when a transmission of
+    /// `airtime_us` becomes permissible.
+    ///
+    /// Returns `None` when the packet alone exceeds the whole budget and
+    /// will never be allowed.
+    pub fn next_allowed_at(&self, now_us: u64, airtime_us: u64) -> Option<u64> {
+        if airtime_us > self.budget_us() {
+            return None;
+        }
+        if self.may_transmit(now_us, airtime_us) {
+            return Some(now_us);
+        }
+        // Try the instants where history entries slide out of the window.
+        let mut candidates: Vec<u64> = self
+            .history
+            .iter()
+            .flat_map(|&(start, dur)| [start + self.window_us, start + dur + self.window_us])
+            .filter(|&t| t > now_us)
+            .collect();
+        candidates.sort_unstable();
+        for t in candidates {
+            if self.may_transmit(t, airtime_us) {
+                return Some(t);
+            }
+        }
+        // Fallback: one full window after now everything has expired.
+        Some(now_us + self.window_us)
+    }
+
+    /// Record a transmission that started at `start_us` and lasted
+    /// `airtime_us`. Also prunes history that can no longer affect any
+    /// future query.
+    pub fn record_transmission(&mut self, start_us: u64, airtime_us: u64) {
+        self.lifetime_airtime_us += airtime_us;
+        self.history.push_back((start_us, airtime_us));
+        let horizon = start_us.saturating_sub(2 * self.window_us);
+        while let Some(&(s, d)) = self.history.front() {
+            if s + d < horizon {
+                self.history.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Current utilization as a fraction of the budget (1.0 = at the cap).
+    pub fn utilization(&self, now_us: u64) -> f64 {
+        self.consumed_us(now_us) as f64 / self.budget_us() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEC: u64 = 1_000_000;
+
+    #[test]
+    fn fresh_regulator_allows_transmission() {
+        let r = DutyCycleRegulator::eu868();
+        assert!(r.may_transmit(0, 56_000));
+        assert_eq!(r.consumed_us(0), 0);
+    }
+
+    #[test]
+    fn budget_is_one_percent_of_an_hour() {
+        let r = DutyCycleRegulator::eu868();
+        assert_eq!(r.budget_us(), 36 * SEC);
+    }
+
+    #[test]
+    fn consumption_accumulates_and_blocks() {
+        let mut r = DutyCycleRegulator::with_window(0.01, Duration::from_secs(100));
+        // Budget: 1 s. Spend 0.9 s.
+        r.record_transmission(0, 900_000);
+        assert_eq!(r.consumed_us(SEC), 900_000);
+        assert!(r.may_transmit(SEC, 100_000));
+        assert!(!r.may_transmit(SEC, 100_001));
+    }
+
+    #[test]
+    fn old_transmissions_slide_out_of_window() {
+        let mut r = DutyCycleRegulator::with_window(0.01, Duration::from_secs(100));
+        r.record_transmission(0, 1_000_000); // uses the whole budget
+        assert!(!r.may_transmit(50 * SEC, 1));
+        // After the window has fully passed the old tx, budget is free.
+        assert!(r.may_transmit(101 * SEC, 1_000_000));
+    }
+
+    #[test]
+    fn partial_window_overlap_counts_partially() {
+        let mut r = DutyCycleRegulator::with_window(0.01, Duration::from_secs(100));
+        r.record_transmission(0, 1_000_000);
+        // At t=100.5s, the first 0.5 s of the tx has left the window.
+        assert_eq!(r.consumed_us(100 * SEC + SEC / 2), 500_000);
+    }
+
+    #[test]
+    fn next_allowed_at_now_when_free() {
+        let r = DutyCycleRegulator::eu868();
+        assert_eq!(r.next_allowed_at(123, 1000), Some(123));
+    }
+
+    #[test]
+    fn next_allowed_waits_for_budget() {
+        let mut r = DutyCycleRegulator::with_window(0.01, Duration::from_secs(100));
+        r.record_transmission(0, 1_000_000);
+        let t = r.next_allowed_at(2 * SEC, 500_000).unwrap();
+        assert!(t > 2 * SEC);
+        assert!(r.may_transmit(t, 500_000), "allowed at t={t}");
+        // And it is the earliest candidate instant in the discrete set.
+        assert!(!r.may_transmit(t - SEC, 500_000));
+    }
+
+    #[test]
+    fn oversized_packet_never_allowed() {
+        let r = DutyCycleRegulator::with_window(0.01, Duration::from_secs(1));
+        // Budget is 10 ms; a 20 ms packet can never comply.
+        assert_eq!(r.next_allowed_at(0, 20_000), None);
+    }
+
+    #[test]
+    fn lifetime_airtime_tracks_everything() {
+        let mut r = DutyCycleRegulator::eu868();
+        r.record_transmission(0, 1000);
+        r.record_transmission(10 * SEC, 2000);
+        assert_eq!(r.lifetime_airtime_us(), 3000);
+    }
+
+    #[test]
+    fn utilization_fraction() {
+        let mut r = DutyCycleRegulator::with_window(0.5, Duration::from_secs(10));
+        // Budget 5 s; consume 1 s → 20%.
+        r.record_transmission(0, SEC);
+        assert!((r.utilization(2 * SEC) - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unlimited_regulator_never_blocks() {
+        let mut r = DutyCycleRegulator::unlimited();
+        for i in 0..100 {
+            assert!(r.may_transmit(i * SEC, SEC / 2));
+            r.record_transmission(i * SEC, SEC / 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duty cycle")]
+    fn zero_duty_cycle_panics() {
+        let _ = DutyCycleRegulator::new(0.0);
+    }
+
+    #[test]
+    fn history_is_pruned() {
+        let mut r = DutyCycleRegulator::with_window(0.01, Duration::from_secs(1));
+        for i in 0..10_000u64 {
+            r.record_transmission(i * SEC, 100);
+        }
+        assert!(r.history.len() < 100, "history grew to {}", r.history.len());
+    }
+}

@@ -1,0 +1,97 @@
+//! # loramon-phy
+//!
+//! LoRa physical-layer modeling for the `loramon` monitoring system.
+//!
+//! This crate is the radio substrate of the reproduction: everything the
+//! monitoring system ultimately observes — received signal strength,
+//! signal-to-noise ratio, packet airtime, collisions, duty-cycle budget —
+//! is computed by the models in this crate. It is deliberately free of any
+//! simulator dependency so the same types can describe a real radio.
+//!
+//! ## Modules
+//!
+//! * [`params`] — radio parameter types ([`SpreadingFactor`], [`Bandwidth`],
+//!   [`CodingRate`], [`RadioConfig`]).
+//! * [`adr`] — adaptive-data-rate controller (SF selection from SNR).
+//! * [`airtime`] — the Semtech time-on-air formula.
+//! * [`region`] — regional channel plans and duty-cycle rules (EU868, US915).
+//! * [`propagation`] — positions, path-loss models and link budget.
+//! * [`sensitivity`] — receiver sensitivity and SNR demodulation floors.
+//! * [`collision`] — packet-overlap and capture-effect decisions.
+//! * [`dutycycle`] — a duty-cycle regulator enforcing regional limits.
+//! * [`energy`] — radio current-draw model for battery accounting.
+//!
+//! ## Example
+//!
+//! Compute the time-on-air of a 32-byte packet at SF9/125 kHz and check the
+//! link budget over 2 km of suburban terrain:
+//!
+//! ```
+//! use loramon_phy::{RadioConfig, SpreadingFactor, Bandwidth, CodingRate};
+//! use loramon_phy::propagation::{LogDistance, PathLossModel, Position};
+//!
+//! let cfg = RadioConfig::new(SpreadingFactor::Sf9, Bandwidth::Khz125, CodingRate::Cr4_5);
+//! let toa = loramon_phy::airtime::time_on_air(&cfg, 32);
+//! assert!(toa.as_millis() > 100 && toa.as_millis() < 300);
+//!
+//! let model = LogDistance::suburban();
+//! let a = Position::new(0.0, 0.0);
+//! let b = Position::new(2000.0, 0.0);
+//! let loss_db = model.path_loss_db(a.distance_to(b));
+//! let rssi = cfg.tx_power_dbm() - loss_db;
+//! assert!(rssi < -80.0);
+//! ```
+
+pub mod adr;
+pub mod airtime;
+pub mod collision;
+pub mod dutycycle;
+pub mod energy;
+pub mod params;
+pub mod propagation;
+pub mod region;
+pub mod sensitivity;
+
+pub use adr::{AdrConfig, AdrController};
+pub use airtime::time_on_air;
+pub use collision::{CollisionModel, CaptureOutcome};
+pub use dutycycle::DutyCycleRegulator;
+pub use energy::EnergyModel;
+pub use params::{Bandwidth, CodingRate, HeaderMode, RadioConfig, SpreadingFactor};
+pub use propagation::{FreeSpace, LogDistance, PathLossModel, Position};
+pub use region::{Region, RegionParams};
+pub use sensitivity::{sensitivity_dbm, snr_floor_db};
+
+/// Thermal noise floor in dBm for a given bandwidth in Hz, assuming a 6 dB
+/// receiver noise figure (typical for SX127x-class transceivers).
+///
+/// `floor = -174 dBm/Hz + 10·log10(BW) + NF`.
+///
+/// ```
+/// let f = loramon_phy::noise_floor_dbm(125_000.0);
+/// assert!((f - (-117.0)).abs() < 0.5);
+/// ```
+pub fn noise_floor_dbm(bandwidth_hz: f64) -> f64 {
+    const NOISE_FIGURE_DB: f64 = 6.0;
+    -174.0 + 10.0 * bandwidth_hz.log10() + NOISE_FIGURE_DB
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_floor_at_125khz_matches_datasheet_ballpark() {
+        // -174 + 10*log10(125e3) + 6 = -174 + 50.97 + 6 = -117.03
+        let f = noise_floor_dbm(125_000.0);
+        assert!((f + 117.03).abs() < 0.05, "got {f}");
+    }
+
+    #[test]
+    fn noise_floor_scales_with_bandwidth() {
+        let narrow = noise_floor_dbm(125_000.0);
+        let wide = noise_floor_dbm(500_000.0);
+        // Quadrupling bandwidth raises the floor by ~6 dB.
+        assert!((wide - narrow - 6.02).abs() < 0.05);
+    }
+}

@@ -1,0 +1,541 @@
+//! Radio parameter types: spreading factor, bandwidth, coding rate and the
+//! aggregate [`RadioConfig`].
+//!
+//! These are newtype-style enums rather than raw integers so that invalid
+//! combinations (SF6.5, 333 kHz, CR 4/9, …) are unrepresentable.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// LoRa spreading factor (SF7–SF12).
+///
+/// Higher spreading factors trade data rate for sensitivity: each step up
+/// roughly doubles time-on-air and buys ~2.5 dB of link budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SpreadingFactor {
+    /// SF7 — fastest, least robust.
+    Sf7,
+    /// SF8.
+    Sf8,
+    /// SF9.
+    Sf9,
+    /// SF10.
+    Sf10,
+    /// SF11.
+    Sf11,
+    /// SF12 — slowest, most robust.
+    Sf12,
+}
+
+impl SpreadingFactor {
+    /// All spreading factors, ascending.
+    pub const ALL: [SpreadingFactor; 6] = [
+        SpreadingFactor::Sf7,
+        SpreadingFactor::Sf8,
+        SpreadingFactor::Sf9,
+        SpreadingFactor::Sf10,
+        SpreadingFactor::Sf11,
+        SpreadingFactor::Sf12,
+    ];
+
+    /// The numeric spreading factor (7–12).
+    pub fn value(self) -> u32 {
+        match self {
+            SpreadingFactor::Sf7 => 7,
+            SpreadingFactor::Sf8 => 8,
+            SpreadingFactor::Sf9 => 9,
+            SpreadingFactor::Sf10 => 10,
+            SpreadingFactor::Sf11 => 11,
+            SpreadingFactor::Sf12 => 12,
+        }
+    }
+
+    /// Build from the numeric value.
+    ///
+    /// Returns `None` for values outside 7–12.
+    pub fn from_value(v: u32) -> Option<Self> {
+        match v {
+            7 => Some(SpreadingFactor::Sf7),
+            8 => Some(SpreadingFactor::Sf8),
+            9 => Some(SpreadingFactor::Sf9),
+            10 => Some(SpreadingFactor::Sf10),
+            11 => Some(SpreadingFactor::Sf11),
+            12 => Some(SpreadingFactor::Sf12),
+            _ => None,
+        }
+    }
+
+    /// Chips per symbol (`2^SF`).
+    pub fn chips_per_symbol(self) -> u32 {
+        1 << self.value()
+    }
+}
+
+impl fmt::Display for SpreadingFactor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SF{}", self.value())
+    }
+}
+
+impl FromStr for SpreadingFactor {
+    type Err = ParseParamError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let t = s.trim();
+        let digits = t
+            .strip_prefix("SF")
+            .or_else(|| t.strip_prefix("sf"))
+            .unwrap_or(t);
+        digits
+            .parse::<u32>()
+            .ok()
+            .and_then(SpreadingFactor::from_value)
+            .ok_or_else(|| ParseParamError::new("spreading factor", s))
+    }
+}
+
+/// LoRa channel bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Bandwidth {
+    /// 125 kHz — the EU868 default.
+    Khz125,
+    /// 250 kHz.
+    Khz250,
+    /// 500 kHz — used for US915 downlinks.
+    Khz500,
+}
+
+impl Bandwidth {
+    /// All bandwidths, ascending.
+    pub const ALL: [Bandwidth; 3] = [Bandwidth::Khz125, Bandwidth::Khz250, Bandwidth::Khz500];
+
+    /// Bandwidth in hertz.
+    pub fn hz(self) -> f64 {
+        match self {
+            Bandwidth::Khz125 => 125_000.0,
+            Bandwidth::Khz250 => 250_000.0,
+            Bandwidth::Khz500 => 500_000.0,
+        }
+    }
+
+    /// Bandwidth in kilohertz.
+    pub fn khz(self) -> u32 {
+        match self {
+            Bandwidth::Khz125 => 125,
+            Bandwidth::Khz250 => 250,
+            Bandwidth::Khz500 => 500,
+        }
+    }
+
+    /// Build from a kHz value; `None` if unsupported.
+    pub fn from_khz(khz: u32) -> Option<Self> {
+        match khz {
+            125 => Some(Bandwidth::Khz125),
+            250 => Some(Bandwidth::Khz250),
+            500 => Some(Bandwidth::Khz500),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}kHz", self.khz())
+    }
+}
+
+/// LoRa forward-error-correction coding rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CodingRate {
+    /// 4/5 — least redundancy.
+    Cr4_5,
+    /// 4/6.
+    Cr4_6,
+    /// 4/7.
+    Cr4_7,
+    /// 4/8 — most redundancy.
+    Cr4_8,
+}
+
+impl CodingRate {
+    /// All coding rates, ascending redundancy.
+    pub const ALL: [CodingRate; 4] = [
+        CodingRate::Cr4_5,
+        CodingRate::Cr4_6,
+        CodingRate::Cr4_7,
+        CodingRate::Cr4_8,
+    ];
+
+    /// The `CR` term of the Semtech airtime formula (1–4).
+    pub fn cr(self) -> u32 {
+        match self {
+            CodingRate::Cr4_5 => 1,
+            CodingRate::Cr4_6 => 2,
+            CodingRate::Cr4_7 => 3,
+            CodingRate::Cr4_8 => 4,
+        }
+    }
+
+    /// Denominator of the rate fraction (5–8).
+    pub fn denominator(self) -> u32 {
+        self.cr() + 4
+    }
+}
+
+impl fmt::Display for CodingRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "4/{}", self.denominator())
+    }
+}
+
+/// Whether the PHY header is transmitted (explicit) or implied (implicit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum HeaderMode {
+    /// Explicit header: length/CR/CRC flags are transmitted. The default.
+    #[default]
+    Explicit,
+    /// Implicit header: both sides agree on the format out of band.
+    Implicit,
+}
+
+/// Error returned when parsing a radio parameter from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseParamError {
+    what: &'static str,
+    input: String,
+}
+
+impl ParseParamError {
+    fn new(what: &'static str, input: &str) -> Self {
+        ParseParamError {
+            what,
+            input: input.to_owned(),
+        }
+    }
+}
+
+impl fmt::Display for ParseParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid {}: {:?}", self.what, self.input)
+    }
+}
+
+impl std::error::Error for ParseParamError {}
+
+/// Complete radio configuration shared by a transmitter/receiver pair.
+///
+/// Two radios can only exchange packets when their spreading factor,
+/// bandwidth and center frequency match; the collision model in
+/// [`crate::collision`] treats mismatched configurations as orthogonal.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RadioConfig {
+    sf: SpreadingFactor,
+    bw: Bandwidth,
+    cr: CodingRate,
+    header: HeaderMode,
+    /// Preamble length in symbols (default 8, as in LoRaMesher).
+    preamble_symbols: u32,
+    /// Whether the payload CRC is enabled (default true).
+    crc_enabled: bool,
+    /// Transmit power in dBm (default 14, the EU868 ERP limit).
+    tx_power_dbm: f64,
+    /// Center frequency in Hz (default 868.1 MHz).
+    frequency_hz: f64,
+}
+
+impl RadioConfig {
+    /// Create a configuration with the given SF/BW/CR and defaults for the
+    /// remaining fields (8-symbol preamble, CRC on, 14 dBm, 868.1 MHz,
+    /// explicit header).
+    pub fn new(sf: SpreadingFactor, bw: Bandwidth, cr: CodingRate) -> Self {
+        RadioConfig {
+            sf,
+            bw,
+            cr,
+            header: HeaderMode::Explicit,
+            preamble_symbols: 8,
+            crc_enabled: true,
+            tx_power_dbm: 14.0,
+            frequency_hz: 868_100_000.0,
+        }
+    }
+
+    /// The LoRaMesher default configuration: SF7, 125 kHz, CR 4/5.
+    pub fn mesher_default() -> Self {
+        RadioConfig::new(
+            SpreadingFactor::Sf7,
+            Bandwidth::Khz125,
+            CodingRate::Cr4_5,
+        )
+    }
+
+    /// A long-range configuration: SF12, 125 kHz, CR 4/8.
+    pub fn long_range() -> Self {
+        RadioConfig::new(
+            SpreadingFactor::Sf12,
+            Bandwidth::Khz125,
+            CodingRate::Cr4_8,
+        )
+    }
+
+    /// Spreading factor.
+    pub fn sf(&self) -> SpreadingFactor {
+        self.sf
+    }
+
+    /// Bandwidth.
+    pub fn bw(&self) -> Bandwidth {
+        self.bw
+    }
+
+    /// Coding rate.
+    pub fn cr(&self) -> CodingRate {
+        self.cr
+    }
+
+    /// Header mode.
+    pub fn header(&self) -> HeaderMode {
+        self.header
+    }
+
+    /// Preamble length in symbols.
+    pub fn preamble_symbols(&self) -> u32 {
+        self.preamble_symbols
+    }
+
+    /// Whether the payload CRC is on.
+    pub fn crc_enabled(&self) -> bool {
+        self.crc_enabled
+    }
+
+    /// Transmit power in dBm.
+    pub fn tx_power_dbm(&self) -> f64 {
+        self.tx_power_dbm
+    }
+
+    /// Center frequency in Hz.
+    pub fn frequency_hz(&self) -> f64 {
+        self.frequency_hz
+    }
+
+    /// Set the spreading factor (builder style).
+    pub fn with_sf(mut self, sf: SpreadingFactor) -> Self {
+        self.sf = sf;
+        self
+    }
+
+    /// Set the bandwidth (builder style).
+    pub fn with_bw(mut self, bw: Bandwidth) -> Self {
+        self.bw = bw;
+        self
+    }
+
+    /// Set the coding rate (builder style).
+    pub fn with_cr(mut self, cr: CodingRate) -> Self {
+        self.cr = cr;
+        self
+    }
+
+    /// Set the header mode (builder style).
+    pub fn with_header(mut self, header: HeaderMode) -> Self {
+        self.header = header;
+        self
+    }
+
+    /// Set the preamble length in symbols (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `symbols < 6`, the SX127x hardware minimum.
+    pub fn with_preamble_symbols(mut self, symbols: u32) -> Self {
+        assert!(symbols >= 6, "preamble must be at least 6 symbols");
+        self.preamble_symbols = symbols;
+        self
+    }
+
+    /// Enable or disable the payload CRC (builder style).
+    pub fn with_crc(mut self, enabled: bool) -> Self {
+        self.crc_enabled = enabled;
+        self
+    }
+
+    /// Set the transmit power in dBm (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if outside the SX127x range of 2–20 dBm.
+    pub fn with_tx_power_dbm(mut self, dbm: f64) -> Self {
+        assert!(
+            (2.0..=20.0).contains(&dbm),
+            "tx power {dbm} dBm outside SX127x range 2-20"
+        );
+        self.tx_power_dbm = dbm;
+        self
+    }
+
+    /// Set the center frequency in Hz (builder style).
+    pub fn with_frequency_hz(mut self, hz: f64) -> Self {
+        assert!(hz > 0.0, "frequency must be positive");
+        self.frequency_hz = hz;
+        self
+    }
+
+    /// Symbol duration in seconds (`2^SF / BW`).
+    pub fn symbol_time_s(&self) -> f64 {
+        f64::from(self.sf.chips_per_symbol()) / self.bw.hz()
+    }
+
+    /// Whether the SX127x low-data-rate optimization is mandatory
+    /// (symbol time above 16 ms, i.e. SF11/SF12 at 125 kHz).
+    pub fn low_data_rate_optimize(&self) -> bool {
+        self.symbol_time_s() > 0.016
+    }
+
+    /// Two configurations can demodulate each other's packets only if SF,
+    /// bandwidth and frequency all match.
+    pub fn compatible_with(&self, other: &RadioConfig) -> bool {
+        self.sf == other.sf
+            && self.bw == other.bw
+            && (self.frequency_hz - other.frequency_hz).abs() < 1.0
+    }
+
+    /// Raw PHY bitrate in bits/second (before FEC overhead).
+    pub fn bitrate_bps(&self) -> f64 {
+        let sf = f64::from(self.sf.value());
+        let cr = 4.0 / f64::from(self.cr.denominator());
+        sf * cr * self.bw.hz() / f64::from(self.sf.chips_per_symbol())
+    }
+}
+
+impl Default for RadioConfig {
+    fn default() -> Self {
+        RadioConfig::mesher_default()
+    }
+}
+
+impl fmt::Display for RadioConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{}/{} @{:.1}MHz {}dBm",
+            self.sf,
+            self.bw,
+            self.cr,
+            self.frequency_hz / 1e6,
+            self.tx_power_dbm
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sf_value_roundtrip() {
+        for sf in SpreadingFactor::ALL {
+            assert_eq!(SpreadingFactor::from_value(sf.value()), Some(sf));
+        }
+        assert_eq!(SpreadingFactor::from_value(6), None);
+        assert_eq!(SpreadingFactor::from_value(13), None);
+    }
+
+    #[test]
+    fn sf_parses_from_str() {
+        assert_eq!("SF7".parse::<SpreadingFactor>(), Ok(SpreadingFactor::Sf7));
+        assert_eq!("sf12".parse::<SpreadingFactor>(), Ok(SpreadingFactor::Sf12));
+        assert_eq!("9".parse::<SpreadingFactor>(), Ok(SpreadingFactor::Sf9));
+        assert!("SF6".parse::<SpreadingFactor>().is_err());
+        assert!("banana".parse::<SpreadingFactor>().is_err());
+    }
+
+    #[test]
+    fn sf_ordering_matches_numeric() {
+        assert!(SpreadingFactor::Sf7 < SpreadingFactor::Sf12);
+        assert!(SpreadingFactor::Sf9 < SpreadingFactor::Sf10);
+    }
+
+    #[test]
+    fn bandwidth_hz_khz_consistent() {
+        for bw in Bandwidth::ALL {
+            assert!((bw.hz() - f64::from(bw.khz()) * 1000.0).abs() < 1e-9);
+            assert_eq!(Bandwidth::from_khz(bw.khz()), Some(bw));
+        }
+        assert_eq!(Bandwidth::from_khz(62), None);
+    }
+
+    #[test]
+    fn coding_rate_terms() {
+        assert_eq!(CodingRate::Cr4_5.cr(), 1);
+        assert_eq!(CodingRate::Cr4_8.cr(), 4);
+        assert_eq!(CodingRate::Cr4_6.denominator(), 6);
+    }
+
+    #[test]
+    fn symbol_time_sf7_125khz() {
+        let cfg = RadioConfig::mesher_default();
+        // 128 / 125000 = 1.024 ms
+        assert!((cfg.symbol_time_s() - 0.001024).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ldro_only_for_slow_symbols() {
+        let sf12 = RadioConfig::new(
+            SpreadingFactor::Sf12,
+            Bandwidth::Khz125,
+            CodingRate::Cr4_5,
+        );
+        assert!(sf12.low_data_rate_optimize());
+        let sf12_wide = sf12.with_bw(Bandwidth::Khz500);
+        assert!(!sf12_wide.low_data_rate_optimize());
+        assert!(!RadioConfig::mesher_default().low_data_rate_optimize());
+    }
+
+    #[test]
+    fn compatibility_requires_matching_sf_bw_freq() {
+        let a = RadioConfig::mesher_default();
+        assert!(a.compatible_with(&a));
+        assert!(!a.compatible_with(&a.with_sf(SpreadingFactor::Sf8)));
+        assert!(!a.compatible_with(&a.with_bw(Bandwidth::Khz250)));
+        assert!(!a.compatible_with(&a.with_frequency_hz(868_300_000.0)));
+        // Coding rate mismatch is still compatible (CR is in the header).
+        assert!(a.compatible_with(&a.with_cr(CodingRate::Cr4_8)));
+    }
+
+    #[test]
+    fn bitrate_sf7_is_about_5_5_kbps() {
+        let cfg = RadioConfig::mesher_default();
+        let kbps = cfg.bitrate_bps() / 1000.0;
+        assert!((kbps - 5.47).abs() < 0.05, "got {kbps}");
+    }
+
+    #[test]
+    #[should_panic(expected = "preamble")]
+    fn preamble_below_minimum_panics() {
+        let _ = RadioConfig::mesher_default().with_preamble_symbols(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "tx power")]
+    fn tx_power_out_of_range_panics() {
+        let _ = RadioConfig::mesher_default().with_tx_power_dbm(30.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let cfg = RadioConfig::mesher_default();
+        let s = cfg.to_string();
+        assert!(s.contains("SF7"));
+        assert!(s.contains("125kHz"));
+        assert!(s.contains("4/5"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let cfg = RadioConfig::long_range().with_tx_power_dbm(17.0);
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: RadioConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

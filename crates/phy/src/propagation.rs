@@ -1,0 +1,317 @@
+//! Positions, path-loss models and the link budget.
+//!
+//! The simulator asks a [`PathLossModel`] for the attenuation between two
+//! positions; the resulting RSSI/SNR pair is exactly what the monitoring
+//! client later reports to the server, so the model choice directly shapes
+//! the dashboards in R-Fig-3.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A node position in meters on a flat plane.
+///
+/// Two dimensions are sufficient for the campus-scale deployments the paper
+/// targets; altitude differences are folded into the shadowing term.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct Position {
+    /// East-west coordinate in meters.
+    pub x: f64,
+    /// North-south coordinate in meters.
+    pub y: f64,
+}
+
+impl Position {
+    /// Create a position from coordinates in meters.
+    pub fn new(x: f64, y: f64) -> Self {
+        Position { x, y }
+    }
+
+    /// Euclidean distance to `other`, in meters.
+    pub fn distance_to(self, other: Position) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+
+    /// Midpoint between two positions.
+    pub fn midpoint(self, other: Position) -> Position {
+        Position::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.1}, {:.1})", self.x, self.y)
+    }
+}
+
+/// A deterministic path-loss model: attenuation in dB as a function of
+/// distance.
+///
+/// Models are deterministic on purpose — random shadowing is sampled once
+/// per link by the simulator (via [`LogDistance::shadowing_sigma_db`]) so
+/// that a link's quality is stable across a run, as it is in a real static
+/// deployment.
+pub trait PathLossModel: fmt::Debug + Send + Sync {
+    /// Median path loss in dB at `distance_m` meters.
+    fn path_loss_db(&self, distance_m: f64) -> f64;
+
+    /// Standard deviation of log-normal shadowing, in dB (0 = none).
+    fn shadowing_sigma_db(&self) -> f64 {
+        0.0
+    }
+
+    /// Distance (m) at which median path loss reaches `loss_db`.
+    ///
+    /// Default implementation bisects `path_loss_db`; models with a closed
+    /// form may override.
+    fn distance_for_loss(&self, loss_db: f64) -> f64 {
+        let (mut lo, mut hi) = (0.1f64, 1.0e7f64);
+        for _ in 0..200 {
+            let mid = (lo * hi).sqrt();
+            if self.path_loss_db(mid) < loss_db {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        (lo * hi).sqrt()
+    }
+}
+
+/// Free-space (Friis) path loss.
+///
+/// `PL(d) = 20·log10(d) + 20·log10(f) − 147.55` with `d` in meters and `f`
+/// in Hz. The most optimistic model; line-of-sight rural links approach it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FreeSpace {
+    frequency_hz: f64,
+}
+
+impl FreeSpace {
+    /// Free-space loss at the given carrier frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frequency_hz` is not positive.
+    pub fn new(frequency_hz: f64) -> Self {
+        assert!(frequency_hz > 0.0, "frequency must be positive");
+        FreeSpace { frequency_hz }
+    }
+
+    /// Free-space loss at the EU868 carrier.
+    pub fn eu868() -> Self {
+        FreeSpace::new(868e6)
+    }
+}
+
+impl PathLossModel for FreeSpace {
+    fn path_loss_db(&self, distance_m: f64) -> f64 {
+        let d = distance_m.max(1.0);
+        20.0 * d.log10() + 20.0 * self.frequency_hz.log10() - 147.55
+    }
+}
+
+/// Log-distance path loss with optional log-normal shadowing.
+///
+/// `PL(d) = PL(d0) + 10·n·log10(d/d0)`, the standard empirical model for
+/// urban/suburban LoRa deployments.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogDistance {
+    /// Reference loss at `reference_m`, in dB.
+    pl0_db: f64,
+    /// Reference distance in meters.
+    reference_m: f64,
+    /// Path-loss exponent `n` (2 = free space, 4+ = dense urban).
+    exponent: f64,
+    /// Log-normal shadowing standard deviation in dB.
+    sigma_db: f64,
+}
+
+impl LogDistance {
+    /// Create a log-distance model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reference_m <= 0`, `exponent <= 0`, or `sigma_db < 0`.
+    pub fn new(pl0_db: f64, reference_m: f64, exponent: f64, sigma_db: f64) -> Self {
+        assert!(reference_m > 0.0, "reference distance must be positive");
+        assert!(exponent > 0.0, "path-loss exponent must be positive");
+        assert!(sigma_db >= 0.0, "shadowing sigma cannot be negative");
+        LogDistance {
+            pl0_db,
+            reference_m,
+            exponent,
+            sigma_db,
+        }
+    }
+
+    /// Rural / line-of-sight parameters (n = 2.3, σ = 2 dB).
+    pub fn rural() -> Self {
+        LogDistance::new(31.5, 1.0, 2.3, 2.0)
+    }
+
+    /// Suburban / campus parameters (n = 2.9, σ = 4 dB) — the default for
+    /// the reconstructed experiments.
+    pub fn suburban() -> Self {
+        LogDistance::new(38.0, 1.0, 2.9, 4.0)
+    }
+
+    /// Dense urban parameters (n = 3.5, σ = 6 dB), after the Bor et al.
+    /// LoRa measurement campaign.
+    pub fn urban() -> Self {
+        LogDistance::new(40.0, 1.0, 3.5, 6.0)
+    }
+
+    /// Indoor multi-floor parameters (n = 4.2, σ = 7 dB).
+    pub fn indoor() -> Self {
+        LogDistance::new(42.0, 1.0, 4.2, 7.0)
+    }
+
+    /// The path-loss exponent `n`.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+}
+
+impl PathLossModel for LogDistance {
+    fn path_loss_db(&self, distance_m: f64) -> f64 {
+        let d = distance_m.max(self.reference_m);
+        self.pl0_db + 10.0 * self.exponent * (d / self.reference_m).log10()
+    }
+
+    fn shadowing_sigma_db(&self) -> f64 {
+        self.sigma_db
+    }
+
+    fn distance_for_loss(&self, loss_db: f64) -> f64 {
+        if loss_db <= self.pl0_db {
+            return self.reference_m;
+        }
+        self.reference_m * 10f64.powf((loss_db - self.pl0_db) / (10.0 * self.exponent))
+    }
+}
+
+/// Link budget: the received power for a transmit power and path loss.
+///
+/// Antenna gains of monopole whips cancel against cable losses on the
+/// class of devices the paper uses, so they are not modelled separately.
+pub fn received_power_dbm(tx_power_dbm: f64, path_loss_db: f64, shadowing_db: f64) -> f64 {
+    tx_power_dbm - path_loss_db + shadowing_db
+}
+
+/// SNR (dB) of a reception given its RSSI and channel bandwidth.
+pub fn snr_db(rssi_dbm: f64, bandwidth_hz: f64) -> f64 {
+    rssi_dbm - crate::noise_floor_dbm(bandwidth_hz)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = Position::new(3.0, 4.0);
+        let b = Position::new(0.0, 0.0);
+        assert!((a.distance_to(b) - 5.0).abs() < 1e-12);
+        assert!((b.distance_to(a) - 5.0).abs() < 1e-12);
+        assert_eq!(a.distance_to(a), 0.0);
+    }
+
+    #[test]
+    fn midpoint_is_halfway() {
+        let m = Position::new(0.0, 0.0).midpoint(Position::new(10.0, 20.0));
+        assert_eq!(m, Position::new(5.0, 10.0));
+    }
+
+    #[test]
+    fn free_space_868mhz_at_1km_is_about_91db() {
+        // FSPL(1 km, 868 MHz) = 20log10(1000) + 20log10(868e6) - 147.55 ≈ 91.2 dB
+        let m = FreeSpace::eu868();
+        let pl = m.path_loss_db(1000.0);
+        assert!((pl - 91.2).abs() < 0.3, "got {pl}");
+    }
+
+    #[test]
+    fn free_space_adds_6db_per_doubling() {
+        let m = FreeSpace::eu868();
+        let d1 = m.path_loss_db(500.0);
+        let d2 = m.path_loss_db(1000.0);
+        assert!((d2 - d1 - 6.02).abs() < 0.05);
+    }
+
+    #[test]
+    fn free_space_clamps_below_one_meter() {
+        let m = FreeSpace::eu868();
+        assert_eq!(m.path_loss_db(0.0), m.path_loss_db(1.0));
+    }
+
+    #[test]
+    fn log_distance_exponent_controls_slope() {
+        let rural = LogDistance::rural();
+        let urban = LogDistance::urban();
+        let slope =
+            |m: &LogDistance| m.path_loss_db(1000.0) - m.path_loss_db(100.0);
+        assert!(slope(&urban) > slope(&rural));
+        // Slope per decade is 10·n.
+        assert!((slope(&rural) - 23.0).abs() < 1e-9);
+        assert!((slope(&urban) - 35.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_distance_inverse_is_consistent() {
+        let m = LogDistance::suburban();
+        for d in [10.0, 100.0, 1000.0, 5000.0] {
+            let pl = m.path_loss_db(d);
+            let back = m.distance_for_loss(pl);
+            assert!((back - d).abs() / d < 1e-9, "d={d} back={back}");
+        }
+    }
+
+    #[test]
+    fn generic_distance_for_loss_bisection_works() {
+        let m = FreeSpace::eu868();
+        let pl = m.path_loss_db(2500.0);
+        let d = m.distance_for_loss(pl);
+        assert!((d - 2500.0).abs() < 1.0, "got {d}");
+    }
+
+    #[test]
+    fn presets_order_by_harshness() {
+        let d = 1000.0;
+        let rural = LogDistance::rural().path_loss_db(d);
+        let suburban = LogDistance::suburban().path_loss_db(d);
+        let urban = LogDistance::urban().path_loss_db(d);
+        let indoor = LogDistance::indoor().path_loss_db(d);
+        assert!(rural < suburban && suburban < urban && urban < indoor);
+    }
+
+    #[test]
+    fn link_budget_composition() {
+        let rssi = received_power_dbm(14.0, 100.0, -3.0);
+        assert!((rssi + 89.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snr_of_strong_signal_positive() {
+        assert!(snr_db(-80.0, 125_000.0) > 0.0);
+        assert!(snr_db(-130.0, 125_000.0) < 0.0);
+    }
+
+    #[test]
+    fn typical_campus_link_closes_at_sf7() {
+        // 300 m suburban at 14 dBm should be comfortably above SF7
+        // sensitivity — the scenario of the paper's own testbed.
+        let m = LogDistance::suburban();
+        let rssi = received_power_dbm(14.0, m.path_loss_db(300.0), 0.0);
+        let sens = crate::sensitivity_dbm(
+            crate::SpreadingFactor::Sf7,
+            crate::Bandwidth::Khz125,
+        );
+        assert!(rssi > sens + 10.0, "rssi {rssi} sens {sens}");
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent")]
+    fn invalid_exponent_panics() {
+        let _ = LogDistance::new(40.0, 1.0, 0.0, 2.0);
+    }
+}

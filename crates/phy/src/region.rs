@@ -1,0 +1,254 @@
+//! Regional radio regulations: channel plans and duty-cycle limits.
+//!
+//! The paper's testbed operates under EU868 rules (1% duty cycle in the
+//! 868.0–868.6 MHz sub-band); US915 is provided for completeness and for
+//! the regional ablation in the benches.
+
+use crate::params::{Bandwidth, RadioConfig};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::Duration;
+
+/// A supported regulatory region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Region {
+    /// Europe 863–870 MHz (ETSI EN 300 220): duty-cycle limited.
+    Eu868,
+    /// North America 902–928 MHz (FCC part 15): dwell-time limited.
+    Us915,
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Region::Eu868 => write!(f, "EU868"),
+            Region::Us915 => write!(f, "US915"),
+        }
+    }
+}
+
+/// The concrete parameters of a region.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionParams {
+    region: Region,
+    channels_hz: Vec<f64>,
+    default_bandwidth: Bandwidth,
+    max_tx_power_dbm: f64,
+    /// Fraction of time a device may transmit (1.0 = unlimited).
+    duty_cycle: f64,
+    /// Maximum continuous transmission (dwell) time, if the region limits it.
+    max_dwell_time: Option<Duration>,
+    max_payload_bytes: usize,
+}
+
+impl RegionParams {
+    /// Parameters for a region.
+    pub fn new(region: Region) -> Self {
+        match region {
+            Region::Eu868 => RegionParams {
+                region,
+                // The three mandatory EU868 channels.
+                channels_hz: vec![868_100_000.0, 868_300_000.0, 868_500_000.0],
+                default_bandwidth: Bandwidth::Khz125,
+                max_tx_power_dbm: 14.0,
+                duty_cycle: 0.01,
+                max_dwell_time: None,
+                max_payload_bytes: 255,
+            },
+            Region::Us915 => RegionParams {
+                region,
+                // First eight 125 kHz uplink channels.
+                channels_hz: (0..8)
+                    .map(|i| 902_300_000.0 + 200_000.0 * f64::from(i))
+                    .collect(),
+                default_bandwidth: Bandwidth::Khz125,
+                max_tx_power_dbm: 20.0,
+                duty_cycle: 1.0,
+                max_dwell_time: Some(Duration::from_millis(400)),
+                max_payload_bytes: 255,
+            },
+        }
+    }
+
+    /// Which region these parameters describe.
+    pub fn region(&self) -> Region {
+        self.region
+    }
+
+    /// The channel center frequencies in Hz.
+    pub fn channels_hz(&self) -> &[f64] {
+        &self.channels_hz
+    }
+
+    /// Default channel bandwidth.
+    pub fn default_bandwidth(&self) -> Bandwidth {
+        self.default_bandwidth
+    }
+
+    /// Maximum permitted transmit power in dBm.
+    pub fn max_tx_power_dbm(&self) -> f64 {
+        self.max_tx_power_dbm
+    }
+
+    /// Permitted duty cycle as a fraction (0.01 = 1%).
+    pub fn duty_cycle(&self) -> f64 {
+        self.duty_cycle
+    }
+
+    /// Maximum dwell time per transmission, if limited.
+    pub fn max_dwell_time(&self) -> Option<Duration> {
+        self.max_dwell_time
+    }
+
+    /// Maximum PHY payload size in bytes.
+    pub fn max_payload_bytes(&self) -> usize {
+        self.max_payload_bytes
+    }
+
+    /// Check a radio configuration against this region's rules.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RegionViolation`] describing the first rule broken:
+    /// off-plan frequency or excessive transmit power.
+    pub fn validate(&self, config: &RadioConfig) -> Result<(), RegionViolation> {
+        if config.tx_power_dbm() > self.max_tx_power_dbm {
+            return Err(RegionViolation::TxPower {
+                configured_dbm: config.tx_power_dbm(),
+                limit_dbm: self.max_tx_power_dbm,
+            });
+        }
+        let on_plan = self
+            .channels_hz
+            .iter()
+            .any(|&c| (c - config.frequency_hz()).abs() < 1.0);
+        if !on_plan {
+            return Err(RegionViolation::Frequency {
+                configured_hz: config.frequency_hz(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Whether a transmission of the given airtime violates the dwell limit.
+    pub fn dwell_ok(&self, airtime: Duration) -> bool {
+        match self.max_dwell_time {
+            Some(limit) => airtime <= limit,
+            None => true,
+        }
+    }
+}
+
+/// A regional-compliance violation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegionViolation {
+    /// Transmit power exceeds the regional limit.
+    TxPower {
+        /// Configured power.
+        configured_dbm: f64,
+        /// Regional limit.
+        limit_dbm: f64,
+    },
+    /// Frequency is not on the regional channel plan.
+    Frequency {
+        /// Configured center frequency.
+        configured_hz: f64,
+    },
+}
+
+impl fmt::Display for RegionViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegionViolation::TxPower {
+                configured_dbm,
+                limit_dbm,
+            } => write!(
+                f,
+                "tx power {configured_dbm} dBm exceeds regional limit {limit_dbm} dBm"
+            ),
+            RegionViolation::Frequency { configured_hz } => write!(
+                f,
+                "frequency {:.3} MHz is not on the regional channel plan",
+                configured_hz / 1e6
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RegionViolation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{CodingRate, SpreadingFactor};
+
+    #[test]
+    fn eu868_has_three_mandatory_channels() {
+        let p = RegionParams::new(Region::Eu868);
+        assert_eq!(p.channels_hz().len(), 3);
+        assert!((p.channels_hz()[0] - 868_100_000.0).abs() < 1.0);
+        assert!((p.duty_cycle() - 0.01).abs() < 1e-12);
+        assert!(p.max_dwell_time().is_none());
+    }
+
+    #[test]
+    fn us915_has_dwell_limit_and_no_duty_cycle() {
+        let p = RegionParams::new(Region::Us915);
+        assert_eq!(p.channels_hz().len(), 8);
+        assert_eq!(p.duty_cycle(), 1.0);
+        assert_eq!(p.max_dwell_time(), Some(Duration::from_millis(400)));
+    }
+
+    #[test]
+    fn default_config_is_eu868_compliant() {
+        let p = RegionParams::new(Region::Eu868);
+        assert_eq!(p.validate(&RadioConfig::mesher_default()), Ok(()));
+    }
+
+    #[test]
+    fn overpowered_config_is_rejected() {
+        let p = RegionParams::new(Region::Eu868);
+        let cfg = RadioConfig::mesher_default().with_tx_power_dbm(20.0);
+        assert!(matches!(
+            p.validate(&cfg),
+            Err(RegionViolation::TxPower { .. })
+        ));
+    }
+
+    #[test]
+    fn off_plan_frequency_is_rejected() {
+        let p = RegionParams::new(Region::Eu868);
+        let cfg = RadioConfig::mesher_default().with_frequency_hz(915_000_000.0);
+        assert!(matches!(
+            p.validate(&cfg),
+            Err(RegionViolation::Frequency { .. })
+        ));
+    }
+
+    #[test]
+    fn us915_dwell_rejects_sf12_long_packets() {
+        let p = RegionParams::new(Region::Us915);
+        let slow = RadioConfig::new(
+            SpreadingFactor::Sf12,
+            Bandwidth::Khz125,
+            CodingRate::Cr4_5,
+        );
+        let airtime = crate::airtime::time_on_air(&slow, 51);
+        assert!(!p.dwell_ok(airtime));
+        let fast = RadioConfig::mesher_default();
+        assert!(p.dwell_ok(crate::airtime::time_on_air(&fast, 51)));
+    }
+
+    #[test]
+    fn violation_messages_are_informative() {
+        let v = RegionViolation::TxPower {
+            configured_dbm: 20.0,
+            limit_dbm: 14.0,
+        };
+        assert!(v.to_string().contains("20"));
+        let v = RegionViolation::Frequency {
+            configured_hz: 915e6,
+        };
+        assert!(v.to_string().contains("915"));
+    }
+}

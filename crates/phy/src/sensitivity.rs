@@ -1,0 +1,122 @@
+//! Receiver sensitivity and SNR demodulation floors for SX127x-class
+//! transceivers.
+//!
+//! Values follow the SX1276 datasheet (table 10 and the LoRa modem
+//! characteristics). A reception is possible when the received power is
+//! above [`sensitivity_dbm`] *and* the SINR is above [`snr_floor_db`].
+
+use crate::params::{Bandwidth, SpreadingFactor};
+
+/// Minimum SNR (dB) at which a given spreading factor still demodulates.
+///
+/// Each SF step buys 2.5 dB: SF7 needs −7.5 dB, SF12 works down to −20 dB.
+pub fn snr_floor_db(sf: SpreadingFactor) -> f64 {
+    match sf {
+        SpreadingFactor::Sf7 => -7.5,
+        SpreadingFactor::Sf8 => -10.0,
+        SpreadingFactor::Sf9 => -12.5,
+        SpreadingFactor::Sf10 => -15.0,
+        SpreadingFactor::Sf11 => -17.5,
+        SpreadingFactor::Sf12 => -20.0,
+    }
+}
+
+/// Receiver sensitivity (dBm) for a spreading-factor/bandwidth pair.
+///
+/// Derived as `noise_floor(BW) + snr_floor(SF)`, which reproduces the
+/// datasheet table within a fraction of a dB (e.g. SF7/125 kHz ≈ −124.5,
+/// SF12/125 kHz ≈ −137).
+pub fn sensitivity_dbm(sf: SpreadingFactor, bw: Bandwidth) -> f64 {
+    crate::noise_floor_dbm(bw.hz()) + snr_floor_db(sf)
+}
+
+/// Link margin (dB) of a reception: how far above sensitivity it landed.
+///
+/// Negative margin means the packet is below the demodulation threshold.
+pub fn link_margin_db(rssi_dbm: f64, sf: SpreadingFactor, bw: Bandwidth) -> f64 {
+    rssi_dbm - sensitivity_dbm(sf, bw)
+}
+
+/// The most robust (highest) spreading factor *not* needed for the given
+/// RSSI — i.e. the fastest SF that still closes the link with `margin_db`
+/// of headroom. Returns `None` if even SF12 cannot close the link.
+///
+/// This is the building block for adaptive-data-rate style decisions and
+/// for the PDR-vs-SF sweep (R-Fig-5).
+pub fn fastest_sf_closing_link(
+    rssi_dbm: f64,
+    bw: Bandwidth,
+    margin_db: f64,
+) -> Option<SpreadingFactor> {
+    SpreadingFactor::ALL
+        .into_iter()
+        .find(|&sf| rssi_dbm >= sensitivity_dbm(sf, bw) + margin_db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snr_floor_descends_by_2_5db_per_sf() {
+        let floors: Vec<f64> = SpreadingFactor::ALL.into_iter().map(snr_floor_db).collect();
+        for pair in floors.windows(2) {
+            assert!((pair[0] - pair[1] - 2.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sensitivity_sf7_125khz_near_datasheet() {
+        let s = sensitivity_dbm(SpreadingFactor::Sf7, Bandwidth::Khz125);
+        // Datasheet: -123 dBm (our 6 dB NF model gives -124.5).
+        assert!((-126.0..=-122.0).contains(&s), "got {s}");
+    }
+
+    #[test]
+    fn sensitivity_sf12_125khz_near_datasheet() {
+        let s = sensitivity_dbm(SpreadingFactor::Sf12, Bandwidth::Khz125);
+        // Datasheet: -136 dBm.
+        assert!((-138.0..=-134.0).contains(&s), "got {s}");
+    }
+
+    #[test]
+    fn sensitivity_improves_with_sf_and_degrades_with_bw() {
+        let a = sensitivity_dbm(SpreadingFactor::Sf7, Bandwidth::Khz125);
+        let b = sensitivity_dbm(SpreadingFactor::Sf12, Bandwidth::Khz125);
+        assert!(b < a, "higher SF should be more sensitive");
+        let c = sensitivity_dbm(SpreadingFactor::Sf7, Bandwidth::Khz500);
+        assert!(c > a, "wider BW should be less sensitive");
+    }
+
+    #[test]
+    fn link_margin_sign() {
+        assert!(link_margin_db(-100.0, SpreadingFactor::Sf7, Bandwidth::Khz125) > 0.0);
+        assert!(link_margin_db(-130.0, SpreadingFactor::Sf7, Bandwidth::Khz125) < 0.0);
+    }
+
+    #[test]
+    fn fastest_sf_strong_signal_is_sf7() {
+        assert_eq!(
+            fastest_sf_closing_link(-80.0, Bandwidth::Khz125, 0.0),
+            Some(SpreadingFactor::Sf7)
+        );
+    }
+
+    #[test]
+    fn fastest_sf_weak_signal_needs_higher_sf() {
+        let sf = fastest_sf_closing_link(-130.0, Bandwidth::Khz125, 0.0).unwrap();
+        assert!(sf > SpreadingFactor::Sf7);
+    }
+
+    #[test]
+    fn fastest_sf_none_when_link_hopeless() {
+        assert_eq!(fastest_sf_closing_link(-150.0, Bandwidth::Khz125, 0.0), None);
+    }
+
+    #[test]
+    fn margin_requirement_pushes_sf_up() {
+        let relaxed = fastest_sf_closing_link(-120.0, Bandwidth::Khz125, 0.0).unwrap();
+        let strict = fastest_sf_closing_link(-120.0, Bandwidth::Khz125, 10.0).unwrap();
+        assert!(strict >= relaxed);
+    }
+}

@@ -1,0 +1,414 @@
+//! Alerting (R-Fig-7).
+//!
+//! The server watches the store and raises alerts for conditions a
+//! network administrator cares about: a node gone silent, a draining
+//! battery, a backed-up queue, a degrading link. Alerts are
+//! edge-triggered — one firing per condition episode — and clear when
+//! the condition resolves, so a flapping node produces a sequence of
+//! distinct episodes rather than a flood.
+
+use crate::query::Window;
+use crate::store::Store;
+use loramon_mesh::Direction;
+use loramon_sim::{NodeId, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+/// The kind of condition an alert describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AlertKind {
+    /// No report from the node within the silence threshold.
+    NodeSilent,
+    /// Battery at or below the configured floor.
+    LowBattery,
+    /// Outbound queue above the configured depth.
+    QueueBacklog,
+    /// Mean incoming RSSI dropped sharply between windows.
+    RssiDegraded,
+    /// Report sequence gaps observed (telemetry loss).
+    ReportGap,
+}
+
+impl std::fmt::Display for AlertKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AlertKind::NodeSilent => write!(f, "node-silent"),
+            AlertKind::LowBattery => write!(f, "low-battery"),
+            AlertKind::QueueBacklog => write!(f, "queue-backlog"),
+            AlertKind::RssiDegraded => write!(f, "rssi-degraded"),
+            AlertKind::ReportGap => write!(f, "report-gap"),
+        }
+    }
+}
+
+/// A fired alert.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Alert {
+    /// Condition kind.
+    pub kind: AlertKind,
+    /// Affected node.
+    pub node: NodeId,
+    /// Server time of the firing.
+    pub at: SimTime,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Alerting thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AlertRules {
+    /// Silence threshold: alert when a node has not reported for this
+    /// long (default 3 report periods at the 30 s default = 90 s).
+    pub silent_after: Duration,
+    /// Battery floor percentage (default 20).
+    pub low_battery_percent: u8,
+    /// Queue depth threshold in frames (default 16).
+    pub queue_backlog: u32,
+    /// RSSI drop (dB) between consecutive windows that trips the
+    /// degradation alert (default 10 dB).
+    pub rssi_drop_db: f64,
+    /// Window length for the RSSI comparison (default 5 min).
+    pub rssi_window: Duration,
+    /// Minimum packets per window for an RSSI verdict (default 5).
+    pub rssi_min_packets: u64,
+}
+
+impl Default for AlertRules {
+    fn default() -> Self {
+        AlertRules {
+            silent_after: Duration::from_secs(90),
+            low_battery_percent: 20,
+            queue_backlog: 16,
+            rssi_drop_db: 10.0,
+            rssi_window: Duration::from_secs(300),
+            rssi_min_packets: 5,
+        }
+    }
+}
+
+/// Edge-triggered alert engine.
+#[derive(Debug, Default)]
+pub struct AlertEngine {
+    rules: AlertRules,
+    active: BTreeSet<(NodeId, AlertKind)>,
+    history: Vec<Alert>,
+    /// Last seen missing-report count per node, to fire on increases.
+    gap_watermark: std::collections::BTreeMap<NodeId, u64>,
+}
+
+impl AlertEngine {
+    /// An engine with the given rules.
+    pub fn new(rules: AlertRules) -> Self {
+        AlertEngine {
+            rules,
+            ..AlertEngine::default()
+        }
+    }
+
+    /// The configured rules.
+    pub fn rules(&self) -> &AlertRules {
+        &self.rules
+    }
+
+    /// Every alert ever fired, in firing order.
+    pub fn history(&self) -> &[Alert] {
+        &self.history
+    }
+
+    /// Currently active `(node, kind)` conditions.
+    pub fn active(&self) -> Vec<(NodeId, AlertKind)> {
+        self.active.iter().copied().collect()
+    }
+
+    /// Evaluate all rules at server time `now`. Returns newly fired
+    /// alerts (conditions that were not already active).
+    pub fn evaluate(&mut self, store: &Store, now: SimTime) -> Vec<Alert> {
+        let rules = self.rules;
+        let mut fired = Vec::new();
+        for (node, data) in store.iter() {
+            // Node silent.
+            let silent = data
+                .last_report_at()
+                .is_some_and(|at| now.saturating_since(at) > rules.silent_after);
+            self.transition(
+                node,
+                AlertKind::NodeSilent,
+                silent,
+                now,
+                || {
+                    format!(
+                        "node {node} has not reported for more than {:?}",
+                        rules.silent_after
+                    )
+                },
+                &mut fired,
+            );
+
+            // Status-based conditions.
+            let status = data.latest_status();
+            let low_battery =
+                status.is_some_and(|s| s.battery_percent <= rules.low_battery_percent);
+            self.transition(
+                node,
+                AlertKind::LowBattery,
+                low_battery,
+                now,
+                || {
+                    format!(
+                        "node {node} battery at {}%",
+                        status.map(|s| s.battery_percent).unwrap_or(0)
+                    )
+                },
+                &mut fired,
+            );
+
+            let backlog = status.is_some_and(|s| s.queue_len > rules.queue_backlog);
+            self.transition(
+                node,
+                AlertKind::QueueBacklog,
+                backlog,
+                now,
+                || {
+                    format!(
+                        "node {node} queue depth {}",
+                        status.map(|s| s.queue_len).unwrap_or(0)
+                    )
+                },
+                &mut fired,
+            );
+
+            // RSSI degradation: mean of the last window vs the one before.
+            let w_now = Window::last(rules.rssi_window, now);
+            let w_prev = Window::last(self.rules.rssi_window, w_now.from);
+            let mean_in = |w: Window| -> Option<(f64, u64)> {
+                let rssis: Vec<f64> = data
+                    .records()
+                    .iter()
+                    .filter(|r| r.direction == Direction::In && w.contains(r.captured_at()))
+                    .filter_map(|r| r.rssi_dbm)
+                    .collect();
+                if rssis.is_empty() {
+                    None
+                } else {
+                    Some((
+                        rssis.iter().sum::<f64>() / rssis.len() as f64,
+                        rssis.len() as u64,
+                    ))
+                }
+            };
+            let degraded = match (mean_in(w_prev), mean_in(w_now)) {
+                (Some((prev, n_prev)), Some((cur, n_cur)))
+                    if n_prev >= rules.rssi_min_packets
+                        && n_cur >= rules.rssi_min_packets =>
+                {
+                    prev - cur >= rules.rssi_drop_db
+                }
+                _ => false,
+            };
+            self.transition(
+                node,
+                AlertKind::RssiDegraded,
+                degraded,
+                now,
+                || format!("node {node} mean RSSI dropped sharply"),
+                &mut fired,
+            );
+
+            // Report gaps: fire whenever the missing count grows.
+            let missing = data.missing_reports();
+            let watermark = self.gap_watermark.entry(node).or_insert(0);
+            if missing > *watermark {
+                let alert = Alert {
+                    kind: AlertKind::ReportGap,
+                    node,
+                    at: now,
+                    message: format!(
+                        "node {node} telemetry gap: {} report(s) missing",
+                        missing - *watermark
+                    ),
+                };
+                *watermark = missing;
+                self.history.push(alert.clone());
+                fired.push(alert);
+            }
+        }
+        fired
+    }
+
+    fn transition(
+        &mut self,
+        node: NodeId,
+        kind: AlertKind,
+        condition: bool,
+        now: SimTime,
+        message: impl FnOnce() -> String,
+        fired: &mut Vec<Alert>,
+    ) {
+        let key = (node, kind);
+        if condition {
+            if self.active.insert(key) {
+                let alert = Alert {
+                    kind,
+                    node,
+                    at: now,
+                    message: message(),
+                };
+                self.history.push(alert.clone());
+                fired.push(alert);
+            }
+        } else {
+            self.active.remove(&key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{Retention, Store};
+    use loramon_core::{NodeStatus, PacketRecord, Report};
+    use loramon_mesh::PacketType;
+
+    fn report(node: u16, seq: u32, battery: u8, queue: u32) -> Report {
+        Report {
+            node: NodeId(node),
+            report_seq: seq,
+            generated_at_ms: 1000 * u64::from(seq + 1),
+            dropped_records: 0,
+            status: Some(NodeStatus {
+                node: NodeId(node),
+                uptime_ms: 0,
+                battery_percent: battery,
+                queue_len: queue,
+                duty_cycle_utilization: 0.0,
+                mesh: Default::default(),
+                routes: vec![],
+            }),
+            records: vec![],
+        }
+    }
+
+    #[test]
+    fn silent_node_fires_once_and_clears() {
+        let mut store = Store::new(Retention::default());
+        store.insert(&report(1, 0, 100, 0), SimTime::from_secs(10));
+        let mut engine = AlertEngine::new(AlertRules::default());
+
+        assert!(engine.evaluate(&store, SimTime::from_secs(20)).is_empty());
+        let fired = engine.evaluate(&store, SimTime::from_secs(200));
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].kind, AlertKind::NodeSilent);
+        // Still silent: no re-fire.
+        assert!(engine.evaluate(&store, SimTime::from_secs(300)).is_empty());
+        // The node reports again: condition clears...
+        store.insert(&report(1, 1, 100, 0), SimTime::from_secs(310));
+        assert!(engine.evaluate(&store, SimTime::from_secs(311)).is_empty());
+        assert!(engine.active().is_empty());
+        // ...and a second silence is a new episode.
+        let fired = engine.evaluate(&store, SimTime::from_secs(600));
+        assert_eq!(fired.len(), 1);
+        assert_eq!(engine.history().len(), 2);
+    }
+
+    #[test]
+    fn low_battery_threshold() {
+        let mut store = Store::new(Retention::default());
+        store.insert(&report(1, 0, 19, 0), SimTime::from_secs(10));
+        let mut engine = AlertEngine::new(AlertRules::default());
+        let fired = engine.evaluate(&store, SimTime::from_secs(11));
+        assert!(fired.iter().any(|a| a.kind == AlertKind::LowBattery));
+        assert!(fired[0].message.contains("19%") || fired.iter().any(|a| a.message.contains("19")));
+    }
+
+    #[test]
+    fn healthy_battery_no_alert() {
+        let mut store = Store::new(Retention::default());
+        store.insert(&report(1, 0, 21, 0), SimTime::from_secs(10));
+        let mut engine = AlertEngine::new(AlertRules::default());
+        let fired = engine.evaluate(&store, SimTime::from_secs(11));
+        assert!(!fired.iter().any(|a| a.kind == AlertKind::LowBattery));
+    }
+
+    #[test]
+    fn queue_backlog_detection() {
+        let mut store = Store::new(Retention::default());
+        store.insert(&report(1, 0, 100, 17), SimTime::from_secs(10));
+        let mut engine = AlertEngine::new(AlertRules::default());
+        let fired = engine.evaluate(&store, SimTime::from_secs(11));
+        assert!(fired.iter().any(|a| a.kind == AlertKind::QueueBacklog));
+    }
+
+    #[test]
+    fn report_gap_fires_on_each_increase() {
+        let mut store = Store::new(Retention::default());
+        store.insert(&report(1, 0, 100, 0), SimTime::from_secs(10));
+        let mut engine = AlertEngine::new(AlertRules::default());
+        engine.evaluate(&store, SimTime::from_secs(11));
+        // Seq jumps 0 → 3: 2 missing.
+        store.insert(&report(1, 3, 100, 0), SimTime::from_secs(40));
+        let fired = engine.evaluate(&store, SimTime::from_secs(41));
+        let gap: Vec<&Alert> = fired
+            .iter()
+            .filter(|a| a.kind == AlertKind::ReportGap)
+            .collect();
+        assert_eq!(gap.len(), 1);
+        assert!(gap[0].message.contains('2'));
+        // No further gap → no more firings.
+        store.insert(&report(1, 4, 100, 0), SimTime::from_secs(70));
+        let fired = engine.evaluate(&store, SimTime::from_secs(71));
+        assert!(!fired.iter().any(|a| a.kind == AlertKind::ReportGap));
+    }
+
+    #[test]
+    fn rssi_degradation_needs_enough_packets() {
+        fn in_rec(node: u16, ts_ms: u64, rssi: f64) -> PacketRecord {
+            PacketRecord {
+                seq: ts_ms,
+                timestamp_ms: ts_ms,
+                direction: Direction::In,
+                node: NodeId(node),
+                counterpart: NodeId(2),
+                ptype: PacketType::Routing,
+                origin: NodeId(2),
+                final_dst: NodeId::BROADCAST,
+                packet_id: 1,
+                ttl: 1,
+                size_bytes: 20,
+                rssi_dbm: Some(rssi),
+                snr_db: Some(5.0),
+            }
+        }
+        let mut store = Store::new(Retention::default());
+        // Previous window (300–600 s): strong signal; current (600–900 s):
+        // 15 dB weaker. 6 packets in each window.
+        let mut records = Vec::new();
+        for i in 0..6u64 {
+            records.push(in_rec(1, 310_000 + i * 40_000, -80.0));
+            records.push(in_rec(1, 610_000 + i * 40_000, -95.0));
+        }
+        store.insert(
+            &Report {
+                node: NodeId(1),
+                report_seq: 0,
+                generated_at_ms: 900_000,
+                dropped_records: 0,
+                status: None,
+                records,
+            },
+            SimTime::from_secs(900),
+        );
+        let mut engine = AlertEngine::new(AlertRules::default());
+        let fired = engine.evaluate(&store, SimTime::from_secs(900));
+        assert!(
+            fired.iter().any(|a| a.kind == AlertKind::RssiDegraded),
+            "no degradation alert in {fired:?}"
+        );
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(AlertKind::NodeSilent.to_string(), "node-silent");
+        assert_eq!(AlertKind::ReportGap.to_string(), "report-gap");
+    }
+}

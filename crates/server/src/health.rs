@@ -1,0 +1,330 @@
+//! Composite node health — the administrator's traffic light.
+//!
+//! Each node gets a green/yellow/red verdict derived from what the store
+//! already knows: report recency, telemetry loss, battery, queue depth,
+//! duty-cycle pressure and link quality. Unlike [`alert`](crate::alert)
+//! (edge-triggered events), health is a *level* recomputed on demand —
+//! the summary color next to each node on the dashboard.
+
+use crate::query::Window;
+use crate::store::Store;
+use loramon_mesh::Direction;
+use loramon_sim::{NodeId, SimTime};
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Health verdict levels, ordered from best to worst.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum HealthLevel {
+    /// Operating normally.
+    Green,
+    /// Degraded but functioning.
+    Yellow,
+    /// Needs attention now.
+    Red,
+}
+
+impl std::fmt::Display for HealthLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HealthLevel::Green => write!(f, "green"),
+            HealthLevel::Yellow => write!(f, "yellow"),
+            HealthLevel::Red => write!(f, "red"),
+        }
+    }
+}
+
+/// One node's health verdict with its reasons.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeHealth {
+    /// The node.
+    pub node: NodeId,
+    /// The verdict.
+    pub level: HealthLevel,
+    /// Human-readable reasons for every non-green contribution,
+    /// worst first.
+    pub reasons: Vec<String>,
+}
+
+/// Health thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HealthRules {
+    /// Yellow when the last report is older than this; red at 3×.
+    pub stale_after: Duration,
+    /// Yellow at or below this battery percentage; red at half of it.
+    pub battery_yellow: u8,
+    /// Yellow when the queue exceeds this depth; red at 4×.
+    pub queue_yellow: u32,
+    /// Yellow when duty-cycle utilization exceeds this fraction.
+    pub duty_yellow: f64,
+    /// Yellow when the node's best incoming link is weaker than this
+    /// margin above SF7/125 kHz sensitivity, in dB.
+    pub link_margin_yellow_db: f64,
+    /// Window for the link-quality check.
+    pub link_window: Duration,
+}
+
+impl Default for HealthRules {
+    fn default() -> Self {
+        HealthRules {
+            stale_after: Duration::from_secs(90),
+            battery_yellow: 30,
+            queue_yellow: 8,
+            duty_yellow: 0.8,
+            link_margin_yellow_db: 6.0,
+            link_window: Duration::from_secs(600),
+        }
+    }
+}
+
+/// Compute every node's health at server time `now`.
+pub fn assess(store: &Store, rules: &HealthRules, now: SimTime) -> Vec<NodeHealth> {
+    store
+        .iter()
+        .map(|(node, data)| {
+            let mut level = HealthLevel::Green;
+            let mut reasons: Vec<(HealthLevel, String)> = Vec::new();
+            let mut raise = |l: HealthLevel, reason: String, level: &mut HealthLevel| {
+                if l > *level {
+                    *level = l;
+                }
+                reasons.push((l, reason));
+            };
+
+            // Recency.
+            match data.last_report_at() {
+                Some(at) => {
+                    let age = now.saturating_since(at);
+                    if age > 3 * rules.stale_after {
+                        raise(
+                            HealthLevel::Red,
+                            format!("no report for {age:?}"),
+                            &mut level,
+                        );
+                    } else if age > rules.stale_after {
+                        raise(
+                            HealthLevel::Yellow,
+                            format!("last report {age:?} ago"),
+                            &mut level,
+                        );
+                    }
+                }
+                None => raise(HealthLevel::Red, "never reported".into(), &mut level),
+            }
+
+            // Telemetry loss.
+            if data.missing_reports() > 0 {
+                raise(
+                    HealthLevel::Yellow,
+                    format!("{} report(s) missing", data.missing_reports()),
+                    &mut level,
+                );
+            }
+
+            // Status-derived signals.
+            if let Some(status) = data.latest_status() {
+                if status.battery_percent <= rules.battery_yellow / 2 {
+                    raise(
+                        HealthLevel::Red,
+                        format!("battery {}%", status.battery_percent),
+                        &mut level,
+                    );
+                } else if status.battery_percent <= rules.battery_yellow {
+                    raise(
+                        HealthLevel::Yellow,
+                        format!("battery {}%", status.battery_percent),
+                        &mut level,
+                    );
+                }
+                if status.queue_len > 4 * rules.queue_yellow {
+                    raise(
+                        HealthLevel::Red,
+                        format!("queue {}", status.queue_len),
+                        &mut level,
+                    );
+                } else if status.queue_len > rules.queue_yellow {
+                    raise(
+                        HealthLevel::Yellow,
+                        format!("queue {}", status.queue_len),
+                        &mut level,
+                    );
+                }
+                if status.duty_cycle_utilization > rules.duty_yellow {
+                    raise(
+                        HealthLevel::Yellow,
+                        format!(
+                            "duty cycle at {:.0}% of cap",
+                            status.duty_cycle_utilization * 100.0
+                        ),
+                        &mut level,
+                    );
+                }
+                if status.routes.is_empty() {
+                    raise(HealthLevel::Yellow, "no routes (isolated)".into(), &mut level);
+                }
+            }
+
+            // Link quality: strongest recent incoming link.
+            let window = Window::last(rules.link_window, now);
+            let best_rssi = data
+                .records()
+                .iter()
+                .filter(|r| r.direction == Direction::In && window.contains(r.captured_at()))
+                .filter_map(|r| r.rssi_dbm)
+                .fold(f64::NEG_INFINITY, f64::max);
+            if best_rssi.is_finite() {
+                let sensitivity = loramon_phy::sensitivity_dbm(
+                    loramon_phy::SpreadingFactor::Sf7,
+                    loramon_phy::Bandwidth::Khz125,
+                );
+                let margin = best_rssi - sensitivity;
+                if margin < rules.link_margin_yellow_db {
+                    raise(
+                        HealthLevel::Yellow,
+                        format!("best link only {margin:.1} dB above sensitivity"),
+                        &mut level,
+                    );
+                }
+            }
+
+            reasons.sort_by_key(|(level, _)| std::cmp::Reverse(*level));
+            NodeHealth {
+                node,
+                level,
+                reasons: reasons.into_iter().map(|(_, r)| r).collect(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{Retention, Store};
+    use loramon_core::{NodeStatus, PacketRecord, Report};
+    use loramon_mesh::PacketType;
+
+    fn status(battery: u8, queue: u32, duty: f64, routes: usize) -> NodeStatus {
+        NodeStatus {
+            node: NodeId(1),
+            uptime_ms: 0,
+            battery_percent: battery,
+            queue_len: queue,
+            duty_cycle_utilization: duty,
+            mesh: Default::default(),
+            routes: (0..routes)
+                .map(|i| loramon_core::ReportedRoute {
+                    address: NodeId(i as u16 + 2),
+                    next_hop: NodeId(i as u16 + 2),
+                    metric: 1,
+                    rssi_dbm: -90.0,
+                    snr_db: 5.0,
+                })
+                .collect(),
+        }
+    }
+
+    fn in_record(ts_ms: u64, rssi: f64) -> PacketRecord {
+        PacketRecord {
+            seq: ts_ms,
+            timestamp_ms: ts_ms,
+            direction: Direction::In,
+            node: NodeId(1),
+            counterpart: NodeId(2),
+            ptype: PacketType::Routing,
+            origin: NodeId(2),
+            final_dst: NodeId::BROADCAST,
+            packet_id: 1,
+            ttl: 1,
+            size_bytes: 20,
+            rssi_dbm: Some(rssi),
+            snr_db: Some(5.0),
+        }
+    }
+
+    fn store_with(status_val: NodeStatus, records: Vec<PacketRecord>, at_s: u64) -> Store {
+        let mut store = Store::new(Retention::default());
+        store.insert(
+            &Report {
+                node: NodeId(1),
+                report_seq: 0,
+                generated_at_ms: at_s * 1000,
+                dropped_records: 0,
+                status: Some(status_val),
+                records,
+            },
+            SimTime::from_secs(at_s),
+        );
+        store
+    }
+
+    #[test]
+    fn healthy_node_is_green() {
+        let store = store_with(
+            status(100, 0, 0.1, 2),
+            vec![in_record(55_000, -80.0)],
+            60,
+        );
+        let health = assess(&store, &HealthRules::default(), SimTime::from_secs(90));
+        assert_eq!(health.len(), 1);
+        assert_eq!(health[0].level, HealthLevel::Green);
+        assert!(health[0].reasons.is_empty());
+    }
+
+    #[test]
+    fn staleness_escalates_yellow_then_red() {
+        let store = store_with(status(100, 0, 0.1, 2), vec![in_record(55_000, -80.0)], 60);
+        let rules = HealthRules::default();
+        let yellow = assess(&store, &rules, SimTime::from_secs(60 + 120));
+        assert_eq!(yellow[0].level, HealthLevel::Yellow);
+        let red = assess(&store, &rules, SimTime::from_secs(60 + 300));
+        assert_eq!(red[0].level, HealthLevel::Red);
+        assert!(red[0].reasons[0].contains("no report"));
+    }
+
+    #[test]
+    fn battery_thresholds() {
+        let rules = HealthRules::default();
+        let yellow = store_with(status(25, 0, 0.1, 2), vec![in_record(55_000, -80.0)], 60);
+        assert_eq!(
+            assess(&yellow, &rules, SimTime::from_secs(90))[0].level,
+            HealthLevel::Yellow
+        );
+        let red = store_with(status(10, 0, 0.1, 2), vec![in_record(55_000, -80.0)], 60);
+        assert_eq!(
+            assess(&red, &rules, SimTime::from_secs(90))[0].level,
+            HealthLevel::Red
+        );
+    }
+
+    #[test]
+    fn weak_link_and_isolation_are_yellow() {
+        let rules = HealthRules::default();
+        // Weak best link (-122 dBm: ~2.5 dB margin).
+        let weak = store_with(status(100, 0, 0.1, 2), vec![in_record(55_000, -122.0)], 60);
+        let h = assess(&weak, &rules, SimTime::from_secs(90));
+        assert_eq!(h[0].level, HealthLevel::Yellow);
+        assert!(h[0].reasons.iter().any(|r| r.contains("sensitivity")));
+        // Isolated node (empty routing table).
+        let isolated = store_with(status(100, 0, 0.1, 0), vec![in_record(55_000, -80.0)], 60);
+        let h = assess(&isolated, &rules, SimTime::from_secs(90));
+        assert!(h[0].reasons.iter().any(|r| r.contains("isolated")));
+    }
+
+    #[test]
+    fn reasons_sorted_worst_first() {
+        // Red battery + yellow queue.
+        let store = store_with(status(5, 10, 0.1, 2), vec![in_record(55_000, -80.0)], 60);
+        let h = assess(&store, &HealthRules::default(), SimTime::from_secs(90));
+        assert_eq!(h[0].level, HealthLevel::Red);
+        assert!(h[0].reasons[0].contains("battery"));
+        assert!(h[0].reasons.len() >= 2);
+    }
+
+    #[test]
+    fn level_ordering_and_display() {
+        assert!(HealthLevel::Green < HealthLevel::Yellow);
+        assert!(HealthLevel::Yellow < HealthLevel::Red);
+        assert_eq!(HealthLevel::Red.to_string(), "red");
+    }
+}

@@ -1,0 +1,693 @@
+//! A small dependency-free HTTP server exposing the monitoring API and
+//! the live dashboard page.
+//!
+//! Endpoints:
+//!
+//! | method | path            | payload                                   |
+//! |--------|-----------------|-------------------------------------------|
+//! | GET    | `/`             | the dashboard HTML page                   |
+//! | GET    | `/api/health`   | `{"ok":true}`                             |
+//! | GET    | `/api/nodes`    | node summaries                            |
+//! | GET    | `/api/stats`    | ingest counters + totals                  |
+//! | GET    | `/api/series`   | `?node=&direction=in|out&bucket_s=60`     |
+//! | GET    | `/api/links`    | per-link RSSI/SNR stats                   |
+//! | GET    | `/api/pdr`      | per-link delivery ratios                  |
+//! | GET    | `/api/e2e`      | end-to-end delivery + latency             |
+//! | GET    | `/api/topology` | inferred topology                         |
+//! | GET    | `/api/alerts`   | alert history                             |
+//! | GET    | `/api/status_series` | `?node=` battery/queue/duty history  |
+//! | GET    | `/api/occupancy`| estimated channel occupancy per bucket    |
+//! | GET    | `/api/sizes`    | packet-size histogram                     |
+//! | GET    | `/api/rollups`  | `?node=` long-horizon rollup series       |
+//! | POST   | `/api/reports`  | a JSON report body → `{outcome, command}` |
+//! | POST   | `/api/commands` | `?node=` + JSON command body → queued     |
+//!
+//! The server is threaded (one handler thread per connection) and shuts
+//! down cleanly on [`HttpServer::shutdown`].
+
+use crate::query::Window;
+use crate::server::MonitorServer;
+use loramon_mesh::Direction;
+use loramon_sim::{NodeId, SimTime};
+use serde_json::json;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A running HTTP front end for a [`MonitorServer`].
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Bind and start serving. Use port 0 for an ephemeral port.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error if the address is unavailable.
+    pub fn bind(server: MonitorServer, addr: &str) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let accept_thread = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if stop2.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let server = server.clone();
+                std::thread::spawn(move || {
+                    let _ = handle_connection(stream, &server);
+                });
+            }
+        });
+        Ok(HttpServer {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections and join the accept thread.
+    pub fn shutdown(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Nudge the blocked accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.stop_inner();
+        }
+    }
+}
+
+impl std::fmt::Debug for HttpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpServer").field("addr", &self.addr).finish()
+    }
+}
+
+struct Request {
+    method: String,
+    path: String,
+    query: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+impl Request {
+    fn param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn parse_request(stream: &mut TcpStream) -> std::io::Result<Option<Request>> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_owned();
+    let target = parts.next().unwrap_or("/").to_owned();
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p.to_owned(), q.to_owned()),
+        None => (target, String::new()),
+    };
+    let query = query_str
+        .split('&')
+        .filter(|s| !s.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (k.to_owned(), v.to_owned()),
+            None => (pair.to_owned(), String::new()),
+        })
+        .collect();
+
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            break;
+        }
+        let header = header.trim();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length.min(16 * 1024 * 1024)];
+    if content_length > 0 {
+        reader.read_exact(&mut body)?;
+    }
+    Ok(Some(Request {
+        method,
+        path,
+        query,
+        body,
+    }))
+}
+
+fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &[u8]) {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body);
+    let _ = stream.flush();
+}
+
+fn respond_json(stream: &mut TcpStream, status: &str, value: &serde_json::Value) {
+    respond(
+        stream,
+        status,
+        "application/json",
+        value.to_string().as_bytes(),
+    );
+}
+
+fn handle_connection(mut stream: TcpStream, server: &MonitorServer) -> std::io::Result<()> {
+    let Some(req) = parse_request(&mut stream)? else {
+        return Ok(());
+    };
+    route(&mut stream, &req, server);
+    Ok(())
+}
+
+fn route(stream: &mut TcpStream, req: &Request, server: &MonitorServer) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/") => respond(stream, "200 OK", "text/html; charset=utf-8", DASHBOARD_HTML.as_bytes()),
+        ("GET", "/api/health") => respond_json(stream, "200 OK", &json!({"ok": true})),
+        ("GET", "/api/nodes") => {
+            let summaries = server.node_summaries();
+            respond_json(stream, "200 OK", &serde_json::to_value(summaries).unwrap());
+        }
+        ("GET", "/api/stats") => {
+            let stats = server.ingest_stats();
+            respond_json(
+                stream,
+                "200 OK",
+                &json!({
+                    "ingest": stats,
+                    "nodes": server.node_ids().len(),
+                    "records_retained": server.total_records(),
+                    "clock_ms": server.clock().as_millis(),
+                }),
+            );
+        }
+        ("GET", "/api/series") => {
+            let node = req
+                .param("node")
+                .and_then(|s| s.parse::<u16>().ok())
+                .map(NodeId);
+            let direction = match req.param("direction") {
+                Some("in") => Some(Direction::In),
+                Some("out") => Some(Direction::Out),
+                _ => None,
+            };
+            let bucket_s = req
+                .param("bucket_s")
+                .and_then(|s| s.parse::<u64>().ok())
+                .unwrap_or(60)
+                .max(1);
+            let series = server.series(node, direction, Window::all(), Duration::from_secs(bucket_s));
+            let points: Vec<serde_json::Value> = series
+                .iter()
+                .map(|p| json!({"t_ms": p.bucket.as_millis(), "count": p.count}))
+                .collect();
+            respond_json(stream, "200 OK", &json!(points));
+        }
+        ("GET", "/api/links") => {
+            let links = server.link_stats(Window::all());
+            respond_json(stream, "200 OK", &serde_json::to_value(links).unwrap());
+        }
+        ("GET", "/api/pdr") => {
+            let links = server.link_deliveries(Window::all());
+            let rows: Vec<serde_json::Value> = links
+                .iter()
+                .map(|l| {
+                    json!({
+                        "from": l.from, "to": l.to,
+                        "sent": l.sent, "received": l.received,
+                        "pdr": l.pdr(),
+                    })
+                })
+                .collect();
+            respond_json(stream, "200 OK", &json!(rows));
+        }
+        ("GET", "/api/e2e") => {
+            let pairs = server.end_to_end(Window::all());
+            let rows: Vec<serde_json::Value> = pairs
+                .iter()
+                .map(|e| {
+                    json!({
+                        "origin": e.origin, "final_dst": e.final_dst,
+                        "sent": e.sent, "delivered": e.delivered,
+                        "ratio": e.delivery_ratio(),
+                        "mean_latency_ms": e.mean_latency().map(|d| d.as_millis() as u64),
+                    })
+                })
+                .collect();
+            respond_json(stream, "200 OK", &json!(rows));
+        }
+        ("GET", "/api/topology") => {
+            let topo = server.topology(Window::all());
+            respond_json(stream, "200 OK", &serde_json::to_value(topo).unwrap());
+        }
+        ("GET", "/api/alerts") => {
+            let history = server.alert_history();
+            respond_json(stream, "200 OK", &serde_json::to_value(history).unwrap());
+        }
+        ("GET", "/api/status_series") => {
+            let Some(node) = req.param("node").and_then(|s| s.parse::<u16>().ok()) else {
+                respond_json(
+                    stream,
+                    "400 Bad Request",
+                    &json!({"error": "node parameter required"}),
+                );
+                return;
+            };
+            let series = server.status_series(NodeId(node));
+            respond_json(stream, "200 OK", &serde_json::to_value(series).unwrap());
+        }
+        ("GET", "/api/occupancy") => {
+            let bucket_s = req
+                .param("bucket_s")
+                .and_then(|s| s.parse::<u64>().ok())
+                .unwrap_or(60)
+                .max(1);
+            let radio = loramon_phy::RadioConfig::mesher_default();
+            let occ = server.channel_occupancy(
+                Window::all(),
+                &radio,
+                Duration::from_secs(bucket_s),
+            );
+            let rows: Vec<serde_json::Value> = occ
+                .iter()
+                .map(|(t, f)| json!({"t_ms": t.as_millis(), "fraction": f}))
+                .collect();
+            respond_json(stream, "200 OK", &json!(rows));
+        }
+        ("GET", "/api/health_levels") => {
+            let health = server.health(&crate::health::HealthRules::default(), server.clock());
+            respond_json(stream, "200 OK", &serde_json::to_value(health).unwrap());
+        }
+        ("GET", "/api/rollups") => {
+            let node = req
+                .param("node")
+                .and_then(|s| s.parse::<u16>().ok())
+                .map(NodeId);
+            let series = server.rollup_series(node);
+            respond_json(stream, "200 OK", &serde_json::to_value(series).unwrap());
+        }
+        ("GET", "/api/sizes") => {
+            let node = req
+                .param("node")
+                .and_then(|s| s.parse::<u16>().ok())
+                .map(NodeId);
+            let bin = req
+                .param("bin")
+                .and_then(|s| s.parse::<u32>().ok())
+                .unwrap_or(16)
+                .max(1);
+            let hist = server.size_histogram(node, Window::all(), bin);
+            let rows: Vec<serde_json::Value> = hist
+                .iter()
+                .map(|(b, c)| json!({"bin": b, "count": c}))
+                .collect();
+            respond_json(stream, "200 OK", &json!(rows));
+        }
+        ("POST", "/api/reports") => {
+            let received_at = req
+                .param("at_ms")
+                .and_then(|s| s.parse::<u64>().ok())
+                .map_or_else(|| server.clock(), SimTime::from_millis);
+            match loramon_core::Report::decode_json(&req.body) {
+                Ok(report) => {
+                    let (outcome, command) = server.ingest_with_command(&report, received_at);
+                    respond_json(
+                        stream,
+                        "200 OK",
+                        &json!({
+                            "outcome": outcome,
+                            "command": command,
+                        }),
+                    );
+                }
+                Err(e) => respond_json(
+                    stream,
+                    "400 Bad Request",
+                    &json!({"error": e.to_string()}),
+                ),
+            }
+        }
+        ("POST", "/api/commands") => {
+            let Some(node) = req.param("node").and_then(|s| s.parse::<u16>().ok()) else {
+                respond_json(
+                    stream,
+                    "400 Bad Request",
+                    &json!({"error": "node parameter required"}),
+                );
+                return;
+            };
+            match serde_json::from_slice::<loramon_core::MonitorCommand>(&req.body) {
+                Ok(command) => {
+                    server.queue_command(NodeId(node), command);
+                    respond_json(stream, "200 OK", &json!({"queued": true}));
+                }
+                Err(e) => respond_json(
+                    stream,
+                    "400 Bad Request",
+                    &json!({"error": e.to_string()}),
+                ),
+            }
+        }
+        _ => respond_json(stream, "404 Not Found", &json!({"error": "no such route"})),
+    }
+}
+
+/// The embedded single-file dashboard (fetches the JSON API).
+const DASHBOARD_HTML: &str = r##"<!doctype html>
+<html lang="en"><head><meta charset="utf-8">
+<title>loramon — LoRa mesh monitor</title>
+<style>
+ body{font-family:system-ui,sans-serif;margin:2rem;background:#fafafa;color:#222}
+ h1{font-size:1.4rem} h2{font-size:1.1rem;margin-top:2rem}
+ table{border-collapse:collapse;min-width:40rem}
+ th,td{border:1px solid #ccc;padding:.3rem .6rem;font-size:.85rem;text-align:right}
+ th{background:#eee} td:first-child,th:first-child{text-align:left}
+ #chart{background:#fff;border:1px solid #ccc}
+ .alert{color:#b00}
+</style></head><body>
+<h1>loramon — LoRa mesh monitoring dashboard</h1>
+<h2>Nodes</h2><table id="nodes"><thead><tr>
+<th>node</th><th>reports</th><th>missing</th><th>records</th><th>battery %</th>
+<th>queue</th><th>duty %</th><th>reachable</th></tr></thead><tbody></tbody></table>
+<h2>Packets over time (all nodes, 60&nbsp;s buckets)</h2>
+<svg id="chart" width="900" height="180"></svg>
+<h2>Links</h2><table id="links"><thead><tr>
+<th>link</th><th>packets</th><th>mean RSSI</th><th>mean SNR</th></tr></thead><tbody></tbody></table>
+<h2>Health</h2><ul id="health"></ul>
+<h2>Alerts</h2><ul id="alerts"></ul>
+<script>
+async function j(u){const r=await fetch(u);return r.json()}
+function fmtNode(n){return (n&65535).toString(16).toUpperCase().padStart(4,'0')}
+async function refresh(){
+ const nodes=await j('/api/nodes');
+ document.querySelector('#nodes tbody').innerHTML=nodes.map(n=>
+  `<tr><td>${fmtNode(n.node)}</td><td>${n.reports}</td><td>${n.missing_reports}</td>
+   <td>${n.records}</td><td>${n.battery_percent??'–'}</td><td>${n.queue_len??'–'}</td>
+   <td>${n.duty_cycle_utilization!=null?(100*n.duty_cycle_utilization).toFixed(1):'–'}</td>
+   <td>${n.reachable??'–'}</td></tr>`).join('');
+ const series=await j('/api/series?bucket_s=60');
+ const svg=document.getElementById('chart');
+ if(series.length){
+  const w=900,h=180,max=Math.max(...series.map(p=>p.count),1);
+  const bw=Math.max(1,Math.floor(w/series.length)-1);
+  svg.innerHTML=series.map((p,i)=>
+   `<rect x="${i*(bw+1)}" y="${h-p.count/max*(h-10)}" width="${bw}"
+     height="${p.count/max*(h-10)}" fill="#369"/>`).join('');
+ }
+ const links=await j('/api/links');
+ document.querySelector('#links tbody').innerHTML=links.map(l=>
+  `<tr><td>${fmtNode(l.from)} → ${fmtNode(l.to)}</td><td>${l.packets}</td>
+   <td>${l.mean_rssi_dbm.toFixed(1)} dBm</td><td>${l.mean_snr_db.toFixed(1)} dB</td></tr>`).join('');
+ const health=await j('/api/health_levels');
+ document.getElementById('health').innerHTML=health.map(h=>
+  `<li>${fmtNode(h.node)}: <b>${h.level}</b> ${h.reasons.join('; ')}</li>`).join('')||'<li>none</li>';
+ const alerts=await j('/api/alerts');
+ document.getElementById('alerts').innerHTML=alerts.map(a=>
+  `<li class="alert">[${a.kind}] ${a.message}</li>`).join('')||'<li>none</li>';
+}
+refresh();setInterval(refresh,5000);
+</script></body></html>
+"##;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServerConfig;
+    use loramon_core::{PacketRecord, Report};
+    use loramon_mesh::PacketType;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        let (head, body) = out.split_once("\r\n\r\n").unwrap();
+        (head.to_owned(), body.to_owned())
+    }
+
+    fn post(addr: SocketAddr, path: &str, body: &[u8]) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(
+            stream,
+            "POST {path} HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )
+        .unwrap();
+        stream.write_all(body).unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        let (head, b) = out.split_once("\r\n\r\n").unwrap();
+        (head.to_owned(), b.to_owned())
+    }
+
+    fn sample_report() -> Report {
+        Report {
+            node: NodeId(1),
+            report_seq: 0,
+            generated_at_ms: 60_000,
+            dropped_records: 0,
+            status: None,
+            records: vec![PacketRecord {
+                seq: 0,
+                timestamp_ms: 59_000,
+                direction: Direction::In,
+                node: NodeId(1),
+                counterpart: NodeId(2),
+                ptype: PacketType::Data,
+                origin: NodeId(2),
+                final_dst: NodeId(1),
+                packet_id: 1,
+                ttl: 5,
+                size_bytes: 30,
+                rssi_dbm: Some(-91.0),
+                snr_db: Some(4.0),
+            }],
+        }
+    }
+
+    fn start() -> (HttpServer, MonitorServer) {
+        let server = MonitorServer::new(ServerConfig::default());
+        let http = HttpServer::bind(server.clone(), "127.0.0.1:0").unwrap();
+        (http, server)
+    }
+
+    #[test]
+    fn health_endpoint() {
+        let (http, _server) = start();
+        let (head, body) = get(http.addr(), "/api/health");
+        assert!(head.contains("200 OK"));
+        assert_eq!(body.trim(), r#"{"ok":true}"#);
+        http.shutdown();
+    }
+
+    #[test]
+    fn dashboard_page_served() {
+        let (http, _server) = start();
+        let (head, body) = get(http.addr(), "/");
+        assert!(head.contains("200 OK"));
+        assert!(head.contains("text/html"));
+        assert!(body.contains("loramon"));
+        http.shutdown();
+    }
+
+    #[test]
+    fn post_report_then_query_nodes() {
+        let (http, server) = start();
+        let body = sample_report().encode_json();
+        let (head, resp) = post(http.addr(), "/api/reports?at_ms=61000", &body);
+        assert!(head.contains("200 OK"), "{head}\n{resp}");
+        assert!(resp.contains("Accepted"), "{resp}");
+        assert_eq!(server.total_records(), 1);
+
+        let (_, nodes) = get(http.addr(), "/api/nodes");
+        let v: serde_json::Value = serde_json::from_str(&nodes).unwrap();
+        assert_eq!(v.as_array().unwrap().len(), 1);
+
+        let (_, series) = get(http.addr(), "/api/series?bucket_s=60&direction=in");
+        let v: serde_json::Value = serde_json::from_str(&series).unwrap();
+        assert_eq!(v[0]["count"], 1);
+
+        let (_, links) = get(http.addr(), "/api/links");
+        let v: serde_json::Value = serde_json::from_str(&links).unwrap();
+        assert_eq!(v.as_array().unwrap().len(), 1);
+        http.shutdown();
+    }
+
+    #[test]
+    fn bad_report_is_400() {
+        let (http, _server) = start();
+        let (head, body) = post(http.addr(), "/api/reports", b"{broken");
+        assert!(head.contains("400"), "{head}");
+        assert!(body.contains("error"));
+        http.shutdown();
+    }
+
+    #[test]
+    fn unknown_route_is_404() {
+        let (http, _server) = start();
+        let (head, _) = get(http.addr(), "/api/nothing");
+        assert!(head.contains("404"));
+        http.shutdown();
+    }
+
+    #[test]
+    fn stats_and_alerts_endpoints() {
+        let (http, server) = start();
+        server.ingest(&sample_report(), SimTime::from_secs(61));
+        server.evaluate_alerts(SimTime::from_secs(500));
+        let (_, stats) = get(http.addr(), "/api/stats");
+        let v: serde_json::Value = serde_json::from_str(&stats).unwrap();
+        assert_eq!(v["ingest"]["accepted"], 1);
+        let (_, alerts) = get(http.addr(), "/api/alerts");
+        let v: serde_json::Value = serde_json::from_str(&alerts).unwrap();
+        assert!(!v.as_array().unwrap().is_empty());
+        http.shutdown();
+    }
+
+    #[test]
+    fn topology_endpoint() {
+        let (http, server) = start();
+        server.ingest(&sample_report(), SimTime::from_secs(61));
+        let (_, topo) = get(http.addr(), "/api/topology");
+        let v: serde_json::Value = serde_json::from_str(&topo).unwrap();
+        assert_eq!(v["heard_edges"].as_array().unwrap().len(), 1);
+        http.shutdown();
+    }
+
+    #[test]
+    fn new_endpoints_respond() {
+        let (http, server) = start();
+        // A report with a status so status_series has data.
+        let mut rep = sample_report();
+        rep.status = Some(loramon_core::NodeStatus {
+            node: NodeId(1),
+            uptime_ms: 60_000,
+            battery_percent: 93,
+            queue_len: 1,
+            duty_cycle_utilization: 0.2,
+            mesh: Default::default(),
+            routes: vec![],
+        });
+        // Give it an Out record so occupancy is non-empty.
+        rep.records.push(loramon_core::PacketRecord {
+            seq: 1,
+            timestamp_ms: 58_000,
+            direction: Direction::Out,
+            node: NodeId(1),
+            counterpart: NodeId(2),
+            ptype: loramon_mesh::PacketType::Data,
+            origin: NodeId(1),
+            final_dst: NodeId(2),
+            packet_id: 2,
+            ttl: 10,
+            size_bytes: 40,
+            rssi_dbm: None,
+            snr_db: None,
+        });
+        server.ingest(&rep, SimTime::from_secs(61));
+
+        let (_, body) = get(http.addr(), "/api/status_series?node=1");
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v[0]["battery_percent"], 93);
+
+        let (head, _) = get(http.addr(), "/api/status_series");
+        assert!(head.contains("400"), "missing node param not rejected");
+
+        let (_, body) = get(http.addr(), "/api/occupancy?bucket_s=60");
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert!(v[0]["fraction"].as_f64().unwrap() > 0.0);
+
+        let (_, body) = get(http.addr(), "/api/sizes?bin=16");
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert!(!v.as_array().unwrap().is_empty());
+        http.shutdown();
+    }
+
+    #[test]
+    fn command_flow_over_http() {
+        let (http, _server) = start();
+        // Queue a command for node 1.
+        let (head, body) = post(
+            http.addr(),
+            "/api/commands?node=1",
+            br#"{"report_period_s":15}"#,
+        );
+        assert!(head.contains("200 OK"), "{head} {body}");
+        // Missing node param is rejected.
+        let (head, _) = post(http.addr(), "/api/commands", b"{}");
+        assert!(head.contains("400"));
+        // Bad body is rejected.
+        let (head, _) = post(http.addr(), "/api/commands?node=1", b"{nope");
+        assert!(head.contains("400"));
+        // The node's next report exchange carries the command back.
+        let report_body = sample_report().encode_json();
+        let (_, resp) = post(http.addr(), "/api/reports?at_ms=61000", &report_body);
+        let v: serde_json::Value = serde_json::from_str(&resp).unwrap();
+        assert_eq!(v["command"]["report_period_s"], 15);
+        assert!(v["outcome"].to_string().contains("Accepted"), "{v}");
+        // Second exchange: no command left.
+        let mut rep = sample_report();
+        rep.report_seq = 1;
+        let (_, resp) = post(http.addr(), "/api/reports?at_ms=91000", &rep.encode_json());
+        let v: serde_json::Value = serde_json::from_str(&resp).unwrap();
+        assert!(v["command"].is_null());
+        http.shutdown();
+    }
+
+    #[test]
+    fn shutdown_stops_accepting() {
+        let (http, _server) = start();
+        let addr = http.addr();
+        http.shutdown();
+        // Connection may be accepted by the OS backlog, but a fresh
+        // request should eventually fail or be closed without response.
+        let result = TcpStream::connect(addr);
+        if let Ok(mut s) = result {
+            let _ = write!(s, "GET /api/health HTTP/1.1\r\n\r\n");
+            let mut buf = String::new();
+            let _ = s.read_to_string(&mut buf);
+            assert!(buf.is_empty(), "server answered after shutdown: {buf}");
+        }
+    }
+}

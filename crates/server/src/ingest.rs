@@ -1,0 +1,256 @@
+//! Report ingestion: validation and idempotency.
+//!
+//! Clients may retransmit reports when their uplink flaps, and in-band
+//! reports can be duplicated by mesh retransmissions, so ingestion is
+//! idempotent on `(node, report_seq)`. Malformed or inconsistent reports
+//! are rejected and counted rather than silently stored.
+
+use loramon_core::Report;
+use loramon_sim::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Result of offering one report to the ingester.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IngestOutcome {
+    /// Stored; carries the number of packet records accepted.
+    Accepted {
+        /// Records in the stored report.
+        records: usize,
+    },
+    /// Already seen `(node, report_seq)`; not stored again.
+    Duplicate,
+    /// Failed validation; not stored.
+    Invalid(InvalidReason),
+}
+
+/// Why a report failed validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InvalidReason {
+    /// The broadcast address cannot report.
+    BadNodeId,
+    /// A record's `node` field disagrees with the report's `node`.
+    ForeignRecords,
+    /// The status snapshot's node disagrees with the report's node.
+    ForeignStatus,
+    /// Record timestamps exceed the report generation time (clock skew
+    /// beyond tolerance).
+    TimeTravel,
+}
+
+impl std::fmt::Display for InvalidReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InvalidReason::BadNodeId => write!(f, "reserved node address"),
+            InvalidReason::ForeignRecords => write!(f, "records from a different node"),
+            InvalidReason::ForeignStatus => write!(f, "status from a different node"),
+            InvalidReason::TimeTravel => write!(f, "records newer than the report"),
+        }
+    }
+}
+
+/// Ingestion counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IngestStats {
+    /// Reports accepted and stored.
+    pub accepted: u64,
+    /// Duplicate reports suppressed.
+    pub duplicates: u64,
+    /// Reports rejected by validation.
+    pub invalid: u64,
+    /// Packet records accepted inside accepted reports.
+    pub records: u64,
+}
+
+/// Validating, deduplicating report gate.
+#[derive(Debug, Default)]
+pub struct Ingestor {
+    seen: BTreeSet<(NodeId, u32)>,
+    stats: IngestStats,
+}
+
+/// Tolerated clock skew between a record timestamp and the report's
+/// generation time, in milliseconds.
+const SKEW_TOLERANCE_MS: u64 = 5_000;
+
+impl Ingestor {
+    /// A fresh ingester.
+    pub fn new() -> Self {
+        Ingestor::default()
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> IngestStats {
+        self.stats
+    }
+
+    /// Validate and deduplicate a report. On `Accepted` the caller must
+    /// store it; this method only gates.
+    pub fn offer(&mut self, report: &Report) -> IngestOutcome {
+        if let Some(reason) = Self::validate(report) {
+            self.stats.invalid += 1;
+            return IngestOutcome::Invalid(reason);
+        }
+        if !self.seen.insert((report.node, report.report_seq)) {
+            self.stats.duplicates += 1;
+            return IngestOutcome::Duplicate;
+        }
+        self.stats.accepted += 1;
+        self.stats.records += report.records.len() as u64;
+        IngestOutcome::Accepted {
+            records: report.records.len(),
+        }
+    }
+
+    fn validate(report: &Report) -> Option<InvalidReason> {
+        if report.node.is_broadcast() || report.node.raw() == 0 {
+            return Some(InvalidReason::BadNodeId);
+        }
+        if report.records.iter().any(|r| r.node != report.node) {
+            return Some(InvalidReason::ForeignRecords);
+        }
+        if let Some(status) = &report.status {
+            if status.node != report.node {
+                return Some(InvalidReason::ForeignStatus);
+            }
+        }
+        if report
+            .records
+            .iter()
+            .any(|r| r.timestamp_ms > report.generated_at_ms + SKEW_TOLERANCE_MS)
+        {
+            return Some(InvalidReason::TimeTravel);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loramon_core::PacketRecord;
+    use loramon_mesh::{Direction, PacketType};
+
+    fn record(node: u16, ts: u64) -> PacketRecord {
+        PacketRecord {
+            seq: 0,
+            timestamp_ms: ts,
+            direction: Direction::Out,
+            node: NodeId(node),
+            counterpart: NodeId(2),
+            ptype: PacketType::Data,
+            origin: NodeId(node),
+            final_dst: NodeId(2),
+            packet_id: 1,
+            ttl: 10,
+            size_bytes: 20,
+            rssi_dbm: None,
+            snr_db: None,
+        }
+    }
+
+    fn report(node: u16, seq: u32) -> Report {
+        Report {
+            node: NodeId(node),
+            report_seq: seq,
+            generated_at_ms: 60_000,
+            dropped_records: 0,
+            status: None,
+            records: vec![record(node, 10_000)],
+        }
+    }
+
+    #[test]
+    fn accept_then_duplicate() {
+        let mut ing = Ingestor::new();
+        assert_eq!(
+            ing.offer(&report(1, 0)),
+            IngestOutcome::Accepted { records: 1 }
+        );
+        assert_eq!(ing.offer(&report(1, 0)), IngestOutcome::Duplicate);
+        // Same seq from another node is fine.
+        assert!(matches!(
+            ing.offer(&report(2, 0)),
+            IngestOutcome::Accepted { .. }
+        ));
+        let s = ing.stats();
+        assert_eq!((s.accepted, s.duplicates, s.invalid, s.records), (2, 1, 0, 2));
+    }
+
+    #[test]
+    fn broadcast_and_zero_node_rejected() {
+        let mut ing = Ingestor::new();
+        assert_eq!(
+            ing.offer(&report(0xFFFF, 0)),
+            IngestOutcome::Invalid(InvalidReason::BadNodeId)
+        );
+        assert_eq!(
+            ing.offer(&report(0, 0)),
+            IngestOutcome::Invalid(InvalidReason::BadNodeId)
+        );
+    }
+
+    #[test]
+    fn foreign_records_rejected() {
+        let mut ing = Ingestor::new();
+        let mut r = report(1, 0);
+        r.records.push(record(2, 10_000));
+        assert_eq!(
+            ing.offer(&r),
+            IngestOutcome::Invalid(InvalidReason::ForeignRecords)
+        );
+    }
+
+    #[test]
+    fn foreign_status_rejected() {
+        let mut ing = Ingestor::new();
+        let mut r = report(1, 0);
+        r.status = Some(loramon_core::NodeStatus {
+            node: NodeId(2),
+            uptime_ms: 0,
+            battery_percent: 100,
+            queue_len: 0,
+            duty_cycle_utilization: 0.0,
+            mesh: Default::default(),
+            routes: vec![],
+        });
+        assert_eq!(
+            ing.offer(&r),
+            IngestOutcome::Invalid(InvalidReason::ForeignStatus)
+        );
+    }
+
+    #[test]
+    fn future_records_rejected_beyond_tolerance() {
+        let mut ing = Ingestor::new();
+        let mut r = report(1, 0);
+        r.records[0].timestamp_ms = r.generated_at_ms + SKEW_TOLERANCE_MS + 1;
+        assert_eq!(
+            ing.offer(&r),
+            IngestOutcome::Invalid(InvalidReason::TimeTravel)
+        );
+        // Within tolerance passes.
+        let mut ok = report(1, 1);
+        ok.records[0].timestamp_ms = ok.generated_at_ms + SKEW_TOLERANCE_MS;
+        assert!(matches!(ing.offer(&ok), IngestOutcome::Accepted { .. }));
+    }
+
+    #[test]
+    fn invalid_reports_do_not_burn_the_seq() {
+        let mut ing = Ingestor::new();
+        let mut bad = report(1, 0);
+        bad.records.push(record(2, 10_000));
+        let _ = ing.offer(&bad);
+        // A corrected retransmission of the same seq is accepted.
+        assert!(matches!(
+            ing.offer(&report(1, 0)),
+            IngestOutcome::Accepted { .. }
+        ));
+    }
+
+    #[test]
+    fn reason_messages() {
+        assert!(InvalidReason::TimeTravel.to_string().contains("newer"));
+        assert!(InvalidReason::BadNodeId.to_string().contains("reserved"));
+    }
+}

@@ -1,0 +1,54 @@
+//! # loramon-server
+//!
+//! The server side of the LoRa mesh monitoring system: report ingestion,
+//! a time-series store, the query engine behind every dashboard chart,
+//! cross-node packet matching (link PDR, end-to-end delivery/latency),
+//! topology inference, alerting, and a small HTTP API serving both JSON
+//! and the live dashboard page.
+//!
+//! ## Example
+//!
+//! ```
+//! use loramon_server::{MonitorServer, ServerConfig, Window};
+//! use loramon_core::Report;
+//! use loramon_sim::{NodeId, SimTime};
+//! use std::time::Duration;
+//!
+//! let server = MonitorServer::new(ServerConfig::default());
+//! let report = Report {
+//!     node: NodeId(1),
+//!     report_seq: 0,
+//!     generated_at_ms: 30_000,
+//!     dropped_records: 0,
+//!     status: None,
+//!     records: vec![],
+//! };
+//! server.ingest(&report, SimTime::from_secs(31));
+//! assert_eq!(server.node_ids(), vec![NodeId(1)]);
+//! let series = server.series(None, None, Window::all(), Duration::from_secs(60));
+//! assert!(series.is_empty()); // no packet records yet
+//! ```
+
+pub mod alert;
+pub mod archive;
+pub mod health;
+pub mod http;
+pub mod ingest;
+pub mod matcher;
+pub mod query;
+pub mod rollup;
+pub mod server;
+pub mod store;
+pub mod topology;
+
+pub use alert::{Alert, AlertEngine, AlertKind, AlertRules};
+pub use archive::{ArchiveEntry, ArchiveError};
+pub use health::{HealthLevel, HealthRules, NodeHealth};
+pub use http::HttpServer;
+pub use ingest::{IngestOutcome, IngestStats, Ingestor, InvalidReason};
+pub use matcher::{EndToEnd, LinkDelivery};
+pub use query::{LinkStats, NodeSummary, SeriesPoint, StatusPoint, Window};
+pub use rollup::{RollupPoint, Rollups};
+pub use server::{MonitorServer, ServerConfig};
+pub use store::{NodeData, Retention, Store};
+pub use topology::{Topology, TopologyEdge};

@@ -1,0 +1,371 @@
+//! Cross-node packet matching.
+//!
+//! By correlating one node's *outgoing* records with its peers'
+//! *incoming* records, the server derives network-level truths no single
+//! node can see: per-link packet delivery ratio, end-to-end message
+//! delivery, and multi-hop latency. This is what makes the monitoring
+//! system an analysis tool rather than a log viewer (R-Fig-5's
+//! ground-truth companion).
+
+use crate::query::Window;
+use crate::store::Store;
+use loramon_mesh::{Direction, PacketType};
+use loramon_sim::{NodeId, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Duration;
+
+/// Delivery ratio on a directed radio link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkDelivery {
+    /// Transmitting node.
+    pub from: NodeId,
+    /// Link destination.
+    pub to: NodeId,
+    /// Unicast frames the sender reported transmitting to `to`.
+    pub sent: u64,
+    /// Frames `to` reported receiving from `from`.
+    pub received: u64,
+}
+
+impl LinkDelivery {
+    /// Packet delivery ratio (1.0 when nothing was sent).
+    pub fn pdr(&self) -> f64 {
+        if self.sent == 0 {
+            1.0
+        } else {
+            // Duplicates/overcounts can push received past sent; clamp.
+            (self.received as f64 / self.sent as f64).min(1.0)
+        }
+    }
+}
+
+/// Per-link PDR from matched Out/In record counts (unicast only —
+/// broadcast frames have no single intended receiver).
+pub fn link_deliveries(store: &Store, window: Window) -> Vec<LinkDelivery> {
+    let mut sent: BTreeMap<(NodeId, NodeId), u64> = BTreeMap::new();
+    let mut received: BTreeMap<(NodeId, NodeId), u64> = BTreeMap::new();
+    for (id, data) in store.iter() {
+        for r in data.records() {
+            if !window.contains(r.captured_at()) || r.counterpart.is_broadcast() {
+                continue;
+            }
+            match r.direction {
+                Direction::Out => *sent.entry((id, r.counterpart)).or_insert(0) += 1,
+                Direction::In => *received.entry((r.counterpart, id)).or_insert(0) += 1,
+            }
+        }
+    }
+    let links: BTreeSet<(NodeId, NodeId)> = sent.keys().copied().collect();
+    links
+        .into_iter()
+        .map(|link| LinkDelivery {
+            from: link.0,
+            to: link.1,
+            sent: sent.get(&link).copied().unwrap_or(0),
+            received: received.get(&link).copied().unwrap_or(0),
+        })
+        .collect()
+}
+
+/// End-to-end delivery between an origin and a final destination.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EndToEnd {
+    /// Message origin.
+    pub origin: NodeId,
+    /// Final destination.
+    pub final_dst: NodeId,
+    /// Distinct data messages the origin transmitted.
+    pub sent: u64,
+    /// Of those, how many the destination received.
+    pub delivered: u64,
+    /// First-transmission → first-reception latencies of delivered
+    /// messages, in capture-clock terms.
+    pub latencies: Vec<Duration>,
+}
+
+impl EndToEnd {
+    /// Delivery ratio (1.0 when nothing was sent).
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.sent == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.sent as f64
+        }
+    }
+
+    /// Mean latency of delivered messages.
+    pub fn mean_latency(&self) -> Option<Duration> {
+        if self.latencies.is_empty() {
+            return None;
+        }
+        let total: Duration = self.latencies.iter().sum();
+        Some(total / self.latencies.len() as u32)
+    }
+}
+
+/// Match originated data messages against destination receptions.
+///
+/// A message is identified by `(origin, packet_id)`; retransmitted or
+/// multi-segment messages count once. Only pairs where the origin
+/// reported at least one transmission appear.
+pub fn end_to_end(store: &Store, window: Window) -> Vec<EndToEnd> {
+    // (origin, final_dst, packet_id) → first tx time at the origin.
+    let mut first_tx: BTreeMap<(NodeId, NodeId, u16), SimTime> = BTreeMap::new();
+    for (id, data) in store.iter() {
+        for r in data.records() {
+            if r.direction == Direction::Out
+                && r.ptype == PacketType::Data
+                && r.origin == id
+                && !r.final_dst.is_broadcast()
+                && window.contains(r.captured_at())
+            {
+                let key = (r.origin, r.final_dst, r.packet_id);
+                let at = r.captured_at();
+                first_tx
+                    .entry(key)
+                    .and_modify(|t| *t = (*t).min(at))
+                    .or_insert(at);
+            }
+        }
+    }
+    // (origin, final_dst, packet_id) → first rx time at the destination.
+    let mut first_rx: BTreeMap<(NodeId, NodeId, u16), SimTime> = BTreeMap::new();
+    for (id, data) in store.iter() {
+        for r in data.records() {
+            if r.direction == Direction::In
+                && r.ptype == PacketType::Data
+                && r.final_dst == id
+                && window.contains(r.captured_at())
+            {
+                let key = (r.origin, r.final_dst, r.packet_id);
+                let at = r.captured_at();
+                first_rx
+                    .entry(key)
+                    .and_modify(|t| *t = (*t).min(at))
+                    .or_insert(at);
+            }
+        }
+    }
+
+    let mut pairs: BTreeMap<(NodeId, NodeId), EndToEnd> = BTreeMap::new();
+    for (&(origin, dst, _id), &tx_at) in &first_tx {
+        let e = pairs.entry((origin, dst)).or_insert(EndToEnd {
+            origin,
+            final_dst: dst,
+            sent: 0,
+            delivered: 0,
+            latencies: Vec::new(),
+        });
+        e.sent += 1;
+        if let Some(&rx_at) = first_rx.get(&(origin, dst, _id)) {
+            e.delivered += 1;
+            if rx_at >= tx_at {
+                e.latencies.push(rx_at - tx_at);
+            }
+        }
+    }
+    pairs.into_values().collect()
+}
+
+/// Telemetry completeness: how much of what the network transmitted did
+/// the monitoring system actually learn about?
+///
+/// Compares the number of Out records stored against an externally known
+/// ground-truth transmission count (from the simulator's trace).
+pub fn completeness(store: &Store, ground_truth_transmissions: u64) -> f64 {
+    if ground_truth_transmissions == 0 {
+        return 1.0;
+    }
+    let observed: u64 = store
+        .iter()
+        .flat_map(|(_, d)| d.records())
+        .filter(|r| r.direction == Direction::Out)
+        .count() as u64;
+    (observed as f64 / ground_truth_transmissions as f64).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::Retention;
+    use loramon_core::{PacketRecord, Report};
+
+    fn rec(
+        node: u16,
+        ts: u64,
+        dir: Direction,
+        counterpart: u16,
+        origin: u16,
+        final_dst: u16,
+        packet_id: u16,
+    ) -> PacketRecord {
+        PacketRecord {
+            seq: ts,
+            timestamp_ms: ts,
+            direction: dir,
+            node: NodeId(node),
+            counterpart: NodeId(counterpart),
+            ptype: PacketType::Data,
+            origin: NodeId(origin),
+            final_dst: NodeId(final_dst),
+            packet_id,
+            ttl: 5,
+            size_bytes: 30,
+            rssi_dbm: (dir == Direction::In).then_some(-90.0),
+            snr_db: (dir == Direction::In).then_some(5.0),
+        }
+    }
+
+    fn store_from(records_by_node: Vec<(u16, Vec<PacketRecord>)>) -> Store {
+        let mut store = Store::new(Retention::default());
+        for (node, records) in records_by_node {
+            store.insert(
+                &Report {
+                    node: NodeId(node),
+                    report_seq: 0,
+                    generated_at_ms: 1_000_000,
+                    dropped_records: 0,
+                    status: None,
+                    records,
+                },
+                SimTime::from_secs(1000),
+            );
+        }
+        store
+    }
+
+    #[test]
+    fn link_pdr_counts_sent_vs_received() {
+        // Node 1 sends 4 frames to node 2; node 2 hears 3 of them.
+        let store = store_from(vec![
+            (
+                1,
+                (0..4)
+                    .map(|i| rec(1, 1000 + i, Direction::Out, 2, 1, 2, i as u16))
+                    .collect(),
+            ),
+            (
+                2,
+                (0..3)
+                    .map(|i| rec(2, 1100 + i, Direction::In, 1, 1, 2, i as u16))
+                    .collect(),
+            ),
+        ]);
+        let links = link_deliveries(&store, Window::all());
+        assert_eq!(links.len(), 1);
+        let l = &links[0];
+        assert_eq!((l.from, l.to, l.sent, l.received), (NodeId(1), NodeId(2), 4, 3));
+        assert!((l.pdr() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pdr_clamps_at_one() {
+        let l = LinkDelivery {
+            from: NodeId(1),
+            to: NodeId(2),
+            sent: 2,
+            received: 3,
+        };
+        assert_eq!(l.pdr(), 1.0);
+        let empty = LinkDelivery {
+            from: NodeId(1),
+            to: NodeId(2),
+            sent: 0,
+            received: 0,
+        };
+        assert_eq!(empty.pdr(), 1.0);
+    }
+
+    #[test]
+    fn broadcast_frames_excluded_from_links() {
+        let store = store_from(vec![(
+            1,
+            vec![rec(1, 1000, Direction::Out, 0xFFFF, 1, 0xFFFF, 1)],
+        )]);
+        assert!(link_deliveries(&store, Window::all()).is_empty());
+    }
+
+    #[test]
+    fn end_to_end_matches_and_measures_latency() {
+        // Origin 1 sends messages 1 and 2 toward node 3 (via 2);
+        // message 1 arrives 400 ms later, message 2 is lost.
+        let store = store_from(vec![
+            (
+                1,
+                vec![
+                    rec(1, 1_000, Direction::Out, 2, 1, 3, 1),
+                    rec(1, 5_000, Direction::Out, 2, 1, 3, 2),
+                ],
+            ),
+            (3, vec![rec(3, 1_400, Direction::In, 2, 1, 3, 1)]),
+        ]);
+        let e2e = end_to_end(&store, Window::all());
+        assert_eq!(e2e.len(), 1);
+        let e = &e2e[0];
+        assert_eq!((e.sent, e.delivered), (2, 1));
+        assert!((e.delivery_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(e.mean_latency(), Some(Duration::from_millis(400)));
+    }
+
+    #[test]
+    fn retransmissions_count_one_message() {
+        // Same packet_id transmitted twice (a retry) → sent = 1.
+        let store = store_from(vec![
+            (
+                1,
+                vec![
+                    rec(1, 1_000, Direction::Out, 2, 1, 3, 7),
+                    rec(1, 9_000, Direction::Out, 2, 1, 3, 7),
+                ],
+            ),
+            (
+                3,
+                vec![
+                    rec(3, 9_500, Direction::In, 2, 1, 3, 7),
+                    rec(3, 9_900, Direction::In, 2, 1, 3, 7),
+                ],
+            ),
+        ]);
+        let e2e = end_to_end(&store, Window::all());
+        assert_eq!(e2e[0].sent, 1);
+        assert_eq!(e2e[0].delivered, 1);
+        // Latency is first-tx → first-rx.
+        assert_eq!(e2e[0].latencies, vec![Duration::from_millis(8_500)]);
+    }
+
+    #[test]
+    fn forwarder_transmissions_not_counted_as_origination() {
+        // Node 2 forwards node 1's message: its Out record has origin 1,
+        // so it must not create a (2 → 3) end-to-end pair.
+        let store = store_from(vec![
+            (1, vec![rec(1, 1_000, Direction::Out, 2, 1, 3, 1)]),
+            (2, vec![rec(2, 1_200, Direction::Out, 3, 1, 3, 1)]),
+            (3, vec![rec(3, 1_400, Direction::In, 2, 1, 3, 1)]),
+        ]);
+        let e2e = end_to_end(&store, Window::all());
+        assert_eq!(e2e.len(), 1);
+        assert_eq!(e2e[0].origin, NodeId(1));
+    }
+
+    #[test]
+    fn empty_pairs_absent() {
+        let store = store_from(vec![(3, vec![rec(3, 1_400, Direction::In, 2, 1, 3, 1)])]);
+        // Destination heard something but the origin never reported: no
+        // pair (we cannot know `sent`).
+        assert!(end_to_end(&store, Window::all()).is_empty());
+    }
+
+    #[test]
+    fn completeness_fraction() {
+        let store = store_from(vec![(
+            1,
+            (0..8)
+                .map(|i| rec(1, 1000 + i, Direction::Out, 2, 1, 2, i as u16))
+                .collect(),
+        )]);
+        assert!((completeness(&store, 10) - 0.8).abs() < 1e-12);
+        assert_eq!(completeness(&store, 0), 1.0);
+        assert_eq!(completeness(&store, 4), 1.0, "clamped");
+    }
+}

@@ -1,0 +1,628 @@
+//! The query engine: everything the dashboard plots is computed here.
+//!
+//! All functions are pure reads over a [`Store`], so they are trivially
+//! testable and can be benchmarked in isolation (R-Tab-3 companion).
+
+use crate::store::Store;
+use loramon_mesh::{Direction, MeshStats, PacketType};
+use loramon_phy::RadioConfig;
+use loramon_sim::{NodeId, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// A half-open time window `[from, to)` over record capture time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Window {
+    /// Inclusive start.
+    pub from: SimTime,
+    /// Exclusive end.
+    pub to: SimTime,
+}
+
+impl Window {
+    /// A window covering everything.
+    pub fn all() -> Self {
+        Window {
+            from: SimTime::ZERO,
+            to: SimTime::from_micros(u64::MAX),
+        }
+    }
+
+    /// The window `[to - len, to)`.
+    pub fn last(len: Duration, to: SimTime) -> Self {
+        let from = SimTime::from_micros(to.as_micros().saturating_sub(len.as_micros() as u64));
+        Window { from, to }
+    }
+
+    /// Whether `t` falls inside.
+    pub fn contains(&self, t: SimTime) -> bool {
+        self.from <= t && t < self.to
+    }
+}
+
+/// One point of a bucketed time series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SeriesPoint {
+    /// Bucket start time.
+    pub bucket: SimTime,
+    /// Count within the bucket.
+    pub count: u64,
+}
+
+/// Packets per time bucket — the dashboard's headline chart (R-Fig-2).
+///
+/// Filters: a specific node (or all), a direction (or both). Buckets are
+/// aligned to multiples of `bucket` from time zero; empty buckets within
+/// the observed span are included so plots show gaps honestly.
+///
+/// # Panics
+///
+/// Panics if `bucket` is zero.
+pub fn packets_over_time(
+    store: &Store,
+    node: Option<NodeId>,
+    direction: Option<Direction>,
+    window: Window,
+    bucket: Duration,
+) -> Vec<SeriesPoint> {
+    assert!(!bucket.is_zero(), "bucket must be non-zero");
+    let bucket_us = bucket.as_micros() as u64;
+    let mut counts: BTreeMap<u64, u64> = BTreeMap::new();
+    for (id, data) in store.iter() {
+        if node.is_some_and(|n| n != id) {
+            continue;
+        }
+        for r in data.records() {
+            if direction.is_some_and(|d| d != r.direction) {
+                continue;
+            }
+            let at = r.captured_at();
+            if !window.contains(at) {
+                continue;
+            }
+            let b = at.as_micros() / bucket_us * bucket_us;
+            *counts.entry(b).or_insert(0) += 1;
+        }
+    }
+    let (&first, &last) = match (counts.keys().next(), counts.keys().next_back()) {
+        (Some(f), Some(l)) => (f, l),
+        _ => return Vec::new(),
+    };
+    (first..=last)
+        .step_by(bucket_us as usize)
+        .map(|b| SeriesPoint {
+            bucket: SimTime::from_micros(b),
+            count: counts.get(&b).copied().unwrap_or(0),
+        })
+        .collect()
+}
+
+/// Aggregate link quality on a directed radio link (R-Fig-3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkStats {
+    /// Transmitting node.
+    pub from: NodeId,
+    /// Receiving (reporting) node.
+    pub to: NodeId,
+    /// Received packets observed on the link.
+    pub packets: u64,
+    /// Mean RSSI in dBm.
+    pub mean_rssi_dbm: f64,
+    /// Minimum RSSI.
+    pub min_rssi_dbm: f64,
+    /// Maximum RSSI.
+    pub max_rssi_dbm: f64,
+    /// Mean SNR in dB.
+    pub mean_snr_db: f64,
+}
+
+/// Per-link reception statistics, computed from incoming records
+/// (link = record counterpart → reporting node).
+pub fn link_stats(store: &Store, window: Window) -> Vec<LinkStats> {
+    #[derive(Default)]
+    struct Acc {
+        n: u64,
+        rssi_sum: f64,
+        rssi_min: f64,
+        rssi_max: f64,
+        snr_sum: f64,
+    }
+    let mut acc: BTreeMap<(NodeId, NodeId), Acc> = BTreeMap::new();
+    for (id, data) in store.iter() {
+        for r in data.records() {
+            if r.direction != Direction::In || !window.contains(r.captured_at()) {
+                continue;
+            }
+            let (Some(rssi), Some(snr)) = (r.rssi_dbm, r.snr_db) else {
+                continue;
+            };
+            let a = acc.entry((r.counterpart, id)).or_insert(Acc {
+                n: 0,
+                rssi_sum: 0.0,
+                rssi_min: f64::INFINITY,
+                rssi_max: f64::NEG_INFINITY,
+                snr_sum: 0.0,
+            });
+            a.n += 1;
+            a.rssi_sum += rssi;
+            a.rssi_min = a.rssi_min.min(rssi);
+            a.rssi_max = a.rssi_max.max(rssi);
+            a.snr_sum += snr;
+        }
+    }
+    acc.into_iter()
+        .map(|((from, to), a)| LinkStats {
+            from,
+            to,
+            packets: a.n,
+            mean_rssi_dbm: a.rssi_sum / a.n as f64,
+            min_rssi_dbm: a.rssi_min,
+            max_rssi_dbm: a.rssi_max,
+            mean_snr_db: a.snr_sum / a.n as f64,
+        })
+        .collect()
+}
+
+/// RSSI histogram over incoming records.
+///
+/// Returns `(bin_start_dbm, count)` pairs for non-empty bins, ascending.
+///
+/// # Panics
+///
+/// Panics if `bin_db` is not positive.
+pub fn rssi_histogram(
+    store: &Store,
+    node: Option<NodeId>,
+    window: Window,
+    bin_db: f64,
+) -> Vec<(f64, u64)> {
+    assert!(bin_db > 0.0, "bin width must be positive");
+    let mut bins: BTreeMap<i64, u64> = BTreeMap::new();
+    for (id, data) in store.iter() {
+        if node.is_some_and(|n| n != id) {
+            continue;
+        }
+        for r in data.records() {
+            let Some(rssi) = r.rssi_dbm else { continue };
+            if !window.contains(r.captured_at()) {
+                continue;
+            }
+            let bin = (rssi / bin_db).floor() as i64;
+            *bins.entry(bin).or_insert(0) += 1;
+        }
+    }
+    bins.into_iter()
+        .map(|(bin, count)| (bin as f64 * bin_db, count))
+        .collect()
+}
+
+/// Packet counts by mesh packet type.
+pub fn type_breakdown(
+    store: &Store,
+    node: Option<NodeId>,
+    window: Window,
+) -> BTreeMap<PacketType, u64> {
+    let mut out = BTreeMap::new();
+    for (id, data) in store.iter() {
+        if node.is_some_and(|n| n != id) {
+            continue;
+        }
+        for r in data.records() {
+            if window.contains(r.captured_at()) {
+                *out.entry(r.ptype).or_insert(0) += 1;
+            }
+        }
+    }
+    out
+}
+
+/// A node's headline row in the dashboard.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSummary {
+    /// The node.
+    pub node: NodeId,
+    /// Server time its last report arrived.
+    pub last_report_at: Option<SimTime>,
+    /// Reports accepted.
+    pub reports: u64,
+    /// Reports inferred missing (sequence gaps).
+    pub missing_reports: u64,
+    /// Records ever accepted.
+    pub records: u64,
+    /// Client-side buffer drops reported.
+    pub client_dropped: u64,
+    /// Latest battery percentage, if a status was received.
+    pub battery_percent: Option<u8>,
+    /// Latest uptime, if known.
+    pub uptime_ms: Option<u64>,
+    /// Latest outbound queue depth, if known.
+    pub queue_len: Option<u32>,
+    /// Latest duty-cycle utilization, if known.
+    pub duty_cycle_utilization: Option<f64>,
+    /// Destinations reachable per the latest routing table.
+    pub reachable: Option<usize>,
+    /// Latest mesh counters, if known.
+    pub mesh: Option<MeshStats>,
+}
+
+/// One point of a node's self-reported status history.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StatusPoint {
+    /// Server receive time of the snapshot.
+    pub at: SimTime,
+    /// Battery percentage.
+    pub battery_percent: u8,
+    /// Outbound queue depth.
+    pub queue_len: u32,
+    /// Duty-cycle utilization.
+    pub duty_cycle_utilization: f64,
+    /// Destinations reachable.
+    pub reachable: u32,
+}
+
+/// A node's status history (battery/queue/duty/reachability over time) —
+/// the per-node health charts of the dashboard.
+pub fn status_series(store: &Store, node: NodeId) -> Vec<StatusPoint> {
+    store
+        .node(node)
+        .map(|data| {
+            data.statuses()
+                .iter()
+                .map(|(at, s)| StatusPoint {
+                    at: *at,
+                    battery_percent: s.battery_percent,
+                    queue_len: s.queue_len,
+                    duty_cycle_utilization: s.duty_cycle_utilization,
+                    reachable: s.routes.len() as u32,
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Estimated channel occupancy per time bucket: the fraction of each
+/// bucket spent on the air, reconstructed from *outgoing* records'
+/// sizes via the airtime formula for `radio`.
+///
+/// This is the server-side estimate of what the regulator enforces
+/// locally — a disagreement flags a misconfigured node.
+///
+/// # Panics
+///
+/// Panics if `bucket` is zero.
+pub fn channel_occupancy(
+    store: &Store,
+    window: Window,
+    radio: &RadioConfig,
+    bucket: Duration,
+) -> Vec<(SimTime, f64)> {
+    assert!(!bucket.is_zero(), "bucket must be non-zero");
+    let bucket_us = bucket.as_micros() as u64;
+    let mut airtime_us: BTreeMap<u64, u64> = BTreeMap::new();
+    for (_, data) in store.iter() {
+        for r in data.records() {
+            if r.direction != Direction::Out || !window.contains(r.captured_at()) {
+                continue;
+            }
+            // The record's size covers the whole frame; subtract nothing.
+            let toa = loramon_phy::airtime::time_on_air_us(radio, r.size_bytes as usize);
+            let b = r.captured_at().as_micros() / bucket_us * bucket_us;
+            *airtime_us.entry(b).or_insert(0) += toa;
+        }
+    }
+    airtime_us
+        .into_iter()
+        .map(|(b, us)| (SimTime::from_micros(b), us as f64 / bucket_us as f64))
+        .collect()
+}
+
+/// Packet-size histogram over all records (both directions), as
+/// `(bin_start_bytes, count)` for non-empty bins.
+///
+/// # Panics
+///
+/// Panics if `bin_bytes` is zero.
+pub fn size_histogram(
+    store: &Store,
+    node: Option<NodeId>,
+    window: Window,
+    bin_bytes: u32,
+) -> Vec<(u32, u64)> {
+    assert!(bin_bytes > 0, "bin width must be positive");
+    let mut bins: BTreeMap<u32, u64> = BTreeMap::new();
+    for (id, data) in store.iter() {
+        if node.is_some_and(|n| n != id) {
+            continue;
+        }
+        for r in data.records() {
+            if window.contains(r.captured_at()) {
+                *bins.entry(r.size_bytes / bin_bytes * bin_bytes).or_insert(0) += 1;
+            }
+        }
+    }
+    bins.into_iter().collect()
+}
+
+/// One summary row per reporting node, in address order.
+pub fn node_summaries(store: &Store) -> Vec<NodeSummary> {
+    store
+        .iter()
+        .map(|(node, data)| {
+            let latest = data.latest_status();
+            NodeSummary {
+                node,
+                last_report_at: data.last_report_at(),
+                reports: data.reports_received(),
+                missing_reports: data.missing_reports(),
+                records: data.records_total(),
+                client_dropped: data.client_dropped(),
+                battery_percent: latest.map(|s| s.battery_percent),
+                uptime_ms: latest.map(|s| s.uptime_ms),
+                queue_len: latest.map(|s| s.queue_len),
+                duty_cycle_utilization: latest.map(|s| s.duty_cycle_utilization),
+                reachable: latest.map(|s| s.routes.len()),
+                mesh: latest.map(|s| s.mesh),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::Retention;
+    use loramon_core::{PacketRecord, Report};
+
+    fn record(node: u16, ts_ms: u64, dir: Direction, from: u16, rssi: f64) -> PacketRecord {
+        PacketRecord {
+            seq: ts_ms,
+            timestamp_ms: ts_ms,
+            direction: dir,
+            node: NodeId(node),
+            counterpart: NodeId(from),
+            ptype: if ts_ms.is_multiple_of(2) {
+                PacketType::Data
+            } else {
+                PacketType::Routing
+            },
+            origin: NodeId(from),
+            final_dst: NodeId(node),
+            packet_id: 1,
+            ttl: 5,
+            size_bytes: 30,
+            rssi_dbm: (dir == Direction::In).then_some(rssi),
+            snr_db: (dir == Direction::In).then_some(5.0),
+        }
+    }
+
+    fn seed_store() -> Store {
+        let mut store = Store::new(Retention::default());
+        // Node 1 receives from node 2 at t = 1 s, 2 s, 61 s.
+        let report1 = Report {
+            node: NodeId(1),
+            report_seq: 0,
+            generated_at_ms: 100_000,
+            dropped_records: 0,
+            status: None,
+            records: vec![
+                record(1, 1_000, Direction::In, 2, -90.0),
+                record(1, 2_000, Direction::In, 2, -100.0),
+                record(1, 61_000, Direction::In, 2, -95.0),
+                record(1, 1_500, Direction::Out, 2, 0.0),
+            ],
+        };
+        // Node 2 receives one packet from node 1.
+        let report2 = Report {
+            node: NodeId(2),
+            report_seq: 0,
+            generated_at_ms: 100_000,
+            dropped_records: 0,
+            status: None,
+            records: vec![record(2, 1_600, Direction::In, 1, -91.0)],
+        };
+        store.insert(&report1, SimTime::from_secs(101));
+        store.insert(&report2, SimTime::from_secs(101));
+        store
+    }
+
+    #[test]
+    fn series_buckets_and_gaps() {
+        let store = seed_store();
+        let series = packets_over_time(
+            &store,
+            Some(NodeId(1)),
+            Some(Direction::In),
+            Window::all(),
+            Duration::from_secs(60),
+        );
+        // Buckets 0 s and 60 s, with the empty middle impossible here
+        // (adjacent); counts: 2 then 1.
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].count, 2);
+        assert_eq!(series[1].count, 1);
+        assert_eq!(series[1].bucket, SimTime::from_secs(60));
+    }
+
+    #[test]
+    fn series_includes_empty_middle_buckets() {
+        let store = seed_store();
+        let series = packets_over_time(
+            &store,
+            Some(NodeId(1)),
+            Some(Direction::In),
+            Window::all(),
+            Duration::from_secs(10),
+        );
+        // 0 s bucket .. 60 s bucket → 7 buckets, middles empty.
+        assert_eq!(series.len(), 7);
+        assert!(series[1..6].iter().all(|p| p.count == 0));
+    }
+
+    #[test]
+    fn series_direction_and_node_filters() {
+        let store = seed_store();
+        let all_dirs = packets_over_time(
+            &store,
+            Some(NodeId(1)),
+            None,
+            Window::all(),
+            Duration::from_secs(3600),
+        );
+        assert_eq!(all_dirs[0].count, 4);
+        let both_nodes = packets_over_time(
+            &store,
+            None,
+            None,
+            Window::all(),
+            Duration::from_secs(3600),
+        );
+        assert_eq!(both_nodes[0].count, 5);
+    }
+
+    #[test]
+    fn empty_store_yields_empty_series() {
+        let store = Store::new(Retention::default());
+        assert!(packets_over_time(
+            &store,
+            None,
+            None,
+            Window::all(),
+            Duration::from_secs(60)
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn link_stats_aggregate_per_directed_link() {
+        let store = seed_store();
+        let links = link_stats(&store, Window::all());
+        assert_eq!(links.len(), 2);
+        let l21 = links
+            .iter()
+            .find(|l| l.from == NodeId(2) && l.to == NodeId(1))
+            .unwrap();
+        assert_eq!(l21.packets, 3);
+        assert!((l21.mean_rssi_dbm - (-95.0)).abs() < 1e-9);
+        assert_eq!(l21.min_rssi_dbm, -100.0);
+        assert_eq!(l21.max_rssi_dbm, -90.0);
+        let l12 = links
+            .iter()
+            .find(|l| l.from == NodeId(1) && l.to == NodeId(2))
+            .unwrap();
+        assert_eq!(l12.packets, 1);
+    }
+
+    #[test]
+    fn histogram_bins() {
+        let store = seed_store();
+        let hist = rssi_histogram(&store, Some(NodeId(1)), Window::all(), 5.0);
+        // -90 → bin -90, -100 → bin -100, -95 → bin -95.
+        let bins: Vec<f64> = hist.iter().map(|(b, _)| *b).collect();
+        assert_eq!(bins, vec![-100.0, -95.0, -90.0]);
+        assert!(hist.iter().all(|&(_, c)| c == 1));
+    }
+
+    #[test]
+    fn breakdown_counts_types() {
+        let store = seed_store();
+        let breakdown = type_breakdown(&store, None, Window::all());
+        let total: u64 = breakdown.values().sum();
+        assert_eq!(total, 5);
+        assert!(breakdown.contains_key(&PacketType::Data));
+    }
+
+    #[test]
+    fn window_filtering() {
+        let store = seed_store();
+        let w = Window {
+            from: SimTime::from_secs(60),
+            to: SimTime::from_secs(120),
+        };
+        let links = link_stats(&store, w);
+        assert_eq!(links.len(), 1);
+        assert_eq!(links[0].packets, 1);
+    }
+
+    #[test]
+    fn window_last_helper() {
+        let w = Window::last(Duration::from_secs(60), SimTime::from_secs(100));
+        assert!(w.contains(SimTime::from_secs(40)));
+        assert!(!w.contains(SimTime::from_secs(39)));
+        assert!(!w.contains(SimTime::from_secs(100)));
+        // Saturates at zero.
+        let w0 = Window::last(Duration::from_secs(60), SimTime::from_secs(10));
+        assert_eq!(w0.from, SimTime::ZERO);
+    }
+
+    #[test]
+    fn status_series_tracks_history() {
+        use crate::store::Retention;
+        use loramon_core::NodeStatus;
+        let mut store = Store::new(Retention::default());
+        for seq in 0..3u32 {
+            store.insert(
+                &Report {
+                    node: NodeId(1),
+                    report_seq: seq,
+                    generated_at_ms: 30_000 * u64::from(seq + 1),
+                    dropped_records: 0,
+                    status: Some(NodeStatus {
+                        node: NodeId(1),
+                        uptime_ms: 0,
+                        battery_percent: 100 - seq as u8 * 10,
+                        queue_len: seq,
+                        duty_cycle_utilization: 0.1 * f64::from(seq),
+                        mesh: Default::default(),
+                        routes: vec![],
+                    }),
+                    records: vec![],
+                },
+                SimTime::from_secs(30 * u64::from(seq + 1)),
+            );
+        }
+        let series = status_series(&store, NodeId(1));
+        assert_eq!(series.len(), 3);
+        assert_eq!(series[0].battery_percent, 100);
+        assert_eq!(series[2].battery_percent, 80);
+        assert!(series.windows(2).all(|w| w[0].at < w[1].at));
+        assert!(status_series(&store, NodeId(9)).is_empty());
+    }
+
+    #[test]
+    fn channel_occupancy_estimates_airtime_fraction() {
+        let store = seed_store();
+        let radio = RadioConfig::mesher_default();
+        // One Out record of 30 bytes at t=1.5 s → ~72 ms airtime in the
+        // first 60 s bucket → ~0.12% occupancy.
+        let occ = channel_occupancy(
+            &store,
+            Window::all(),
+            &radio,
+            Duration::from_secs(60),
+        );
+        assert_eq!(occ.len(), 1);
+        let (bucket, fraction) = occ[0];
+        assert_eq!(bucket, SimTime::ZERO);
+        assert!(fraction > 0.0005 && fraction < 0.01, "fraction {fraction}");
+    }
+
+    #[test]
+    fn size_histogram_bins_by_bytes() {
+        let store = seed_store();
+        let hist = size_histogram(&store, None, Window::all(), 16);
+        // All seeded records are 30 bytes → one bin at 16.
+        assert_eq!(hist, vec![(16, 5)]);
+        assert!(size_histogram(&store, Some(NodeId(9)), Window::all(), 16).is_empty());
+    }
+
+    #[test]
+    fn summaries_without_status() {
+        let store = seed_store();
+        let summaries = node_summaries(&store);
+        assert_eq!(summaries.len(), 2);
+        assert_eq!(summaries[0].node, NodeId(1));
+        assert_eq!(summaries[0].records, 4);
+        assert_eq!(summaries[0].battery_percent, None);
+    }
+}

@@ -1,0 +1,224 @@
+//! Long-horizon rollups.
+//!
+//! Raw packet records are trimmed by retention; an operator still wants
+//! month-scale charts. Rollups absorb every accepted report into fixed
+//! time buckets of per-node aggregates (packet counts by direction,
+//! RSSI statistics, byte volume) that are tiny and never trimmed —
+//! the classic raw/downsampled split of a time-series database.
+
+use loramon_core::Report;
+use loramon_mesh::Direction;
+use loramon_sim::{NodeId, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// One rollup bucket for one node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RollupPoint {
+    /// Bucket start (capture-time domain).
+    pub bucket: SimTime,
+    /// The node.
+    pub node: NodeId,
+    /// Packets received in the bucket.
+    pub in_count: u64,
+    /// Packets transmitted in the bucket.
+    pub out_count: u64,
+    /// Bytes across both directions.
+    pub bytes: u64,
+    /// Mean RSSI of receptions (0 when none).
+    pub mean_rssi_dbm: f64,
+    /// Receptions contributing to the RSSI mean.
+    pub rssi_samples: u64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Acc {
+    in_count: u64,
+    out_count: u64,
+    bytes: u64,
+    rssi_sum: f64,
+    rssi_samples: u64,
+}
+
+/// The rollup accumulator.
+#[derive(Debug)]
+pub struct Rollups {
+    bucket_us: u64,
+    cells: BTreeMap<(NodeId, u64), Acc>,
+}
+
+impl Rollups {
+    /// Rollups with the given bucket length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket` is zero.
+    pub fn new(bucket: Duration) -> Self {
+        assert!(!bucket.is_zero(), "bucket must be non-zero");
+        Rollups {
+            bucket_us: bucket.as_micros() as u64,
+            cells: BTreeMap::new(),
+        }
+    }
+
+    /// The configured bucket length.
+    pub fn bucket(&self) -> Duration {
+        Duration::from_micros(self.bucket_us)
+    }
+
+    /// Absorb one accepted report. Duplicate reports must be filtered
+    /// *before* this (the ingester already does).
+    pub fn absorb(&mut self, report: &Report) {
+        for r in &report.records {
+            let bucket = r.captured_at().as_micros() / self.bucket_us * self.bucket_us;
+            let acc = self.cells.entry((report.node, bucket)).or_default();
+            match r.direction {
+                Direction::In => {
+                    acc.in_count += 1;
+                    if let Some(rssi) = r.rssi_dbm {
+                        acc.rssi_sum += rssi;
+                        acc.rssi_samples += 1;
+                    }
+                }
+                Direction::Out => acc.out_count += 1,
+            }
+            acc.bytes += u64::from(r.size_bytes);
+        }
+    }
+
+    /// The rolled-up series for one node, or all nodes merged when
+    /// `node` is `None` (merged points carry node `0000`).
+    /// Bucket-ascending.
+    pub fn series(&self, node: Option<NodeId>) -> Vec<RollupPoint> {
+        let mut merged: BTreeMap<u64, Acc> = BTreeMap::new();
+        for (&(n, bucket), acc) in &self.cells {
+            if node.is_some_and(|q| q != n) {
+                continue;
+            }
+            let entry = merged.entry(bucket).or_default();
+            entry.in_count += acc.in_count;
+            entry.out_count += acc.out_count;
+            entry.bytes += acc.bytes;
+            entry.rssi_sum += acc.rssi_sum;
+            entry.rssi_samples += acc.rssi_samples;
+        }
+        merged
+            .into_iter()
+            .map(|(bucket, acc)| RollupPoint {
+                bucket: SimTime::from_micros(bucket),
+                node: node.unwrap_or(NodeId(0)),
+                in_count: acc.in_count,
+                out_count: acc.out_count,
+                bytes: acc.bytes,
+                mean_rssi_dbm: if acc.rssi_samples > 0 {
+                    acc.rssi_sum / acc.rssi_samples as f64
+                } else {
+                    0.0
+                },
+                rssi_samples: acc.rssi_samples,
+            })
+            .collect()
+    }
+
+    /// Number of stored cells (node × bucket pairs).
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether nothing has been absorbed.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loramon_core::PacketRecord;
+    use loramon_mesh::PacketType;
+
+    fn record(ts_ms: u64, dir: Direction, rssi: Option<f64>) -> PacketRecord {
+        PacketRecord {
+            seq: ts_ms,
+            timestamp_ms: ts_ms,
+            direction: dir,
+            node: NodeId(1),
+            counterpart: NodeId(2),
+            ptype: PacketType::Data,
+            origin: NodeId(2),
+            final_dst: NodeId(1),
+            packet_id: 1,
+            ttl: 5,
+            size_bytes: 25,
+            rssi_dbm: rssi,
+            snr_db: rssi.map(|_| 5.0),
+        }
+    }
+
+    fn report(records: Vec<PacketRecord>) -> Report {
+        Report {
+            node: NodeId(1),
+            report_seq: 0,
+            generated_at_ms: 1_000_000,
+            dropped_records: 0,
+            status: None,
+            records,
+        }
+    }
+
+    #[test]
+    fn absorb_buckets_by_capture_time() {
+        let mut r = Rollups::new(Duration::from_secs(60));
+        r.absorb(&report(vec![
+            record(10_000, Direction::In, Some(-90.0)),
+            record(20_000, Direction::In, Some(-100.0)),
+            record(30_000, Direction::Out, None),
+            record(70_000, Direction::In, Some(-95.0)),
+        ]));
+        let series = r.series(Some(NodeId(1)));
+        assert_eq!(series.len(), 2);
+        let first = &series[0];
+        assert_eq!(first.bucket, SimTime::ZERO);
+        assert_eq!((first.in_count, first.out_count), (2, 1));
+        assert_eq!(first.bytes, 75);
+        assert!((first.mean_rssi_dbm - (-95.0)).abs() < 1e-9);
+        let second = &series[1];
+        assert_eq!(second.bucket, SimTime::from_secs(60));
+        assert_eq!(second.in_count, 1);
+    }
+
+    #[test]
+    fn series_merges_all_nodes_when_unfiltered() {
+        let mut r = Rollups::new(Duration::from_secs(60));
+        r.absorb(&report(vec![record(10_000, Direction::In, Some(-90.0))]));
+        let mut rep2 = report(vec![]);
+        rep2.node = NodeId(2);
+        rep2.records = vec![{
+            let mut rec = record(20_000, Direction::In, Some(-80.0));
+            rec.node = NodeId(2);
+            rec
+        }];
+        r.absorb(&rep2);
+        let merged = r.series(None);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].in_count, 2);
+        assert!((merged[0].mean_rssi_dbm - (-85.0)).abs() < 1e-9);
+        // Filtered views stay separate.
+        assert_eq!(r.series(Some(NodeId(1)))[0].in_count, 1);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn empty_rollups() {
+        let r = Rollups::new(Duration::from_secs(60));
+        assert!(r.is_empty());
+        assert!(r.series(None).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket")]
+    fn zero_bucket_panics() {
+        let _ = Rollups::new(Duration::ZERO);
+    }
+}

@@ -1,0 +1,454 @@
+//! The monitoring server facade.
+//!
+//! [`MonitorServer`] bundles ingestion, storage, queries, topology
+//! inference and alerting behind one cheaply clonable, thread-safe
+//! handle — the object the HTTP API (and every harness) talks to.
+
+use crate::alert::{Alert, AlertEngine, AlertKind, AlertRules};
+use crate::ingest::{IngestOutcome, IngestStats, Ingestor};
+use crate::matcher::{self, EndToEnd, LinkDelivery};
+use crate::query::{self, LinkStats, NodeSummary, SeriesPoint, StatusPoint, Window};
+use crate::store::{Retention, Store};
+use crate::topology::{self, Topology};
+use loramon_core::{MonitorCommand, Report, WireError};
+use loramon_mesh::{Direction, PacketType};
+use loramon_sim::{NodeId, SimTime};
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Server configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ServerConfig {
+    /// Store retention policy.
+    pub retention: Retention,
+    /// Alerting thresholds.
+    pub alert_rules: AlertRules,
+    /// Keep accepted reports in an in-memory archive for later export
+    /// via [`MonitorServer::archive_entries`] (default off).
+    pub archive: bool,
+    /// Rollup bucket length; `None` disables rollups (the default).
+    pub rollup_bucket: Option<Duration>,
+}
+
+struct State {
+    ingestor: Ingestor,
+    store: Store,
+    alerts: AlertEngine,
+    /// Latest receive time seen — the server's notion of "now".
+    clock: SimTime,
+    archive: Option<Vec<crate::archive::ArchiveEntry>>,
+    rollups: Option<crate::rollup::Rollups>,
+    /// Pending configuration commands, one merged command per node,
+    /// picked up with the node's next report.
+    pending_commands: BTreeMap<NodeId, MonitorCommand>,
+}
+
+/// Thread-safe monitoring server handle.
+#[derive(Clone)]
+pub struct MonitorServer {
+    inner: Arc<RwLock<State>>,
+}
+
+impl MonitorServer {
+    /// A server with the given configuration.
+    pub fn new(config: ServerConfig) -> Self {
+        MonitorServer {
+            inner: Arc::new(RwLock::new(State {
+                ingestor: Ingestor::new(),
+                store: Store::new(config.retention),
+                alerts: AlertEngine::new(config.alert_rules),
+                clock: SimTime::ZERO,
+                archive: config.archive.then(Vec::new),
+                rollups: config.rollup_bucket.map(crate::rollup::Rollups::new),
+                pending_commands: BTreeMap::new(),
+            })),
+        }
+    }
+
+    /// Ingest one report received at server time `received_at`.
+    pub fn ingest(&self, report: &Report, received_at: SimTime) -> IngestOutcome {
+        let mut state = self.inner.write();
+        state.clock = state.clock.max(received_at);
+        let outcome = state.ingestor.offer(report);
+        if matches!(outcome, IngestOutcome::Accepted { .. }) {
+            state.store.insert(report, received_at);
+            if let Some(archive) = &mut state.archive {
+                archive.push(crate::archive::ArchiveEntry::new(
+                    received_at,
+                    report.clone(),
+                ));
+            }
+            if let Some(rollups) = &mut state.rollups {
+                rollups.absorb(report);
+            }
+        }
+        outcome
+    }
+
+    /// The rolled-up series for a node (or all merged); empty unless
+    /// [`ServerConfig::rollup_bucket`] was set.
+    pub fn rollup_series(&self, node: Option<NodeId>) -> Vec<crate::rollup::RollupPoint> {
+        self.inner
+            .read()
+            .rollups
+            .as_ref()
+            .map(|r| r.series(node))
+            .unwrap_or_default()
+    }
+
+    /// A copy of the archived accepted reports (empty unless
+    /// [`ServerConfig::archive`] was set).
+    pub fn archive_entries(&self) -> Vec<crate::archive::ArchiveEntry> {
+        self.inner.read().archive.clone().unwrap_or_default()
+    }
+
+    /// Queue a configuration command for a node. Commands merge (later
+    /// fields win) and are delivered with the node's next report
+    /// exchange via [`take_command`](MonitorServer::take_command).
+    pub fn queue_command(&self, node: NodeId, command: MonitorCommand) {
+        if command.is_empty() {
+            return;
+        }
+        let mut state = self.inner.write();
+        let entry = state
+            .pending_commands
+            .entry(node)
+            .or_default();
+        *entry = entry.merged_with(command);
+    }
+
+    /// Take (and clear) the pending command for a node — called when the
+    /// node checks in with a report.
+    pub fn take_command(&self, node: NodeId) -> Option<MonitorCommand> {
+        self.inner.write().pending_commands.remove(&node)
+    }
+
+    /// Peek at the pending command for a node without clearing it.
+    pub fn pending_command(&self, node: NodeId) -> Option<MonitorCommand> {
+        self.inner.read().pending_commands.get(&node).copied()
+    }
+
+    /// Ingest a report and hand back any pending command for the
+    /// reporting node — the full uplink exchange.
+    pub fn ingest_with_command(
+        &self,
+        report: &Report,
+        received_at: SimTime,
+    ) -> (IngestOutcome, Option<MonitorCommand>) {
+        let outcome = self.ingest(report, received_at);
+        let command = self.take_command(report.node);
+        (outcome, command)
+    }
+
+    /// Ingest a JSON-encoded report (the HTTP path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] when the body is not a valid report.
+    pub fn ingest_json(
+        &self,
+        body: &[u8],
+        received_at: SimTime,
+    ) -> Result<IngestOutcome, WireError> {
+        let report = Report::decode_json(body)?;
+        Ok(self.ingest(&report, received_at))
+    }
+
+    /// Ingestion counters.
+    pub fn ingest_stats(&self) -> IngestStats {
+        self.inner.read().ingestor.stats()
+    }
+
+    /// The server's clock: the latest receive time seen.
+    pub fn clock(&self) -> SimTime {
+        self.inner.read().clock
+    }
+
+    /// All reporting nodes.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        self.inner.read().store.node_ids()
+    }
+
+    /// Per-node dashboard summaries.
+    pub fn node_summaries(&self) -> Vec<NodeSummary> {
+        query::node_summaries(&self.inner.read().store)
+    }
+
+    /// Records currently retained across all nodes.
+    pub fn total_records(&self) -> usize {
+        self.inner.read().store.total_records()
+    }
+
+    /// Packets-over-time series (R-Fig-2).
+    pub fn series(
+        &self,
+        node: Option<NodeId>,
+        direction: Option<Direction>,
+        window: Window,
+        bucket: Duration,
+    ) -> Vec<SeriesPoint> {
+        query::packets_over_time(&self.inner.read().store, node, direction, window, bucket)
+    }
+
+    /// Per-link reception statistics (R-Fig-3).
+    pub fn link_stats(&self, window: Window) -> Vec<LinkStats> {
+        query::link_stats(&self.inner.read().store, window)
+    }
+
+    /// RSSI histogram.
+    pub fn rssi_histogram(
+        &self,
+        node: Option<NodeId>,
+        window: Window,
+        bin_db: f64,
+    ) -> Vec<(f64, u64)> {
+        query::rssi_histogram(&self.inner.read().store, node, window, bin_db)
+    }
+
+    /// Packet-type breakdown.
+    pub fn type_breakdown(
+        &self,
+        node: Option<NodeId>,
+        window: Window,
+    ) -> BTreeMap<PacketType, u64> {
+        query::type_breakdown(&self.inner.read().store, node, window)
+    }
+
+    /// Per-link delivery ratios from Out/In matching.
+    pub fn link_deliveries(&self, window: Window) -> Vec<LinkDelivery> {
+        matcher::link_deliveries(&self.inner.read().store, window)
+    }
+
+    /// A node's self-reported status history.
+    pub fn status_series(&self, node: NodeId) -> Vec<StatusPoint> {
+        query::status_series(&self.inner.read().store, node)
+    }
+
+    /// Estimated channel occupancy per bucket, reconstructed from
+    /// outgoing records and the airtime formula for `radio`.
+    pub fn channel_occupancy(
+        &self,
+        window: Window,
+        radio: &loramon_phy::RadioConfig,
+        bucket: Duration,
+    ) -> Vec<(SimTime, f64)> {
+        query::channel_occupancy(&self.inner.read().store, window, radio, bucket)
+    }
+
+    /// Packet-size histogram.
+    pub fn size_histogram(
+        &self,
+        node: Option<NodeId>,
+        window: Window,
+        bin_bytes: u32,
+    ) -> Vec<(u32, u64)> {
+        query::size_histogram(&self.inner.read().store, node, window, bin_bytes)
+    }
+
+    /// End-to-end message delivery and latency.
+    pub fn end_to_end(&self, window: Window) -> Vec<EndToEnd> {
+        matcher::end_to_end(&self.inner.read().store, window)
+    }
+
+    /// Telemetry completeness against a ground-truth transmission count.
+    pub fn completeness(&self, ground_truth_transmissions: u64) -> f64 {
+        matcher::completeness(&self.inner.read().store, ground_truth_transmissions)
+    }
+
+    /// Inferred topology (R-Fig-4).
+    pub fn topology(&self, window: Window) -> Topology {
+        topology::infer(&self.inner.read().store, window)
+    }
+
+    /// Evaluate alert rules at server time `now`; returns newly fired
+    /// alerts.
+    pub fn evaluate_alerts(&self, now: SimTime) -> Vec<Alert> {
+        let mut state = self.inner.write();
+        state.clock = state.clock.max(now);
+        // Split borrows: evaluate takes &Store and &mut AlertEngine.
+        let State { store, alerts, .. } = &mut *state;
+        alerts.evaluate(store, now)
+    }
+
+    /// Every alert ever fired.
+    pub fn alert_history(&self) -> Vec<Alert> {
+        self.inner.read().alerts.history().to_vec()
+    }
+
+    /// Currently active alert conditions.
+    pub fn active_alerts(&self) -> Vec<(NodeId, AlertKind)> {
+        self.inner.read().alerts.active()
+    }
+
+    /// Composite per-node health at server time `now`.
+    pub fn health(&self, rules: &crate::health::HealthRules, now: SimTime) -> Vec<crate::health::NodeHealth> {
+        crate::health::assess(&self.inner.read().store, rules, now)
+    }
+}
+
+impl std::fmt::Debug for MonitorServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.inner.read();
+        f.debug_struct("MonitorServer")
+            .field("nodes", &state.store.len())
+            .field("records", &state.store.total_records())
+            .field("clock", &state.clock)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loramon_core::PacketRecord;
+
+    fn report(node: u16, seq: u32) -> Report {
+        Report {
+            node: NodeId(node),
+            report_seq: seq,
+            generated_at_ms: 30_000 * u64::from(seq + 1),
+            dropped_records: 0,
+            status: None,
+            records: vec![PacketRecord {
+                seq: u64::from(seq),
+                timestamp_ms: 30_000 * u64::from(seq + 1) - 1000,
+                direction: Direction::In,
+                node: NodeId(node),
+                counterpart: NodeId(2),
+                ptype: PacketType::Routing,
+                origin: NodeId(2),
+                final_dst: NodeId::BROADCAST,
+                packet_id: seq as u16,
+                ttl: 1,
+                size_bytes: 20,
+                rssi_dbm: Some(-90.0),
+                snr_db: Some(5.0),
+            }],
+        }
+    }
+
+    #[test]
+    fn ingest_and_query_roundtrip() {
+        let server = MonitorServer::new(ServerConfig::default());
+        let out = server.ingest(&report(1, 0), SimTime::from_secs(31));
+        assert!(matches!(out, IngestOutcome::Accepted { records: 1 }));
+        assert_eq!(server.node_ids(), vec![NodeId(1)]);
+        assert_eq!(server.total_records(), 1);
+        assert_eq!(server.clock(), SimTime::from_secs(31));
+        let series = server.series(None, None, Window::all(), Duration::from_secs(60));
+        assert_eq!(series.iter().map(|p| p.count).sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn json_ingest_path() {
+        let server = MonitorServer::new(ServerConfig::default());
+        let body = report(1, 0).encode_json();
+        let out = server.ingest_json(&body, SimTime::from_secs(31)).unwrap();
+        assert!(matches!(out, IngestOutcome::Accepted { .. }));
+        assert!(server.ingest_json(b"junk", SimTime::from_secs(32)).is_err());
+    }
+
+    #[test]
+    fn duplicates_not_stored_twice() {
+        let server = MonitorServer::new(ServerConfig::default());
+        server.ingest(&report(1, 0), SimTime::from_secs(31));
+        let out = server.ingest(&report(1, 0), SimTime::from_secs(32));
+        assert_eq!(out, IngestOutcome::Duplicate);
+        assert_eq!(server.total_records(), 1);
+        assert_eq!(server.ingest_stats().duplicates, 1);
+    }
+
+    #[test]
+    fn alert_flow_through_facade() {
+        let server = MonitorServer::new(ServerConfig::default());
+        server.ingest(&report(1, 0), SimTime::from_secs(31));
+        let fired = server.evaluate_alerts(SimTime::from_secs(500));
+        assert!(fired.iter().any(|a| a.kind == AlertKind::NodeSilent));
+        assert_eq!(server.alert_history().len(), fired.len());
+        assert!(!server.active_alerts().is_empty());
+    }
+
+    #[test]
+    fn rollups_survive_retention_trimming() {
+        use crate::store::Retention;
+        let config = ServerConfig {
+            retention: Retention {
+                max_records_per_node: 3,
+                ..Retention::default()
+            },
+            rollup_bucket: Some(Duration::from_secs(60)),
+            ..ServerConfig::default()
+        };
+        let server = MonitorServer::new(config);
+        for seq in 0..10u32 {
+            server.ingest(&report(1, seq), SimTime::from_secs(30 * u64::from(seq + 1)));
+        }
+        // Raw store trimmed to the cap…
+        assert_eq!(server.total_records(), 3);
+        // …but rollups cover all 10 records.
+        let total: u64 = server
+            .rollup_series(Some(NodeId(1)))
+            .iter()
+            .map(|p| p.in_count + p.out_count)
+            .sum();
+        assert_eq!(total, 10);
+        // Disabled by default.
+        let plain = MonitorServer::new(ServerConfig::default());
+        plain.ingest(&report(1, 0), SimTime::from_secs(30));
+        assert!(plain.rollup_series(None).is_empty());
+    }
+
+    #[test]
+    fn commands_merge_and_deliver_once() {
+        let server = MonitorServer::new(ServerConfig::default());
+        server.queue_command(
+            NodeId(1),
+            MonitorCommand::set_report_period(Duration::from_secs(10)),
+        );
+        server.queue_command(
+            NodeId(1),
+            MonitorCommand {
+                include_status: Some(false),
+                ..MonitorCommand::default()
+            },
+        );
+        // Merged view visible before delivery.
+        let pending = server.pending_command(NodeId(1)).unwrap();
+        assert_eq!(pending.report_period_s, Some(10));
+        assert_eq!(pending.include_status, Some(false));
+        // Delivered with the next report, exactly once.
+        let (outcome, cmd) = server.ingest_with_command(&report(1, 0), SimTime::from_secs(31));
+        assert!(matches!(outcome, IngestOutcome::Accepted { .. }));
+        assert_eq!(cmd, Some(pending));
+        let (_, cmd2) = server.ingest_with_command(&report(1, 1), SimTime::from_secs(61));
+        assert_eq!(cmd2, None);
+        // Other nodes unaffected.
+        assert_eq!(server.pending_command(NodeId(2)), None);
+    }
+
+    #[test]
+    fn empty_commands_are_not_queued() {
+        let server = MonitorServer::new(ServerConfig::default());
+        server.queue_command(NodeId(1), MonitorCommand::default());
+        assert_eq!(server.pending_command(NodeId(1)), None);
+    }
+
+    #[test]
+    fn handle_is_cloneable_and_shared() {
+        let server = MonitorServer::new(ServerConfig::default());
+        let clone = server.clone();
+        server.ingest(&report(1, 0), SimTime::from_secs(31));
+        assert_eq!(clone.total_records(), 1);
+    }
+
+    #[test]
+    fn debug_shows_counts() {
+        let server = MonitorServer::new(ServerConfig::default());
+        server.ingest(&report(1, 0), SimTime::from_secs(31));
+        let s = format!("{server:?}");
+        assert!(s.contains("nodes: 1"));
+    }
+}

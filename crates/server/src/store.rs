@@ -1,0 +1,359 @@
+//! The server-side monitoring store.
+//!
+//! Holds, per reporting node, the packet records and status snapshots
+//! received so far, with time-based and count-based retention. This is
+//! the substrate every query, topology inference and alert rule reads.
+
+use loramon_core::{NodeStatus, PacketRecord, Report};
+use loramon_sim::{NodeId, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Retention policy for stored data.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Retention {
+    /// Drop records older than this (by capture time) relative to the
+    /// newest data. Default 24 h.
+    pub max_age: Duration,
+    /// Hard cap on records kept per node. Default 100 000.
+    pub max_records_per_node: usize,
+    /// Hard cap on status snapshots kept per node. Default 10 000.
+    pub max_statuses_per_node: usize,
+}
+
+impl Default for Retention {
+    fn default() -> Self {
+        Retention {
+            max_age: Duration::from_secs(24 * 3600),
+            max_records_per_node: 100_000,
+            max_statuses_per_node: 10_000,
+        }
+    }
+}
+
+/// Per-node stored data.
+#[derive(Debug, Clone, Default)]
+pub struct NodeData {
+    /// Packet records, sorted by capture time.
+    records: Vec<PacketRecord>,
+    /// Status snapshots with server receive time, in receive order.
+    statuses: Vec<(SimTime, NodeStatus)>,
+    /// Server time the last report arrived.
+    last_report_at: Option<SimTime>,
+    /// Highest report sequence seen.
+    last_report_seq: Option<u32>,
+    /// Reports accepted from this node.
+    reports_received: u64,
+    /// Total records ever accepted (pre-retention).
+    records_total: u64,
+    /// Sum of client-reported buffer drops.
+    client_dropped: u64,
+    /// Reports missing, inferred from sequence gaps.
+    missing_reports: u64,
+}
+
+impl NodeData {
+    /// Records currently retained, sorted by capture time.
+    pub fn records(&self) -> &[PacketRecord] {
+        &self.records
+    }
+
+    /// Status snapshots currently retained (receive time, status).
+    pub fn statuses(&self) -> &[(SimTime, NodeStatus)] {
+        &self.statuses
+    }
+
+    /// The most recent status snapshot.
+    pub fn latest_status(&self) -> Option<&NodeStatus> {
+        self.statuses.last().map(|(_, s)| s)
+    }
+
+    /// Server time the last report arrived.
+    pub fn last_report_at(&self) -> Option<SimTime> {
+        self.last_report_at
+    }
+
+    /// Highest report sequence seen.
+    pub fn last_report_seq(&self) -> Option<u32> {
+        self.last_report_seq
+    }
+
+    /// Reports accepted.
+    pub fn reports_received(&self) -> u64 {
+        self.reports_received
+    }
+
+    /// Records ever accepted (before retention trimming).
+    pub fn records_total(&self) -> u64 {
+        self.records_total
+    }
+
+    /// Client-side buffer drops reported.
+    pub fn client_dropped(&self) -> u64 {
+        self.client_dropped
+    }
+
+    /// Reports inferred missing from sequence gaps.
+    pub fn missing_reports(&self) -> u64 {
+        self.missing_reports
+    }
+
+    fn insert_report(&mut self, report: &Report, received_at: SimTime) {
+        if let Some(prev) = self.last_report_seq {
+            if report.report_seq > prev + 1 {
+                self.missing_reports += u64::from(report.report_seq - prev - 1);
+            }
+        } else if report.report_seq > 0 {
+            self.missing_reports += u64::from(report.report_seq);
+        }
+        self.last_report_seq = Some(
+            self.last_report_seq
+                .map_or(report.report_seq, |p| p.max(report.report_seq)),
+        );
+        self.last_report_at = Some(
+            self.last_report_at
+                .map_or(received_at, |p| p.max(received_at)),
+        );
+        self.reports_received += 1;
+        self.client_dropped += report.dropped_records;
+        self.records_total += report.records.len() as u64;
+
+        for r in &report.records {
+            // Records usually arrive in order; insert-sort from the back.
+            let pos = self
+                .records
+                .iter()
+                .rposition(|x| x.timestamp_ms <= r.timestamp_ms)
+                .map_or(0, |p| p + 1);
+            self.records.insert(pos, r.clone());
+        }
+        if let Some(status) = &report.status {
+            self.statuses.push((received_at, status.clone()));
+        }
+    }
+
+    fn enforce_retention(&mut self, retention: &Retention) {
+        if let Some(newest) = self.records.last().map(|r| r.timestamp_ms) {
+            let horizon = newest.saturating_sub(retention.max_age.as_millis() as u64);
+            let keep_from = self
+                .records
+                .iter()
+                .position(|r| r.timestamp_ms >= horizon)
+                .unwrap_or(self.records.len());
+            self.records.drain(..keep_from);
+        }
+        if self.records.len() > retention.max_records_per_node {
+            let excess = self.records.len() - retention.max_records_per_node;
+            self.records.drain(..excess);
+        }
+        if self.statuses.len() > retention.max_statuses_per_node {
+            let excess = self.statuses.len() - retention.max_statuses_per_node;
+            self.statuses.drain(..excess);
+        }
+    }
+}
+
+/// The whole store: one [`NodeData`] per reporting node.
+#[derive(Debug, Default)]
+pub struct Store {
+    nodes: BTreeMap<NodeId, NodeData>,
+    retention: Retention,
+}
+
+impl Store {
+    /// An empty store with the given retention.
+    pub fn new(retention: Retention) -> Self {
+        Store {
+            nodes: BTreeMap::new(),
+            retention,
+        }
+    }
+
+    /// Insert an accepted report.
+    pub fn insert(&mut self, report: &Report, received_at: SimTime) {
+        let data = self.nodes.entry(report.node).or_default();
+        data.insert_report(report, received_at);
+        data.enforce_retention(&self.retention);
+    }
+
+    /// All known node ids.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        self.nodes.keys().copied().collect()
+    }
+
+    /// Data for one node.
+    pub fn node(&self, id: NodeId) -> Option<&NodeData> {
+        self.nodes.get(&id)
+    }
+
+    /// Iterate all `(node, data)` pairs in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &NodeData)> {
+        self.nodes.iter().map(|(&id, d)| (id, d))
+    }
+
+    /// Number of reporting nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the store has seen no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Total records currently retained across nodes.
+    pub fn total_records(&self) -> usize {
+        self.nodes.values().map(|d| d.records.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loramon_mesh::{Direction, PacketType};
+
+    fn record(ts_ms: u64, node: u16) -> PacketRecord {
+        PacketRecord {
+            seq: ts_ms,
+            timestamp_ms: ts_ms,
+            direction: Direction::In,
+            node: NodeId(node),
+            counterpart: NodeId(99),
+            ptype: PacketType::Data,
+            origin: NodeId(99),
+            final_dst: NodeId(node),
+            packet_id: 1,
+            ttl: 5,
+            size_bytes: 30,
+            rssi_dbm: Some(-90.0),
+            snr_db: Some(5.0),
+        }
+    }
+
+    fn report(node: u16, seq: u32, records: Vec<PacketRecord>) -> Report {
+        Report {
+            node: NodeId(node),
+            report_seq: seq,
+            generated_at_ms: 1000 * u64::from(seq),
+            dropped_records: 0,
+            status: None,
+            records,
+        }
+    }
+
+    #[test]
+    fn insert_and_query_basics() {
+        let mut store = Store::new(Retention::default());
+        store.insert(&report(1, 0, vec![record(10, 1), record(20, 1)]), SimTime::from_secs(1));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.total_records(), 2);
+        let d = store.node(NodeId(1)).unwrap();
+        assert_eq!(d.reports_received(), 1);
+        assert_eq!(d.records_total(), 2);
+        assert_eq!(d.last_report_seq(), Some(0));
+        assert!(store.node(NodeId(2)).is_none());
+    }
+
+    #[test]
+    fn records_stay_sorted_even_out_of_order() {
+        let mut store = Store::new(Retention::default());
+        store.insert(&report(1, 1, vec![record(50, 1)]), SimTime::from_secs(1));
+        store.insert(&report(1, 0, vec![record(10, 1), record(30, 1)]), SimTime::from_secs(2));
+        let d = store.node(NodeId(1)).unwrap();
+        let ts: Vec<u64> = d.records().iter().map(|r| r.timestamp_ms).collect();
+        assert_eq!(ts, vec![10, 30, 50]);
+    }
+
+    #[test]
+    fn sequence_gaps_are_counted() {
+        let mut store = Store::new(Retention::default());
+        store.insert(&report(1, 0, vec![]), SimTime::from_secs(1));
+        store.insert(&report(1, 3, vec![]), SimTime::from_secs(2));
+        let d = store.node(NodeId(1)).unwrap();
+        assert_eq!(d.missing_reports(), 2);
+        // Starting at a nonzero sequence implies missed reports too.
+        let mut store2 = Store::new(Retention::default());
+        store2.insert(&report(2, 5, vec![]), SimTime::from_secs(1));
+        assert_eq!(store2.node(NodeId(2)).unwrap().missing_reports(), 5);
+    }
+
+    #[test]
+    fn age_retention_trims_old_records() {
+        let retention = Retention {
+            max_age: Duration::from_secs(10),
+            ..Retention::default()
+        };
+        let mut store = Store::new(retention);
+        store.insert(
+            &report(1, 0, vec![record(1_000, 1), record(5_000, 1), record(20_000, 1)]),
+            SimTime::from_secs(21),
+        );
+        let d = store.node(NodeId(1)).unwrap();
+        // horizon = 20000 - 10000 = 10000 → only the 20 s record stays.
+        assert_eq!(d.records().len(), 1);
+        assert_eq!(d.records_total(), 3, "totals unaffected by retention");
+    }
+
+    #[test]
+    fn count_retention_caps_records() {
+        let retention = Retention {
+            max_records_per_node: 5,
+            ..Retention::default()
+        };
+        let mut store = Store::new(retention);
+        let records: Vec<PacketRecord> = (0..12).map(|i| record(i * 100, 1)).collect();
+        store.insert(&report(1, 0, records), SimTime::from_secs(1));
+        let d = store.node(NodeId(1)).unwrap();
+        assert_eq!(d.records().len(), 5);
+        // The newest survive.
+        assert_eq!(d.records()[0].timestamp_ms, 700);
+    }
+
+    #[test]
+    fn statuses_tracked_and_capped() {
+        let retention = Retention {
+            max_statuses_per_node: 2,
+            ..Retention::default()
+        };
+        let mut store = Store::new(retention);
+        for seq in 0..4u32 {
+            let mut rep = report(1, seq, vec![]);
+            rep.status = Some(NodeStatus {
+                node: NodeId(1),
+                uptime_ms: 1000 * u64::from(seq),
+                battery_percent: 100 - seq as u8,
+                queue_len: 0,
+                duty_cycle_utilization: 0.0,
+                mesh: Default::default(),
+                routes: vec![],
+            });
+            store.insert(&rep, SimTime::from_secs(u64::from(seq)));
+        }
+        let d = store.node(NodeId(1)).unwrap();
+        assert_eq!(d.statuses().len(), 2);
+        assert_eq!(d.latest_status().unwrap().battery_percent, 97);
+    }
+
+    #[test]
+    fn client_drops_accumulate() {
+        let mut store = Store::new(Retention::default());
+        let mut rep = report(1, 0, vec![]);
+        rep.dropped_records = 7;
+        store.insert(&rep, SimTime::from_secs(1));
+        let mut rep2 = report(1, 1, vec![]);
+        rep2.dropped_records = 3;
+        store.insert(&rep2, SimTime::from_secs(2));
+        assert_eq!(store.node(NodeId(1)).unwrap().client_dropped(), 10);
+    }
+
+    #[test]
+    fn iter_in_address_order() {
+        let mut store = Store::new(Retention::default());
+        store.insert(&report(5, 0, vec![]), SimTime::from_secs(1));
+        store.insert(&report(2, 0, vec![]), SimTime::from_secs(1));
+        let order: Vec<NodeId> = store.iter().map(|(id, _)| id).collect();
+        assert_eq!(order, vec![NodeId(2), NodeId(5)]);
+        assert!(!store.is_empty());
+    }
+}

@@ -1,0 +1,148 @@
+//! The application interface: what runs "on" each simulated node.
+//!
+//! The mesh protocol (and anything else that wants a radio) implements
+//! [`Application`]. Callbacks receive a [`crate::sim::Context`] through
+//! which they transmit frames, set timers and query the node.
+
+use crate::sim::Context;
+use crate::time::SimTime;
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::any::Any;
+use std::time::Duration;
+
+/// Opaque handle identifying one `transmit` request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TxToken(pub u64);
+
+/// Outcome of a `transmit` request, delivered via
+/// [`Application::on_tx_result`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TxResult {
+    /// The frame was put on the air; the radio is free again.
+    Sent {
+        /// Time the frame spent on the air.
+        airtime: Duration,
+    },
+    /// The radio was already transmitting.
+    Busy,
+    /// The duty-cycle regulator refused the transmission.
+    DutyCycleBlocked {
+        /// Earliest compliant retry time (`None` if the frame can never
+        /// comply, e.g. it alone exceeds the budget).
+        retry_at: Option<SimTime>,
+    },
+}
+
+impl TxResult {
+    /// Whether the frame actually went out.
+    pub fn is_sent(&self) -> bool {
+        matches!(self, TxResult::Sent { .. })
+    }
+}
+
+/// A frame handed to [`Application::on_frame`], with the PHY metadata the
+/// monitoring client records.
+#[derive(Debug, Clone)]
+pub struct ReceivedFrame {
+    /// The raw payload.
+    pub payload: Bytes,
+    /// The transmission id (useful for cross-referencing the trace).
+    pub tx_id: u64,
+    /// Received signal strength in dBm.
+    pub rssi_dbm: f64,
+    /// Signal-to-noise ratio in dB.
+    pub snr_db: f64,
+    /// When the transmission started.
+    pub started: SimTime,
+    /// When the reception completed (= now).
+    pub ended: SimTime,
+}
+
+/// Code running on a simulated node.
+///
+/// All methods other than [`on_start`](Application::on_start) have no-op
+/// defaults. Implementors must provide [`as_any`](Application::as_any) /
+/// [`as_any_mut`](Application::as_any_mut) (usually `self`) so harnesses
+/// can recover concrete state after a run via
+/// [`Simulator::app_as`](crate::sim::Simulator::app_as).
+pub trait Application {
+    /// Called once when the simulation starts (and again on recovery from
+    /// a failure, unless [`on_recover`](Application::on_recover) is
+    /// overridden).
+    fn on_start(&mut self, ctx: &mut Context<'_>);
+
+    /// A frame was demodulated by this node's radio.
+    fn on_frame(&mut self, ctx: &mut Context<'_>, frame: &ReceivedFrame) {
+        let _ = (ctx, frame);
+    }
+
+    /// The outcome of an earlier `transmit` call.
+    fn on_tx_result(&mut self, ctx: &mut Context<'_>, token: TxToken, result: TxResult) {
+        let _ = (ctx, token, result);
+    }
+
+    /// A timer set via [`Context::set_timer`](crate::sim::Context::set_timer)
+    /// fired.
+    fn on_timer(&mut self, ctx: &mut Context<'_>, timer: u64) {
+        let _ = (ctx, timer);
+    }
+
+    /// The node recovered from an injected failure. Defaults to
+    /// re-running [`on_start`](Application::on_start).
+    fn on_recover(&mut self, ctx: &mut Context<'_>) {
+        self.on_start(ctx);
+    }
+
+    /// Borrow as `Any` for post-run state extraction.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutably borrow as `Any`.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// A trivial application that never transmits — useful as a passive
+/// sniffer in tests.
+#[derive(Debug, Default)]
+pub struct IdleApp {
+    /// Frames overheard.
+    pub frames_seen: Vec<ReceivedFrame>,
+}
+
+impl Application for IdleApp {
+    fn on_start(&mut self, _ctx: &mut Context<'_>) {}
+
+    fn on_frame(&mut self, _ctx: &mut Context<'_>, frame: &ReceivedFrame) {
+        self.frames_seen.push(frame.clone());
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tx_result_is_sent() {
+        assert!(TxResult::Sent {
+            airtime: Duration::from_millis(10)
+        }
+        .is_sent());
+        assert!(!TxResult::Busy.is_sent());
+        assert!(!TxResult::DutyCycleBlocked { retry_at: None }.is_sent());
+    }
+
+    #[test]
+    fn idle_app_downcasts() {
+        let app = IdleApp::default();
+        let any: &dyn Any = app.as_any();
+        assert!(any.downcast_ref::<IdleApp>().is_some());
+    }
+}

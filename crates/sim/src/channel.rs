@@ -1,0 +1,213 @@
+//! The shared radio medium: a log of transmissions and overlap queries.
+//!
+//! The channel keeps a sliding record of every transmission. When one
+//! ends, the simulator asks which other records overlapped it at a given
+//! receiver to drive the capture-effect evaluation.
+
+use crate::node::NodeId;
+use crate::time::SimTime;
+use bytes::Bytes;
+use loramon_phy::RadioConfig;
+use std::time::Duration;
+
+/// Channel-wide stochastic parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelParams {
+    /// Per-packet fast-fading standard deviation in dB (on top of the
+    /// per-link log-normal shadowing from the path-loss model).
+    pub fading_sigma_db: f64,
+    /// How long completed transmissions are kept for interference queries.
+    /// Must exceed the longest possible airtime; 30 s is generous.
+    pub retention: Duration,
+}
+
+impl Default for ChannelParams {
+    fn default() -> Self {
+        ChannelParams {
+            fading_sigma_db: 1.0,
+            retention: Duration::from_secs(30),
+        }
+    }
+}
+
+/// One transmission on the medium.
+#[derive(Debug, Clone)]
+pub struct TxRecord {
+    /// Unique transmission id.
+    pub tx_id: u64,
+    /// Index of the sender in the simulator's node table.
+    pub sender_idx: usize,
+    /// Sender's address.
+    pub sender: NodeId,
+    /// Radio configuration used for this transmission.
+    pub config: RadioConfig,
+    /// The payload bytes.
+    pub payload: Bytes,
+    /// Start of the transmission.
+    pub start: SimTime,
+    /// End of the transmission.
+    pub end: SimTime,
+    /// End of the preamble (start of header/payload).
+    pub preamble_end: SimTime,
+}
+
+impl TxRecord {
+    /// Whether this record overlaps the interval `[start, end)` in time.
+    pub fn overlaps(&self, start: SimTime, end: SimTime) -> bool {
+        self.start < end && start < self.end
+    }
+
+    /// Whether this record is still on the air at `now`.
+    pub fn active_at(&self, now: SimTime) -> bool {
+        self.start <= now && now < self.end
+    }
+}
+
+/// The medium.
+#[derive(Debug, Default)]
+pub struct Channel {
+    records: Vec<TxRecord>,
+}
+
+impl Channel {
+    /// An empty channel.
+    pub fn new() -> Self {
+        Channel::default()
+    }
+
+    /// Register a new transmission.
+    pub fn add(&mut self, record: TxRecord) {
+        self.records.push(record);
+    }
+
+    /// Find a record by id.
+    pub fn get(&self, tx_id: u64) -> Option<&TxRecord> {
+        self.records.iter().find(|r| r.tx_id == tx_id)
+    }
+
+    /// All records overlapping `[start, end)` except `exclude_tx`.
+    pub fn overlapping(
+        &self,
+        start: SimTime,
+        end: SimTime,
+        exclude_tx: u64,
+    ) -> impl Iterator<Item = &TxRecord> {
+        self.records
+            .iter()
+            .filter(move |r| r.tx_id != exclude_tx && r.overlaps(start, end))
+    }
+
+    /// Records from a given sender overlapping `[start, end)`.
+    pub fn sender_overlaps(&self, sender_idx: usize, start: SimTime, end: SimTime) -> bool {
+        self.records
+            .iter()
+            .any(|r| r.sender_idx == sender_idx && r.overlaps(start, end))
+    }
+
+    /// Records still on the air at `now`.
+    pub fn active(&self, now: SimTime) -> impl Iterator<Item = &TxRecord> {
+        self.records.iter().filter(move |r| r.active_at(now))
+    }
+
+    /// Drop records that ended more than `retention` before `now`.
+    pub fn prune(&mut self, now: SimTime, retention: Duration) {
+        let horizon = SimTime::from_micros(
+            now.as_micros()
+                .saturating_sub(retention.as_micros() as u64),
+        );
+        self.records.retain(|r| r.end >= horizon);
+    }
+
+    /// Number of records currently retained.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no records are retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(tx_id: u64, sender_idx: usize, start_ms: u64, end_ms: u64) -> TxRecord {
+        TxRecord {
+            tx_id,
+            sender_idx,
+            sender: NodeId(sender_idx as u16 + 1),
+            config: RadioConfig::mesher_default(),
+            payload: Bytes::from_static(b"x"),
+            start: SimTime::from_millis(start_ms),
+            end: SimTime::from_millis(end_ms),
+            preamble_end: SimTime::from_millis(start_ms + 12),
+        }
+    }
+
+    #[test]
+    fn overlap_semantics_are_half_open() {
+        let r = rec(1, 0, 100, 200);
+        assert!(r.overlaps(SimTime::from_millis(150), SimTime::from_millis(160)));
+        assert!(r.overlaps(SimTime::from_millis(50), SimTime::from_millis(101)));
+        assert!(r.overlaps(SimTime::from_millis(199), SimTime::from_millis(300)));
+        // Touching endpoints do not overlap.
+        assert!(!r.overlaps(SimTime::from_millis(200), SimTime::from_millis(300)));
+        assert!(!r.overlaps(SimTime::from_millis(50), SimTime::from_millis(100)));
+    }
+
+    #[test]
+    fn active_at_window() {
+        let r = rec(1, 0, 100, 200);
+        assert!(!r.active_at(SimTime::from_millis(99)));
+        assert!(r.active_at(SimTime::from_millis(100)));
+        assert!(r.active_at(SimTime::from_millis(199)));
+        assert!(!r.active_at(SimTime::from_millis(200)));
+    }
+
+    #[test]
+    fn overlapping_excludes_self() {
+        let mut c = Channel::new();
+        c.add(rec(1, 0, 100, 200));
+        c.add(rec(2, 1, 150, 250));
+        c.add(rec(3, 2, 300, 400));
+        let hits: Vec<u64> = c
+            .overlapping(SimTime::from_millis(100), SimTime::from_millis(200), 1)
+            .map(|r| r.tx_id)
+            .collect();
+        assert_eq!(hits, vec![2]);
+    }
+
+    #[test]
+    fn sender_overlap_detects_half_duplex() {
+        let mut c = Channel::new();
+        c.add(rec(1, 3, 100, 200));
+        assert!(c.sender_overlaps(3, SimTime::from_millis(150), SimTime::from_millis(300)));
+        assert!(!c.sender_overlaps(4, SimTime::from_millis(150), SimTime::from_millis(300)));
+        assert!(!c.sender_overlaps(3, SimTime::from_millis(200), SimTime::from_millis(300)));
+    }
+
+    #[test]
+    fn prune_drops_old_records() {
+        let mut c = Channel::new();
+        c.add(rec(1, 0, 0, 100));
+        c.add(rec(2, 0, 5_000, 5_100));
+        c.prune(SimTime::from_secs(10), Duration::from_secs(6));
+        assert_eq!(c.len(), 1);
+        assert!(c.get(2).is_some());
+        assert!(c.get(1).is_none());
+    }
+
+    #[test]
+    fn active_iterator() {
+        let mut c = Channel::new();
+        c.add(rec(1, 0, 100, 200));
+        c.add(rec(2, 1, 150, 250));
+        let active: Vec<u64> = c
+            .active(SimTime::from_millis(220))
+            .map(|r| r.tx_id)
+            .collect();
+        assert_eq!(active, vec![2]);
+    }
+}

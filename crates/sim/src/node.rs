@@ -1,0 +1,176 @@
+//! Node identity and per-node simulator state.
+
+use loramon_phy::energy::{BatteryMeter, EnergyModel, RadioState};
+use loramon_phy::{DutyCycleRegulator, Position, RadioConfig};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// A 16-bit node address, LoRaMesher style (addresses are derived from the
+/// device MAC on real hardware; the simulator assigns them sequentially
+/// from `0x0001`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// The broadcast address understood by the mesh layer.
+    pub const BROADCAST: NodeId = NodeId(0xFFFF);
+
+    /// Raw 16-bit address.
+    pub fn raw(self) -> u16 {
+        self.0
+    }
+
+    /// Whether this is the broadcast address.
+    pub fn is_broadcast(self) -> bool {
+        self == NodeId::BROADCAST
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04X}", self.0)
+    }
+}
+
+impl From<u16> for NodeId {
+    fn from(v: u16) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Ground-truth per-node counters maintained by the simulator itself
+/// (not by the monitoring system — these are what the monitoring reports
+/// are later validated against).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct NodeStats {
+    /// Frames this node put on the air.
+    pub frames_sent: u64,
+    /// Frames delivered to this node by the channel.
+    pub frames_received: u64,
+    /// Frames addressed at this node that were destroyed (collision,
+    /// half-duplex) — counted per loss event.
+    pub frames_lost: u64,
+    /// Total transmit airtime in microseconds.
+    pub airtime_us: u64,
+    /// Transmissions refused by the duty-cycle regulator.
+    pub duty_cycle_blocks: u64,
+    /// Transmissions refused because the radio was already transmitting.
+    pub busy_rejections: u64,
+}
+
+/// Internal mutable state of a simulated node.
+#[derive(Debug)]
+pub(crate) struct NodeState {
+    pub(crate) id: NodeId,
+    pub(crate) position: Position,
+    pub(crate) config: RadioConfig,
+    pub(crate) regulator: DutyCycleRegulator,
+    pub(crate) battery: BatteryMeter,
+    pub(crate) radio_state: RadioState,
+    pub(crate) last_state_change: SimTime,
+    /// End of the in-progress transmission, if any.
+    pub(crate) tx_until: Option<SimTime>,
+    pub(crate) failed: bool,
+    pub(crate) stats: NodeStats,
+}
+
+impl NodeState {
+    pub(crate) fn new(
+        id: NodeId,
+        position: Position,
+        config: RadioConfig,
+        regulator: DutyCycleRegulator,
+        energy: EnergyModel,
+    ) -> Self {
+        NodeState {
+            id,
+            position,
+            config,
+            regulator,
+            battery: BatteryMeter::new(energy),
+            radio_state: RadioState::Rx,
+            last_state_change: SimTime::ZERO,
+            tx_until: None,
+            failed: false,
+            stats: NodeStats::default(),
+        }
+    }
+
+    /// Accrue battery drain up to `now` and switch to `next` state.
+    pub(crate) fn transition(&mut self, now: SimTime, next: RadioState) {
+        let elapsed = now.saturating_since(self.last_state_change);
+        self.battery.spend(self.radio_state, elapsed);
+        self.radio_state = next;
+        self.last_state_change = now;
+    }
+
+    /// Battery percentage including drain accrued up to `now` (does not
+    /// mutate the meter).
+    pub(crate) fn battery_percent_at(&self, now: SimTime) -> u8 {
+        let mut meter = self.battery;
+        meter.spend(self.radio_state, now.saturating_since(self.last_state_change));
+        meter.percent()
+    }
+
+    pub(crate) fn is_transmitting(&self, now: SimTime) -> bool {
+        self.tx_until.is_some_and(|until| until > now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_address() {
+        assert!(NodeId::BROADCAST.is_broadcast());
+        assert!(!NodeId(1).is_broadcast());
+        assert_eq!(NodeId::BROADCAST.raw(), 0xFFFF);
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(NodeId(0x00A3).to_string(), "00A3");
+        assert_eq!(NodeId::BROADCAST.to_string(), "FFFF");
+    }
+
+    #[test]
+    fn from_u16() {
+        let id: NodeId = 7u16.into();
+        assert_eq!(id, NodeId(7));
+    }
+
+    #[test]
+    fn transition_accrues_battery() {
+        let mut n = NodeState::new(
+            NodeId(1),
+            Position::default(),
+            RadioConfig::mesher_default(),
+            DutyCycleRegulator::unlimited(),
+            EnergyModel::sx1276_default(),
+        );
+        // One hour in Rx at 11.5 mA.
+        n.transition(SimTime::from_secs(3600), RadioState::Tx);
+        assert!((n.battery.consumed_mah() - 11.5).abs() < 1e-6);
+        assert_eq!(n.radio_state, RadioState::Tx);
+    }
+
+    #[test]
+    fn is_transmitting_window() {
+        let mut n = NodeState::new(
+            NodeId(1),
+            Position::default(),
+            RadioConfig::mesher_default(),
+            DutyCycleRegulator::unlimited(),
+            EnergyModel::sx1276_default(),
+        );
+        assert!(!n.is_transmitting(SimTime::ZERO));
+        n.tx_until = Some(SimTime::from_millis(10));
+        assert!(n.is_transmitting(SimTime::from_millis(5)));
+        assert!(!n.is_transmitting(SimTime::from_millis(10)));
+    }
+}

@@ -1,0 +1,135 @@
+//! Node placement generators for building scenarios.
+
+use crate::rng::Rng;
+use loramon_phy::Position;
+
+/// `n` nodes on a horizontal line with the given spacing, starting at the
+/// origin.
+pub fn line(n: usize, spacing_m: f64) -> Vec<Position> {
+    (0..n)
+        .map(|i| Position::new(i as f64 * spacing_m, 0.0))
+        .collect()
+}
+
+/// `n` nodes on a square-ish grid with the given spacing. The grid is
+/// `ceil(sqrt(n))` columns wide.
+pub fn grid(n: usize, spacing_m: f64) -> Vec<Position> {
+    let cols = (n as f64).sqrt().ceil() as usize;
+    (0..n)
+        .map(|i| {
+            Position::new(
+                (i % cols) as f64 * spacing_m,
+                (i / cols) as f64 * spacing_m,
+            )
+        })
+        .collect()
+}
+
+/// `n` nodes evenly spaced on a circle of the given radius, centered at
+/// the origin.
+pub fn ring(n: usize, radius_m: f64) -> Vec<Position> {
+    (0..n)
+        .map(|i| {
+            let theta = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+            Position::new(radius_m * theta.cos(), radius_m * theta.sin())
+        })
+        .collect()
+}
+
+/// `n` nodes uniformly random in a `width × height` rectangle, re-sampling
+/// until every pair is at least `min_separation_m` apart.
+///
+/// # Panics
+///
+/// Panics if the constraint cannot be met in a reasonable number of
+/// attempts (the rectangle is too crowded).
+pub fn uniform_random(
+    n: usize,
+    width_m: f64,
+    height_m: f64,
+    min_separation_m: f64,
+    rng: &mut Rng,
+) -> Vec<Position> {
+    let mut placed: Vec<Position> = Vec::with_capacity(n);
+    let mut attempts = 0usize;
+    while placed.len() < n {
+        attempts += 1;
+        assert!(
+            attempts < 100_000,
+            "could not place {n} nodes with {min_separation_m} m separation \
+             in {width_m}×{height_m} m"
+        );
+        let candidate = Position::new(rng.range_f64(0.0, width_m), rng.range_f64(0.0, height_m));
+        if placed
+            .iter()
+            .all(|p| p.distance_to(candidate) >= min_separation_m)
+        {
+            placed.push(candidate);
+        }
+    }
+    placed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_spacing() {
+        let ps = line(4, 100.0);
+        assert_eq!(ps.len(), 4);
+        assert!((ps[3].x - 300.0).abs() < 1e-12);
+        assert!(ps.iter().all(|p| p.y == 0.0));
+    }
+
+    #[test]
+    fn grid_shape() {
+        let ps = grid(9, 50.0);
+        assert_eq!(ps.len(), 9);
+        // 3x3 grid: last node at (100, 100).
+        assert_eq!(ps[8], Position::new(100.0, 100.0));
+        // Non-square count still places everyone.
+        assert_eq!(grid(7, 50.0).len(), 7);
+    }
+
+    #[test]
+    fn ring_is_on_the_circle() {
+        let ps = ring(8, 200.0);
+        for p in &ps {
+            let r = (p.x * p.x + p.y * p.y).sqrt();
+            assert!((r - 200.0).abs() < 1e-9);
+        }
+        // Adjacent nodes are equidistant.
+        let d01 = ps[0].distance_to(ps[1]);
+        let d12 = ps[1].distance_to(ps[2]);
+        assert!((d01 - d12).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_random_respects_bounds_and_separation() {
+        let mut rng = Rng::new(5);
+        let ps = uniform_random(20, 1000.0, 1000.0, 50.0, &mut rng);
+        assert_eq!(ps.len(), 20);
+        for (i, a) in ps.iter().enumerate() {
+            assert!((0.0..=1000.0).contains(&a.x));
+            assert!((0.0..=1000.0).contains(&a.y));
+            for b in &ps[i + 1..] {
+                assert!(a.distance_to(*b) >= 50.0);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_random_is_deterministic() {
+        let a = uniform_random(5, 500.0, 500.0, 10.0, &mut Rng::new(9));
+        let b = uniform_random(5, 500.0, 500.0, 10.0, &mut Rng::new(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "could not place")]
+    fn impossible_packing_panics() {
+        let mut rng = Rng::new(1);
+        let _ = uniform_random(100, 10.0, 10.0, 50.0, &mut rng);
+    }
+}

@@ -1,0 +1,295 @@
+//! Deterministic random numbers.
+//!
+//! The simulator must replay byte-identically from a seed on every
+//! platform, so it carries its own small PRNG (xoshiro256** seeded via
+//! splitmix64) instead of depending on `rand`'s version-dependent
+//! algorithms. Derived streams (per link, per packet) are obtained by
+//! hashing identifiers into fresh seeds, which keeps random draws
+//! independent of event-processing order.
+
+/// splitmix64 step — used for seeding and for one-shot hashes.
+pub fn splitmix64(state: &mut u64) {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+}
+
+/// One splitmix64 output for the given state (advances it).
+pub fn splitmix64_next(state: &mut u64) -> u64 {
+    splitmix64(state);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Mix an arbitrary list of words into a single well-distributed seed.
+pub fn mix_seed(words: &[u64]) -> u64 {
+    let mut state = 0x853C_49E6_748F_EA9Bu64;
+    let mut out = 0u64;
+    for &w in words {
+        state ^= w;
+        out ^= splitmix64_next(&mut state);
+        out = out.rotate_left(17);
+    }
+    out ^ splitmix64_next(&mut state)
+}
+
+/// xoshiro256** deterministic PRNG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+    /// Cached second Box–Muller output.
+    gauss_spare: Option<u64>,
+}
+
+impl Rng {
+    /// Create a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64_next(&mut sm),
+            splitmix64_next(&mut sm),
+            splitmix64_next(&mut sm),
+            splitmix64_next(&mut sm),
+        ];
+        Rng {
+            s,
+            gauss_spare: None,
+        }
+    }
+
+    /// A derived, statistically independent stream for the given labels.
+    ///
+    /// The same `(seed, labels)` always produces the same stream, no matter
+    /// how many draws the parent has made — the backbone of per-link and
+    /// per-packet determinism.
+    pub fn derive(seed: u64, labels: &[u64]) -> Self {
+        let mut words = Vec::with_capacity(labels.len() + 1);
+        words.push(seed);
+        words.extend_from_slice(labels);
+        Rng::new(mix_seed(&words))
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Multiply-shift rejection-free mapping (slight bias acceptable in
+        // a simulator; bounds here are tiny relative to 2^64).
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "empty range");
+        lo + self.next_f64() * (hi - lo)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Standard normal deviate via Box–Muller.
+    pub fn gaussian(&mut self) -> f64 {
+        if let Some(bits) = self.gauss_spare.take() {
+            return f64::from_bits(bits);
+        }
+        // Avoid u1 == 0 which would produce -inf.
+        let u1 = loop {
+            let v = self.next_f64();
+            if v > 0.0 {
+                break v;
+            }
+        };
+        let u2 = self.next_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.gauss_spare = Some((r * theta.sin()).to_bits());
+        r * theta.cos()
+    }
+
+    /// Normal deviate with the given mean and standard deviation.
+    pub fn gaussian_with(&mut self, mean: f64, sigma: f64) -> f64 {
+        mean + sigma * self.gaussian()
+    }
+
+    /// Exponential deviate with the given mean (for Poisson arrivals).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean <= 0`.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "mean must be positive");
+        let u = loop {
+            let v = self.next_f64();
+            if v > 0.0 {
+                break v;
+            }
+        };
+        -mean * u.ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn derive_is_order_independent() {
+        let mut parent = Rng::new(7);
+        let _ = parent.next_u64(); // consuming the parent...
+        let mut d1 = Rng::derive(7, &[1, 2]);
+        let _ = parent.next_u64();
+        let mut d2 = Rng::derive(7, &[1, 2]);
+        // ...does not change derived streams.
+        assert_eq!(d1.next_u64(), d2.next_u64());
+    }
+
+    #[test]
+    fn derive_labels_matter() {
+        let mut a = Rng::derive(7, &[1]);
+        let mut b = Rng::derive(7, &[2]);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng::new(3);
+        for _ in 0..10_000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn f64_mean_near_half() {
+        let mut r = Rng::new(9);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.next_f64()).sum::<f64>() / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut r = Rng::new(4);
+        for _ in 0..10_000 {
+            assert!(r.next_below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn next_below_hits_all_values() {
+        let mut r = Rng::new(5);
+        let mut seen = [false; 5];
+        for _ in 0..1_000 {
+            seen[r.next_below(5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut r = Rng::new(11);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.gaussian()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn gaussian_with_scales() {
+        let mut r = Rng::new(13);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| r.gaussian_with(10.0, 2.0)).sum::<f64>() / f64::from(n);
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = Rng::new(17);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.exponential(5.0)).sum::<f64>() / f64::from(n);
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = Rng::new(19);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        // Out-of-range p is clamped, not a panic.
+        assert!(r.chance(2.0));
+        assert!(!r.chance(-1.0));
+    }
+
+    #[test]
+    fn chance_frequency() {
+        let mut r = Rng::new(23);
+        let hits = (0..100_000).filter(|_| r.chance(0.3)).count();
+        let freq = hits as f64 / 100_000.0;
+        assert!((freq - 0.3).abs() < 0.01, "freq {freq}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bound")]
+    fn next_below_zero_panics() {
+        Rng::new(1).next_below(0);
+    }
+
+    #[test]
+    fn mix_seed_sensitive_to_every_word() {
+        let base = mix_seed(&[1, 2, 3]);
+        assert_ne!(base, mix_seed(&[1, 2, 4]));
+        assert_ne!(base, mix_seed(&[0, 2, 3]));
+        assert_ne!(base, mix_seed(&[1, 2]));
+        // Order matters too.
+        assert_ne!(mix_seed(&[1, 2]), mix_seed(&[2, 1]));
+    }
+}

@@ -1,0 +1,149 @@
+//! Simulation time.
+//!
+//! The simulator runs on a monotonically increasing microsecond clock,
+//! represented by the [`SimTime`] newtype. Microseconds are fine-grained
+//! enough for LoRa symbol times (≥ 1 ms at 125 kHz) while keeping the
+//! arithmetic in exact integers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+/// A point in simulated time, in microseconds since simulation start.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// A time `us` microseconds after the epoch.
+    pub fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// A time `ms` milliseconds after the epoch.
+    pub fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000)
+    }
+
+    /// A time `s` seconds after the epoch.
+    pub fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000)
+    }
+
+    /// Microseconds since the epoch.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Milliseconds since the epoch (truncating).
+    pub fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Seconds since the epoch as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// The later of two times.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// Saturating difference `self - earlier`.
+    pub fn saturating_since(self, earlier: SimTime) -> Duration {
+        Duration::from_micros(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0 + rhs.as_micros() as u64)
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.as_micros() as u64;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+
+    /// # Panics
+    ///
+    /// Panics if `rhs` is later than `self` (time went backwards).
+    fn sub(self, rhs: SimTime) -> Duration {
+        assert!(self.0 >= rhs.0, "SimTime subtraction underflow");
+        Duration::from_micros(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total_ms = self.0 / 1_000;
+        let (s, ms) = (total_ms / 1_000, total_ms % 1_000);
+        write!(f, "{s}.{ms:03}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_secs(2), SimTime::from_millis(2_000));
+        assert_eq!(SimTime::from_millis(3), SimTime::from_micros(3_000));
+    }
+
+    #[test]
+    fn add_duration() {
+        let t = SimTime::from_secs(1) + Duration::from_millis(500);
+        assert_eq!(t.as_millis(), 1_500);
+    }
+
+    #[test]
+    fn subtraction_gives_duration() {
+        let a = SimTime::from_secs(5);
+        let b = SimTime::from_secs(2);
+        assert_eq!(a - b, Duration::from_secs(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn backwards_subtraction_panics() {
+        let _ = SimTime::from_secs(1) - SimTime::from_secs(2);
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let a = SimTime::from_secs(1);
+        let b = SimTime::from_secs(2);
+        assert_eq!(a.saturating_since(b), Duration::ZERO);
+        assert_eq!(b.saturating_since(a), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn display_is_seconds_with_millis() {
+        assert_eq!(SimTime::from_millis(1_234).to_string(), "1.234s");
+        assert_eq!(SimTime::ZERO.to_string(), "0.000s");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_micros(1) < SimTime::from_micros(2));
+        assert_eq!(
+            SimTime::from_secs(1).max(SimTime::from_secs(3)),
+            SimTime::from_secs(3)
+        );
+    }
+}

@@ -1,0 +1,379 @@
+//! Ground-truth trace of everything that happened on the air.
+//!
+//! The trace is the simulator's omniscient view; the monitoring system
+//! only ever sees what its clients report. Comparing the two is exactly
+//! the "telemetry completeness" evaluation of the reconstructed
+//! experiments (R-Fig-6, R-Fig-8).
+
+use crate::node::NodeId;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Why a frame failed to be received by a particular node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LossReason {
+    /// Received power below the demodulation sensitivity.
+    BelowSensitivity,
+    /// Destroyed by interference (failed capture).
+    Collision,
+    /// The receiver was transmitting at the time (half-duplex radio).
+    HalfDuplex,
+    /// The receiver was failed/powered off.
+    ReceiverDown,
+}
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A node started transmitting.
+    TxStarted {
+        /// Time the transmission began.
+        at: SimTime,
+        /// Transmitting node.
+        node: NodeId,
+        /// Unique transmission id.
+        tx_id: u64,
+        /// Payload length in bytes.
+        bytes: usize,
+        /// Time-on-air.
+        airtime: Duration,
+    },
+    /// A transmission was refused by the duty-cycle regulator.
+    TxBlockedDutyCycle {
+        /// Time of the attempt.
+        at: SimTime,
+        /// Node that attempted.
+        node: NodeId,
+        /// Earliest compliant retry time, if any.
+        retry_at: Option<SimTime>,
+    },
+    /// A transmission was refused because the radio was already busy.
+    TxBusy {
+        /// Time of the attempt.
+        at: SimTime,
+        /// Node that attempted.
+        node: NodeId,
+    },
+    /// A frame was successfully delivered to a receiver.
+    FrameDelivered {
+        /// Delivery (end-of-reception) time.
+        at: SimTime,
+        /// Transmission id.
+        tx_id: u64,
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+        /// Received signal strength.
+        rssi_dbm: f64,
+        /// Signal-to-noise ratio.
+        snr_db: f64,
+    },
+    /// A frame failed to reach a receiver.
+    FrameLost {
+        /// Time of the (failed) end of reception.
+        at: SimTime,
+        /// Transmission id.
+        tx_id: u64,
+        /// Sender.
+        from: NodeId,
+        /// Intended receiver (every in-range node is evaluated).
+        to: NodeId,
+        /// Why it was lost.
+        reason: LossReason,
+    },
+    /// A node failed (powered off / crashed).
+    NodeFailed {
+        /// Failure time.
+        at: SimTime,
+        /// The node.
+        node: NodeId,
+    },
+    /// A node recovered.
+    NodeRecovered {
+        /// Recovery time.
+        at: SimTime,
+        /// The node.
+        node: NodeId,
+    },
+    /// A node moved to a new position.
+    NodeMoved {
+        /// Move time.
+        at: SimTime,
+        /// The node.
+        node: NodeId,
+        /// New x coordinate (m).
+        x: f64,
+        /// New y coordinate (m).
+        y: f64,
+    },
+    /// Free-form note emitted by an application.
+    Note {
+        /// Emission time.
+        at: SimTime,
+        /// Emitting node.
+        node: NodeId,
+        /// The message.
+        message: String,
+    },
+}
+
+impl TraceEvent {
+    /// The timestamp of the event.
+    pub fn at(&self) -> SimTime {
+        match *self {
+            TraceEvent::TxStarted { at, .. }
+            | TraceEvent::TxBlockedDutyCycle { at, .. }
+            | TraceEvent::TxBusy { at, .. }
+            | TraceEvent::FrameDelivered { at, .. }
+            | TraceEvent::FrameLost { at, .. }
+            | TraceEvent::NodeFailed { at, .. }
+            | TraceEvent::NodeRecovered { at, .. }
+            | TraceEvent::NodeMoved { at, .. }
+            | TraceEvent::Note { at, .. } => at,
+        }
+    }
+}
+
+/// Trace verbosity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize, Default)]
+pub enum TraceLevel {
+    /// Record nothing.
+    Off,
+    /// Record everything except below-sensitivity losses (which are
+    /// O(nodes²) noise in sparse networks). The default.
+    #[default]
+    Normal,
+    /// Record everything.
+    Verbose,
+}
+
+/// An append-only trace with query helpers.
+#[derive(Debug, Default)]
+pub struct Trace {
+    level: TraceLevel,
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// An empty trace at the given level.
+    pub fn new(level: TraceLevel) -> Self {
+        Trace {
+            level,
+            events: Vec::new(),
+        }
+    }
+
+    /// The configured level.
+    pub fn level(&self) -> TraceLevel {
+        self.level
+    }
+
+    /// Record an event, honoring the level filter.
+    pub fn record(&mut self, event: TraceEvent) {
+        match self.level {
+            TraceLevel::Off => {}
+            TraceLevel::Normal => {
+                let is_noise = matches!(
+                    event,
+                    TraceEvent::FrameLost {
+                        reason: LossReason::BelowSensitivity,
+                        ..
+                    }
+                );
+                if !is_noise {
+                    self.events.push(event);
+                }
+            }
+            TraceLevel::Verbose => self.events.push(event),
+        }
+    }
+
+    /// All recorded events in chronological order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Iterator over events.
+    pub fn iter(&self) -> std::slice::Iter<'_, TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Count of transmissions started by `node` (all nodes if `None`).
+    pub fn transmissions(&self, node: Option<NodeId>) -> usize {
+        self.events
+            .iter()
+            .filter(|e| match e {
+                TraceEvent::TxStarted { node: n, .. } => node.is_none_or(|q| q == *n),
+                _ => false,
+            })
+            .count()
+    }
+
+    /// Count of frames delivered to `to` (all receivers if `None`).
+    pub fn deliveries(&self, to: Option<NodeId>) -> usize {
+        self.events
+            .iter()
+            .filter(|e| match e {
+                TraceEvent::FrameDelivered { to: t, .. } => to.is_none_or(|q| q == *t),
+                _ => false,
+            })
+            .count()
+    }
+
+    /// Count of losses with the given reason (any reason if `None`).
+    pub fn losses(&self, reason: Option<LossReason>) -> usize {
+        self.events
+            .iter()
+            .filter(|e| match e {
+                TraceEvent::FrameLost { reason: r, .. } => reason.is_none_or(|q| q == *r),
+                _ => false,
+            })
+            .count()
+    }
+
+    /// Deliveries on the directed link `from → to`.
+    pub fn link_deliveries(&self, from: NodeId, to: NodeId) -> usize {
+        self.events
+            .iter()
+            .filter(|e| {
+                matches!(e, TraceEvent::FrameDelivered { from: f, to: t, .. }
+                    if *f == from && *t == to)
+            })
+            .count()
+    }
+
+    /// Mean RSSI of deliveries on the directed link, if any.
+    pub fn link_mean_rssi(&self, from: NodeId, to: NodeId) -> Option<f64> {
+        let rssis: Vec<f64> = self
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::FrameDelivered {
+                    from: f,
+                    to: t,
+                    rssi_dbm,
+                    ..
+                } if *f == from && *t == to => Some(*rssi_dbm),
+                _ => None,
+            })
+            .collect();
+        if rssis.is_empty() {
+            None
+        } else {
+            Some(rssis.iter().sum::<f64>() / rssis.len() as f64)
+        }
+    }
+
+    /// Drain the trace, leaving it empty.
+    pub fn take(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn delivered(tx_id: u64, from: u16, to: u16, rssi: f64) -> TraceEvent {
+        TraceEvent::FrameDelivered {
+            at: SimTime::from_millis(tx_id),
+            tx_id,
+            from: NodeId(from),
+            to: NodeId(to),
+            rssi_dbm: rssi,
+            snr_db: 5.0,
+        }
+    }
+
+    fn lost(tx_id: u64, reason: LossReason) -> TraceEvent {
+        TraceEvent::FrameLost {
+            at: SimTime::from_millis(tx_id),
+            tx_id,
+            from: NodeId(1),
+            to: NodeId(2),
+            reason,
+        }
+    }
+
+    #[test]
+    fn off_level_records_nothing() {
+        let mut t = Trace::new(TraceLevel::Off);
+        t.record(delivered(1, 1, 2, -90.0));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn normal_level_filters_sensitivity_noise() {
+        let mut t = Trace::new(TraceLevel::Normal);
+        t.record(lost(1, LossReason::BelowSensitivity));
+        t.record(lost(2, LossReason::Collision));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.losses(Some(LossReason::Collision)), 1);
+        assert_eq!(t.losses(Some(LossReason::BelowSensitivity)), 0);
+    }
+
+    #[test]
+    fn verbose_level_keeps_everything() {
+        let mut t = Trace::new(TraceLevel::Verbose);
+        t.record(lost(1, LossReason::BelowSensitivity));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn counting_helpers() {
+        let mut t = Trace::new(TraceLevel::Normal);
+        t.record(TraceEvent::TxStarted {
+            at: SimTime::ZERO,
+            node: NodeId(1),
+            tx_id: 1,
+            bytes: 10,
+            airtime: Duration::from_millis(50),
+        });
+        t.record(delivered(1, 1, 2, -90.0));
+        t.record(delivered(1, 1, 3, -95.0));
+        t.record(lost(2, LossReason::HalfDuplex));
+        assert_eq!(t.transmissions(None), 1);
+        assert_eq!(t.transmissions(Some(NodeId(1))), 1);
+        assert_eq!(t.transmissions(Some(NodeId(2))), 0);
+        assert_eq!(t.deliveries(None), 2);
+        assert_eq!(t.deliveries(Some(NodeId(3))), 1);
+        assert_eq!(t.losses(None), 1);
+        assert_eq!(t.link_deliveries(NodeId(1), NodeId(2)), 1);
+    }
+
+    #[test]
+    fn link_mean_rssi_averages() {
+        let mut t = Trace::new(TraceLevel::Normal);
+        t.record(delivered(1, 1, 2, -90.0));
+        t.record(delivered(2, 1, 2, -100.0));
+        assert_eq!(t.link_mean_rssi(NodeId(1), NodeId(2)), Some(-95.0));
+        assert_eq!(t.link_mean_rssi(NodeId(2), NodeId(1)), None);
+    }
+
+    #[test]
+    fn take_drains() {
+        let mut t = Trace::new(TraceLevel::Normal);
+        t.record(delivered(1, 1, 2, -90.0));
+        let drained = t.take();
+        assert_eq!(drained.len(), 1);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn event_timestamps_accessible() {
+        let e = delivered(5, 1, 2, -90.0);
+        assert_eq!(e.at(), SimTime::from_millis(5));
+    }
+}

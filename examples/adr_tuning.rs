@@ -1,0 +1,90 @@
+//! ADR tuning from monitoring data: close the loop.
+//!
+//! The paper positions monitoring as the basis for "further analysis" of
+//! the mesh. This example closes the loop: run a deployment at the
+//! conservative SF12, feed the *server-side* observed SNRs into the ADR
+//! controller, and show the spreading factor each link could safely run
+//! at — and how much airtime that would save.
+//!
+//! ```sh
+//! cargo run --example adr_tuning
+//! ```
+
+use loramon::core::UplinkModel;
+use loramon::phy::{
+    airtime, AdrConfig, AdrController, Bandwidth, CodingRate, RadioConfig, SpreadingFactor,
+};
+use loramon::scenario::{run_scenario, ScenarioConfig};
+use loramon::server::Window;
+use std::time::Duration;
+
+fn main() {
+    // A line with growing gaps: near links are wasteful at SF12, the far
+    // one genuinely needs it.
+    let positions = vec![
+        loramon::phy::Position::new(0.0, 0.0),
+        loramon::phy::Position::new(400.0, 0.0),
+        loramon::phy::Position::new(1400.0, 0.0),
+        loramon::phy::Position::new(4400.0, 0.0),
+    ];
+    let mut config = ScenarioConfig::new(positions, 3, 606)
+        .with_duration(Duration::from_secs(1800))
+        .with_uplink(UplinkModel::perfect());
+    config.radio = RadioConfig::new(
+        SpreadingFactor::Sf12,
+        Bandwidth::Khz125,
+        CodingRate::Cr4_5,
+    );
+    // SF12 frames are slow; space the traffic out accordingly.
+    config.traffic = Some(loramon::mesh::TrafficPattern::to_gateway(
+        config.gateway(),
+        Duration::from_secs(120),
+        16,
+    ));
+
+    println!("running the deployment at SF12 (conservative default)…\n");
+    let result = run_scenario(&config);
+
+    println!("link                 mean SNR   ADR recommends   airtime/20 B frame");
+    println!("──────────────────── ───────── ──────────────── ───────────────────");
+    let sf12_toa = airtime::time_on_air(&config.radio, 20).as_millis();
+    let mut total_saving = 0.0;
+    let mut links = 0;
+    for link in result.server.link_stats(Window::all()) {
+        // Only adjacent forwarding links matter for tuning.
+        if link.packets < 20 {
+            continue;
+        }
+        let mut adr = AdrController::new(AdrConfig::default());
+        for _ in 0..10 {
+            adr.record_snr(link.mean_snr_db);
+        }
+        let recommended = adr
+            .recommend(SpreadingFactor::Sf12)
+            .expect("enough samples");
+        let rec_cfg = config.radio.with_sf(recommended);
+        let rec_toa = airtime::time_on_air(&rec_cfg, 20).as_millis();
+        let saving = 1.0 - rec_toa as f64 / sf12_toa as f64;
+        total_saving += saving;
+        links += 1;
+        println!(
+            "{} → {}        {:>6.1} dB        {:>4}       {:>5} ms (−{:.0}%)",
+            link.from,
+            link.to,
+            link.mean_snr_db,
+            recommended,
+            rec_toa,
+            saving * 100.0
+        );
+    }
+    println!(
+        "\nSF12 frame costs {sf12_toa} ms; mean airtime saving across {} links: {:.0}%",
+        links,
+        total_saving / links.max(1) as f64 * 100.0
+    );
+    println!(
+        "\nExpected shape: strong short links tune down to SF7 (~24× faster);\n\
+         the marginal long link keeps a high SF. The tuning input is purely\n\
+         the data the monitoring system already collects."
+    );
+}

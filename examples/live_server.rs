@@ -1,0 +1,49 @@
+//! Live dashboard server: run a simulated deployment, then serve its
+//! data over the real HTTP API with the interactive dashboard page.
+//!
+//! ```sh
+//! cargo run --example live_server            # serve until Ctrl-C
+//! cargo run --example live_server -- --once  # smoke-test mode: bind,
+//!                                            # self-check, exit
+//! ```
+
+use loramon::scenario::{run_scenario, ScenarioConfig};
+use loramon::server::HttpServer;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn main() {
+    let once = std::env::args().any(|a| a == "--once");
+
+    println!("simulating a 6-node mesh for 20 minutes…");
+    let config = ScenarioConfig::line(6, 600.0, 31).with_duration(Duration::from_secs(1200));
+    let result = run_scenario(&config);
+    println!(
+        "done: {} nodes reporting, {} records at the server",
+        result.server.node_ids().len(),
+        result.server.total_records()
+    );
+
+    let http = HttpServer::bind(result.server.clone(), "127.0.0.1:0").expect("bind");
+    let addr = http.addr();
+    println!("\nserving the dashboard at http://{addr}/");
+    println!("JSON API: http://{addr}/api/nodes  /api/series  /api/links  /api/topology  /api/alerts");
+
+    if once {
+        // Self-check: fetch the health endpoint and the page.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET /api/health HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut body = String::new();
+        stream.read_to_string(&mut body).unwrap();
+        assert!(body.contains(r#"{"ok":true}"#), "health check failed");
+        println!("--once: health check passed, shutting down");
+        http.shutdown();
+        return;
+    }
+
+    println!("press Ctrl-C to stop");
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,80 @@
+//! Mobile node: a sensor walks away from the mesh and the monitoring
+//! system watches its link degrade.
+//!
+//! Node 1 starts 200 m from its neighbor, then walks 4 km out at
+//! 1.5 m/s (pedestrian pace) from t = 600 s. The server's
+//! RSSI-degradation rule fires as the link decays; the walker's
+//! *telemetry* keeps flowing because its WiFi uplink does not care where
+//! the LoRa radio is — the architectural point of out-of-band reporting.
+//!
+//! ```sh
+//! cargo run --example mobile_node
+//! ```
+
+use loramon::core::UplinkModel;
+use loramon::dashboard::ascii;
+use loramon::phy::Position;
+use loramon::scenario::{run_scenario, ScenarioConfig, Walk};
+use loramon::server::Window;
+use loramon::sim::{NodeId, SimTime};
+use std::time::Duration;
+
+fn main() {
+    let mut config = ScenarioConfig::line(3, 200.0, 404)
+        .with_duration(Duration::from_secs(3600))
+        .with_uplink(UplinkModel::perfect())
+        .with_walk(Walk {
+            node_index: 0,
+            depart: SimTime::from_secs(600),
+            to: Position::new(-4000.0, 0.0),
+            speed_mps: 1.5,
+            step: Duration::from_secs(30),
+        });
+    // Make the degradation rule a bit more eager for the demo.
+    config.server.alert_rules.rssi_drop_db = 6.0;
+    config.server.alert_rules.rssi_window = Duration::from_secs(300);
+
+    let result = run_scenario(&config);
+
+    println!("── Node 1 walks away from t = 600 s at 1.5 m/s ──\n");
+    println!("network's view of node 1 (10-minute windows):");
+    for w in 0..6u64 {
+        let window = Window {
+            from: SimTime::from_secs(w * 600),
+            to: SimTime::from_secs((w + 1) * 600),
+        };
+        let link = result
+            .server
+            .link_stats(window)
+            .into_iter()
+            .find(|l| l.from == NodeId(1));
+        match link {
+            Some(l) => println!(
+                "  {:>2}–{:<2} min: {:>4} pkts heard, mean RSSI {:>6.1} dBm",
+                w * 10,
+                (w + 1) * 10,
+                l.packets,
+                l.mean_rssi_dbm
+            ),
+            None => println!("  {:>2}–{:<2} min: (nothing heard)", w * 10, (w + 1) * 10),
+        }
+    }
+
+    println!("\n── Alerts ──");
+    print!("{}", ascii::render_alerts(&result.alerts));
+
+    let degraded = result
+        .alerts
+        .iter()
+        .any(|a| a.kind == loramon::server::AlertKind::RssiDegraded);
+    println!(
+        "\nRSSI degradation detected: {}.",
+        if degraded { "yes" } else { "NO (unexpected)" }
+    );
+    println!(
+        "Note the walker never goes *silent*: its out-of-band WiFi uplink\n\
+         keeps reporting even after its LoRa link died — radio health and\n\
+         telemetry health are independent, which is exactly why the paper\n\
+         ships reports out-of-band."
+    );
+}

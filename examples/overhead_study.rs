@@ -1,0 +1,120 @@
+//! Monitoring overhead study (R-Fig-6 and R-Tab-2).
+//!
+//! Two questions the paper's design raises:
+//!
+//! 1. **Uplink bytes** — how big are JSON reports vs batch size, and how
+//!    much does the compact binary encoding save? (R-Tab-2)
+//! 2. **Airtime** — if nodes have no IP uplink and must ship telemetry
+//!    *in-band* over the mesh, how much LoRa airtime does monitoring
+//!    itself consume, as a function of the report period? (R-Fig-6)
+//!
+//! ```sh
+//! cargo run --example overhead_study
+//! ```
+
+use loramon::core::{MonitorConfig, UplinkModel};
+use loramon::scenario::{run_scenario, ScenarioConfig};
+use std::time::Duration;
+
+fn main() {
+    report_size_table();
+    println!();
+    in_band_airtime_study();
+}
+
+/// R-Tab-2: report size on the wire vs records per report.
+fn report_size_table() {
+    use loramon::core::{PacketRecord, Report};
+    use loramon::mesh::{Direction, PacketType};
+    use loramon::sim::NodeId;
+
+    println!("── R-Tab-2: report size vs batch size ──");
+    println!("records │ JSON bytes │ binary bytes │ ratio");
+    println!("────────┼────────────┼──────────────┼──────");
+    for n in [0usize, 1, 5, 10, 25, 50, 100] {
+        let report = Report {
+            node: NodeId(1),
+            report_seq: 1,
+            generated_at_ms: 60_000,
+            dropped_records: 0,
+            status: None,
+            records: (0..n as u64)
+                .map(|i| PacketRecord {
+                    seq: i,
+                    timestamp_ms: 30_000 + i * 250,
+                    direction: if i % 2 == 0 { Direction::In } else { Direction::Out },
+                    node: NodeId(1),
+                    counterpart: NodeId(2),
+                    ptype: PacketType::Data,
+                    origin: NodeId(2),
+                    final_dst: NodeId(1),
+                    packet_id: i as u16,
+                    ttl: 7,
+                    size_bytes: 42,
+                    rssi_dbm: (i % 2 == 0).then_some(-96.5),
+                    snr_db: (i % 2 == 0).then_some(4.25),
+                })
+                .collect(),
+        };
+        let json = report.encode_json().len();
+        let binary = report.encode_binary().len();
+        println!(
+            "{n:>7} │ {json:>10} │ {binary:>12} │ {:.1}×",
+            json as f64 / binary as f64
+        );
+    }
+}
+
+/// R-Fig-6: in-band monitoring airtime overhead vs report period.
+fn in_band_airtime_study() {
+    println!("── R-Fig-6: monitoring airtime overhead (in-band vs out-of-band) ──");
+    println!("mode         │ report period │ total airtime │ overhead vs baseline");
+    println!("─────────────┼───────────────┼───────────────┼─────────────────────");
+
+    // Baseline: monitoring out-of-band — telemetry costs no LoRa airtime.
+    let baseline = run(ModeSel::OutOfBand, 30);
+    println!(
+        "out-of-band  │          30 s │ {:>10.2} s │ baseline",
+        baseline as f64 / 1e6
+    );
+
+    for period_s in [120u64, 60, 30] {
+        let airtime = run(ModeSel::InBand, period_s);
+        let overhead = (airtime as f64 - baseline as f64) / baseline as f64 * 100.0;
+        println!(
+            "in-band      │ {:>11} s │ {:>10.2} s │ {:>+18.1}%",
+            period_s,
+            airtime as f64 / 1e6,
+            overhead
+        );
+    }
+
+    println!(
+        "\nExpected shape: in-band reporting adds airtime that grows as the\n\
+         report period shrinks; out-of-band monitoring is airtime-free —\n\
+         the paper's architectural argument for the WiFi uplink."
+    );
+}
+
+enum ModeSel {
+    OutOfBand,
+    InBand,
+}
+
+/// Run the fixed scenario with the given monitoring mode and report
+/// period; return total network transmit airtime in µs.
+fn run(mode: ModeSel, period_s: u64) -> u64 {
+    let monitor = MonitorConfig::new()
+        .with_report_period(Duration::from_secs(period_s))
+        // Keep in-band reports small enough to usually fit one frame.
+        .with_max_records(10);
+    let mut config = ScenarioConfig::line(4, 800.0, 777)
+        .with_duration(Duration::from_secs(1800))
+        .with_monitor(monitor)
+        .with_uplink(UplinkModel::perfect());
+    if matches!(mode, ModeSel::InBand) {
+        config = config.with_in_band_monitoring();
+    }
+    let result = run_scenario(&config);
+    result.ground_truth.airtime_us
+}

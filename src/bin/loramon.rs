@@ -1,0 +1,22 @@
+//! The `loramon` CLI binary. All logic lives in [`loramon::cli`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match loramon::cli::parse(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}\n\n{}", loramon::cli::USAGE);
+            return ExitCode::from(2);
+        }
+    };
+    let mut stdout = std::io::stdout();
+    match loramon::cli::run(command, &mut stdout, false) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,539 @@
+//! The `loramon` command-line interface.
+//!
+//! Argument parsing and command execution live here (hand-rolled — the
+//! CLI surface is small) so they are unit-testable; `src/bin/loramon.rs`
+//! is a thin wrapper.
+//!
+//! ```text
+//! loramon simulate --nodes 8 --spacing 700 --seed 42 --duration 1200
+//!                  [--grid] [--in-band] [--archive run.jsonl]
+//!                  [--dashboard run.html]
+//! loramon show    --archive run.jsonl
+//! loramon serve   --archive run.jsonl [--addr 127.0.0.1:8080]
+//! ```
+
+use crate::scenario::{run_scenario, ScenarioConfig};
+use loramon_core::UplinkModel;
+use loramon_server::{archive, HttpServer, MonitorServer, ServerConfig};
+use loramon_sim::placement;
+use std::fmt;
+use std::time::Duration;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run a simulated deployment.
+    Simulate(SimulateArgs),
+    /// Print the ASCII dashboard of an archive.
+    Show {
+        /// Archive path.
+        archive: String,
+    },
+    /// Serve an archive over the HTTP dashboard.
+    Serve {
+        /// Archive path.
+        archive: String,
+        /// Bind address.
+        addr: String,
+    },
+}
+
+/// Arguments of `loramon simulate`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulateArgs {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Node spacing in meters.
+    pub spacing_m: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Simulated seconds.
+    pub duration_s: u64,
+    /// Grid layout instead of a line.
+    pub grid: bool,
+    /// In-band monitoring instead of out-of-band.
+    pub in_band: bool,
+    /// Write the report archive here.
+    pub archive: Option<String>,
+    /// Write the HTML dashboard here.
+    pub dashboard: Option<String>,
+}
+
+impl Default for SimulateArgs {
+    fn default() -> Self {
+        SimulateArgs {
+            nodes: 5,
+            spacing_m: 700.0,
+            seed: 42,
+            duration_s: 1200,
+            grid: false,
+            in_band: false,
+            archive: None,
+            dashboard: None,
+        }
+    }
+}
+
+/// CLI error: bad usage or runtime failure.
+#[derive(Debug)]
+pub enum CliError {
+    /// Invalid arguments; carries a message (usage is appended by main).
+    Usage(String),
+    /// Runtime failure.
+    Runtime(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m}"),
+            CliError::Runtime(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// The usage string.
+pub const USAGE: &str = "\
+loramon — monitoring system for LoRa mesh networks
+
+USAGE:
+  loramon simulate [--nodes N] [--spacing M] [--seed S] [--duration SECS]
+                   [--grid] [--in-band] [--archive FILE] [--dashboard FILE]
+  loramon show  --archive FILE
+  loramon serve --archive FILE [--addr HOST:PORT]
+";
+
+/// Parse a full argument list (without the program name).
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] on unknown commands/flags or malformed
+/// values.
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err(CliError::Usage("missing command".into()));
+    };
+    match cmd.as_str() {
+        "simulate" => parse_simulate(rest).map(Command::Simulate),
+        "show" => {
+            let opts = parse_flags(rest)?;
+            Ok(Command::Show {
+                archive: required(&opts, "archive")?,
+            })
+        }
+        "serve" => {
+            let opts = parse_flags(rest)?;
+            Ok(Command::Serve {
+                archive: required(&opts, "archive")?,
+                addr: optional(&opts, "addr").unwrap_or_else(|| "127.0.0.1:0".into()),
+            })
+        }
+        other => Err(CliError::Usage(format!("unknown command {other:?}"))),
+    }
+}
+
+type Flags = Vec<(String, Option<String>)>;
+
+/// Flags that take no value.
+const BOOL_FLAGS: [&str; 2] = ["grid", "in-band"];
+
+fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
+    let mut out = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        let Some(name) = arg.strip_prefix("--") else {
+            return Err(CliError::Usage(format!("unexpected argument {arg:?}")));
+        };
+        if BOOL_FLAGS.contains(&name) {
+            out.push((name.to_owned(), None));
+        } else {
+            let value = it
+                .next()
+                .ok_or_else(|| CliError::Usage(format!("--{name} needs a value")))?;
+            out.push((name.to_owned(), Some(value.clone())));
+        }
+    }
+    Ok(out)
+}
+
+fn required(flags: &Flags, name: &str) -> Result<String, CliError> {
+    optional(flags, name).ok_or_else(|| CliError::Usage(format!("--{name} is required")))
+}
+
+fn optional(flags: &Flags, name: &str) -> Option<String> {
+    flags
+        .iter()
+        .find(|(n, _)| n == name)
+        .and_then(|(_, v)| v.clone())
+}
+
+fn has(flags: &Flags, name: &str) -> bool {
+    flags.iter().any(|(n, _)| n == name)
+}
+
+fn parse_num<T: std::str::FromStr>(flags: &Flags, name: &str, default: T) -> Result<T, CliError> {
+    match optional(flags, name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::Usage(format!("--{name}: invalid value {v:?}"))),
+    }
+}
+
+fn parse_simulate(args: &[String]) -> Result<SimulateArgs, CliError> {
+    let flags = parse_flags(args)?;
+    for (name, _) in &flags {
+        if ![
+            "nodes",
+            "spacing",
+            "seed",
+            "duration",
+            "grid",
+            "in-band",
+            "archive",
+            "dashboard",
+        ]
+        .contains(&name.as_str())
+        {
+            return Err(CliError::Usage(format!("unknown flag --{name}")));
+        }
+    }
+    let defaults = SimulateArgs::default();
+    let parsed = SimulateArgs {
+        nodes: parse_num(&flags, "nodes", defaults.nodes)?,
+        spacing_m: parse_num(&flags, "spacing", defaults.spacing_m)?,
+        seed: parse_num(&flags, "seed", defaults.seed)?,
+        duration_s: parse_num(&flags, "duration", defaults.duration_s)?,
+        grid: has(&flags, "grid"),
+        in_band: has(&flags, "in-band"),
+        archive: optional(&flags, "archive"),
+        dashboard: optional(&flags, "dashboard"),
+    };
+    if parsed.nodes < 2 {
+        return Err(CliError::Usage("--nodes must be at least 2".into()));
+    }
+    if parsed.spacing_m <= 0.0 {
+        return Err(CliError::Usage("--spacing must be positive".into()));
+    }
+    Ok(parsed)
+}
+
+/// Execute a parsed command, writing human output to `out`.
+///
+/// `serve` blocks until the process is killed unless `serve_once` is set
+/// (used by tests), in which case it binds, reports the address, and
+/// shuts down.
+///
+/// # Errors
+///
+/// Returns [`CliError::Runtime`] on I/O or archive failures.
+pub fn run(command: Command, out: &mut dyn std::io::Write, serve_once: bool) -> Result<(), CliError> {
+    match command {
+        Command::Simulate(args) => run_simulate(args, out),
+        Command::Show { archive } => run_show(&archive, out),
+        Command::Serve { archive, addr } => run_serve(&archive, &addr, out, serve_once),
+    }
+}
+
+fn io_err(e: impl fmt::Display) -> CliError {
+    CliError::Runtime(e.to_string())
+}
+
+fn build_config(args: &SimulateArgs) -> ScenarioConfig {
+    let positions = if args.grid {
+        placement::grid(args.nodes, args.spacing_m)
+    } else {
+        placement::line(args.nodes, args.spacing_m)
+    };
+    let gateway_index = args.nodes - 1;
+    let mut config = ScenarioConfig::new(positions, gateway_index, args.seed)
+        .with_duration(Duration::from_secs(args.duration_s))
+        .with_uplink(UplinkModel::wifi(args.seed ^ 0xC11));
+    if args.in_band {
+        config = config.with_in_band_monitoring();
+    }
+    config.server.archive = true;
+    config
+}
+
+fn run_simulate(args: SimulateArgs, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let config = build_config(&args);
+    writeln!(
+        out,
+        "simulating {} nodes ({}), spacing {} m, seed {}, {} s…",
+        args.nodes,
+        if args.grid { "grid" } else { "line" },
+        args.spacing_m,
+        args.seed,
+        args.duration_s
+    )
+    .map_err(io_err)?;
+    let result = run_scenario(&config);
+    write_summary(&result, out)?;
+
+    if let Some(path) = &args.archive {
+        let file = std::fs::File::create(path).map_err(io_err)?;
+        let n = archive::write_jsonl(result.server.archive_entries(), file).map_err(io_err)?;
+        writeln!(out, "wrote {n} reports to {path}").map_err(io_err)?;
+    }
+    if let Some(path) = &args.dashboard {
+        let html = loramon_dashboard::generate_html(
+            &result.server,
+            &loramon_dashboard::HtmlOptions {
+                title: format!("loramon — {} nodes, seed {}", args.nodes, args.seed),
+                bucket: Duration::from_secs(60),
+                positions: result.positions.clone(),
+            },
+        );
+        std::fs::write(path, &html).map_err(io_err)?;
+        writeln!(out, "wrote dashboard to {path} ({} bytes)", html.len()).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+fn write_summary(
+    result: &crate::scenario::ScenarioResult,
+    out: &mut dyn std::io::Write,
+) -> Result<(), CliError> {
+    use loramon_dashboard::ascii;
+    writeln!(out).map_err(io_err)?;
+    write!(
+        out,
+        "{}",
+        ascii::render_node_summaries(&result.server.node_summaries())
+    )
+    .map_err(io_err)?;
+    writeln!(
+        out,
+        "\nframes on air {}, reports delivered {} (lost {}), completeness {:.1}%, alerts {}",
+        result.ground_truth.transmissions,
+        result.reports_delivered,
+        result.reports_lost,
+        result.completeness() * 100.0,
+        result.alerts.len()
+    )
+    .map_err(io_err)?;
+    Ok(())
+}
+
+fn load_archive(path: &str) -> Result<MonitorServer, CliError> {
+    let file = std::fs::File::open(path)
+        .map_err(|e| CliError::Runtime(format!("cannot open {path}: {e}")))?;
+    let entries = archive::read_jsonl(std::io::BufReader::new(file)).map_err(io_err)?;
+    let server = MonitorServer::new(ServerConfig::default());
+    let (accepted, _, invalid) = archive::replay(&server, entries);
+    if accepted == 0 {
+        return Err(CliError::Runtime(format!(
+            "{path} contained no ingestible reports ({invalid} invalid)"
+        )));
+    }
+    Ok(server)
+}
+
+fn run_show(path: &str, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    use loramon_dashboard::ascii;
+    use loramon_server::Window;
+    let server = load_archive(path)?;
+    // Re-evaluate alerts over the replayed timeline.
+    server.evaluate_alerts(server.clock());
+    write!(
+        out,
+        "{}",
+        ascii::render_node_summaries(&server.node_summaries())
+    )
+    .map_err(io_err)?;
+    let series = server.series(None, None, Window::all(), Duration::from_secs(60));
+    write!(out, "\n{}", ascii::render_series("packets", &series)).map_err(io_err)?;
+    write!(out, "\n{}", ascii::render_links(&server.link_stats(Window::all()))).map_err(io_err)?;
+    write!(
+        out,
+        "\n{}",
+        ascii::render_topology(&server.topology(Window::all()))
+    )
+    .map_err(io_err)?;
+    write!(out, "\n{}", ascii::render_alerts(&server.alert_history())).map_err(io_err)?;
+    Ok(())
+}
+
+fn run_serve(
+    path: &str,
+    addr: &str,
+    out: &mut dyn std::io::Write,
+    serve_once: bool,
+) -> Result<(), CliError> {
+    let server = load_archive(path)?;
+    let http = HttpServer::bind(server, addr)
+        .map_err(|e| CliError::Runtime(format!("cannot bind {addr}: {e}")))?;
+    writeln!(out, "serving dashboard at http://{}/", http.addr()).map_err(io_err)?;
+    if serve_once {
+        http.shutdown();
+        return Ok(());
+    }
+    writeln!(out, "press Ctrl-C to stop").map_err(io_err)?;
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn parse_simulate_defaults() {
+        let cmd = parse(&argv("simulate")).unwrap();
+        assert_eq!(cmd, Command::Simulate(SimulateArgs::default()));
+    }
+
+    #[test]
+    fn parse_simulate_full() {
+        let cmd = parse(&argv(
+            "simulate --nodes 9 --spacing 500 --seed 7 --duration 600 --grid --in-band \
+             --archive a.jsonl --dashboard d.html",
+        ))
+        .unwrap();
+        let Command::Simulate(args) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(args.nodes, 9);
+        assert_eq!(args.spacing_m, 500.0);
+        assert_eq!(args.seed, 7);
+        assert_eq!(args.duration_s, 600);
+        assert!(args.grid);
+        assert!(args.in_band);
+        assert_eq!(args.archive.as_deref(), Some("a.jsonl"));
+        assert_eq!(args.dashboard.as_deref(), Some("d.html"));
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(matches!(parse(&argv("")), Err(CliError::Usage(_))));
+        assert!(matches!(parse(&argv("frobnicate")), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse(&argv("simulate --nodes")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&argv("simulate --nodes banana")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&argv("simulate --nodes 1")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&argv("simulate --unknown 3")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(parse(&argv("show")), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn parse_show_and_serve() {
+        assert_eq!(
+            parse(&argv("show --archive x.jsonl")).unwrap(),
+            Command::Show {
+                archive: "x.jsonl".into()
+            }
+        );
+        assert_eq!(
+            parse(&argv("serve --archive x.jsonl --addr 0.0.0.0:9000")).unwrap(),
+            Command::Serve {
+                archive: "x.jsonl".into(),
+                addr: "0.0.0.0:9000".into()
+            }
+        );
+        // Default serve address.
+        let Command::Serve { addr, .. } = parse(&argv("serve --archive x.jsonl")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(addr, "127.0.0.1:0");
+    }
+
+    #[test]
+    fn simulate_show_serve_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("loramon-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let archive_path = dir.join("run.jsonl");
+        let dash_path = dir.join("run.html");
+
+        // Simulate a small, short run.
+        let cmd = parse(&argv(&format!(
+            "simulate --nodes 3 --spacing 400 --seed 5 --duration 300 \
+             --archive {} --dashboard {}",
+            archive_path.display(),
+            dash_path.display()
+        )))
+        .unwrap();
+        let mut out = Vec::new();
+        run(cmd, &mut out, true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("completeness"));
+        assert!(archive_path.exists());
+        assert!(dash_path.exists());
+        let html = std::fs::read_to_string(&dash_path).unwrap();
+        assert!(html.contains("<!doctype html>"));
+
+        // Show replays the archive.
+        let mut out = Vec::new();
+        run(
+            Command::Show {
+                archive: archive_path.display().to_string(),
+            },
+            &mut out,
+            true,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("0001"), "{text}");
+        assert!(text.contains("topology"));
+
+        // Serve binds and (in once mode) exits.
+        let mut out = Vec::new();
+        run(
+            Command::Serve {
+                archive: archive_path.display().to_string(),
+                addr: "127.0.0.1:0".into(),
+            },
+            &mut out,
+            true,
+        )
+        .unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("http://127.0.0.1:"));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn simulate_grid_in_band_works() {
+        let cmd = parse(&argv(
+            "simulate --nodes 4 --spacing 500 --seed 9 --duration 300 --grid --in-band",
+        ))
+        .unwrap();
+        let mut out = Vec::new();
+        run(cmd, &mut out, true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("grid"));
+        assert!(text.contains("completeness"));
+    }
+
+    #[test]
+    fn show_missing_archive_fails_cleanly() {
+        let mut out = Vec::new();
+        let err = run(
+            Command::Show {
+                archive: "/definitely/not/here.jsonl".into(),
+            },
+            &mut out,
+            true,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CliError::Runtime(_)));
+    }
+}

@@ -1,0 +1,47 @@
+//! # loramon
+//!
+//! A monitoring system for LoRa mesh networks — a full reproduction of
+//! *"Towards a Monitoring System for a LoRa Mesh Network"* (ICDCS 2022)
+//! in Rust, including every substrate the paper depends on.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!  ┌────────────────────── simulated testbed ──────────────────────┐
+//!  │  loramon-phy      LoRa airtime / propagation / collisions     │
+//!  │  loramon-sim      deterministic discrete-event radio world    │
+//!  │  loramon-mesh     distance-vector mesh (LoRaMesher-style)     │
+//!  └────────────────────────────────────────────────────────────────┘
+//!            │ per-packet events                 ▲ data messages
+//!            ▼                                   │
+//!  loramon-core       monitoring client: records → batched reports
+//!            │ reports (JSON over IP uplink, or binary in-band)
+//!            ▼
+//!  loramon-server     ingestion → store → queries/topology/alerts
+//!            │
+//!            ▼
+//!  loramon-dashboard  ASCII + HTML/SVG dashboards, live HTTP page
+//! ```
+//!
+//! The [`scenario`] module wires all of it together; see
+//! `examples/quickstart.rs` for the five-minute tour.
+//!
+//! ## Example
+//!
+//! ```
+//! use loramon::scenario::{run_scenario, ScenarioConfig};
+//!
+//! let result = run_scenario(&ScenarioConfig::line(3, 300.0, 42));
+//! assert_eq!(result.server.node_ids().len(), 3);
+//! assert!(result.server.total_records() > 0);
+//! ```
+
+pub mod cli;
+pub mod scenario;
+
+pub use loramon_core as core;
+pub use loramon_dashboard as dashboard;
+pub use loramon_mesh as mesh;
+pub use loramon_phy as phy;
+pub use loramon_server as server;
+pub use loramon_sim as sim;

@@ -1,0 +1,462 @@
+//! The end-to-end scenario harness.
+//!
+//! [`run_scenario`] wires the full reproduction pipeline together: a
+//! simulated LoRa mesh ([`loramon_sim`] + [`loramon_mesh`]) whose nodes
+//! run monitoring clients ([`loramon_core`]), report delivery over the
+//! modelled uplink, server-side ingestion/alerting ([`loramon_server`]),
+//! and ground-truth extraction from the simulator trace so the
+//! monitoring system can be judged against reality. Every example and
+//! bench builds on this harness.
+
+use loramon_core::{MonitorClient, MonitorConfig, ReportingMode, UplinkModel};
+use loramon_mesh::{MeshConfig, MeshNode, MeshStats, TrafficPattern};
+use loramon_phy::{LogDistance, Position, RadioConfig};
+use loramon_sim::{
+    LossReason, NodeId, SimBuilder, SimTime, Simulator, TraceLevel,
+};
+use loramon_server::{Alert, MonitorServer, ServerConfig};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// The node application type every scenario runs.
+pub type MonitoredNode = MeshNode<MonitorClient>;
+
+/// A scheduled node failure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Failure {
+    /// Index into the scenario's position list.
+    pub node_index: usize,
+    /// When the node dies.
+    pub at: SimTime,
+    /// When it comes back, if ever.
+    pub recover_at: Option<SimTime>,
+}
+
+/// A scheduled straight-line walk.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Walk {
+    /// Index into the scenario's position list.
+    pub node_index: usize,
+    /// Departure time.
+    pub depart: SimTime,
+    /// Destination.
+    pub to: Position,
+    /// Speed in m/s.
+    pub speed_mps: f64,
+    /// Position-update granularity.
+    pub step: Duration,
+}
+
+/// Everything needed to run one monitored-mesh scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Master seed for the simulator and all derived randomness.
+    pub seed: u64,
+    /// Node positions; index 0 is node `0001`, and so on.
+    pub positions: Vec<Position>,
+    /// Which position index acts as the gateway (traffic sink and
+    /// in-band report collector).
+    pub gateway_index: usize,
+    /// Radio configuration shared by all nodes.
+    pub radio: RadioConfig,
+    /// Mesh protocol configuration.
+    pub mesh: MeshConfig,
+    /// Monitoring client configuration. When its mode is in-band, the
+    /// gateway address is rewritten to the scenario's gateway.
+    pub monitor: MonitorConfig,
+    /// Application traffic originated by every non-gateway node
+    /// (`None` = monitoring-only network).
+    pub traffic: Option<TrafficPattern>,
+    /// The out-of-band uplink model.
+    pub uplink: UplinkModel,
+    /// Server configuration.
+    pub server: ServerConfig,
+    /// Propagation model.
+    pub path_loss: LogDistance,
+    /// Regional duty-cycle fraction.
+    pub duty_cycle: f64,
+    /// Scheduled failures.
+    pub failures: Vec<Failure>,
+    /// Scheduled walks (mobility).
+    pub walks: Vec<Walk>,
+    /// Simulated duration.
+    pub duration: Duration,
+    /// How often server alert rules are evaluated.
+    pub alert_period: Duration,
+    /// Simulator trace verbosity.
+    pub trace_level: TraceLevel,
+}
+
+impl ScenarioConfig {
+    /// A ready-to-run scenario: `n` nodes on a line with the given
+    /// spacing, node 0 sending telemetry to the last node (the gateway),
+    /// out-of-band monitoring, 10 simulated minutes.
+    pub fn line(n: usize, spacing_m: f64, seed: u64) -> Self {
+        let positions = loramon_sim::placement::line(n, spacing_m);
+        let gateway_index = n - 1;
+        ScenarioConfig::new(positions, gateway_index, seed)
+    }
+
+    /// A scenario from explicit positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `positions` is empty or `gateway_index` out of range.
+    pub fn new(positions: Vec<Position>, gateway_index: usize, seed: u64) -> Self {
+        assert!(!positions.is_empty(), "need at least one node");
+        assert!(gateway_index < positions.len(), "gateway index out of range");
+        let gateway = NodeId(gateway_index as u16 + 1);
+        ScenarioConfig {
+            seed,
+            positions,
+            gateway_index,
+            radio: RadioConfig::mesher_default(),
+            mesh: MeshConfig::fast(),
+            monitor: MonitorConfig::new(),
+            traffic: Some(TrafficPattern::to_gateway(
+                gateway,
+                Duration::from_secs(60),
+                16,
+            )),
+            uplink: UplinkModel::wifi(seed ^ 0xAB),
+            server: ServerConfig::default(),
+            path_loss: LogDistance::suburban(),
+            duty_cycle: 0.01,
+            failures: Vec::new(),
+            walks: Vec::new(),
+            duration: Duration::from_secs(600),
+            alert_period: Duration::from_secs(10),
+            trace_level: TraceLevel::Normal,
+        }
+    }
+
+    /// The gateway's mesh address.
+    pub fn gateway(&self) -> NodeId {
+        NodeId(self.gateway_index as u16 + 1)
+    }
+
+    /// Switch monitoring to in-band reporting through the gateway
+    /// (builder style).
+    pub fn with_in_band_monitoring(mut self) -> Self {
+        self.monitor.mode = ReportingMode::InBand {
+            gateway: self.gateway(),
+        };
+        self
+    }
+
+    /// Set the simulated duration (builder style).
+    pub fn with_duration(mut self, duration: Duration) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    /// Set the traffic pattern (builder style; `None` disables traffic).
+    pub fn with_traffic(mut self, traffic: Option<TrafficPattern>) -> Self {
+        self.traffic = traffic;
+        self
+    }
+
+    /// Add a failure (builder style).
+    pub fn with_failure(mut self, failure: Failure) -> Self {
+        self.failures.push(failure);
+        self
+    }
+
+    /// Add a walk (builder style).
+    pub fn with_walk(mut self, walk: Walk) -> Self {
+        self.walks.push(walk);
+        self
+    }
+
+    /// Set the uplink model (builder style).
+    pub fn with_uplink(mut self, uplink: UplinkModel) -> Self {
+        self.uplink = uplink;
+        self
+    }
+
+    /// Set the monitor configuration, preserving scenario-level in-band
+    /// gateway resolution (builder style).
+    pub fn with_monitor(mut self, monitor: MonitorConfig) -> Self {
+        self.monitor = monitor;
+        self
+    }
+}
+
+/// Ground truth extracted from the simulator, for judging the monitor.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GroundTruth {
+    /// Frames actually put on the air.
+    pub transmissions: u64,
+    /// Frame deliveries (per receiver).
+    pub deliveries: u64,
+    /// Losses to collisions.
+    pub collision_losses: u64,
+    /// Losses to half-duplex conflicts.
+    pub half_duplex_losses: u64,
+    /// Total transmit airtime across nodes, in microseconds.
+    pub airtime_us: u64,
+    /// Per-node mesh counters at the end of the run.
+    pub mesh_stats: BTreeMap<NodeId, MeshStats>,
+}
+
+/// Per-node monitoring client statistics after a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClientStat {
+    /// The node.
+    pub node: NodeId,
+    /// Packets the client recorded.
+    pub captured: u64,
+    /// Records lost to the client buffer.
+    pub dropped: u64,
+    /// Reports generated.
+    pub reports: u32,
+}
+
+/// The outcome of a scenario run.
+pub struct ScenarioResult {
+    /// The populated monitoring server.
+    pub server: MonitorServer,
+    /// All node addresses, in position order.
+    pub node_ids: Vec<NodeId>,
+    /// The gateway address.
+    pub gateway: NodeId,
+    /// Node positions by address (for dashboard layout).
+    pub positions: BTreeMap<NodeId, Position>,
+    /// Simulator ground truth.
+    pub ground_truth: GroundTruth,
+    /// Per-node client statistics.
+    pub client_stats: Vec<ClientStat>,
+    /// Reports that reached the server.
+    pub reports_delivered: usize,
+    /// Reports lost on the uplink (or in-band path pre-gateway).
+    pub reports_lost: usize,
+    /// Alerts fired during the run, in firing order.
+    pub alerts: Vec<Alert>,
+    /// The simulator (for trace inspection).
+    pub sim: Simulator,
+}
+
+impl ScenarioResult {
+    /// Telemetry completeness: Out records stored at the server vs
+    /// ground-truth transmissions.
+    pub fn completeness(&self) -> f64 {
+        self.server.completeness(self.ground_truth.transmissions)
+    }
+}
+
+/// Run a scenario to completion.
+///
+/// # Panics
+///
+/// Panics on inconsistent configuration (see [`ScenarioConfig::new`]).
+pub fn run_scenario(config: &ScenarioConfig) -> ScenarioResult {
+    let mut sim = SimBuilder::new()
+        .seed(config.seed)
+        .path_loss(config.path_loss)
+        .duty_cycle(config.duty_cycle)
+        .trace_level(config.trace_level)
+        .build();
+
+    let gateway = config.gateway();
+    let mut node_ids = Vec::with_capacity(config.positions.len());
+    for (i, &pos) in config.positions.iter().enumerate() {
+        let mut monitor_cfg = config.monitor;
+        if let ReportingMode::InBand { .. } = monitor_cfg.mode {
+            monitor_cfg.mode = ReportingMode::InBand { gateway };
+        }
+        let mut node = MeshNode::with_observer(config.mesh, MonitorClient::new(monitor_cfg));
+        if i != config.gateway_index {
+            if let Some(traffic) = config.traffic {
+                node = node.with_traffic(traffic);
+            }
+        }
+        let id = sim.add_node(pos, config.radio, Box::new(node));
+        node_ids.push(id);
+    }
+    assert_eq!(node_ids[config.gateway_index], gateway);
+
+    for f in &config.failures {
+        sim.schedule_failure(node_ids[f.node_index], f.at);
+        if let Some(recover_at) = f.recover_at {
+            sim.schedule_recovery(node_ids[f.node_index], recover_at);
+        }
+    }
+    for w in &config.walks {
+        sim.schedule_walk(node_ids[w.node_index], w.depart, w.to, w.speed_mps, w.step);
+    }
+
+    sim.run_for(config.duration);
+
+    // Drain clients: out-of-band outboxes stamped with generation time,
+    // gateway-collected in-band reports stamped with mesh arrival time.
+    let mut pending: Vec<(SimTime, loramon_core::Report)> = Vec::new();
+    let mut client_stats = Vec::new();
+    let mut expected_reports = 0usize;
+    for &id in &node_ids {
+        let node = sim
+            .app_as_mut::<MonitoredNode>(id)
+            .expect("scenario nodes are MeshNode<MonitorClient>");
+        let client = node.observer_mut();
+        client_stats.push(ClientStat {
+            node: id,
+            captured: client.records_captured(),
+            dropped: client.records_dropped(),
+            reports: client.reports_generated(),
+        });
+        expected_reports += client.reports_generated() as usize;
+        for report in client.take_outbox() {
+            let sent_at = SimTime::from_millis(report.generated_at_ms);
+            pending.push((sent_at, report));
+        }
+        for (at, report) in client.take_collected() {
+            pending.push((at, report));
+        }
+    }
+
+    let delivered = config.uplink.deliver_all(pending);
+    let reports_delivered = delivered.len();
+    // In in-band mode reports can also die inside the mesh, so losses
+    // are measured against what clients generated, not what reached an
+    // uplink.
+    let reports_lost = expected_reports.saturating_sub(reports_delivered);
+
+    // Feed the server chronologically, interleaving alert evaluation.
+    let server = MonitorServer::new(config.server);
+    let mut alerts = Vec::new();
+    let end = SimTime::ZERO + config.duration + Duration::from_secs(5);
+    let mut eval_at = SimTime::ZERO + config.alert_period;
+    let mut queue = delivered.into_iter().peekable();
+    while eval_at <= end {
+        while let Some((at, _)) = queue.peek() {
+            if *at <= eval_at {
+                let (at, report) = queue.next().expect("peeked");
+                server.ingest(&report, at);
+            } else {
+                break;
+            }
+        }
+        alerts.extend(server.evaluate_alerts(eval_at));
+        eval_at += config.alert_period;
+    }
+    for (at, report) in queue {
+        server.ingest(&report, at);
+    }
+
+    // Ground truth.
+    let trace = sim.trace();
+    let mut ground_truth = GroundTruth {
+        transmissions: trace.transmissions(None) as u64,
+        deliveries: trace.deliveries(None) as u64,
+        collision_losses: trace.losses(Some(LossReason::Collision)) as u64,
+        half_duplex_losses: trace.losses(Some(LossReason::HalfDuplex)) as u64,
+        airtime_us: 0,
+        mesh_stats: BTreeMap::new(),
+    };
+    for &id in &node_ids {
+        ground_truth.airtime_us += sim.stats(id).airtime_us;
+        let node = sim.app_as::<MonitoredNode>(id).expect("typed above");
+        ground_truth.mesh_stats.insert(id, node.stats());
+    }
+
+    let positions = node_ids
+        .iter()
+        .zip(&config.positions)
+        .map(|(&id, &p)| (id, p))
+        .collect();
+
+    ScenarioResult {
+        server,
+        node_ids,
+        gateway,
+        positions,
+        ground_truth,
+        client_stats,
+        reports_delivered,
+        reports_lost,
+        alerts,
+        sim,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_line_scenario_populates_server() {
+        let config = ScenarioConfig::line(3, 300.0, 42);
+        let result = run_scenario(&config);
+        assert_eq!(result.node_ids.len(), 3);
+        assert_eq!(result.gateway, NodeId(3));
+        // All three nodes reported.
+        assert_eq!(result.server.node_ids().len(), 3);
+        assert!(result.server.total_records() > 0);
+        assert!(result.reports_delivered > 0);
+        // Ground truth saw real traffic.
+        assert!(result.ground_truth.transmissions > 0);
+        assert!(result.ground_truth.deliveries > 0);
+    }
+
+    #[test]
+    fn completeness_near_one_on_perfect_uplink() {
+        let config = ScenarioConfig::line(3, 300.0, 7)
+            .with_uplink(UplinkModel::perfect());
+        let result = run_scenario(&config);
+        // Everything captured except what is still buffered client-side
+        // at the end of the run.
+        assert!(
+            result.completeness() > 0.7,
+            "completeness {}",
+            result.completeness()
+        );
+    }
+
+    #[test]
+    fn scenario_is_deterministic() {
+        let run = |seed| {
+            let r = run_scenario(&ScenarioConfig::line(4, 400.0, seed));
+            (
+                r.server.total_records(),
+                r.reports_delivered,
+                r.ground_truth.transmissions,
+            )
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn in_band_mode_gets_reports_to_server() {
+        let config = ScenarioConfig::line(3, 300.0, 11)
+            .with_in_band_monitoring()
+            .with_duration(Duration::from_secs(900));
+        let result = run_scenario(&config);
+        // Non-gateway nodes' reports traverse the mesh; at least some
+        // must arrive.
+        let reporting_nodes = result.server.node_ids().len();
+        assert!(
+            reporting_nodes >= 2,
+            "only {reporting_nodes} nodes' reports reached the server"
+        );
+    }
+
+    #[test]
+    fn failure_produces_silent_node_alert() {
+        let config = ScenarioConfig::line(3, 300.0, 13)
+            .with_failure(Failure {
+                node_index: 0,
+                at: SimTime::from_secs(200),
+                recover_at: None,
+            })
+            .with_duration(Duration::from_secs(600));
+        let result = run_scenario(&config);
+        assert!(
+            result
+                .alerts
+                .iter()
+                .any(|a| a.node == NodeId(1)
+                    && a.kind == loramon_server::AlertKind::NodeSilent),
+            "no silent-node alert: {:?}",
+            result.alerts
+        );
+    }
+}

@@ -1,0 +1,232 @@
+//! Integration tests spanning all crates: simulated mesh → monitoring
+//! clients → uplink → server → queries, judged against simulator ground
+//! truth.
+
+use loramon::core::{MonitorConfig, UplinkModel};
+use loramon::mesh::{MeshStats, TrafficPattern};
+use loramon::scenario::{run_scenario, MonitoredNode, ScenarioConfig};
+use loramon::server::Window;
+use loramon::sim::{NodeId, SimTime};
+use std::time::Duration;
+
+#[test]
+fn every_node_reports_and_all_records_belong_to_their_reporter() {
+    let result = run_scenario(
+        &ScenarioConfig::line(4, 500.0, 1).with_uplink(UplinkModel::perfect()),
+    );
+    assert_eq!(result.server.node_ids().len(), 4);
+    for summary in result.server.node_summaries() {
+        assert!(summary.reports > 0, "node {} never reported", summary.node);
+        assert_eq!(summary.missing_reports, 0, "perfect uplink lost reports");
+    }
+}
+
+#[test]
+fn monitor_reconstructs_multihop_forwarding() {
+    // 4 nodes, 1.6 km apart: traffic from node 1 must relay through
+    // nodes 2 and 3 to reach gateway 4. The server should see node 2/3
+    // forwarding counters and an end-to-end pair 1 → 4.
+    let config = ScenarioConfig::line(4, 1600.0, 3)
+        .with_duration(Duration::from_secs(1800))
+        .with_uplink(UplinkModel::perfect());
+    let result = run_scenario(&config);
+
+    let e2e = result.server.end_to_end(Window::all());
+    let pair = e2e
+        .iter()
+        .find(|e| e.origin == NodeId(1) && e.final_dst == NodeId(4))
+        .expect("no end-to-end pair 1→4 reconstructed");
+    assert!(pair.sent >= 5, "too few messages: {}", pair.sent);
+    assert!(
+        pair.delivery_ratio() > 0.5,
+        "delivery ratio {}",
+        pair.delivery_ratio()
+    );
+    // Multi-hop latency must be positive (at least 2 extra airtimes).
+    let lat = pair.mean_latency().expect("delivered messages have latency");
+    assert!(lat >= Duration::from_millis(50), "latency {lat:?}");
+
+    // Relays reported forwarding in their status snapshots.
+    let summaries = result.server.node_summaries();
+    let relay_forwarded: u64 = summaries
+        .iter()
+        .filter(|s| s.node == NodeId(2) || s.node == NodeId(3))
+        .filter_map(|s| s.mesh.as_ref().map(|m| m.forwarded))
+        .sum();
+    assert!(relay_forwarded > 0, "server never learned about forwarding");
+}
+
+#[test]
+fn server_pdr_matches_ground_truth_direction() {
+    let config = ScenarioConfig::line(3, 1500.0, 5)
+        .with_duration(Duration::from_secs(1200))
+        .with_uplink(UplinkModel::perfect());
+    let result = run_scenario(&config);
+    for link in result.server.link_deliveries(Window::all()) {
+        let pdr = link.pdr();
+        assert!(
+            (0.0..=1.0).contains(&pdr),
+            "pdr out of range on {} → {}: {pdr}",
+            link.from,
+            link.to
+        );
+    }
+}
+
+#[test]
+fn lossy_uplink_creates_report_gaps_visible_at_server() {
+    let config = ScenarioConfig::line(3, 400.0, 17)
+        .with_duration(Duration::from_secs(3600))
+        .with_uplink(UplinkModel::flaky(0.3, 99));
+    let result = run_scenario(&config);
+    let summaries = result.server.node_summaries();
+    let missing: u64 = summaries.iter().map(|s| s.missing_reports).sum();
+    assert!(missing > 0, "30% uplink loss produced no visible gaps");
+    // And the alert engine noticed.
+    assert!(
+        result
+            .alerts
+            .iter()
+            .any(|a| a.kind == loramon::server::AlertKind::ReportGap),
+        "no report-gap alert fired"
+    );
+}
+
+#[test]
+fn uplink_outage_then_recovery_backfills_nothing_but_counts_losses() {
+    let outage_uplink = UplinkModel::perfect()
+        .with_outage(SimTime::from_secs(300), SimTime::from_secs(900));
+    let config = ScenarioConfig::line(2, 300.0, 23)
+        .with_duration(Duration::from_secs(1200))
+        .with_uplink(outage_uplink);
+    let result = run_scenario(&config);
+    assert!(result.reports_lost > 0, "outage lost nothing");
+    assert!(result.reports_delivered > 0, "nothing delivered at all");
+}
+
+#[test]
+fn in_band_and_out_of_band_see_the_same_network() {
+    let base = ScenarioConfig::line(3, 700.0, 29)
+        .with_duration(Duration::from_secs(1800))
+        .with_uplink(UplinkModel::perfect());
+    let oob = run_scenario(&base);
+    let ib = run_scenario(&base.clone().with_in_band_monitoring());
+
+    // Both modes must reconstruct the same set of heard links.
+    let mut oob_links = oob.server.topology(Window::all()).undirected_heard();
+    let mut ib_links = ib.server.topology(Window::all()).undirected_heard();
+    oob_links.sort();
+    ib_links.sort();
+    assert_eq!(oob_links, ib_links, "modes disagree about topology");
+
+    // In-band consumes strictly more airtime.
+    assert!(
+        ib.ground_truth.airtime_us > oob.ground_truth.airtime_us,
+        "in-band airtime {} not larger than out-of-band {}",
+        ib.ground_truth.airtime_us,
+        oob.ground_truth.airtime_us
+    );
+}
+
+#[test]
+fn client_buffer_overflow_is_reported_not_silent() {
+    // Tiny buffer + busy network + slow reporting → drops, and the
+    // server must know the exact count.
+    let monitor = MonitorConfig::new()
+        .with_report_period(Duration::from_secs(120))
+        .with_buffer_capacity(8)
+        .with_max_records(8);
+    let mut config = ScenarioConfig::line(4, 400.0, 31)
+        .with_duration(Duration::from_secs(1800))
+        .with_monitor(monitor)
+        .with_uplink(UplinkModel::perfect());
+    config.traffic = Some(TrafficPattern::to_gateway(
+        config.gateway(),
+        Duration::from_secs(15),
+        16,
+    ));
+    let result = run_scenario(&config);
+    let client_drops: u64 = result.client_stats.iter().map(|c| c.dropped).sum();
+    assert!(client_drops > 0, "expected buffer overflow");
+    let server_knows: u64 = result
+        .server
+        .node_summaries()
+        .iter()
+        .map(|s| s.client_dropped)
+        .sum();
+    assert_eq!(
+        client_drops, server_knows,
+        "server drop accounting disagrees with clients"
+    );
+}
+
+#[test]
+fn ground_truth_mesh_stats_match_server_view_on_perfect_uplink() {
+    let config = ScenarioConfig::line(3, 500.0, 37)
+        .with_uplink(UplinkModel::perfect())
+        .with_duration(Duration::from_secs(900));
+    let result = run_scenario(&config);
+    // The latest status snapshot at the server lags the end-of-run stats
+    // by at most one report period of activity — compare monotonic
+    // lower bounds.
+    for summary in result.server.node_summaries() {
+        let truth: &MeshStats = &result.ground_truth.mesh_stats[&summary.node];
+        let seen = summary.mesh.expect("status included");
+        assert!(seen.routing_sent <= truth.routing_sent);
+        assert!(seen.packets_heard <= truth.packets_heard);
+        // And the server's view is not empty.
+        assert!(seen.routing_sent > 0);
+    }
+}
+
+#[test]
+fn scenario_sim_exposes_typed_apps() {
+    let result = run_scenario(&ScenarioConfig::line(2, 300.0, 41));
+    for &id in &result.node_ids {
+        let node: &MonitoredNode = result.sim.app_as(id).expect("typed app");
+        assert_eq!(node.local_id(), id);
+    }
+}
+
+#[test]
+fn alert_timeline_is_chronological() {
+    let config = ScenarioConfig::line(3, 400.0, 43)
+        .with_duration(Duration::from_secs(1800))
+        .with_uplink(UplinkModel::flaky(0.2, 7));
+    let result = run_scenario(&config);
+    for pair in result.alerts.windows(2) {
+        assert!(pair[0].at <= pair[1].at, "alerts out of order");
+    }
+}
+
+#[test]
+fn rssi_histogram_covers_observed_links() {
+    let result = run_scenario(
+        &ScenarioConfig::line(3, 900.0, 47).with_uplink(UplinkModel::perfect()),
+    );
+    let hist = result.server.rssi_histogram(None, Window::all(), 5.0);
+    assert!(!hist.is_empty());
+    let total: u64 = hist.iter().map(|(_, c)| c).sum();
+    let links_total: u64 = result
+        .server
+        .link_stats(Window::all())
+        .iter()
+        .map(|l| l.packets)
+        .sum();
+    assert_eq!(total, links_total, "histogram and link stats disagree");
+    // Bins are in a physically plausible range.
+    for (bin, _) in hist {
+        assert!((-150.0..=0.0).contains(&bin), "bin {bin} implausible");
+    }
+}
+
+#[test]
+fn type_breakdown_includes_routing_and_data() {
+    use loramon::mesh::PacketType;
+    let result = run_scenario(
+        &ScenarioConfig::line(3, 500.0, 53).with_uplink(UplinkModel::perfect()),
+    );
+    let breakdown = result.server.type_breakdown(None, Window::all());
+    assert!(breakdown.get(&PacketType::Routing).copied().unwrap_or(0) > 0);
+    assert!(breakdown.get(&PacketType::Data).copied().unwrap_or(0) > 0);
+}

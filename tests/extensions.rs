@@ -1,0 +1,285 @@
+//! Integration tests of the extension features: mobility, interference,
+//! record filters, archive replay, and ADR.
+
+use loramon::core::{MonitorConfig, RecordFilter, UplinkModel};
+use loramon::phy::{AdrConfig, AdrController, Position, SpreadingFactor};
+use loramon::scenario::{run_scenario, ScenarioConfig, Walk};
+use loramon::server::{archive, MonitorServer, ServerConfig, Window};
+use loramon::sim::{NodeId, SimTime};
+use std::time::Duration;
+
+#[test]
+fn walking_node_shows_decaying_rssi_at_server() {
+    let config = ScenarioConfig::line(3, 200.0, 101)
+        .with_duration(Duration::from_secs(2400))
+        .with_uplink(UplinkModel::perfect())
+        .with_walk(Walk {
+            node_index: 0,
+            depart: SimTime::from_secs(300),
+            to: Position::new(-3000.0, 0.0),
+            speed_mps: 2.0,
+            step: Duration::from_secs(20),
+        });
+    let result = run_scenario(&config);
+    let mean_rssi = |from_s: u64, to_s: u64| {
+        result
+            .server
+            .link_stats(Window {
+                from: SimTime::from_secs(from_s),
+                to: SimTime::from_secs(to_s),
+            })
+            .into_iter()
+            .find(|l| l.from == NodeId(1))
+            .map(|l| l.mean_rssi_dbm)
+    };
+    let early = mean_rssi(0, 300).expect("no early link");
+    // `None` means the walker went fully out of range — also a pass.
+    if let Some(late_rssi) = mean_rssi(1500, 2400) {
+        assert!(
+            late_rssi < early - 15.0,
+            "no visible decay: early {early}, late {late_rssi}"
+        );
+    }
+}
+
+#[test]
+fn filtered_client_reports_fewer_records_but_same_data_traffic() {
+    let base = ScenarioConfig::line(3, 500.0, 103)
+        .with_duration(Duration::from_secs(1200))
+        .with_uplink(UplinkModel::perfect());
+    let full = run_scenario(&base);
+    let filtered = run_scenario(
+        &base
+            .clone()
+            .with_monitor(MonitorConfig::new().with_filter(RecordFilter::data_only())),
+    );
+
+    let records = |r: &loramon::scenario::ScenarioResult| -> u64 {
+        r.server.node_summaries().iter().map(|s| s.records).sum()
+    };
+    assert!(
+        records(&filtered) * 2 < records(&full),
+        "filter barely reduced volume: {} vs {}",
+        records(&filtered),
+        records(&full)
+    );
+
+    // Both see the same data-message flow end to end.
+    use loramon::mesh::PacketType;
+    let data = |r: &loramon::scenario::ScenarioResult| {
+        r.server
+            .type_breakdown(None, Window::all())
+            .get(&PacketType::Data)
+            .copied()
+            .unwrap_or(0)
+    };
+    assert_eq!(data(&full), data(&filtered), "data visibility diverged");
+    // But the filtered run has no routing records at all.
+    assert_eq!(
+        filtered
+            .server
+            .type_breakdown(None, Window::all())
+            .get(&PacketType::Routing)
+            .copied()
+            .unwrap_or(0),
+        0
+    );
+}
+
+#[test]
+fn archive_roundtrip_preserves_every_query_result() {
+    let mut config = ScenarioConfig::line(3, 600.0, 107)
+        .with_duration(Duration::from_secs(900))
+        .with_uplink(UplinkModel::perfect());
+    config.server.archive = true;
+    let result = run_scenario(&config);
+
+    // Export → import → replay.
+    let mut buf = Vec::new();
+    archive::write_jsonl(result.server.archive_entries(), &mut buf).unwrap();
+    let entries = archive::read_jsonl(buf.as_slice()).unwrap();
+    let replica = MonitorServer::new(ServerConfig::default());
+    let (accepted, dup, invalid) = archive::replay(&replica, entries);
+    assert!(accepted > 0);
+    assert_eq!((dup, invalid), (0, 0));
+
+    // The replica answers queries identically.
+    assert_eq!(replica.total_records(), result.server.total_records());
+    assert_eq!(replica.node_ids(), result.server.node_ids());
+    assert_eq!(
+        replica.link_stats(Window::all()),
+        result.server.link_stats(Window::all())
+    );
+    assert_eq!(
+        replica.series(None, None, Window::all(), Duration::from_secs(60)),
+        result
+            .server
+            .series(None, None, Window::all(), Duration::from_secs(60))
+    );
+    assert_eq!(
+        replica.topology(Window::all()),
+        result.server.topology(Window::all())
+    );
+}
+
+#[test]
+fn adr_controller_tracks_a_real_link() {
+    // Feed the controller the SNRs the monitor records on a strong link;
+    // it should recommend dropping from SF12 to SF7.
+    let config = ScenarioConfig::line(2, 150.0, 109).with_uplink(UplinkModel::perfect());
+    let result = run_scenario(&config);
+    let mut adr = AdrController::new(AdrConfig::default());
+    // Pull SNR samples out of the stored incoming records via link stats
+    // + histogram: use the mean SNR as a representative feed.
+    let link = result
+        .server
+        .link_stats(Window::all())
+        .into_iter()
+        .find(|l| l.from == NodeId(1) && l.to == NodeId(2))
+        .expect("link missing");
+    for _ in 0..10 {
+        adr.record_snr(link.mean_snr_db);
+    }
+    // 150 m link: SNR is strongly positive → SF7.
+    assert_eq!(
+        adr.recommend(SpreadingFactor::Sf12),
+        Some(SpreadingFactor::Sf7)
+    );
+}
+
+#[test]
+fn occupancy_estimate_tracks_ground_truth_airtime() {
+    let config = ScenarioConfig::line(3, 500.0, 113)
+        .with_duration(Duration::from_secs(1800))
+        .with_uplink(UplinkModel::perfect());
+    let result = run_scenario(&config);
+    let occ = result.server.channel_occupancy(
+        Window::all(),
+        &config.radio,
+        Duration::from_secs(1800),
+    );
+    let estimated_airtime_s: f64 = occ.iter().map(|(_, f)| f * 1800.0).sum();
+    let truth_s = result.ground_truth.airtime_us as f64 / 1e6;
+    // The estimate reconstructs airtime from reported Out records; with a
+    // perfect uplink it should land within 15% of ground truth (residual
+    // gap: records still buffered client-side at the end of the run).
+    let ratio = estimated_airtime_s / truth_s;
+    assert!(
+        (0.85..=1.05).contains(&ratio),
+        "estimate {estimated_airtime_s:.1}s vs truth {truth_s:.1}s (ratio {ratio:.2})"
+    );
+}
+
+#[test]
+fn status_series_reaches_server_in_order() {
+    let config = ScenarioConfig::line(2, 300.0, 127)
+        .with_duration(Duration::from_secs(900))
+        .with_uplink(UplinkModel::perfect());
+    let result = run_scenario(&config);
+    for &id in &result.node_ids {
+        let series = result.server.status_series(id);
+        assert!(series.len() >= 20, "only {} status points", series.len());
+        assert!(series.windows(2).all(|w| w[0].at <= w[1].at));
+        // Uptime-like signals: reachability settles at n-1.
+        assert_eq!(series.last().unwrap().reachable, 1);
+    }
+}
+
+#[test]
+fn corrupted_foreign_traffic_is_counted_not_crashing() {
+    // A non-mesh transmitter shares the channel: mesh nodes must count
+    // decode errors and keep working; the monitor sees nothing of the
+    // garbage (it records above the decoder, as real firmware would).
+    use loramon::mesh::{MeshConfig, MeshNode};
+    use loramon::core::MonitorClient;
+    use loramon::scenario::MonitoredNode;
+    use loramon::sim::{PeriodicSender, SimBuilder};
+    use loramon::phy::RadioConfig;
+
+    let mut sim = SimBuilder::new().seed(211).build();
+    let cfg = RadioConfig::mesher_default();
+    let make = || {
+        MeshNode::with_observer(
+            MeshConfig::fast(),
+            MonitorClient::new(MonitorConfig::new()),
+        )
+    };
+    let a = sim.add_node(Position::new(0.0, 0.0), cfg, Box::new(make()));
+    let b = sim.add_node(Position::new(300.0, 0.0), cfg, Box::new(make()));
+    // The foreigner blasts 8-byte frames (too short for a mesh header).
+    sim.add_node(
+        Position::new(150.0, 0.0),
+        cfg,
+        Box::new(PeriodicSender::new(Duration::from_secs(7), 8)),
+    );
+    sim.run_for(Duration::from_secs(300));
+
+    for id in [a, b] {
+        let node: &MonitoredNode = sim.app_as(id).unwrap();
+        assert!(
+            node.stats().decode_errors > 10,
+            "node {id} saw {} decode errors",
+            node.stats().decode_errors
+        );
+        // The mesh still works: routes formed despite the noise.
+        assert!(!node.routing_table().is_empty(), "mesh broke under noise");
+        // Monitoring only records decodable mesh packets.
+        let client = node.observer();
+        assert_eq!(
+            client.records_captured(),
+            node.stats().packets_heard
+                + node.stats().routing_sent
+                + node.stats().data_sent
+                + node.stats().acks_sent
+        );
+    }
+}
+
+#[test]
+fn rollup_series_available_when_enabled() {
+    let mut config = ScenarioConfig::line(3, 500.0, 131)
+        .with_duration(Duration::from_secs(900))
+        .with_uplink(UplinkModel::perfect());
+    config.server.rollup_bucket = Some(Duration::from_secs(300));
+    let result = run_scenario(&config);
+    let merged = result.server.rollup_series(None);
+    assert!(merged.len() >= 2, "only {} rollup buckets", merged.len());
+    let total: u64 = merged.iter().map(|p| p.in_count + p.out_count).sum();
+    assert_eq!(total as usize, result.server.total_records());
+    // Per-node view sums to the merged view.
+    let per_node: u64 = result
+        .node_ids
+        .iter()
+        .flat_map(|&n| result.server.rollup_series(Some(n)))
+        .map(|p| p.in_count + p.out_count)
+        .sum();
+    assert_eq!(per_node, total);
+}
+
+#[test]
+fn health_goes_red_for_a_dead_node_and_green_for_live_ones() {
+    use loramon::scenario::Failure;
+    use loramon::server::{HealthLevel, HealthRules};
+    let config = ScenarioConfig::line(3, 400.0, 137)
+        .with_duration(Duration::from_secs(1200))
+        .with_uplink(UplinkModel::perfect())
+        .with_failure(Failure {
+            node_index: 0,
+            at: SimTime::from_secs(300),
+            recover_at: None,
+        });
+    let result = run_scenario(&config);
+    let health = result
+        .server
+        .health(&HealthRules::default(), SimTime::from_secs(1200));
+    let level = |n: u16| {
+        health
+            .iter()
+            .find(|h| h.node == NodeId(n))
+            .map(|h| h.level)
+            .unwrap()
+    };
+    assert_eq!(level(1), HealthLevel::Red, "{health:#?}");
+    assert_eq!(level(2), HealthLevel::Green, "{health:#?}");
+    assert_eq!(level(3), HealthLevel::Green, "{health:#?}");
+}

@@ -1,0 +1,183 @@
+//! Failure-injection integration tests: dead relays, flapping nodes and
+//! what the monitoring system makes of them.
+
+use loramon::core::UplinkModel;
+use loramon::scenario::{run_scenario, Failure, ScenarioConfig};
+use loramon::server::{AlertKind, Window};
+use loramon::sim::{NodeId, SimTime};
+use std::time::Duration;
+
+#[test]
+fn dead_node_triggers_silent_alert_with_bounded_latency() {
+    let fail_at = SimTime::from_secs(400);
+    let config = ScenarioConfig::line(3, 500.0, 71)
+        .with_duration(Duration::from_secs(1200))
+        .with_uplink(UplinkModel::perfect())
+        .with_failure(Failure {
+            node_index: 0,
+            at: fail_at,
+            recover_at: None,
+        });
+    let silent_after = config.server.alert_rules.silent_after;
+    let result = run_scenario(&config);
+
+    let alert = result
+        .alerts
+        .iter()
+        .find(|a| a.kind == AlertKind::NodeSilent && a.node == NodeId(1))
+        .expect("silent-node alert missing");
+    // Detection can't precede failure + threshold, and should not lag by
+    // more than a couple of report + evaluation periods.
+    let earliest = fail_at + silent_after;
+    assert!(alert.at >= earliest, "alert at {} before possible", alert.at);
+    let latency = alert.at.saturating_since(fail_at);
+    assert!(
+        latency <= silent_after + Duration::from_secs(60),
+        "detection latency {latency:?} too large"
+    );
+}
+
+#[test]
+fn recovered_node_clears_the_alert_and_reports_again() {
+    let config = ScenarioConfig::line(2, 300.0, 73)
+        .with_duration(Duration::from_secs(1800))
+        .with_uplink(UplinkModel::perfect())
+        .with_failure(Failure {
+            node_index: 0,
+            at: SimTime::from_secs(300),
+            recover_at: Some(SimTime::from_secs(900)),
+        });
+    let result = run_scenario(&config);
+    // Exactly one silent episode for node 1.
+    let episodes = result
+        .alerts
+        .iter()
+        .filter(|a| a.kind == AlertKind::NodeSilent && a.node == NodeId(1))
+        .count();
+    assert_eq!(episodes, 1, "alerts: {:?}", result.alerts);
+    // By the end the condition has cleared (node reports again).
+    assert!(
+        !result
+            .server
+            .active_alerts()
+            .contains(&(NodeId(1), AlertKind::NodeSilent)),
+        "alert still active after recovery"
+    );
+    // And the node's reports resumed: reports span the post-recovery era.
+    let summary = result
+        .server
+        .node_summaries()
+        .into_iter()
+        .find(|s| s.node == NodeId(1))
+        .unwrap();
+    assert!(
+        summary.last_report_at.unwrap() > SimTime::from_secs(950),
+        "no reports after recovery"
+    );
+}
+
+#[test]
+fn dead_relay_reroutes_and_the_monitor_shows_the_new_path() {
+    // Diamond topology: 1 -- {2, 3} -- 4. Node 2 dies mid-run; traffic
+    // 1 → 4 must shift to relay 3, visibly in the forwarded counters.
+    // A steep obstructed-campus path-loss model (n = 3.8) makes the
+    // 886 m diagonal impossible while the 500 m legs stay solid, so the
+    // mesh genuinely must forward.
+    let positions = vec![
+        loramon::phy::Position::new(0.0, 0.0),
+        loramon::phy::Position::new(443.0, 232.0),
+        loramon::phy::Position::new(443.0, -232.0),
+        loramon::phy::Position::new(886.0, 0.0),
+    ];
+    let mut config = ScenarioConfig::new(positions, 3, 79)
+        .with_duration(Duration::from_secs(2400))
+        .with_uplink(UplinkModel::perfect())
+        .with_failure(Failure {
+            node_index: 1,
+            at: SimTime::from_secs(900),
+            recover_at: None,
+        });
+    config.path_loss = loramon::phy::LogDistance::new(30.0, 1.0, 3.8, 2.0);
+    config.traffic = Some(
+        loramon::mesh::TrafficPattern::to_gateway(
+            config.gateway(),
+            Duration::from_secs(30),
+            12,
+        )
+        .with_start_delay(Duration::from_secs(120)),
+    );
+    let result = run_scenario(&config);
+
+    // End-to-end delivery persisted past the failure.
+    let e2e = result.server.end_to_end(Window::all());
+    let pair = e2e
+        .iter()
+        .find(|e| e.origin == NodeId(1) && e.final_dst == NodeId(4))
+        .expect("pair missing");
+    assert!(
+        pair.delivery_ratio() > 0.6,
+        "delivery collapsed after relay death: {}",
+        pair.delivery_ratio()
+    );
+
+    // Relay 3 forwarded (per its own status reaching the server).
+    let s3 = result
+        .server
+        .node_summaries()
+        .into_iter()
+        .find(|s| s.node == NodeId(3))
+        .unwrap();
+    assert!(
+        s3.mesh.unwrap().forwarded > 0,
+        "surviving relay never forwarded"
+    );
+}
+
+#[test]
+fn flapping_node_produces_distinct_alert_episodes() {
+    let mut config = ScenarioConfig::line(2, 300.0, 83)
+        .with_duration(Duration::from_secs(3600))
+        .with_uplink(UplinkModel::perfect());
+    // Two failure episodes.
+    config = config
+        .with_failure(Failure {
+            node_index: 0,
+            at: SimTime::from_secs(400),
+            recover_at: Some(SimTime::from_secs(900)),
+        })
+        .with_failure(Failure {
+            node_index: 0,
+            at: SimTime::from_secs(1800),
+            recover_at: Some(SimTime::from_secs(2300)),
+        });
+    let result = run_scenario(&config);
+    let episodes = result
+        .alerts
+        .iter()
+        .filter(|a| a.kind == AlertKind::NodeSilent && a.node == NodeId(1))
+        .count();
+    assert_eq!(episodes, 2, "alerts: {:#?}", result.alerts);
+}
+
+#[test]
+fn failed_receiver_losses_show_in_ground_truth_not_in_monitor() {
+    // The monitor only knows what live nodes report; frames lost because
+    // the receiver was down exist only in the simulator's omniscient
+    // trace. Completeness (Out records) should remain high regardless.
+    let config = ScenarioConfig::line(2, 300.0, 89)
+        .with_duration(Duration::from_secs(1200))
+        .with_uplink(UplinkModel::perfect())
+        .with_failure(Failure {
+            node_index: 1,
+            at: SimTime::from_secs(300),
+            recover_at: Some(SimTime::from_secs(600)),
+        });
+    let result = run_scenario(&config);
+    use loramon::sim::LossReason;
+    let receiver_down = result
+        .sim
+        .trace()
+        .losses(Some(LossReason::ReceiverDown));
+    assert!(receiver_down > 0, "no receiver-down losses in truth");
+    assert!(result.completeness() > 0.6);
+}

@@ -1,0 +1,154 @@
+//! Integration test: a full simulated deployment served over the real
+//! HTTP API — the complete paper pipeline including the dashboard.
+
+use loramon::core::UplinkModel;
+use loramon::scenario::{run_scenario, ScenarioConfig};
+use loramon::server::HttpServer;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+fn get_json(addr: SocketAddr, path: &str) -> serde_json::Value {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+    let mut out = String::new();
+    stream.read_to_string(&mut out).unwrap();
+    let (head, body) = out.split_once("\r\n\r\n").expect("http response");
+    assert!(head.contains("200 OK"), "{head}");
+    serde_json::from_str(body).expect("json body")
+}
+
+#[test]
+fn scenario_data_is_fully_queryable_over_http() {
+    let config = ScenarioConfig::line(4, 600.0, 61)
+        .with_duration(Duration::from_secs(900))
+        .with_uplink(UplinkModel::perfect());
+    let result = run_scenario(&config);
+    let http = HttpServer::bind(result.server.clone(), "127.0.0.1:0").unwrap();
+    let addr = http.addr();
+
+    // Nodes.
+    let nodes = get_json(addr, "/api/nodes");
+    assert_eq!(nodes.as_array().unwrap().len(), 4);
+    for n in nodes.as_array().unwrap() {
+        assert!(n["reports"].as_u64().unwrap() > 0);
+        assert!(n["battery_percent"].is_number());
+    }
+
+    // Series respects filters.
+    let all = get_json(addr, "/api/series?bucket_s=60");
+    let ins = get_json(addr, "/api/series?bucket_s=60&direction=in");
+    let total: u64 = all
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|p| p["count"].as_u64().unwrap())
+        .sum();
+    let in_total: u64 = ins
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|p| p["count"].as_u64().unwrap())
+        .sum();
+    assert!(total > in_total, "direction filter had no effect");
+    assert!(in_total > 0);
+
+    // Node filter.
+    let node1 = get_json(addr, "/api/series?bucket_s=60&node=1");
+    let node1_total: u64 = node1
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|p| p["count"].as_u64().unwrap())
+        .sum();
+    assert!(node1_total > 0 && node1_total < total);
+
+    // Links, PDR, topology, e2e, stats.
+    let links = get_json(addr, "/api/links");
+    assert!(!links.as_array().unwrap().is_empty());
+    let pdr = get_json(addr, "/api/pdr");
+    for row in pdr.as_array().unwrap() {
+        let v = row["pdr"].as_f64().unwrap();
+        assert!((0.0..=1.0).contains(&v));
+    }
+    let topo = get_json(addr, "/api/topology");
+    assert_eq!(topo["nodes"].as_array().unwrap().len(), 4);
+    let e2e = get_json(addr, "/api/e2e");
+    assert!(!e2e.as_array().unwrap().is_empty());
+    let stats = get_json(addr, "/api/stats");
+    assert_eq!(stats["nodes"], 4);
+    assert!(stats["ingest"]["accepted"].as_u64().unwrap() > 0);
+
+    http.shutdown();
+}
+
+#[test]
+fn reports_can_be_posted_over_http_like_a_real_client() {
+    use loramon::core::Report;
+    use loramon::server::{MonitorServer, ServerConfig};
+    use loramon::sim::NodeId;
+
+    let server = MonitorServer::new(ServerConfig::default());
+    let http = HttpServer::bind(server.clone(), "127.0.0.1:0").unwrap();
+    let addr = http.addr();
+
+    // Post 10 reports from 2 "nodes" concurrently, with one duplicate.
+    let mut handles = Vec::new();
+    for node in 1u16..=2 {
+        handles.push(std::thread::spawn(move || {
+            for seq in 0u32..5 {
+                let report = Report {
+                    node: NodeId(node),
+                    report_seq: seq,
+                    generated_at_ms: 30_000 * u64::from(seq + 1),
+                    dropped_records: 0,
+                    status: None,
+                    records: vec![],
+                };
+                let body = report.encode_json();
+                let mut stream = TcpStream::connect(addr).unwrap();
+                write!(
+                    stream,
+                    "POST /api/reports?at_ms={} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+                    report.generated_at_ms + 100,
+                    body.len()
+                )
+                .unwrap();
+                stream.write_all(&body).unwrap();
+                let mut out = String::new();
+                stream.read_to_string(&mut out).unwrap();
+                assert!(out.contains("200 OK"), "{out}");
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(server.ingest_stats().accepted, 10);
+    assert_eq!(server.node_ids().len(), 2);
+
+    // A duplicate re-post is suppressed.
+    let dup = Report {
+        node: NodeId(1),
+        report_seq: 0,
+        generated_at_ms: 30_000,
+        dropped_records: 0,
+        status: None,
+        records: vec![],
+    };
+    let body = dup.encode_json();
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(
+        stream,
+        "POST /api/reports HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .unwrap();
+    stream.write_all(&body).unwrap();
+    let mut out = String::new();
+    stream.read_to_string(&mut out).unwrap();
+    assert!(out.contains("Duplicate"), "{out}");
+    assert_eq!(server.ingest_stats().duplicates, 1);
+
+    http.shutdown();
+}

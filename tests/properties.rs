@@ -1,0 +1,358 @@
+//! Property-based tests on wire formats, buffers, routing and the
+//! duty-cycle regulator.
+
+use bytes::Bytes;
+use loramon::core::{DropPolicy, NodeStatus, PacketRecord, RecordBuffer, Report, ReportedRoute};
+use loramon::mesh::{
+    Direction, MeshStats, Packet, PacketType, RouteEntry, RoutingTable, INFINITY_METRIC,
+    MAX_SEGMENT_PAYLOAD,
+};
+use loramon::phy::airtime::time_on_air;
+use loramon::phy::{
+    Bandwidth, CodingRate, DutyCycleRegulator, RadioConfig, SpreadingFactor,
+};
+use loramon::sim::{NodeId, SimTime};
+use proptest::prelude::*;
+use std::time::Duration;
+
+// ── strategies ────────────────────────────────────────────────────────
+
+fn node_id() -> impl Strategy<Value = NodeId> {
+    (1u16..0xFFFF).prop_map(NodeId)
+}
+
+fn direction() -> impl Strategy<Value = Direction> {
+    prop_oneof![Just(Direction::In), Just(Direction::Out)]
+}
+
+fn packet_type() -> impl Strategy<Value = PacketType> {
+    prop_oneof![
+        Just(PacketType::Routing),
+        Just(PacketType::Data),
+        Just(PacketType::Ack),
+    ]
+}
+
+prop_compose! {
+    fn packet_record()(
+        seq in any::<u64>(),
+        timestamp_ms in 0u64..u64::MAX / 2,
+        dir in direction(),
+        node in node_id(),
+        counterpart in node_id(),
+        ptype in packet_type(),
+        origin in node_id(),
+        final_dst in node_id(),
+        packet_id in any::<u16>(),
+        ttl in any::<u8>(),
+        size_bytes in 0u32..100_000,
+        rssi in proptest::option::of(-140.0f64..0.0),
+    ) -> PacketRecord {
+        // f32 wire precision: quantize so binary roundtrip is exact.
+        let q = |v: f64| f64::from(v as f32);
+        PacketRecord {
+            seq, timestamp_ms, direction: dir, node, counterpart, ptype,
+            origin, final_dst, packet_id, ttl, size_bytes,
+            rssi_dbm: rssi.map(q),
+            snr_db: rssi.map(|r| q(r / 4.0)),
+        }
+    }
+}
+
+prop_compose! {
+    fn reported_route()(
+        address in node_id(),
+        next_hop in node_id(),
+        metric in 1u8..16,
+        rssi in -140.0f64..0.0,
+    ) -> ReportedRoute {
+        ReportedRoute {
+            address, next_hop, metric,
+            rssi_dbm: f64::from(rssi as f32),
+            snr_db: f64::from((rssi / 4.0) as f32),
+        }
+    }
+}
+
+prop_compose! {
+    fn node_status()(
+        node in node_id(),
+        uptime_ms in any::<u64>(),
+        battery in 0u8..=100,
+        queue_len in 0u32..1000,
+        duty in 0.0f64..=1.0,
+        routes in proptest::collection::vec(reported_route(), 0..10),
+        heard in any::<u64>(),
+    ) -> NodeStatus {
+        NodeStatus {
+            node, uptime_ms, battery_percent: battery, queue_len,
+            duty_cycle_utilization: duty,
+            mesh: MeshStats { packets_heard: heard, ..MeshStats::default() },
+            routes,
+        }
+    }
+}
+
+prop_compose! {
+    fn report()(
+        node in node_id(),
+        report_seq in any::<u32>(),
+        generated_at_ms in any::<u64>(),
+        dropped in any::<u64>(),
+        status in proptest::option::of(node_status()),
+        records in proptest::collection::vec(packet_record(), 0..20),
+    ) -> Report {
+        Report {
+            node, report_seq, generated_at_ms,
+            dropped_records: dropped, status, records,
+        }
+    }
+}
+
+fn route_entry() -> impl Strategy<Value = RouteEntry> {
+    (node_id(), 0u8..20, node_id()).prop_map(|(address, metric, via)| RouteEntry {
+        address,
+        metric,
+        via,
+    })
+}
+
+fn mesh_packet() -> impl Strategy<Value = Packet> {
+    prop_oneof![
+        (node_id(), any::<u16>(), proptest::collection::vec(route_entry(), 0..45))
+            .prop_map(|(src, id, entries)| Packet::routing(src, id, entries)),
+        (
+            node_id(),
+            node_id(),
+            node_id(),
+            node_id(),
+            any::<u16>(),
+            any::<u8>(),
+            0u8..4,
+            proptest::collection::vec(any::<u8>(), 0..MAX_SEGMENT_PAYLOAD),
+            any::<bool>(),
+        )
+            .prop_map(
+                |(ld, ls, origin, fd, id, ttl, seg, payload, reliable)| Packet::data(
+                    ld,
+                    ls,
+                    origin,
+                    fd,
+                    id,
+                    ttl,
+                    seg,
+                    4,
+                    if reliable { loramon::mesh::FLAG_ACK_REQUEST } else { 0 },
+                    Bytes::from(payload),
+                )
+            ),
+        (
+            node_id(),
+            node_id(),
+            node_id(),
+            node_id(),
+            any::<u16>(),
+            any::<u8>(),
+            node_id(),
+            any::<u16>(),
+        )
+            .prop_map(|(ld, ls, origin, fd, id, ttl, ao, ai)| Packet::ack(
+                ld, ls, origin, fd, id, ttl, ao, ai
+            )),
+    ]
+}
+
+fn radio_config() -> impl Strategy<Value = RadioConfig> {
+    (
+        prop_oneof![
+            Just(SpreadingFactor::Sf7),
+            Just(SpreadingFactor::Sf8),
+            Just(SpreadingFactor::Sf9),
+            Just(SpreadingFactor::Sf10),
+            Just(SpreadingFactor::Sf11),
+            Just(SpreadingFactor::Sf12),
+        ],
+        prop_oneof![
+            Just(Bandwidth::Khz125),
+            Just(Bandwidth::Khz250),
+            Just(Bandwidth::Khz500),
+        ],
+        prop_oneof![
+            Just(CodingRate::Cr4_5),
+            Just(CodingRate::Cr4_6),
+            Just(CodingRate::Cr4_7),
+            Just(CodingRate::Cr4_8),
+        ],
+    )
+        .prop_map(|(sf, bw, cr)| RadioConfig::new(sf, bw, cr))
+}
+
+// ── properties ────────────────────────────────────────────────────────
+
+proptest! {
+    #[test]
+    fn mesh_packet_roundtrips(packet in mesh_packet()) {
+        let encoded = packet.encode();
+        prop_assert_eq!(encoded.len(), packet.encoded_len());
+        prop_assert!(encoded.len() <= loramon::mesh::MAX_PACKET_LEN
+            || matches!(packet.body, loramon::mesh::Body::Routing(_)));
+        let decoded = Packet::decode(&encoded).unwrap();
+        prop_assert_eq!(decoded, packet);
+    }
+
+    #[test]
+    fn mesh_packet_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = Packet::decode(&bytes); // must not panic
+    }
+
+    #[test]
+    fn report_json_roundtrips(r in report()) {
+        let json = r.encode_json();
+        let back = Report::decode_json(&json).unwrap();
+        prop_assert_eq!(back, r);
+    }
+
+    #[test]
+    fn report_binary_roundtrips(r in report()) {
+        let bin = r.encode_binary();
+        let back = Report::decode_binary(&bin).unwrap();
+        prop_assert_eq!(back, r);
+    }
+
+    #[test]
+    fn report_binary_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let _ = Report::decode_binary(&bytes);
+    }
+
+    #[test]
+    fn report_binary_never_larger_than_json(r in report()) {
+        prop_assert!(r.encode_binary().len() <= r.encode_json().len());
+    }
+
+    #[test]
+    fn buffer_never_exceeds_capacity(
+        capacity in 1usize..64,
+        oldest in any::<bool>(),
+        pushes in proptest::collection::vec(any::<u32>(), 0..200),
+    ) {
+        let policy = if oldest { DropPolicy::Oldest } else { DropPolicy::Newest };
+        let mut buf = RecordBuffer::new(capacity, policy);
+        for &p in &pushes {
+            buf.push(p);
+            prop_assert!(buf.len() <= capacity);
+        }
+        let kept = buf.len() as u64;
+        prop_assert_eq!(kept + buf.dropped(), pushes.len() as u64);
+        // Drain returns items in FIFO order and empties the buffer.
+        let drained = buf.drain(usize::MAX);
+        prop_assert_eq!(drained.len() as u64, kept);
+        prop_assert!(buf.is_empty());
+        // Oldest policy keeps a suffix, Newest keeps a prefix.
+        if pushes.len() >= capacity {
+            if oldest {
+                prop_assert_eq!(&drained[..], &pushes[pushes.len() - capacity..]);
+            } else {
+                prop_assert_eq!(&drained[..], &pushes[..capacity]);
+            }
+        }
+    }
+
+    #[test]
+    fn routing_table_invariants(
+        broadcasts in proptest::collection::vec(
+            (2u16..30, proptest::collection::vec(route_entry(), 0..8), 0u64..1000),
+            0..40,
+        ),
+    ) {
+        let local = NodeId(1);
+        let mut rt = RoutingTable::new();
+        for (sender, entries, at_s) in broadcasts {
+            rt.apply_broadcast(
+                local,
+                NodeId(sender),
+                &entries,
+                -90.0,
+                5.0,
+                SimTime::from_secs(at_s),
+            );
+            for route in rt.routes() {
+                // Never a route to ourselves, never at/above infinity.
+                prop_assert_ne!(route.address, local);
+                prop_assert!(route.metric < INFINITY_METRIC);
+                prop_assert!(route.metric >= 1);
+                // Next hop is a known direct neighbor (metric-1 route).
+                let hop = rt.route_to(route.next_hop);
+                prop_assert!(hop.is_some(), "next hop {} unknown", route.next_hop);
+            }
+        }
+    }
+
+    #[test]
+    fn duty_cycle_never_exceeds_budget(
+        duty_percent in 1u32..=100,
+        attempts in proptest::collection::vec((0u64..3_000_000, 1u64..200_000), 1..60),
+    ) {
+        let duty = f64::from(duty_percent) / 100.0;
+        let window = Duration::from_secs(10);
+        let mut reg = DutyCycleRegulator::with_window(duty, window);
+        let mut clock = 0u64;
+        for (gap, airtime) in attempts {
+            clock += gap;
+            if reg.may_transmit(clock, airtime) {
+                reg.record_transmission(clock, airtime);
+                // Invariant: consumption at the end of this transmission
+                // never exceeds the budget.
+                prop_assert!(
+                    reg.consumed_us(clock + airtime) <= reg.budget_us(),
+                    "budget exceeded at t={clock}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn next_allowed_at_is_sound(
+        preload in proptest::collection::vec((0u64..5_000_000, 1u64..80_000), 0..20),
+        airtime in 1u64..90_000,
+        now_extra in 0u64..2_000_000,
+    ) {
+        let mut reg = DutyCycleRegulator::with_window(0.01, Duration::from_secs(10));
+        let mut clock = 0u64;
+        for (gap, at) in preload {
+            clock += gap;
+            if reg.may_transmit(clock, at) {
+                reg.record_transmission(clock, at);
+            }
+        }
+        let now = clock + now_extra;
+        if let Some(t) = reg.next_allowed_at(now, airtime) {
+            prop_assert!(t >= now);
+            prop_assert!(reg.may_transmit(t, airtime), "not allowed at returned t");
+        } else {
+            prop_assert!(airtime > reg.budget_us());
+        }
+    }
+
+    #[test]
+    fn airtime_monotonic_and_positive(cfg in radio_config(), len in 0usize..=255) {
+        let toa = time_on_air(&cfg, len);
+        prop_assert!(toa > Duration::ZERO);
+        if len < 255 {
+            prop_assert!(time_on_air(&cfg, len + 1) >= toa);
+        }
+        // LoRa frames are slow but bounded: even SF12/CR4_8 at 255
+        // bytes stays under ~15 s.
+        prop_assert!(toa < Duration::from_secs(15));
+        prop_assert!(toa > Duration::from_micros(500));
+    }
+
+    #[test]
+    fn sensitivity_consistent_with_noise_floor(cfg in radio_config()) {
+        let sens = loramon::phy::sensitivity_dbm(cfg.sf(), cfg.bw());
+        let floor = loramon::phy::noise_floor_dbm(cfg.bw().hz());
+        // Sensitivity is below the noise floor (LoRa decodes under noise)
+        // by exactly the SNR floor.
+        prop_assert!(sens < floor);
+        prop_assert!((floor - sens - (-loramon::phy::snr_floor_db(cfg.sf()))).abs() < 1e-9);
+    }
+}

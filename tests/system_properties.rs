@@ -1,0 +1,163 @@
+//! Randomized whole-system properties: for arbitrary small topologies,
+//! seeds and durations, conservation laws must hold between the
+//! simulator's ground truth, the mesh counters, the monitoring clients
+//! and the server.
+
+use loramon::core::UplinkModel;
+use loramon::scenario::{run_scenario, MonitoredNode, ScenarioConfig};
+use loramon::sim::TraceLevel;
+use proptest::prelude::*;
+use std::time::Duration;
+
+#[derive(Debug, Clone)]
+struct Params {
+    nodes: usize,
+    spacing_m: f64,
+    seed: u64,
+    duration_s: u64,
+    grid: bool,
+}
+
+fn params() -> impl Strategy<Value = Params> {
+    (
+        2usize..6,
+        200.0f64..1500.0,
+        any::<u64>(),
+        120u64..400,
+        any::<bool>(),
+    )
+        .prop_map(|(nodes, spacing_m, seed, duration_s, grid)| Params {
+            nodes,
+            spacing_m,
+            seed,
+            duration_s,
+            grid,
+        })
+}
+
+fn build(p: &Params) -> ScenarioConfig {
+    let positions = if p.grid {
+        loramon::sim::placement::grid(p.nodes, p.spacing_m)
+    } else {
+        loramon::sim::placement::line(p.nodes, p.spacing_m)
+    };
+    let mut config = ScenarioConfig::new(positions, p.nodes - 1, p.seed)
+        .with_duration(Duration::from_secs(p.duration_s))
+        .with_uplink(UplinkModel::perfect());
+    config.trace_level = TraceLevel::Verbose;
+    config
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every completed transmission produces exactly one reception
+    /// outcome (delivered or lost, for some reason) per other node. Up
+    /// to one frame per node may still be in flight when the simulation
+    /// clock stops, so the accounting may fall short by at most
+    /// `nodes × (nodes − 1)` outcomes — never exceed.
+    #[test]
+    fn reception_outcomes_are_conserved(p in params()) {
+        let result = run_scenario(&build(&p));
+        let trace = result.sim.trace();
+        let tx = trace.transmissions(None);
+        let delivered = trace.deliveries(None);
+        let lost = trace.losses(None);
+        let expected = tx * (p.nodes - 1);
+        let outcomes = delivered + lost;
+        prop_assert!(
+            outcomes <= expected,
+            "more outcomes ({outcomes}) than tx × peers ({expected})"
+        );
+        let max_in_flight_gap = p.nodes * (p.nodes - 1);
+        prop_assert!(
+            expected - outcomes <= max_in_flight_gap,
+            "tx {} × {} peers = {} vs {} outcomes (gap > {})",
+            tx, p.nodes - 1, expected, outcomes, max_in_flight_gap
+        );
+    }
+
+    /// Mesh counters agree with the radio ground truth, and the monitor
+    /// captured exactly what crossed the radio.
+    #[test]
+    fn counters_agree_across_layers(p in params()) {
+        let result = run_scenario(&build(&p));
+        for &id in &result.node_ids {
+            let radio = result.sim.stats(id);
+            let node: &MonitoredNode = result.sim.app_as(id).unwrap();
+            let mesh = node.stats();
+            // Every demodulated frame decoded (all traffic is ours).
+            prop_assert_eq!(mesh.decode_errors, 0);
+            prop_assert_eq!(mesh.packets_heard, radio.frames_received);
+            // Out events fired per confirmed transmission; the node may
+            // have at most one frame still in flight at the cutoff.
+            let sent = mesh.routing_sent + mesh.data_sent + mesh.acks_sent;
+            prop_assert!(
+                radio.frames_sent - sent <= 1,
+                "radio sent {} but mesh classified {}",
+                radio.frames_sent,
+                sent
+            );
+            // The monitor saw both directions, nothing more.
+            let client = node.observer();
+            prop_assert_eq!(
+                client.records_captured() + client.records_filtered(),
+                mesh.packets_heard + sent
+            );
+        }
+    }
+
+    /// With a perfect uplink, the server accounts for every record the
+    /// clients produced: stored + still-buffered + client-dropped.
+    #[test]
+    fn server_accounting_balances(p in params()) {
+        let result = run_scenario(&build(&p));
+        prop_assert_eq!(result.reports_lost, 0);
+        let summaries = result.server.node_summaries();
+        for stat in &result.client_stats {
+            let node: &MonitoredNode = result.sim.app_as(stat.node).unwrap();
+            let buffered = node.observer().buffered() as u64;
+            let summary = summaries
+                .iter()
+                .find(|s| s.node == stat.node)
+                .expect("node missing at server");
+            prop_assert_eq!(summary.missing_reports, 0);
+            prop_assert_eq!(summary.client_dropped, stat.dropped);
+            prop_assert_eq!(
+                summary.records + buffered + stat.dropped,
+                stat.captured,
+                "node {}: {} stored + {} buffered + {} dropped ≠ {} captured",
+                stat.node, summary.records, buffered, stat.dropped, stat.captured
+            );
+        }
+    }
+
+    /// Duty-cycle compliance holds for every node in every random run.
+    #[test]
+    fn duty_cycle_is_never_violated(p in params()) {
+        let result = run_scenario(&build(&p));
+        // 1% budget over a 1-hour sliding window; runs are shorter than
+        // an hour so lifetime airtime must stay within one hour's budget.
+        for &id in &result.node_ids {
+            let airtime_s = result.sim.stats(id).airtime_us as f64 / 1e6;
+            prop_assert!(
+                airtime_s <= 36.5,
+                "node {id} airtime {airtime_s}s exceeds the hourly budget"
+            );
+        }
+    }
+
+    /// Determinism: the same parameters replay to the same totals.
+    #[test]
+    fn runs_replay_identically(p in params()) {
+        let a = run_scenario(&build(&p));
+        let b = run_scenario(&build(&p));
+        prop_assert_eq!(a.server.total_records(), b.server.total_records());
+        prop_assert_eq!(a.reports_delivered, b.reports_delivered);
+        prop_assert_eq!(
+            a.ground_truth.transmissions,
+            b.ground_truth.transmissions
+        );
+        prop_assert_eq!(a.sim.trace().len(), b.sim.trace().len());
+    }
+}
