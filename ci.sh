@@ -1,0 +1,25 @@
+#!/bin/sh
+# Pre-merge gate for the loramon workspace. Run before every merge:
+#
+#   ./ci.sh
+#
+# Stages, in order (each must pass):
+#   1. cargo fmt --check     — formatting is canonical
+#   2. cargo xtask lint      — determinism/robustness/hygiene static pass
+#   3. cargo build --release — tier-1 build
+#   4. cargo test -q         — tier-1 tests (root package)
+#   5. cargo test --workspace -q — every crate's suite
+set -eu
+
+step() {
+    printf '\n==> %s\n' "$*"
+    "$@"
+}
+
+step cargo fmt --all --check
+step cargo xtask lint
+step cargo build --release
+step cargo test -q
+step cargo test --workspace -q
+
+printf '\nci.sh: all stages passed\n'

@@ -132,7 +132,10 @@ fn drop_policy_ablation() {
     println!("Ablation 3: drop policy under client overload (buffer 16, period 120 s)");
     println!("policy | records kept | dropped | mean record age at report (s)");
     println!("-------|--------------|---------|------------------------------");
-    for (label, policy) in [("oldest", DropPolicy::Oldest), ("newest", DropPolicy::Newest)] {
+    for (label, policy) in [
+        ("oldest", DropPolicy::Oldest),
+        ("newest", DropPolicy::Newest),
+    ] {
         let mut monitor = MonitorConfig::new()
             .with_report_period(Duration::from_secs(120))
             .with_buffer_capacity(16)
@@ -148,9 +151,7 @@ fn drop_policy_ablation() {
         let mut ages = Vec::new();
         for e in &entries {
             for r in &e.report.records {
-                ages.push(
-                    e.report.generated_at_ms.saturating_sub(r.timestamp_ms) as f64 / 1000.0,
-                );
+                ages.push(e.report.generated_at_ms.saturating_sub(r.timestamp_ms) as f64 / 1000.0);
             }
         }
         let kept = ages.len();

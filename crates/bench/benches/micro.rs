@@ -10,9 +10,9 @@ use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, Criterion};
 use loramon_mesh::{Packet, RouteEntry, RoutingTable};
 use loramon_phy::collision::{CollisionModel, Interferer};
+use loramon_phy::Position;
 use loramon_phy::{airtime, RadioConfig};
 use loramon_sim::{IdleApp, NodeId, Rng, SimBuilder, SimTime};
-use loramon_phy::Position;
 use std::hint::black_box;
 use std::time::Duration;
 

@@ -47,11 +47,7 @@ fn run(in_band: bool, period_s: u64) -> RunOutcome {
                 16,
             ));
         }
-        ids.push(sim.add_node(
-            Position::new(i as f64 * 800.0, 0.0),
-            cfg,
-            Box::new(node),
-        ));
+        ids.push(sim.add_node(Position::new(i as f64 * 800.0, 0.0), cfg, Box::new(node)));
     }
     sim.run_for(Duration::from_secs(1800));
 

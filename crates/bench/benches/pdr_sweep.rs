@@ -66,7 +66,11 @@ fn pdr(sf: SpreadingFactor, distance_m: f64, frames: u32, seeds: u64) -> f64 {
                 sent: 0,
             }),
         );
-        let rx = sim.add_node(Position::new(distance_m, 0.0), cfg, Box::new(IdleApp::default()));
+        let rx = sim.add_node(
+            Position::new(distance_m, 0.0),
+            cfg,
+            Box::new(IdleApp::default()),
+        );
         sim.run_for(Duration::from_secs(u64::from(frames) + 10));
         total_tx += sim.trace().transmissions(Some(tx));
         total_rx += sim.trace().deliveries(Some(rx));

@@ -19,7 +19,11 @@ fn record(i: u64) -> PacketRecord {
     PacketRecord {
         seq: i,
         timestamp_ms: 30_000 + i * 250,
-        direction: if i.is_multiple_of(2) { Direction::In } else { Direction::Out },
+        direction: if i.is_multiple_of(2) {
+            Direction::In
+        } else {
+            Direction::Out
+        },
         node: NodeId(1),
         counterpart: NodeId(2),
         ptype: PacketType::Data,

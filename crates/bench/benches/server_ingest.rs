@@ -19,7 +19,11 @@ fn record(node: u16, i: u64) -> PacketRecord {
     PacketRecord {
         seq: i,
         timestamp_ms: i * 200,
-        direction: if i.is_multiple_of(2) { Direction::In } else { Direction::Out },
+        direction: if i.is_multiple_of(2) {
+            Direction::In
+        } else {
+            Direction::Out
+        },
         node: NodeId(node),
         counterpart: NodeId(node % 8 + 1),
         ptype: match i % 3 {

@@ -385,9 +385,8 @@ mod tests {
 
     #[test]
     fn report_sequence_increments() {
-        let mut c = MonitorClient::new(
-            MonitorConfig::new().with_report_period(Duration::from_secs(10)),
-        );
+        let mut c =
+            MonitorClient::new(MonitorConfig::new().with_report_period(Duration::from_secs(10)));
         for s in [10u64, 20, 30] {
             c.poll(&snapshot(1, SimTime::from_secs(s)));
         }
@@ -470,7 +469,11 @@ mod tests {
     #[test]
     fn non_report_messages_ignored() {
         let mut c = MonitorClient::new(MonitorConfig::new());
-        c.on_message(NodeId(2), &Bytes::from_static(b"ordinary app data"), SimTime::ZERO);
+        c.on_message(
+            NodeId(2),
+            &Bytes::from_static(b"ordinary app data"),
+            SimTime::ZERO,
+        );
         assert!(c.collected().is_empty());
     }
 
@@ -487,9 +490,7 @@ mod tests {
 
     #[test]
     fn filter_skips_unwanted_packets() {
-        let mut c = MonitorClient::new(
-            MonitorConfig::new().with_filter(RecordFilter::data_only()),
-        );
+        let mut c = MonitorClient::new(MonitorConfig::new().with_filter(RecordFilter::data_only()));
         // A routing packet: filtered out.
         c.on_packet(&event(100)); // event() is Routing/In
         assert_eq!(c.buffered(), 0);

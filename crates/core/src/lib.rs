@@ -33,8 +33,8 @@
 //! ```
 
 pub mod buffer;
-pub mod command;
 pub mod client;
+pub mod command;
 pub mod record;
 pub mod report;
 pub mod status;

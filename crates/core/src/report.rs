@@ -295,10 +295,7 @@ fn decode_record(r: &mut Reader<'_>) -> Result<PacketRecord, WireError> {
     let size_bytes = r.u32()?;
     let (rssi_dbm, snr_db) = match r.u8()? {
         0 => (None, None),
-        1 => (
-            Some(f64::from(r.f32()?)),
-            Some(f64::from(r.f32()?)),
-        ),
+        1 => (Some(f64::from(r.f32()?)), Some(f64::from(r.f32()?))),
         b => return Err(WireError::BadEnum(b)),
     };
     Ok(PacketRecord {
@@ -436,7 +433,11 @@ mod tests {
         PacketRecord {
             seq,
             timestamp_ms: 10_000 + seq,
-            direction: if with_rssi { Direction::In } else { Direction::Out },
+            direction: if with_rssi {
+                Direction::In
+            } else {
+                Direction::Out
+            },
             node: NodeId(1),
             counterpart: NodeId(2),
             ptype: PacketType::Data,
@@ -573,10 +574,7 @@ mod tests {
     fn record_timestamps_survive() {
         let r = sample_report(2);
         let back = Report::decode_binary(&r.encode_binary()).unwrap();
-        assert_eq!(
-            back.records[1].captured_at(),
-            SimTime::from_millis(10_001)
-        );
+        assert_eq!(back.records[1].captured_at(), SimTime::from_millis(10_001));
     }
 
     #[test]

@@ -91,7 +91,11 @@ impl UplinkModel {
         }
         let mut rng = Rng::derive(
             self.seed,
-            &[0x0B41, u64::from(report.node.raw()), u64::from(report.report_seq)],
+            &[
+                0x0B41,
+                u64::from(report.node.raw()),
+                u64::from(report.report_seq),
+            ],
         );
         if rng.chance(self.loss_prob) {
             return None;
@@ -147,10 +151,7 @@ mod tests {
         for w in delivered.windows(2) {
             assert!(w[0].0 <= w[1].0);
         }
-        assert_eq!(
-            delivered[0].0,
-            SimTime::ZERO + Duration::from_millis(50)
-        );
+        assert_eq!(delivered[0].0, SimTime::ZERO + Duration::from_millis(50));
     }
 
     #[test]
@@ -174,8 +175,8 @@ mod tests {
 
     #[test]
     fn outage_swallows_reports() {
-        let u = UplinkModel::perfect()
-            .with_outage(SimTime::from_secs(100), SimTime::from_secs(200));
+        let u =
+            UplinkModel::perfect().with_outage(SimTime::from_secs(100), SimTime::from_secs(200));
         assert!(u
             .deliver_at(SimTime::from_secs(150), &report(1, 1))
             .is_none());

@@ -114,7 +114,14 @@ pub fn render_node_summaries(summaries: &[NodeSummary]) -> String {
         .collect();
     render_table(
         &[
-            "node", "reports", "missing", "records", "battery", "queue", "duty", "reach",
+            "node",
+            "reports",
+            "missing",
+            "records",
+            "battery",
+            "queue",
+            "duty",
+            "reach",
             "last seen",
         ],
         &rows,
@@ -152,10 +159,7 @@ pub fn render_links(links: &[LinkStats]) -> String {
             ]
         })
         .collect();
-    render_table(
-        &["link", "pkts", "rssi", "min", "max", "snr"],
-        &rows,
-    )
+    render_table(&["link", "pkts", "rssi", "min", "max", "snr"], &rows)
 }
 
 /// Adjacency-list rendering of an inferred topology.
@@ -255,10 +259,7 @@ mod tests {
     fn table_renders_and_aligns() {
         let t = render_table(
             &["a", "bb"],
-            &[
-                vec!["1".into(), "2".into()],
-                vec!["333".into(), "4".into()],
-            ],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 6);
@@ -288,7 +289,11 @@ mod tests {
     #[test]
     fn bar_chart_proportions() {
         let chart = bar_chart(
-            &[("data".into(), 10), ("routing".into(), 5), ("ack".into(), 0)],
+            &[
+                ("data".into(), 10),
+                ("routing".into(), 5),
+                ("ack".into(), 0),
+            ],
             20,
         );
         let lines: Vec<&str> = chart.lines().collect();

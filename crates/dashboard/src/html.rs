@@ -56,8 +56,10 @@ pub fn generate(server: &MonitorServer, options: &HtmlOptions) -> String {
     );
 
     // Node table.
-    html.push_str("<h2>Nodes</h2><table><tr><th>node</th><th>reports</th><th>missing</th>\
-                   <th>records</th><th>battery</th><th>queue</th><th>reachable</th></tr>");
+    html.push_str(
+        "<h2>Nodes</h2><table><tr><th>node</th><th>reports</th><th>missing</th>\
+                   <th>records</th><th>battery</th><th>queue</th><th>reachable</th></tr>",
+    );
     for s in &summaries {
         let _ = write!(
             html,
@@ -232,9 +234,8 @@ fn pdr_table(links: &[loramon_server::LinkDelivery]) -> String {
     if links.is_empty() {
         return "<p>(no unicast traffic observed)</p>".to_owned();
     }
-    let mut html = String::from(
-        "<table><tr><th>link</th><th>sent</th><th>received</th><th>PDR</th></tr>",
-    );
+    let mut html =
+        String::from("<table><tr><th>link</th><th>sent</th><th>received</th><th>PDR</th></tr>");
     for l in links {
         let _ = write!(
             html,

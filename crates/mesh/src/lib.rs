@@ -42,6 +42,11 @@ pub mod routing;
 
 pub use config::{MeshConfig, TrafficDestination, TrafficPattern};
 pub use node::{MeshNode, MeshStats, Message};
-pub use observer::{Direction, MeshObserver, MeshSnapshot, NullObserver, PacketEvent, RecordingObserver};
-pub use packet::{Body, DecodeError, Header, Packet, PacketType, FLAG_ACK_REQUEST, HEADER_LEN, MAX_PACKET_LEN, MAX_SEGMENT_PAYLOAD};
+pub use observer::{
+    Direction, MeshObserver, MeshSnapshot, NullObserver, PacketEvent, RecordingObserver,
+};
+pub use packet::{
+    Body, DecodeError, Header, Packet, PacketType, FLAG_ACK_REQUEST, HEADER_LEN, MAX_PACKET_LEN,
+    MAX_SEGMENT_PAYLOAD,
+};
 pub use routing::{Route, RouteEntry, RoutingTable, INFINITY_METRIC};

@@ -301,9 +301,7 @@ impl<O: MeshObserver> MeshNode<O> {
                 let exp = frame.csma_attempts.min(4);
                 let base = self.config.csma_backoff.as_micros() as u64;
                 let spread = base << exp;
-                let wait = Duration::from_micros(
-                    base + ctx.rng().next_below(spread.max(1)),
-                );
+                let wait = Duration::from_micros(base + ctx.rng().next_below(spread.max(1)));
                 self.queue.push_front(frame);
                 ctx.set_timer(wait, TIMER_QUEUE);
                 return;
@@ -343,7 +341,14 @@ impl<O: MeshObserver> MeshNode<O> {
         true
     }
 
-    fn emit_packet_event(&mut self, packet: &Packet, direction: Direction, at: SimTime, rssi: Option<f64>, snr: Option<f64>) {
+    fn emit_packet_event(
+        &mut self,
+        packet: &Packet,
+        direction: Direction,
+        at: SimTime,
+        rssi: Option<f64>,
+        snr: Option<f64>,
+    ) {
         let h = &packet.header;
         self.observer.on_packet(&PacketEvent {
             at,
@@ -844,7 +849,8 @@ mod tests {
         let gw_id = NodeId(3);
         let mut ids = Vec::new();
         for (i, &x) in positions.iter().enumerate() {
-            let mut node = MeshNode::with_observer(MeshConfig::fast(), RecordingObserver::default());
+            let mut node =
+                MeshNode::with_observer(MeshConfig::fast(), RecordingObserver::default());
             let app: Box<dyn Application> = if i == 0 {
                 node = node.with_traffic(
                     TrafficPattern::to_gateway(gw_id, Duration::from_secs(30), 16)
@@ -908,16 +914,14 @@ mod tests {
         let gw = NodeId(2);
         // 600 bytes > 240-byte segment limit → 3 segments.
         let sender = MeshNode::with_observer(MeshConfig::fast(), RecordingObserver::default())
-            .with_traffic(
-                TrafficPattern {
-                    destination: TrafficDestination::Fixed(gw),
-                    period: Duration::from_secs(120),
-                    jitter: Duration::ZERO,
-                    payload_len: 600,
-                    start_delay: Duration::from_secs(30),
-                    reliable: false,
-                },
-            );
+            .with_traffic(TrafficPattern {
+                destination: TrafficDestination::Fixed(gw),
+                period: Duration::from_secs(120),
+                jitter: Duration::ZERO,
+                payload_len: 600,
+                start_delay: Duration::from_secs(30),
+                reliable: false,
+            });
         let a = sim.add_node(Position::new(0.0, 0.0), cfg, Box::new(sender));
         let b = sim.add_node(
             Position::new(200.0, 0.0),
@@ -932,7 +936,11 @@ mod tests {
         assert!(!gw_node.messages().is_empty(), "no reassembled message");
         assert_eq!(gw_node.messages()[0].payload.len(), 600);
         let s: &RecNode = sim.app_as(a).unwrap();
-        assert!(s.stats().data_sent >= 3, "sent {} segments", s.stats().data_sent);
+        assert!(
+            s.stats().data_sent >= 3,
+            "sent {} segments",
+            s.stats().data_sent
+        );
     }
 
     #[test]
@@ -967,7 +975,11 @@ mod tests {
         sim.run_for(Duration::from_secs(120));
         for &id in &ids {
             let node: &RecNode = sim.app_as(id).unwrap();
-            assert!(node.stats().routing_sent >= 5, "sent {}", node.stats().routing_sent);
+            assert!(
+                node.stats().routing_sent >= 5,
+                "sent {}",
+                node.stats().routing_sent
+            );
             assert!(node.stats().routing_received >= 5);
         }
     }
@@ -1005,17 +1017,26 @@ mod tests {
         let n2 = sim.add_node(
             Position::new(1200.0, 900.0),
             cfg,
-            Box::new(RecNode::with_observer(MeshConfig::fast(), RecordingObserver::default())),
+            Box::new(RecNode::with_observer(
+                MeshConfig::fast(),
+                RecordingObserver::default(),
+            )),
         );
         let _n3 = sim.add_node(
             Position::new(1200.0, -900.0),
             cfg,
-            Box::new(RecNode::with_observer(MeshConfig::fast(), RecordingObserver::default())),
+            Box::new(RecNode::with_observer(
+                MeshConfig::fast(),
+                RecordingObserver::default(),
+            )),
         );
         let n4 = sim.add_node(
             Position::new(2400.0, 0.0),
             cfg,
-            Box::new(RecNode::with_observer(MeshConfig::fast(), RecordingObserver::default())),
+            Box::new(RecNode::with_observer(
+                MeshConfig::fast(),
+                RecordingObserver::default(),
+            )),
         );
         assert_eq!(n4, gw);
         // Let everything converge and flow, then kill node 2 at t=300 s.
@@ -1121,20 +1142,24 @@ mod tests {
         let cfg = RadioConfig::mesher_default();
         let mut config = MeshConfig::fast();
         config.queue_capacity = 2;
-        let sender = MeshNode::with_observer(config, RecordingObserver::default())
-            .with_traffic(TrafficPattern {
+        let sender = MeshNode::with_observer(config, RecordingObserver::default()).with_traffic(
+            TrafficPattern {
                 destination: TrafficDestination::Fixed(NodeId(2)),
                 period: Duration::from_secs(60),
                 jitter: Duration::ZERO,
                 payload_len: 800,
                 start_delay: Duration::from_secs(30),
                 reliable: false,
-            });
+            },
+        );
         let a = sim.add_node(Position::new(0.0, 0.0), cfg, Box::new(sender));
         sim.add_node(
             Position::new(200.0, 0.0),
             cfg,
-            Box::new(RecNode::with_observer(MeshConfig::fast(), RecordingObserver::default())),
+            Box::new(RecNode::with_observer(
+                MeshConfig::fast(),
+                RecordingObserver::default(),
+            )),
         );
         sim.run_for(Duration::from_secs(120));
         let node: &RecNode = sim.app_as(a).unwrap();
@@ -1198,16 +1223,16 @@ mod tests {
         sim.add_node(
             Position::new(2925.0, 0.0),
             cfg,
-            Box::new(RecNode::with_observer(MeshConfig::fast(), RecordingObserver::default())),
+            Box::new(RecNode::with_observer(
+                MeshConfig::fast(),
+                RecordingObserver::default(),
+            )),
         );
         sim.run_for(Duration::from_secs(3600));
         let node: &RecNode = sim.app_as(a).unwrap();
         let s = node.stats();
         assert!(s.messages_sent >= 30, "sent {}", s.messages_sent);
-        assert!(
-            s.retransmissions > 0,
-            "lossy link needed no retries: {s:?}"
-        );
+        assert!(s.retransmissions > 0, "lossy link needed no retries: {s:?}");
         assert!(
             s.messages_acked > s.messages_sent / 3,
             "acked {}/{}",

@@ -195,7 +195,10 @@ impl Packet {
         flags: u8,
         payload: Bytes,
     ) -> Self {
-        assert!(seg_total >= 1 && seg_index < seg_total, "invalid segmentation");
+        assert!(
+            seg_total >= 1 && seg_index < seg_total,
+            "invalid segmentation"
+        );
         assert!(payload.len() <= MAX_SEGMENT_PAYLOAD, "payload too large");
         Packet {
             header: Header {
@@ -394,7 +397,16 @@ mod tests {
 
     #[test]
     fn ack_roundtrip() {
-        let p = Packet::ack(NodeId(2), NodeId(5), NodeId(5), NodeId(1), 9, 4, NodeId(1), 7);
+        let p = Packet::ack(
+            NodeId(2),
+            NodeId(5),
+            NodeId(5),
+            NodeId(1),
+            9,
+            4,
+            NodeId(1),
+            7,
+        );
         let decoded = Packet::decode(&p.encode()).unwrap();
         assert_eq!(p, decoded);
         if let Body::Ack {

@@ -73,9 +73,7 @@ impl RoutingTable {
 
     /// The route to `dst`, if known and usable.
     pub fn route_to(&self, dst: NodeId) -> Option<&Route> {
-        self.routes
-            .get(&dst)
-            .filter(|r| r.metric < INFINITY_METRIC)
+        self.routes.get(&dst).filter(|r| r.metric < INFINITY_METRIC)
     }
 
     /// Next hop toward `dst`, if known.
@@ -466,7 +464,9 @@ mod tests {
         let adv = rt.advertisement();
         assert_eq!(adv.len(), 2);
         assert!(adv.iter().any(|e| e.address == B && e.metric == 1));
-        assert!(adv.iter().any(|e| e.address == C && e.metric == 2 && e.via == B));
+        assert!(adv
+            .iter()
+            .any(|e| e.address == C && e.metric == 2 && e.via == B));
     }
 
     #[test]

@@ -80,9 +80,10 @@ impl AdrController {
         if self.snrs.len() < self.config.min_samples {
             return None;
         }
-        self.snrs.iter().copied().fold(None, |acc, v| {
-            Some(acc.map_or(v, |a: f64| a.max(v)))
-        })
+        self.snrs
+            .iter()
+            .copied()
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
     }
 
     /// Recommend a spreading factor given the current operating SF.
@@ -136,7 +137,10 @@ mod tests {
         // SNR 10 dB at SF12 (floor -20): surplus 10 - (-20) - 10 = 20 dB
         // → 8 steps down → clamped at SF7.
         let c = controller_with(&[10.0; 10]);
-        assert_eq!(c.recommend(SpreadingFactor::Sf12), Some(SpreadingFactor::Sf7));
+        assert_eq!(
+            c.recommend(SpreadingFactor::Sf12),
+            Some(SpreadingFactor::Sf7)
+        );
     }
 
     #[test]
@@ -144,7 +148,10 @@ mod tests {
         // SNR exactly floor+margin at SF9: surplus 0 → stay.
         let snr = snr_floor_db(SpreadingFactor::Sf9) + 10.0;
         let c = controller_with(&[snr; 10]);
-        assert_eq!(c.recommend(SpreadingFactor::Sf9), Some(SpreadingFactor::Sf9));
+        assert_eq!(
+            c.recommend(SpreadingFactor::Sf9),
+            Some(SpreadingFactor::Sf9)
+        );
     }
 
     #[test]
@@ -152,13 +159,19 @@ mod tests {
         // SNR below floor+margin → one step up.
         let snr = snr_floor_db(SpreadingFactor::Sf9) + 5.0;
         let c = controller_with(&[snr; 10]);
-        assert_eq!(c.recommend(SpreadingFactor::Sf9), Some(SpreadingFactor::Sf10));
+        assert_eq!(
+            c.recommend(SpreadingFactor::Sf9),
+            Some(SpreadingFactor::Sf10)
+        );
     }
 
     #[test]
     fn sf12_cannot_back_off_further() {
         let c = controller_with(&[-25.0; 10]);
-        assert_eq!(c.recommend(SpreadingFactor::Sf12), Some(SpreadingFactor::Sf12));
+        assert_eq!(
+            c.recommend(SpreadingFactor::Sf12),
+            Some(SpreadingFactor::Sf12)
+        );
     }
 
     #[test]
@@ -176,7 +189,10 @@ mod tests {
     fn surplus_of_2_5db_is_one_step() {
         let snr = snr_floor_db(SpreadingFactor::Sf9) + 10.0 + 2.5;
         let c = controller_with(&[snr; 10]);
-        assert_eq!(c.recommend(SpreadingFactor::Sf9), Some(SpreadingFactor::Sf8));
+        assert_eq!(
+            c.recommend(SpreadingFactor::Sf9),
+            Some(SpreadingFactor::Sf8)
+        );
     }
 
     #[test]

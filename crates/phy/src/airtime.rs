@@ -19,7 +19,11 @@ pub fn payload_symbols(config: &RadioConfig, payload_len: usize) -> u32 {
         HeaderMode::Explicit => 0,
         HeaderMode::Implicit => 1,
     };
-    let de = if config.low_data_rate_optimize() { 1 } else { 0 };
+    let de = if config.low_data_rate_optimize() {
+        1
+    } else {
+        0
+    };
     let cr = i64::from(config.cr().cr());
 
     let numerator = 8 * pl - 4 * sf + 28 + 16 * crc - 20 * ih;
@@ -148,11 +152,7 @@ mod tests {
 
     #[test]
     fn higher_bandwidth_shortens_airtime() {
-        let narrow = RadioConfig::new(
-            SpreadingFactor::Sf9,
-            Bandwidth::Khz125,
-            CodingRate::Cr4_5,
-        );
+        let narrow = RadioConfig::new(SpreadingFactor::Sf9, Bandwidth::Khz125, CodingRate::Cr4_5);
         let wide = narrow.with_bw(Bandwidth::Khz500);
         assert!(time_on_air(&wide, 32) < time_on_air(&narrow, 32));
     }

@@ -122,19 +122,11 @@ impl CollisionModel {
 
     /// Decide whether a reception at `victim_power_dbm` survives the given
     /// interferers.
-    pub fn evaluate(
-        &self,
-        victim_power_dbm: f64,
-        interferers: &[Interferer],
-    ) -> CaptureOutcome {
+    pub fn evaluate(&self, victim_power_dbm: f64, interferers: &[Interferer]) -> CaptureOutcome {
         let Some(agg) = self.aggregate_interference_dbm(interferers) else {
             return CaptureOutcome::Clean;
         };
-        if self.strict_preamble
-            && interferers
-                .iter()
-                .any(|i| i.same_sf && i.overlaps_preamble)
-        {
+        if self.strict_preamble && interferers.iter().any(|i| i.same_sf && i.overlaps_preamble) {
             return CaptureOutcome::Lost;
         }
         // Interference far below the victim is negligible noise, not a
@@ -204,19 +196,13 @@ mod tests {
             m.evaluate(-80.0, &[same_sf(-86.0)]),
             CaptureOutcome::Captured
         );
-        assert_eq!(
-            m.evaluate(-80.0, &[same_sf(-85.9)]),
-            CaptureOutcome::Lost
-        );
+        assert_eq!(m.evaluate(-80.0, &[same_sf(-85.9)]), CaptureOutcome::Lost);
     }
 
     #[test]
     fn far_below_interference_counts_as_clean() {
         let m = CollisionModel::new();
-        assert_eq!(
-            m.evaluate(-60.0, &[same_sf(-120.0)]),
-            CaptureOutcome::Clean
-        );
+        assert_eq!(m.evaluate(-60.0, &[same_sf(-120.0)]), CaptureOutcome::Clean);
     }
 
     #[test]
@@ -279,11 +265,7 @@ mod tests {
     #[test]
     fn cross_sf_config_on_same_freq_interacts() {
         let a = RadioConfig::mesher_default();
-        let b = RadioConfig::new(
-            SpreadingFactor::Sf9,
-            Bandwidth::Khz125,
-            CodingRate::Cr4_5,
-        );
+        let b = RadioConfig::new(SpreadingFactor::Sf9, Bandwidth::Khz125, CodingRate::Cr4_5);
         assert!(CollisionModel::interacts(&a, &b));
     }
 }

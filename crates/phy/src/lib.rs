@@ -54,7 +54,7 @@ pub mod sensitivity;
 
 pub use adr::{AdrConfig, AdrController};
 pub use airtime::time_on_air;
-pub use collision::{CollisionModel, CaptureOutcome};
+pub use collision::{CaptureOutcome, CollisionModel};
 pub use dutycycle::DutyCycleRegulator;
 pub use energy::EnergyModel;
 pub use params::{Bandwidth, CodingRate, HeaderMode, RadioConfig, SpreadingFactor};

@@ -263,20 +263,12 @@ impl RadioConfig {
 
     /// The LoRaMesher default configuration: SF7, 125 kHz, CR 4/5.
     pub fn mesher_default() -> Self {
-        RadioConfig::new(
-            SpreadingFactor::Sf7,
-            Bandwidth::Khz125,
-            CodingRate::Cr4_5,
-        )
+        RadioConfig::new(SpreadingFactor::Sf7, Bandwidth::Khz125, CodingRate::Cr4_5)
     }
 
     /// A long-range configuration: SF12, 125 kHz, CR 4/8.
     pub fn long_range() -> Self {
-        RadioConfig::new(
-            SpreadingFactor::Sf12,
-            Bandwidth::Khz125,
-            CodingRate::Cr4_8,
-        )
+        RadioConfig::new(SpreadingFactor::Sf12, Bandwidth::Khz125, CodingRate::Cr4_8)
     }
 
     /// Spreading factor.
@@ -481,11 +473,7 @@ mod tests {
 
     #[test]
     fn ldro_only_for_slow_symbols() {
-        let sf12 = RadioConfig::new(
-            SpreadingFactor::Sf12,
-            Bandwidth::Khz125,
-            CodingRate::Cr4_5,
-        );
+        let sf12 = RadioConfig::new(SpreadingFactor::Sf12, Bandwidth::Khz125, CodingRate::Cr4_5);
         assert!(sf12.low_data_rate_optimize());
         let sf12_wide = sf12.with_bw(Bandwidth::Khz500);
         assert!(!sf12_wide.low_data_rate_optimize());

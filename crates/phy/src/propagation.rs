@@ -248,8 +248,7 @@ mod tests {
     fn log_distance_exponent_controls_slope() {
         let rural = LogDistance::rural();
         let urban = LogDistance::urban();
-        let slope =
-            |m: &LogDistance| m.path_loss_db(1000.0) - m.path_loss_db(100.0);
+        let slope = |m: &LogDistance| m.path_loss_db(1000.0) - m.path_loss_db(100.0);
         assert!(slope(&urban) > slope(&rural));
         // Slope per decade is 10·n.
         assert!((slope(&rural) - 23.0).abs() < 1e-9);
@@ -302,10 +301,7 @@ mod tests {
         // sensitivity — the scenario of the paper's own testbed.
         let m = LogDistance::suburban();
         let rssi = received_power_dbm(14.0, m.path_loss_db(300.0), 0.0);
-        let sens = crate::sensitivity_dbm(
-            crate::SpreadingFactor::Sf7,
-            crate::Bandwidth::Khz125,
-        );
+        let sens = crate::sensitivity_dbm(crate::SpreadingFactor::Sf7, crate::Bandwidth::Khz125);
         assert!(rssi > sens + 10.0, "rssi {rssi} sens {sens}");
     }
 

@@ -228,11 +228,7 @@ mod tests {
     #[test]
     fn us915_dwell_rejects_sf12_long_packets() {
         let p = RegionParams::new(Region::Us915);
-        let slow = RadioConfig::new(
-            SpreadingFactor::Sf12,
-            Bandwidth::Khz125,
-            CodingRate::Cr4_5,
-        );
+        let slow = RadioConfig::new(SpreadingFactor::Sf12, Bandwidth::Khz125, CodingRate::Cr4_5);
         let airtime = crate::airtime::time_on_air(&slow, 51);
         assert!(!p.dwell_ok(airtime));
         let fast = RadioConfig::mesher_default();

@@ -110,7 +110,10 @@ mod tests {
 
     #[test]
     fn fastest_sf_none_when_link_hopeless() {
-        assert_eq!(fastest_sf_closing_link(-150.0, Bandwidth::Khz125, 0.0), None);
+        assert_eq!(
+            fastest_sf_closing_link(-150.0, Bandwidth::Khz125, 0.0),
+            None
+        );
     }
 
     #[test]

@@ -199,8 +199,7 @@ impl AlertEngine {
             };
             let degraded = match (mean_in(w_prev), mean_in(w_now)) {
                 (Some((prev, n_prev)), Some((cur, n_cur)))
-                    if n_prev >= rules.rssi_min_packets
-                        && n_cur >= rules.rssi_min_packets =>
+                    if n_prev >= rules.rssi_min_packets && n_cur >= rules.rssi_min_packets =>
                 {
                     prev - cur >= rules.rssi_drop_db
                 }

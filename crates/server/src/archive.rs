@@ -121,6 +121,12 @@ pub fn read_jsonl<R: BufRead>(reader: R) -> Result<Vec<ArchiveEntry>, ArchiveErr
 
 /// Replay archived entries into a server, in receive-time order.
 ///
+/// Each ingest feeds its receive time to the server's
+/// [`Clock`](crate::clock::Clock), so a default ([`crate::clock::IngestClock`])
+/// server ends up with its clock at the archive's final receive time,
+/// and a [`crate::clock::WallClock`] server inherits that time as its
+/// floor before live reports take over.
+///
 /// Returns `(accepted, duplicates, invalid)` counts.
 pub fn replay(server: &MonitorServer, mut entries: Vec<ArchiveEntry>) -> (u64, u64, u64) {
     entries.sort_by_key(|e| (e.received_at_ms, e.report.node, e.report.report_seq));
@@ -174,10 +180,7 @@ mod tests {
     fn blank_lines_skipped() {
         let mut buf = Vec::new();
         write_jsonl(entries(), &mut buf).unwrap();
-        let with_blanks = format!(
-            "\n{}\n\n",
-            String::from_utf8(buf).unwrap().trim_end()
-        );
+        let with_blanks = format!("\n{}\n\n", String::from_utf8(buf).unwrap().trim_end());
         let back = read_jsonl(with_blanks.as_bytes()).unwrap();
         assert_eq!(back.len(), 3);
     }

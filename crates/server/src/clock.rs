@@ -1,0 +1,146 @@
+//! Server time sources.
+//!
+//! The server's notion of "now" is abstracted behind [`Clock`] so the
+//! exact same ingestion/alerting/query code runs under the simulator
+//! and as a real service. The default [`IngestClock`] is event-driven:
+//! time is the latest receive timestamp observed, which keeps every
+//! sim-driven run on [`SimTime`] and fully deterministic. A deployed
+//! binary opts into [`WallClock`], the only place in the monitoring
+//! crates where reading the OS clock is permitted (and the reason the
+//! `wall-clock` lint rule needs a reasoned `lint:allow` escape here).
+
+use loramon_sim::SimTime;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A source of server time.
+///
+/// Implementations must be monotone: `now` never moves backwards, and
+/// `observe` only ever advances the clock.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// The current server time.
+    fn now(&self) -> SimTime;
+
+    /// Feed an observed receive timestamp into the clock. Event-driven
+    /// clocks advance on this; free-running clocks use it as a floor.
+    fn observe(&self, _received_at: SimTime) {}
+}
+
+/// The default, deterministic clock: server time is the latest receive
+/// timestamp observed via [`Clock::observe`].
+///
+/// Under simulation every timestamp derives from [`SimTime`], so two
+/// runs from one seed see identical clocks — the property checked by
+/// `cargo xtask determinism`. Replaying an archive restores the clock
+/// to the archive's final receive time for free.
+#[derive(Debug, Default)]
+pub struct IngestClock {
+    latest_us: AtomicU64,
+}
+
+impl IngestClock {
+    /// A clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        IngestClock::default()
+    }
+
+    /// A clock pre-advanced to `start`.
+    pub fn starting_at(start: SimTime) -> Self {
+        let clock = IngestClock::new();
+        clock.observe(start);
+        clock
+    }
+}
+
+impl Clock for IngestClock {
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(self.latest_us.load(Ordering::Acquire))
+    }
+
+    fn observe(&self, received_at: SimTime) {
+        self.latest_us
+            .fetch_max(received_at.as_micros(), Ordering::AcqRel);
+    }
+}
+
+/// Wall-clock time for a deployed server: elapsed time since
+/// construction, floored by the latest observed receive timestamp.
+///
+/// The floor makes an archive hand its timeline over seamlessly —
+/// after replay, "now" starts at the archive's final receive time and
+/// advances in real time from there, so age-based alerts don't see
+/// every replayed node as silent for hours.
+#[derive(Debug)]
+pub struct WallClock {
+    anchor: std::time::Instant, // lint:allow(wall-clock, reason = "this is the one sanctioned wall-time source; everything else runs on SimTime")
+    floor_us: AtomicU64,
+}
+
+impl WallClock {
+    /// A wall clock anchored at the current instant.
+    pub fn new() -> Self {
+        WallClock {
+            anchor: std::time::Instant::now(), // lint:allow(wall-clock, reason = "this is the one sanctioned wall-time source; everything else runs on SimTime")
+            floor_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> SimTime {
+        let elapsed_us = u64::try_from(self.anchor.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let floor = self.floor_us.load(Ordering::Acquire);
+        SimTime::from_micros(elapsed_us.max(floor))
+    }
+
+    fn observe(&self, received_at: SimTime) {
+        self.floor_us
+            .fetch_max(received_at.as_micros(), Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ingest_clock_tracks_latest_observation() {
+        let clock = IngestClock::new();
+        assert_eq!(clock.now(), SimTime::ZERO);
+        clock.observe(SimTime::from_secs(30));
+        clock.observe(SimTime::from_secs(10)); // stale, ignored
+        assert_eq!(clock.now(), SimTime::from_secs(30));
+    }
+
+    #[test]
+    fn ingest_clock_can_start_ahead() {
+        let clock = IngestClock::starting_at(SimTime::from_secs(5));
+        assert_eq!(clock.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn wall_clock_advances_and_respects_floor() {
+        let clock = WallClock::new();
+        let first = clock.now();
+        clock.observe(SimTime::from_secs(1_000));
+        // The floor dominates freshly-elapsed wall time…
+        assert_eq!(clock.now(), SimTime::from_secs(1_000));
+        // …and the clock never runs backwards.
+        assert!(clock.now() >= first);
+    }
+
+    #[test]
+    fn clocks_are_object_safe() {
+        let clocks: Vec<Box<dyn Clock>> =
+            vec![Box::new(IngestClock::new()), Box::new(WallClock::new())];
+        for clock in &clocks {
+            clock.observe(SimTime::from_secs(1));
+            assert!(clock.now() >= SimTime::from_secs(1));
+        }
+    }
+}

@@ -160,7 +160,11 @@ pub fn assess(store: &Store, rules: &HealthRules, now: SimTime) -> Vec<NodeHealt
                     );
                 }
                 if status.routes.is_empty() {
-                    raise(HealthLevel::Yellow, "no routes (isolated)".into(), &mut level);
+                    raise(
+                        HealthLevel::Yellow,
+                        "no routes (isolated)".into(),
+                        &mut level,
+                    );
                 }
             }
 
@@ -260,11 +264,7 @@ mod tests {
 
     #[test]
     fn healthy_node_is_green() {
-        let store = store_with(
-            status(100, 0, 0.1, 2),
-            vec![in_record(55_000, -80.0)],
-            60,
-        );
+        let store = store_with(status(100, 0, 0.1, 2), vec![in_record(55_000, -80.0)], 60);
         let health = assess(&store, &HealthRules::default(), SimTime::from_secs(90));
         assert_eq!(health.len(), 1);
         assert_eq!(health[0].level, HealthLevel::Green);

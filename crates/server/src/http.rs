@@ -103,7 +103,9 @@ impl Drop for HttpServer {
 
 impl std::fmt::Debug for HttpServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("HttpServer").field("addr", &self.addr).finish()
+        f.debug_struct("HttpServer")
+            .field("addr", &self.addr)
+            .finish()
     }
 }
 
@@ -193,6 +195,19 @@ fn respond_json(stream: &mut TcpStream, status: &str, value: &serde_json::Value)
     );
 }
 
+/// Serialize `value` and respond `200 OK`, or `500` with a JSON error
+/// body when serialization fails — request handlers must never panic.
+fn respond_serialized<T: serde::Serialize>(stream: &mut TcpStream, value: &T) {
+    match serde_json::to_value(value) {
+        Ok(v) => respond_json(stream, "200 OK", &v),
+        Err(e) => respond_json(
+            stream,
+            "500 Internal Server Error",
+            &json!({"error": format!("serialization failed: {e}")}),
+        ),
+    }
+}
+
 fn handle_connection(mut stream: TcpStream, server: &MonitorServer) -> std::io::Result<()> {
     let Some(req) = parse_request(&mut stream)? else {
         return Ok(());
@@ -203,11 +218,16 @@ fn handle_connection(mut stream: TcpStream, server: &MonitorServer) -> std::io::
 
 fn route(stream: &mut TcpStream, req: &Request, server: &MonitorServer) {
     match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/") => respond(stream, "200 OK", "text/html; charset=utf-8", DASHBOARD_HTML.as_bytes()),
+        ("GET", "/") => respond(
+            stream,
+            "200 OK",
+            "text/html; charset=utf-8",
+            DASHBOARD_HTML.as_bytes(),
+        ),
         ("GET", "/api/health") => respond_json(stream, "200 OK", &json!({"ok": true})),
         ("GET", "/api/nodes") => {
             let summaries = server.node_summaries();
-            respond_json(stream, "200 OK", &serde_json::to_value(summaries).unwrap());
+            respond_serialized(stream, &summaries);
         }
         ("GET", "/api/stats") => {
             let stats = server.ingest_stats();
@@ -219,6 +239,7 @@ fn route(stream: &mut TcpStream, req: &Request, server: &MonitorServer) {
                     "nodes": server.node_ids().len(),
                     "records_retained": server.total_records(),
                     "clock_ms": server.clock().as_millis(),
+                    "latest_receive_ms": server.latest_receive_time().map(|t| t.as_millis()),
                 }),
             );
         }
@@ -237,7 +258,12 @@ fn route(stream: &mut TcpStream, req: &Request, server: &MonitorServer) {
                 .and_then(|s| s.parse::<u64>().ok())
                 .unwrap_or(60)
                 .max(1);
-            let series = server.series(node, direction, Window::all(), Duration::from_secs(bucket_s));
+            let series = server.series(
+                node,
+                direction,
+                Window::all(),
+                Duration::from_secs(bucket_s),
+            );
             let points: Vec<serde_json::Value> = series
                 .iter()
                 .map(|p| json!({"t_ms": p.bucket.as_millis(), "count": p.count}))
@@ -246,7 +272,7 @@ fn route(stream: &mut TcpStream, req: &Request, server: &MonitorServer) {
         }
         ("GET", "/api/links") => {
             let links = server.link_stats(Window::all());
-            respond_json(stream, "200 OK", &serde_json::to_value(links).unwrap());
+            respond_serialized(stream, &links);
         }
         ("GET", "/api/pdr") => {
             let links = server.link_deliveries(Window::all());
@@ -278,12 +304,17 @@ fn route(stream: &mut TcpStream, req: &Request, server: &MonitorServer) {
             respond_json(stream, "200 OK", &json!(rows));
         }
         ("GET", "/api/topology") => {
-            let topo = server.topology(Window::all());
-            respond_json(stream, "200 OK", &serde_json::to_value(topo).unwrap());
+            // `?window_s=N` restricts the heard view to the trailing N
+            // seconds of the server clock; default is all time.
+            let topo = match req.param("window_s").and_then(|s| s.parse::<u64>().ok()) {
+                Some(secs) => server.recent_topology(Duration::from_secs(secs.max(1))),
+                None => server.topology(Window::all()),
+            };
+            respond_serialized(stream, &topo);
         }
         ("GET", "/api/alerts") => {
             let history = server.alert_history();
-            respond_json(stream, "200 OK", &serde_json::to_value(history).unwrap());
+            respond_serialized(stream, &history);
         }
         ("GET", "/api/status_series") => {
             let Some(node) = req.param("node").and_then(|s| s.parse::<u16>().ok()) else {
@@ -295,7 +326,7 @@ fn route(stream: &mut TcpStream, req: &Request, server: &MonitorServer) {
                 return;
             };
             let series = server.status_series(NodeId(node));
-            respond_json(stream, "200 OK", &serde_json::to_value(series).unwrap());
+            respond_serialized(stream, &series);
         }
         ("GET", "/api/occupancy") => {
             let bucket_s = req
@@ -304,11 +335,8 @@ fn route(stream: &mut TcpStream, req: &Request, server: &MonitorServer) {
                 .unwrap_or(60)
                 .max(1);
             let radio = loramon_phy::RadioConfig::mesher_default();
-            let occ = server.channel_occupancy(
-                Window::all(),
-                &radio,
-                Duration::from_secs(bucket_s),
-            );
+            let occ =
+                server.channel_occupancy(Window::all(), &radio, Duration::from_secs(bucket_s));
             let rows: Vec<serde_json::Value> = occ
                 .iter()
                 .map(|(t, f)| json!({"t_ms": t.as_millis(), "fraction": f}))
@@ -317,7 +345,7 @@ fn route(stream: &mut TcpStream, req: &Request, server: &MonitorServer) {
         }
         ("GET", "/api/health_levels") => {
             let health = server.health(&crate::health::HealthRules::default(), server.clock());
-            respond_json(stream, "200 OK", &serde_json::to_value(health).unwrap());
+            respond_serialized(stream, &health);
         }
         ("GET", "/api/rollups") => {
             let node = req
@@ -325,7 +353,7 @@ fn route(stream: &mut TcpStream, req: &Request, server: &MonitorServer) {
                 .and_then(|s| s.parse::<u16>().ok())
                 .map(NodeId);
             let series = server.rollup_series(node);
-            respond_json(stream, "200 OK", &serde_json::to_value(series).unwrap());
+            respond_serialized(stream, &series);
         }
         ("GET", "/api/sizes") => {
             let node = req
@@ -361,11 +389,7 @@ fn route(stream: &mut TcpStream, req: &Request, server: &MonitorServer) {
                         }),
                     );
                 }
-                Err(e) => respond_json(
-                    stream,
-                    "400 Bad Request",
-                    &json!({"error": e.to_string()}),
-                ),
+                Err(e) => respond_json(stream, "400 Bad Request", &json!({"error": e.to_string()})),
             }
         }
         ("POST", "/api/commands") => {
@@ -382,11 +406,7 @@ fn route(stream: &mut TcpStream, req: &Request, server: &MonitorServer) {
                     server.queue_command(NodeId(node), command);
                     respond_json(stream, "200 OK", &json!({"queued": true}));
                 }
-                Err(e) => respond_json(
-                    stream,
-                    "400 Bad Request",
-                    &json!({"error": e.to_string()}),
-                ),
+                Err(e) => respond_json(stream, "400 Bad Request", &json!({"error": e.to_string()})),
             }
         }
         _ => respond_json(stream, "404 Not Found", &json!({"error": "no such route"})),
@@ -610,13 +630,13 @@ mod tests {
             routes: vec![],
         });
         // Give it an Out record so occupancy is non-empty.
-        rep.records.push(loramon_core::PacketRecord {
+        rep.records.push(PacketRecord {
             seq: 1,
             timestamp_ms: 58_000,
             direction: Direction::Out,
             node: NodeId(1),
             counterpart: NodeId(2),
-            ptype: loramon_mesh::PacketType::Data,
+            ptype: PacketType::Data,
             origin: NodeId(1),
             final_dst: NodeId(2),
             packet_id: 2,

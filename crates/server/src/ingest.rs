@@ -174,7 +174,10 @@ mod tests {
             IngestOutcome::Accepted { .. }
         ));
         let s = ing.stats();
-        assert_eq!((s.accepted, s.duplicates, s.invalid, s.records), (2, 1, 0, 2));
+        assert_eq!(
+            (s.accepted, s.duplicates, s.invalid, s.records),
+            (2, 1, 0, 2)
+        );
     }
 
     #[test]

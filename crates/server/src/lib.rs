@@ -31,6 +31,7 @@
 
 pub mod alert;
 pub mod archive;
+pub mod clock;
 pub mod health;
 pub mod http;
 pub mod ingest;
@@ -43,6 +44,7 @@ pub mod topology;
 
 pub use alert::{Alert, AlertEngine, AlertKind, AlertRules};
 pub use archive::{ArchiveEntry, ArchiveError};
+pub use clock::{Clock, IngestClock, WallClock};
 pub use health::{HealthLevel, HealthRules, NodeHealth};
 pub use http::HttpServer;
 pub use ingest::{IngestOutcome, IngestStats, Ingestor, InvalidReason};

@@ -255,7 +255,10 @@ mod tests {
         let links = link_deliveries(&store, Window::all());
         assert_eq!(links.len(), 1);
         let l = &links[0];
-        assert_eq!((l.from, l.to, l.sent, l.received), (NodeId(1), NodeId(2), 4, 3));
+        assert_eq!(
+            (l.from, l.to, l.sent, l.received),
+            (NodeId(1), NodeId(2), 4, 3)
+        );
         assert!((l.pdr() - 0.75).abs() < 1e-12);
     }
 

@@ -337,7 +337,9 @@ pub fn size_histogram(
         }
         for r in data.records() {
             if window.contains(r.captured_at()) {
-                *bins.entry(r.size_bytes / bin_bytes * bin_bytes).or_insert(0) += 1;
+                *bins
+                    .entry(r.size_bytes / bin_bytes * bin_bytes)
+                    .or_insert(0) += 1;
             }
         }
     }
@@ -470,27 +472,18 @@ mod tests {
             Duration::from_secs(3600),
         );
         assert_eq!(all_dirs[0].count, 4);
-        let both_nodes = packets_over_time(
-            &store,
-            None,
-            None,
-            Window::all(),
-            Duration::from_secs(3600),
-        );
+        let both_nodes =
+            packets_over_time(&store, None, None, Window::all(), Duration::from_secs(3600));
         assert_eq!(both_nodes[0].count, 5);
     }
 
     #[test]
     fn empty_store_yields_empty_series() {
         let store = Store::new(Retention::default());
-        assert!(packets_over_time(
-            &store,
-            None,
-            None,
-            Window::all(),
-            Duration::from_secs(60)
-        )
-        .is_empty());
+        assert!(
+            packets_over_time(&store, None, None, Window::all(), Duration::from_secs(60))
+                .is_empty()
+        );
     }
 
     #[test]
@@ -595,12 +588,7 @@ mod tests {
         let radio = RadioConfig::mesher_default();
         // One Out record of 30 bytes at t=1.5 s → ~72 ms airtime in the
         // first 60 s bucket → ~0.12% occupancy.
-        let occ = channel_occupancy(
-            &store,
-            Window::all(),
-            &radio,
-            Duration::from_secs(60),
-        );
+        let occ = channel_occupancy(&store, Window::all(), &radio, Duration::from_secs(60));
         assert_eq!(occ.len(), 1);
         let (bucket, fraction) = occ[0];
         assert_eq!(bucket, SimTime::ZERO);

@@ -5,6 +5,7 @@
 //! handle — the object the HTTP API (and every harness) talks to.
 
 use crate::alert::{Alert, AlertEngine, AlertKind, AlertRules};
+use crate::clock::{Clock, IngestClock};
 use crate::ingest::{IngestOutcome, IngestStats, Ingestor};
 use crate::matcher::{self, EndToEnd, LinkDelivery};
 use crate::query::{self, LinkStats, NodeSummary, SeriesPoint, StatusPoint, Window};
@@ -37,8 +38,6 @@ struct State {
     ingestor: Ingestor,
     store: Store,
     alerts: AlertEngine,
-    /// Latest receive time seen — the server's notion of "now".
-    clock: SimTime,
     archive: Option<Vec<crate::archive::ArchiveEntry>>,
     rollups: Option<crate::rollup::Rollups>,
     /// Pending configuration commands, one merged command per node,
@@ -50,28 +49,36 @@ struct State {
 #[derive(Clone)]
 pub struct MonitorServer {
     inner: Arc<RwLock<State>>,
+    clock: Arc<dyn Clock>,
 }
 
 impl MonitorServer {
-    /// A server with the given configuration.
+    /// A server with the given configuration and the default
+    /// deterministic [`IngestClock`].
     pub fn new(config: ServerConfig) -> Self {
+        MonitorServer::with_clock(config, Arc::new(IngestClock::new()))
+    }
+
+    /// A server with an explicit time source — [`crate::clock::WallClock`]
+    /// for a deployed binary, a test clock for unit tests.
+    pub fn with_clock(config: ServerConfig, clock: Arc<dyn Clock>) -> Self {
         MonitorServer {
             inner: Arc::new(RwLock::new(State {
                 ingestor: Ingestor::new(),
                 store: Store::new(config.retention),
                 alerts: AlertEngine::new(config.alert_rules),
-                clock: SimTime::ZERO,
                 archive: config.archive.then(Vec::new),
                 rollups: config.rollup_bucket.map(crate::rollup::Rollups::new),
                 pending_commands: BTreeMap::new(),
             })),
+            clock,
         }
     }
 
     /// Ingest one report received at server time `received_at`.
     pub fn ingest(&self, report: &Report, received_at: SimTime) -> IngestOutcome {
+        self.clock.observe(received_at);
         let mut state = self.inner.write();
-        state.clock = state.clock.max(received_at);
         let outcome = state.ingestor.offer(report);
         if matches!(outcome, IngestOutcome::Accepted { .. }) {
             state.store.insert(report, received_at);
@@ -113,10 +120,7 @@ impl MonitorServer {
             return;
         }
         let mut state = self.inner.write();
-        let entry = state
-            .pending_commands
-            .entry(node)
-            .or_default();
+        let entry = state.pending_commands.entry(node).or_default();
         *entry = entry.merged_with(command);
     }
 
@@ -162,9 +166,10 @@ impl MonitorServer {
         self.inner.read().ingestor.stats()
     }
 
-    /// The server's clock: the latest receive time seen.
+    /// The server's notion of "now", as defined by its [`Clock`] —
+    /// the latest receive time seen under the default [`IngestClock`].
     pub fn clock(&self) -> SimTime {
-        self.inner.read().clock
+        self.clock.now()
     }
 
     /// All reporting nodes.
@@ -263,11 +268,24 @@ impl MonitorServer {
         topology::infer(&self.inner.read().store, window)
     }
 
+    /// Topology over the trailing `horizon`, anchored at the server
+    /// clock — the live dashboard view.
+    pub fn recent_topology(&self, horizon: Duration) -> Topology {
+        topology::infer_recent(&self.inner.read().store, self.clock.now(), horizon)
+    }
+
+    /// The latest report receive time across all nodes, if any report
+    /// has arrived. Equals [`clock`](MonitorServer::clock) under the
+    /// default [`IngestClock`]; lags it under a wall clock.
+    pub fn latest_receive_time(&self) -> Option<SimTime> {
+        self.inner.read().store.latest_receive_time()
+    }
+
     /// Evaluate alert rules at server time `now`; returns newly fired
     /// alerts.
     pub fn evaluate_alerts(&self, now: SimTime) -> Vec<Alert> {
+        self.clock.observe(now);
         let mut state = self.inner.write();
-        state.clock = state.clock.max(now);
         // Split borrows: evaluate takes &Store and &mut AlertEngine.
         let State { store, alerts, .. } = &mut *state;
         alerts.evaluate(store, now)
@@ -284,7 +302,11 @@ impl MonitorServer {
     }
 
     /// Composite per-node health at server time `now`.
-    pub fn health(&self, rules: &crate::health::HealthRules, now: SimTime) -> Vec<crate::health::NodeHealth> {
+    pub fn health(
+        &self,
+        rules: &crate::health::HealthRules,
+        now: SimTime,
+    ) -> Vec<crate::health::NodeHealth> {
         crate::health::assess(&self.inner.read().store, rules, now)
     }
 }
@@ -295,7 +317,7 @@ impl std::fmt::Debug for MonitorServer {
         f.debug_struct("MonitorServer")
             .field("nodes", &state.store.len())
             .field("records", &state.store.total_records())
-            .field("clock", &state.clock)
+            .field("clock", &self.clock.now())
             .finish()
     }
 }

@@ -206,6 +206,16 @@ impl Store {
     pub fn total_records(&self) -> usize {
         self.nodes.values().map(|d| d.records.len()).sum()
     }
+
+    /// The latest report receive time across all nodes — the data-driven
+    /// notion of "now" that [`crate::clock::IngestClock`] tracks. Under a
+    /// wall clock the two diverge, which is itself a liveness signal.
+    pub fn latest_receive_time(&self) -> Option<SimTime> {
+        self.nodes
+            .values()
+            .filter_map(NodeData::last_report_at)
+            .max()
+    }
 }
 
 #[cfg(test)]
@@ -245,7 +255,10 @@ mod tests {
     #[test]
     fn insert_and_query_basics() {
         let mut store = Store::new(Retention::default());
-        store.insert(&report(1, 0, vec![record(10, 1), record(20, 1)]), SimTime::from_secs(1));
+        store.insert(
+            &report(1, 0, vec![record(10, 1), record(20, 1)]),
+            SimTime::from_secs(1),
+        );
         assert_eq!(store.len(), 1);
         assert_eq!(store.total_records(), 2);
         let d = store.node(NodeId(1)).unwrap();
@@ -259,7 +272,10 @@ mod tests {
     fn records_stay_sorted_even_out_of_order() {
         let mut store = Store::new(Retention::default());
         store.insert(&report(1, 1, vec![record(50, 1)]), SimTime::from_secs(1));
-        store.insert(&report(1, 0, vec![record(10, 1), record(30, 1)]), SimTime::from_secs(2));
+        store.insert(
+            &report(1, 0, vec![record(10, 1), record(30, 1)]),
+            SimTime::from_secs(2),
+        );
         let d = store.node(NodeId(1)).unwrap();
         let ts: Vec<u64> = d.records().iter().map(|r| r.timestamp_ms).collect();
         assert_eq!(ts, vec![10, 30, 50]);
@@ -286,7 +302,11 @@ mod tests {
         };
         let mut store = Store::new(retention);
         store.insert(
-            &report(1, 0, vec![record(1_000, 1), record(5_000, 1), record(20_000, 1)]),
+            &report(
+                1,
+                0,
+                vec![record(1_000, 1), record(5_000, 1), record(20_000, 1)],
+            ),
             SimTime::from_secs(21),
         );
         let d = store.node(NodeId(1)).unwrap();
@@ -345,6 +365,15 @@ mod tests {
         rep2.dropped_records = 3;
         store.insert(&rep2, SimTime::from_secs(2));
         assert_eq!(store.node(NodeId(1)).unwrap().client_dropped(), 10);
+    }
+
+    #[test]
+    fn latest_receive_time_is_max_across_nodes() {
+        let mut store = Store::new(Retention::default());
+        assert_eq!(store.latest_receive_time(), None);
+        store.insert(&report(1, 0, vec![]), SimTime::from_secs(10));
+        store.insert(&report(2, 0, vec![]), SimTime::from_secs(7));
+        assert_eq!(store.latest_receive_time(), Some(SimTime::from_secs(10)));
     }
 
     #[test]

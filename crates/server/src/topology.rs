@@ -13,9 +13,10 @@
 use crate::query::Window;
 use crate::store::Store;
 use loramon_mesh::Direction;
-use loramon_sim::NodeId;
+use loramon_sim::{NodeId, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
+use std::time::Duration;
 
 /// A directed edge of the inferred topology.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -46,11 +47,8 @@ impl Topology {
     /// Directed edges present in the routing view but never heard —
     /// candidates for stale routes.
     pub fn stale_route_edges(&self) -> Vec<(NodeId, NodeId)> {
-        let heard: BTreeSet<(NodeId, NodeId)> = self
-            .heard_edges
-            .iter()
-            .map(|e| (e.from, e.to))
-            .collect();
+        let heard: BTreeSet<(NodeId, NodeId)> =
+            self.heard_edges.iter().map(|e| (e.from, e.to)).collect();
         self.route_edges
             .iter()
             .map(|e| (e.from, e.to))
@@ -61,11 +59,8 @@ impl Topology {
     /// Directed edges heard on the air but absent from routing —
     /// overheard links routing chose not to use.
     pub fn unused_heard_edges(&self) -> Vec<(NodeId, NodeId)> {
-        let routed: BTreeSet<(NodeId, NodeId)> = self
-            .route_edges
-            .iter()
-            .map(|e| (e.from, e.to))
-            .collect();
+        let routed: BTreeSet<(NodeId, NodeId)> =
+            self.route_edges.iter().map(|e| (e.from, e.to)).collect();
         self.heard_edges
             .iter()
             .map(|e| (e.from, e.to))
@@ -143,6 +138,13 @@ pub fn infer(store: &Store, window: Window) -> Topology {
         route_edges,
         heard_edges,
     }
+}
+
+/// The live topology view: infer over the trailing `horizon` anchored
+/// at the server clock's `now`, so edges from nodes that went silent
+/// age out of the picture instead of lingering forever.
+pub fn infer_recent(store: &Store, now: SimTime, horizon: Duration) -> Topology {
+    infer(store, Window::last(horizon, now))
 }
 
 /// Compare an inferred undirected edge set against ground truth.
@@ -295,6 +297,19 @@ mod tests {
         let truth = vec![(NodeId(2), NodeId(1)), (NodeId(3), NodeId(4))];
         let (tp, fp, fn_) = compare_undirected(&inferred, &truth);
         assert_eq!((tp, fp, fn_), (1, 1, 1));
+    }
+
+    #[test]
+    fn infer_recent_ages_out_old_links() {
+        let store = seed();
+        // All heard records sit at capture times 1.0–2.0 s; a 1 s window
+        // anchored at t = 60 s sees none of them, but routing-table edges
+        // (taken from the latest status) remain.
+        let topo = infer_recent(&store, SimTime::from_secs(60), Duration::from_secs(1));
+        assert!(topo.heard_edges.is_empty());
+        assert!(!topo.route_edges.is_empty());
+        let fresh = infer_recent(&store, SimTime::from_secs(2), Duration::from_secs(2));
+        assert!(!fresh.heard_edges.is_empty());
     }
 
     #[test]

@@ -111,10 +111,8 @@ impl Channel {
 
     /// Drop records that ended more than `retention` before `now`.
     pub fn prune(&mut self, now: SimTime, retention: Duration) {
-        let horizon = SimTime::from_micros(
-            now.as_micros()
-                .saturating_sub(retention.as_micros() as u64),
-        );
+        let horizon =
+            SimTime::from_micros(now.as_micros().saturating_sub(retention.as_micros() as u64));
         self.records.retain(|r| r.end >= horizon);
     }
 

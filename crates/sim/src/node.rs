@@ -112,7 +112,10 @@ impl NodeState {
     /// mutate the meter).
     pub(crate) fn battery_percent_at(&self, now: SimTime) -> u8 {
         let mut meter = self.battery;
-        meter.spend(self.radio_state, now.saturating_since(self.last_state_change));
+        meter.spend(
+            self.radio_state,
+            now.saturating_since(self.last_state_change),
+        );
         meter.percent()
     }
 

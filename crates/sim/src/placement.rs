@@ -16,12 +16,7 @@ pub fn line(n: usize, spacing_m: f64) -> Vec<Position> {
 pub fn grid(n: usize, spacing_m: f64) -> Vec<Position> {
     let cols = (n as f64).sqrt().ceil() as usize;
     (0..n)
-        .map(|i| {
-            Position::new(
-                (i % cols) as f64 * spacing_m,
-                (i / cols) as f64 * spacing_m,
-            )
-        })
+        .map(|i| Position::new((i % cols) as f64 * spacing_m, (i / cols) as f64 * spacing_m))
         .collect()
 }
 

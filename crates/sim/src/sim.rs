@@ -51,13 +51,33 @@ impl Ord for Event {
 
 #[derive(Debug, Clone)]
 enum EventKind {
-    Start { node: usize },
-    Timer { node: usize, id: u64 },
-    TxEnd { tx_id: u64 },
-    TxFailed { node: usize, token: TxToken, busy: bool, retry_at_us: Option<u64> },
-    Fail { node: usize },
-    Recover { node: usize },
-    Move { node: usize, x: f64, y: f64 },
+    Start {
+        node: usize,
+    },
+    Timer {
+        node: usize,
+        id: u64,
+    },
+    TxEnd {
+        tx_id: u64,
+    },
+    TxFailed {
+        node: usize,
+        token: TxToken,
+        busy: bool,
+        retry_at_us: Option<u64>,
+    },
+    Fail {
+        node: usize,
+    },
+    Recover {
+        node: usize,
+    },
+    Move {
+        node: usize,
+        x: f64,
+        y: f64,
+    },
 }
 
 /// Builder for a [`Simulator`].
@@ -82,6 +102,16 @@ pub struct SimBuilder {
     energy: EnergyModel,
     trace_level: TraceLevel,
     die_on_battery_empty: bool,
+}
+
+impl std::fmt::Debug for SimBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimBuilder")
+            .field("seed", &self.seed)
+            .field("duty_cycle", &self.duty_cycle)
+            .field("trace_level", &self.trace_level)
+            .finish_non_exhaustive()
+    }
 }
 
 impl SimBuilder {
@@ -231,11 +261,17 @@ impl Simulator {
         config: RadioConfig,
         app: Box<dyn Application>,
     ) -> NodeId {
-        assert!(!self.started, "cannot add nodes after the simulation started");
+        assert!(
+            !self.started,
+            "cannot add nodes after the simulation started"
+        );
         assert!(self.nodes.len() < 0xFFFE, "node table full");
         if let Some(region) = &self.region {
             if let Err(violation) = region.validate(&config) {
-                panic!("radio configuration violates {}: {violation}", region.region());
+                panic!(
+                    "radio configuration violates {}: {violation}",
+                    region.region()
+                );
             }
         }
         let id = NodeId(self.nodes.len() as u16 + 1);
@@ -668,14 +704,11 @@ impl Simulator {
             .channel
             .overlapping(record.start, record.end, record.tx_id)
             .filter(|other| other.sender_idx != rx_idx)
-            .filter(|other| {
-                CollisionModel::interacts(&other.config, &record.config)
-            })
+            .filter(|other| CollisionModel::interacts(&other.config, &record.config))
             .map(|other| Interferer {
                 power_dbm: self.packet_rx_power_dbm(other.sender_idx, rx_idx, other.tx_id),
                 same_sf: other.config.sf() == record.config.sf(),
-                overlaps_preamble: other.start < record.preamble_end
-                    && record.start < other.end,
+                overlaps_preamble: other.start < record.preamble_end && record.start < other.end,
             })
             .collect();
 
@@ -731,6 +764,15 @@ impl std::fmt::Debug for Simulator {
 pub struct Context<'a> {
     sim: &'a mut Simulator,
     node: usize,
+}
+
+impl std::fmt::Debug for Context<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Context")
+            .field("node", &self.node)
+            .field("now", &self.sim.now)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Context<'_> {
@@ -805,7 +847,9 @@ impl Context<'_> {
         if node.is_transmitting(now) {
             node.stats.busy_rejections += 1;
             let id = node.id;
-            self.sim.trace.record(TraceEvent::TxBusy { at: now, node: id });
+            self.sim
+                .trace
+                .record(TraceEvent::TxBusy { at: now, node: id });
             self.sim.push(
                 now,
                 EventKind::TxFailed {
@@ -841,7 +885,8 @@ impl Context<'_> {
             return token;
         }
 
-        node.regulator.record_transmission(now.as_micros(), airtime_us);
+        node.regulator
+            .record_transmission(now.as_micros(), airtime_us);
         node.stats.frames_sent += 1;
         node.stats.airtime_us += airtime_us;
         node.transition(now, RadioState::Tx);
@@ -1025,15 +1070,22 @@ mod tests {
 
     #[test]
     fn simultaneous_equal_transmissions_collide() {
-        let mut sim = SimBuilder::new().seed(1).channel_params(ChannelParams {
-            fading_sigma_db: 0.0,
-            retention: Duration::from_secs(30),
-        }).build();
+        let mut sim = SimBuilder::new()
+            .seed(1)
+            .channel_params(ChannelParams {
+                fading_sigma_db: 0.0,
+                retention: Duration::from_secs(30),
+            })
+            .build();
         // Two senders equidistant from a middle receiver, transmitting at
         // the same instant: symmetric powers → both lost.
         let cfg = RadioConfig::mesher_default();
         let zero = Duration::from_millis(10);
-        sim.add_node(Position::new(-100.0, 0.0), cfg, Box::new(OneShot::new(zero)));
+        sim.add_node(
+            Position::new(-100.0, 0.0),
+            cfg,
+            Box::new(OneShot::new(zero)),
+        );
         sim.add_node(Position::new(100.0, 0.0), cfg, Box::new(OneShot::new(zero)));
         let c = sim.add_node(Position::new(0.0, 0.0), cfg, Box::new(IdleApp::default()));
         sim.run_for(Duration::from_secs(1));
@@ -1044,10 +1096,13 @@ mod tests {
 
     #[test]
     fn capture_effect_near_far() {
-        let mut sim = SimBuilder::new().seed(1).channel_params(ChannelParams {
-            fading_sigma_db: 0.0,
-            retention: Duration::from_secs(30),
-        }).build();
+        let mut sim = SimBuilder::new()
+            .seed(1)
+            .channel_params(ChannelParams {
+                fading_sigma_db: 0.0,
+                retention: Duration::from_secs(30),
+            })
+            .build();
         let cfg = RadioConfig::mesher_default();
         let zero = Duration::from_millis(10);
         // Near (50 m) and far (800 m) senders collide at the receiver:
@@ -1146,14 +1201,20 @@ mod tests {
         let a = sim.add_node(
             Position::new(0.0, 0.0),
             RadioConfig::mesher_default(),
-            Box::new(Spammer { blocked: 0, sent: 0 }),
+            Box::new(Spammer {
+                blocked: 0,
+                sent: 0,
+            }),
         );
         sim.run_for(Duration::from_secs(600));
         let app: &Spammer = sim.app_as(a).unwrap();
         assert!(app.blocked >= 1, "duty cycle never blocked");
         // Airtime must respect ~1% of 10 minutes = 6 s.
         let airtime_s = sim.stats(a).airtime_us as f64 / 1e6;
-        assert!(airtime_s <= 36.5, "airtime {airtime_s}s exceeds hourly budget");
+        assert!(
+            airtime_s <= 36.5,
+            "airtime {airtime_s}s exceeds hourly budget"
+        );
     }
 
     #[test]
@@ -1401,7 +1462,11 @@ mod tests {
             tx_cfg,
             Box::new(OneShot::new(Duration::from_millis(10))),
         );
-        let b = sim.add_node(Position::new(50.0, 0.0), rx_cfg, Box::new(IdleApp::default()));
+        let b = sim.add_node(
+            Position::new(50.0, 0.0),
+            rx_cfg,
+            Box::new(IdleApp::default()),
+        );
         sim.run_for(Duration::from_secs(1));
         let idle: &IdleApp = sim.app_as(b).unwrap();
         assert!(idle.frames_seen.is_empty());

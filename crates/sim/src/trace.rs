@@ -280,6 +280,30 @@ impl Trace {
     pub fn take(&mut self) -> Vec<TraceEvent> {
         std::mem::take(&mut self.events)
     }
+
+    /// Order-sensitive FNV-1a fingerprint of the full event stream.
+    ///
+    /// Two runs of the same seeded scenario must produce identical
+    /// fingerprints — this is the determinism contract checked by
+    /// `cargo xtask determinism` and the tier-1 double-run test. The
+    /// hash covers every event's `Debug` rendering (field names and
+    /// shortest-roundtrip float formatting included), so any drift in
+    /// ordering, timing or payload changes the value.
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |byte: u8| {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        };
+        for event in &self.events {
+            for byte in format!("{event:?}").bytes() {
+                mix(byte);
+            }
+            // Separator so event boundaries shift the hash.
+            mix(0xFF);
+        }
+        hash
+    }
 }
 
 #[cfg(test)]

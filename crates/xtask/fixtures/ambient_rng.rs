@@ -1,0 +1,9 @@
+//! Seeded `ambient-rng` violation: process-global entropy in
+//! determinism scope. This file is a lint fixture — excluded from the
+//! workspace walk and never compiled.
+
+/// Draws from ambient OS entropy — forbidden in sim/phy/mesh; all
+/// randomness must derive from the scenario seed.
+pub fn fixture() -> u64 {
+    rand::random()
+}

@@ -1,0 +1,10 @@
+//! Seeded `malformed-allow` violation: a suppression with no reason.
+//! This file is a lint fixture — excluded from the workspace walk and
+//! never compiled.
+
+/// Attempts to suppress the wall-clock rule without justifying it,
+/// which is itself a violation (and leaves the original one standing).
+pub fn fixture() -> u64 {
+    let start = std::time::Instant::now(); // lint:allow(wall-clock)
+    start.elapsed().as_micros() as u64
+}

@@ -1,0 +1,5 @@
+//! Seeded `missing-docs` violation: an undocumented public item.
+//! This file is a lint fixture — excluded from the workspace walk and
+//! never compiled.
+
+pub fn fixture() {}

@@ -1,0 +1,7 @@
+//! Seeded `no-dbg` violation. This file is a lint fixture — excluded
+//! from the workspace walk and never compiled.
+
+/// Debug prints must not ship anywhere in the workspace.
+pub fn fixture(x: u32) -> u32 {
+    dbg!(x)
+}

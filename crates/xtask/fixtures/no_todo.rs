@@ -1,0 +1,7 @@
+//! Seeded `no-todo` violation. This file is a lint fixture — excluded
+//! from the workspace walk and never compiled.
+
+/// Unfinished code must not ship anywhere in the workspace.
+pub fn fixture() {
+    todo!()
+}

@@ -1,0 +1,9 @@
+//! Seeded `server-panic` violation. This file is a lint fixture —
+//! excluded from the workspace walk and never compiled.
+
+/// Aborts the request thread — forbidden in server scope.
+pub fn fixture(flag: bool) {
+    if !flag {
+        panic!("request failed");
+    }
+}

@@ -1,0 +1,9 @@
+//! Seeded `server-unwrap` violation: panicking on a request path.
+//! This file is a lint fixture — excluded from the workspace walk and
+//! never compiled.
+
+/// Parses a node id, panicking on bad input — forbidden in server
+/// scope; map the error to a 4xx/5xx response instead.
+pub fn fixture(raw: &str) -> u32 {
+    raw.parse().unwrap()
+}

@@ -1,0 +1,10 @@
+//! Seeded `unordered-collections` violation. This file is a lint
+//! fixture — excluded from the workspace walk and never compiled.
+
+use std::collections::HashMap;
+
+/// Iteration order of a hash map is seed-dependent — forbidden in
+/// determinism scope; use `BTreeMap`/`BTreeSet`.
+pub fn fixture() -> HashMap<u32, u32> {
+    HashMap::new()
+}

@@ -1,0 +1,9 @@
+//! Seeded `wall-clock` violation: reads the OS clock in determinism
+//! scope. This file is a lint fixture — excluded from the workspace
+//! walk and never compiled.
+
+/// Returns elapsed wall time — forbidden in sim/phy/mesh/server.
+pub fn fixture() -> u64 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_micros() as u64
+}

@@ -1,0 +1,30 @@
+//! Workspace task-runner library backing the `cargo xtask` alias.
+//!
+//! Two subsystems:
+//! - [`lint`] — the dependency-free static-analysis pass enforcing the
+//!   determinism and robustness contracts (see DESIGN.md).
+//! - [`determinism`] — the runtime double-run harness asserting that
+//!   one seed replays to byte-identical traces.
+
+pub mod determinism;
+pub mod lint;
+
+use std::path::PathBuf;
+
+/// Locate the workspace root from the compiled-in manifest directory
+/// (`crates/xtask` → two levels up).
+pub fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/xtask always sits two levels under the workspace root")
+        .to_path_buf()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn workspace_root_has_manifest() {
+        assert!(super::workspace_root().join("Cargo.toml").is_file());
+    }
+}

@@ -1,0 +1,468 @@
+//! The `cargo xtask lint` engine: a dependency-free, source-level
+//! static-analysis pass enforcing the workspace's determinism and
+//! robustness contracts (see DESIGN.md, "Determinism contract & lint
+//! rules").
+//!
+//! The engine deliberately avoids a full parser: sources are masked by
+//! a string/comment-aware scanner ([`scanner`]) and rules are
+//! word-bounded token patterns with per-crate scope ([`rules`]), plus
+//! one structural rule (doc comments on public items). That keeps the
+//! pass fast, dependency-free and — like everything else in this
+//! workspace — fully deterministic: files are walked in sorted order
+//! and diagnostics are emitted in (file, line, rule) order.
+
+pub mod rules;
+pub mod scanner;
+
+use rules::{Scope, MALFORMED_ALLOW, MISSING_DOCS, RULES};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path (forward slashes).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier.
+    pub rule: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Outcome of a lint pass.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Violations, sorted by (file, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Number of violations suppressed by reasoned `lint:allow`s.
+    pub suppressed: usize,
+}
+
+impl LintReport {
+    /// Whether the tree is clean.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Directories never descended into.
+const EXCLUDED_DIRS: &[&str] = &[".git", "target", "vendor", "fixtures"];
+
+/// Run the full pass over a workspace rooted at `root`.
+///
+/// # Errors
+///
+/// Returns any I/O error encountered while walking or reading sources.
+pub fn lint_root(root: &Path) -> std::io::Result<LintReport> {
+    let mut files = Vec::new();
+    collect_rust_files(root, root, &mut files)?;
+    files.sort();
+
+    let mut report = LintReport::default();
+    for rel in files {
+        let source = std::fs::read_to_string(root.join(&rel))?;
+        let rel = rel.to_string_lossy().replace('\\', "/");
+        lint_source(&rel, &source, &mut report);
+        report.files_scanned += 1;
+    }
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    Ok(report)
+}
+
+fn collect_rust_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if !EXCLUDED_DIRS.contains(&name.as_str()) {
+                collect_rust_files(root, &path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Lint one in-memory source file, appending to `report`. `rel` is the
+/// workspace-relative path used for scoping.
+pub fn lint_source(rel: &str, source: &str, report: &mut LintReport) {
+    let masked = scanner::mask(source);
+    let comments = scanner::comment_text(source);
+    let test_flags = scanner::test_regions(&masked);
+    let original_lines: Vec<&str> = source.lines().collect();
+    let masked_lines: Vec<&str> = masked.lines().collect();
+    let comment_lines: Vec<&str> = comments.lines().collect();
+    let test_like = is_test_like(rel);
+
+    let allows = collect_allows(&masked_lines, &comment_lines, report, rel);
+
+    for (idx, masked_line) in masked_lines.iter().enumerate() {
+        let line_no = idx + 1;
+        let in_test = test_like || test_flags.get(idx).copied().unwrap_or(false);
+        for rule in RULES {
+            if !rules::applies(rule.scope, rule.include_tests, rel, in_test) {
+                continue;
+            }
+            if !rule.patterns.iter().any(|p| contains_token(masked_line, p)) {
+                continue;
+            }
+            emit(report, &allows, rel, line_no, rule.id, rule.message);
+        }
+    }
+
+    lint_missing_docs(
+        rel,
+        &original_lines,
+        &masked_lines,
+        &test_flags,
+        test_like,
+        &allows,
+        report,
+    );
+}
+
+fn is_test_like(rel: &str) -> bool {
+    rel.split('/')
+        .any(|part| matches!(part, "tests" | "benches" | "examples"))
+}
+
+/// Record a violation unless a reasoned `lint:allow` covers it.
+fn emit(
+    report: &mut LintReport,
+    allows: &[Vec<String>],
+    rel: &str,
+    line_no: usize,
+    rule: &str,
+    message: &str,
+) {
+    let allowed = allows
+        .get(line_no - 1)
+        .is_some_and(|a| a.iter().any(|r| r == rule));
+    if allowed {
+        report.suppressed += 1;
+    } else {
+        report.diagnostics.push(Diagnostic {
+            file: rel.to_string(),
+            line: line_no,
+            rule: rule.to_string(),
+            message: message.to_string(),
+        });
+    }
+}
+
+/// Pattern containment with identifier-boundary checks, so `Instant`
+/// does not match `InstantaneousFoo` and `dbg!` does not match
+/// `xdbg!`.
+fn contains_token(line: &str, pattern: &str) -> bool {
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+    let first_is_ident = pattern.chars().next().is_some_and(is_ident);
+    let last_is_ident = pattern.chars().next_back().is_some_and(is_ident);
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(pattern) {
+        let start = from + pos;
+        let end = start + pattern.len();
+        let ok_before = !first_is_ident || !line[..start].chars().next_back().is_some_and(is_ident);
+        let ok_after = !last_is_ident || !line[end..].chars().next().is_some_and(is_ident);
+        if ok_before && ok_after {
+            return true;
+        }
+        from = start + 1;
+    }
+    false
+}
+
+// ── lint:allow directives ─────────────────────────────────────────────
+
+/// Per-line effective allow lists. A directive in a trailing comment
+/// covers its own line; a directive on a comment-only line covers the
+/// next code line. Directives are read from the comment-only view of
+/// the source (a `"lint:allow(...)"` string literal is inert).
+/// Malformed directives (unknown rule, missing or empty reason) are
+/// themselves diagnostics.
+fn collect_allows(
+    masked_lines: &[&str],
+    comment_lines: &[&str],
+    report: &mut LintReport,
+    rel: &str,
+) -> Vec<Vec<String>> {
+    let mut per_line: Vec<Vec<String>> = vec![Vec::new(); masked_lines.len()];
+    let mut pending: Vec<String> = Vec::new();
+    for (idx, line) in comment_lines.iter().enumerate() {
+        let comment_only = masked_lines
+            .get(idx)
+            .is_none_or(|code| code.trim().is_empty());
+        let mut here = Vec::new();
+        for directive in parse_allow_directives(line) {
+            match directive {
+                Ok(rule) => here.push(rule),
+                Err(problem) => report.diagnostics.push(Diagnostic {
+                    file: rel.to_string(),
+                    line: idx + 1,
+                    rule: MALFORMED_ALLOW.to_string(),
+                    message: problem,
+                }),
+            }
+        }
+        if comment_only {
+            pending.extend(here);
+        } else {
+            per_line[idx].append(&mut pending);
+            per_line[idx].extend(here);
+        }
+    }
+    per_line
+}
+
+/// Parse every `lint:allow(<rule-id>, reason = "…")` on a line. Returns
+/// `Ok(rule_id)` for well-formed directives, `Err(description)`
+/// otherwise.
+fn parse_allow_directives(line: &str) -> Vec<Result<String, String>> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find("lint:allow(") {
+        let start = from + pos + "lint:allow(".len();
+        let Some(close) = line[start..].find(')') else {
+            out.push(Err("lint:allow is missing its closing parenthesis".into()));
+            break;
+        };
+        let inner = &line[start..start + close];
+        from = start + close;
+        let (rule, reason) = match inner.split_once(',') {
+            Some((r, rest)) => (r.trim(), rest.trim()),
+            None => (inner.trim(), ""),
+        };
+        // Prose that merely *mentions* the directive syntax (e.g.
+        // `lint:allow(<rule-id>, …)` in a doc comment) is not a
+        // directive: real rule ids are lowercase-dash identifiers.
+        let plausible_rule = !rule.is_empty()
+            && rule
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-');
+        if !plausible_rule {
+            continue;
+        }
+        if !rules::known_rule(rule) {
+            out.push(Err(format!("lint:allow names unknown rule `{rule}`")));
+            continue;
+        }
+        let reason_text = reason
+            .strip_prefix("reason")
+            .map(str::trim_start)
+            .and_then(|r| r.strip_prefix('='))
+            .map(str::trim)
+            .and_then(|r| r.strip_prefix('"'))
+            .and_then(|r| r.strip_suffix('"'))
+            .map(str::trim)
+            .unwrap_or("");
+        if reason_text.is_empty() {
+            out.push(Err(format!(
+                "lint:allow({rule}) requires a non-empty reason = \"…\""
+            )));
+        } else {
+            out.push(Ok(rule.to_string()));
+        }
+    }
+    out
+}
+
+// ── missing-docs (structural rule) ────────────────────────────────────
+
+const DOC_ITEM_KEYWORDS: &[&str] = &[
+    "fn", "struct", "enum", "trait", "type", "const", "static", "mod", "union",
+];
+
+#[allow(clippy::too_many_arguments)]
+fn lint_missing_docs(
+    rel: &str,
+    original_lines: &[&str],
+    masked_lines: &[&str],
+    test_flags: &[bool],
+    test_like: bool,
+    allows: &[Vec<String>],
+    report: &mut LintReport,
+) {
+    if !rules::applies(Scope::Sources, false, rel, test_like) {
+        return;
+    }
+    for (idx, masked_line) in masked_lines.iter().enumerate() {
+        if test_flags.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        let trimmed = masked_line.trim_start();
+        let Some(rest) = trimmed.strip_prefix("pub ") else {
+            continue;
+        };
+        let keyword = rest.split_whitespace().next().unwrap_or("");
+        if !DOC_ITEM_KEYWORDS.contains(&keyword) {
+            continue;
+        }
+        // `pub mod foo;` is documented by the module file's own `//!`
+        // header; only inline `pub mod foo { … }` needs a doc here.
+        if keyword == "mod" && masked_line.trim_end().ends_with(';') {
+            continue;
+        }
+        if !has_doc_comment(original_lines, idx) {
+            emit(
+                report,
+                allows,
+                rel,
+                idx + 1,
+                MISSING_DOCS,
+                "public items need a /// doc comment (house style; rendered by rustdoc)",
+            );
+        }
+    }
+}
+
+/// Walk upward from the item at `idx`, skipping attributes and plain
+/// comments, looking for a doc comment.
+fn has_doc_comment(original_lines: &[&str], idx: usize) -> bool {
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let t = original_lines[i].trim();
+        if t.starts_with("///") || t.starts_with("//!") || t.starts_with("#[doc") {
+            return true;
+        }
+        // Attribute lines (single-line or the tail of a multi-line
+        // attribute) and plain comments sit between docs and the item.
+        let attr_like = t.starts_with("#[")
+            || t.starts_with("#![")
+            || t.starts_with("//")
+            || t.ends_with(']')
+            || t.ends_with(',') && !t.ends_with("},");
+        if !attr_like {
+            return false;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_one(rel: &str, source: &str) -> LintReport {
+        let mut report = LintReport::default();
+        lint_source(rel, source, &mut report);
+        report
+    }
+
+    #[test]
+    fn token_boundaries_respected() {
+        assert!(contains_token("use std::time::Instant;", "Instant"));
+        assert!(contains_token("let x = Instant::now();", "Instant"));
+        assert!(!contains_token("let instant_ish = 1;", "Instant"));
+        assert!(!contains_token("struct Instantaneous;", "Instant"));
+        assert!(contains_token("dbg!(x)", "dbg!"));
+        assert!(!contains_token("xdbg!(x)", "dbg!"));
+        assert!(contains_token("v.unwrap()", ".unwrap()"));
+        assert!(!contains_token("v.unwrap_or(0)", ".unwrap()"));
+    }
+
+    #[test]
+    fn determinism_rule_fires_in_scope_only() {
+        let src = "/// Doc.\npub fn f() {\n    let t = Instant::now();\n}\n";
+        let in_scope = lint_one("crates/sim/src/x.rs", src);
+        assert_eq!(in_scope.diagnostics.len(), 1);
+        assert_eq!(in_scope.diagnostics[0].rule, "wall-clock");
+        assert_eq!(in_scope.diagnostics[0].line, 3);
+        let out_of_scope = lint_one("crates/dashboard/src/x.rs", src);
+        assert!(out_of_scope.is_clean());
+    }
+
+    #[test]
+    fn strings_and_comments_never_fire() {
+        let src = "/// Mentions Instant::now and HashMap freely.\npub fn f() {\n    let s = \"SystemTime + thread_rng\";\n    let _ = s;\n}\n";
+        assert!(lint_one("crates/sim/src/x.rs", src).is_clean());
+    }
+
+    #[test]
+    fn test_regions_are_exempt_from_scoped_rules() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { v.unwrap(); panic!(\"x\") }\n}\n";
+        assert!(lint_one("crates/server/src/x.rs", src).is_clean());
+    }
+
+    #[test]
+    fn hygiene_rules_apply_even_in_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { dbg!(1); }\n}\n";
+        let report = lint_one("crates/server/src/x.rs", src);
+        assert_eq!(report.diagnostics.len(), 1);
+        assert_eq!(report.diagnostics[0].rule, "no-dbg");
+    }
+
+    #[test]
+    fn reasoned_allow_suppresses_same_line_and_next_line() {
+        let src = "/// Doc.\npub fn f() {\n    let t = Instant::now(); // lint:allow(wall-clock, reason = \"boundary adapter\")\n    // lint:allow(wall-clock, reason = \"second adapter\")\n    let u = Instant::now();\n}\n";
+        let report = lint_one("crates/sim/src/x.rs", src);
+        assert!(report.is_clean(), "{:?}", report.diagnostics);
+        assert_eq!(report.suppressed, 2);
+    }
+
+    #[test]
+    fn allow_without_reason_is_rejected() {
+        let src = "pub fn f() { let t = Instant::now(); } // lint:allow(wall-clock)\n";
+        let report = lint_one("crates/sim/src/x.rs", src);
+        assert!(report.diagnostics.iter().any(|d| d.rule == MALFORMED_ALLOW));
+        // The violation itself still stands.
+        assert!(report.diagnostics.iter().any(|d| d.rule == "wall-clock"));
+    }
+
+    #[test]
+    fn allow_unknown_rule_is_rejected() {
+        let src = "fn f() {} // lint:allow(not-a-rule, reason = \"x\")\n";
+        let report = lint_one("src/x.rs", src);
+        assert_eq!(report.diagnostics.len(), 1);
+        assert_eq!(report.diagnostics[0].rule, MALFORMED_ALLOW);
+    }
+
+    #[test]
+    fn missing_docs_fires_on_undocumented_pub_items() {
+        let src = "pub fn undocumented() {}\n\n/// Documented.\npub fn documented() {}\n\n#[derive(Debug)]\n/// Docs above attr still count? No — below attr.\npub struct S;\n";
+        let report = lint_one("crates/core/src/x.rs", src);
+        assert_eq!(
+            report
+                .diagnostics
+                .iter()
+                .filter(|d| d.rule == MISSING_DOCS)
+                .count(),
+            1
+        );
+        assert_eq!(report.diagnostics[0].line, 1);
+    }
+
+    #[test]
+    fn missing_docs_skips_tests_and_non_src() {
+        let src = "pub fn undocumented() {}\n";
+        assert!(lint_one("tests/x.rs", src).is_clean());
+        let in_cfg_test = "#[cfg(test)]\nmod tests {\n    pub fn helper() {}\n}\n";
+        assert!(lint_one("crates/core/src/x.rs", in_cfg_test).is_clean());
+    }
+}

@@ -1,0 +1,193 @@
+//! The lint rule set and its per-crate scoping.
+//!
+//! Three families, mirroring the workspace's layering:
+//!
+//! - **determinism** (`crates/{sim,phy,mesh}`, plus wall-clock in
+//!   `crates/server`): the simulator's replay contract — no ambient
+//!   time, no ambient randomness, no iteration-order-dependent
+//!   collections.
+//! - **robustness** (`crates/server`): request/ingest paths must not
+//!   panic; malformed input becomes an error response, not a crash.
+//! - **hygiene** (workspace-wide): no leftover `todo!`/`dbg!`, doc
+//!   comments on public items.
+//!
+//! Escape hatch: `// lint:allow(<rule-id>, reason = "…")` on the same
+//! line or a comment line directly above; the reason is mandatory.
+
+/// Where a rule applies, expressed over workspace-relative paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// `crates/{sim,phy,mesh}` sources.
+    Determinism,
+    /// Determinism crates plus `crates/server` sources.
+    DeterminismAndServer,
+    /// `crates/server` sources.
+    Server,
+    /// Every scanned file, including tests, benches and examples.
+    Everywhere,
+    /// Non-test library/binary sources of every crate.
+    Sources,
+}
+
+/// One substring-pattern rule.
+#[derive(Debug, Clone, Copy)]
+pub struct Rule {
+    /// Stable identifier used in output and `lint:allow`.
+    pub id: &'static str,
+    /// Forbidden token patterns (matched word-bounded on masked text).
+    pub patterns: &'static [&'static str],
+    /// Where the rule applies.
+    pub scope: Scope,
+    /// Whether the rule also applies inside `#[cfg(test)]` regions and
+    /// test/bench/example targets.
+    pub include_tests: bool,
+    /// One-line explanation shown with each diagnostic.
+    pub message: &'static str,
+}
+
+/// Identifier of the doc-comment rule (special-cased in the engine —
+/// it is structural, not a substring pattern).
+pub const MISSING_DOCS: &str = "missing-docs";
+
+/// Identifier for malformed `lint:allow` directives.
+pub const MALFORMED_ALLOW: &str = "malformed-allow";
+
+/// The pattern-based rule table.
+pub const RULES: &[Rule] = &[
+    Rule {
+        id: "wall-clock",
+        patterns: &["Instant", "SystemTime", "chrono::"],
+        scope: Scope::DeterminismAndServer,
+        include_tests: false,
+        message: "wall-clock time breaks seeded replay; use SimTime (or a Clock injected at the edge)",
+    },
+    Rule {
+        id: "ambient-rng",
+        patterns: &["rand::", "thread_rng", "from_entropy", "getrandom"],
+        scope: Scope::Determinism,
+        include_tests: false,
+        message: "ambient randomness breaks seeded replay; derive a stream from sim::rng (mix_seed/derive)",
+    },
+    Rule {
+        id: "unordered-collections",
+        patterns: &["HashMap", "HashSet"],
+        scope: Scope::Determinism,
+        include_tests: false,
+        message: "hash iteration order is unspecified; use BTreeMap/BTreeSet or a sorted Vec",
+    },
+    Rule {
+        id: "server-unwrap",
+        patterns: &[".unwrap()", ".expect("],
+        scope: Scope::Server,
+        include_tests: false,
+        message: "request/ingest paths must not panic; map the error to a 4xx/5xx response",
+    },
+    Rule {
+        id: "server-panic",
+        patterns: &["panic!", "unreachable!"],
+        scope: Scope::Server,
+        include_tests: false,
+        message: "request/ingest paths must not panic; return an error response instead",
+    },
+    Rule {
+        id: "no-todo",
+        patterns: &["todo!", "unimplemented!"],
+        scope: Scope::Everywhere,
+        include_tests: true,
+        message: "unfinished code must not land; finish it or file an issue and gate the path",
+    },
+    Rule {
+        id: "no-dbg",
+        patterns: &["dbg!"],
+        scope: Scope::Everywhere,
+        include_tests: true,
+        message: "leftover debug macro; remove it (use the trace subsystem for durable logging)",
+    },
+];
+
+/// All known rule identifiers (for validating `lint:allow`).
+pub fn known_rule(id: &str) -> bool {
+    id == MISSING_DOCS || id == MALFORMED_ALLOW || RULES.iter().any(|r| r.id == id)
+}
+
+/// Whether `rule` applies to the file at workspace-relative path
+/// `rel` (forward slashes), given whether the file/line is test code.
+pub fn applies(rule_scope: Scope, include_tests: bool, rel: &str, is_test: bool) -> bool {
+    if is_test && !include_tests {
+        return false;
+    }
+    let in_src = rel.contains("/src/") || rel.starts_with("src/");
+    let determinism_crate = ["crates/sim/", "crates/phy/", "crates/mesh/"]
+        .iter()
+        .any(|p| rel.starts_with(p));
+    let server_crate = rel.starts_with("crates/server/");
+    match rule_scope {
+        Scope::Determinism => in_src && determinism_crate,
+        Scope::DeterminismAndServer => in_src && (determinism_crate || server_crate),
+        Scope::Server => in_src && server_crate,
+        Scope::Everywhere => true,
+        Scope::Sources => in_src,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoping_matches_layout() {
+        assert!(applies(
+            Scope::Determinism,
+            false,
+            "crates/sim/src/rng.rs",
+            false
+        ));
+        assert!(!applies(
+            Scope::Determinism,
+            false,
+            "crates/server/src/http.rs",
+            false
+        ));
+        assert!(!applies(
+            Scope::Determinism,
+            false,
+            "crates/sim/src/rng.rs",
+            true
+        ));
+        assert!(applies(
+            Scope::Server,
+            false,
+            "crates/server/src/http.rs",
+            false
+        ));
+        assert!(applies(
+            Scope::DeterminismAndServer,
+            false,
+            "crates/server/src/clock.rs",
+            false
+        ));
+        assert!(applies(
+            Scope::Everywhere,
+            true,
+            "tests/properties.rs",
+            true
+        ));
+        assert!(applies(Scope::Sources, false, "src/scenario.rs", false));
+        assert!(!applies(
+            Scope::Sources,
+            false,
+            "tests/properties.rs",
+            false
+        ));
+    }
+
+    #[test]
+    fn rule_ids_are_known_and_unique() {
+        for (i, r) in RULES.iter().enumerate() {
+            assert!(known_rule(r.id));
+            assert!(RULES[i + 1..].iter().all(|o| o.id != r.id), "dup {}", r.id);
+        }
+        assert!(known_rule(MISSING_DOCS));
+        assert!(!known_rule("made-up"));
+    }
+}

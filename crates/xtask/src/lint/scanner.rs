@@ -1,0 +1,345 @@
+//! String/comment-aware source preparation for the lint engine.
+//!
+//! [`mask`] rewrites a Rust source so that the *contents* of string
+//! literals, character literals and comments become spaces while every
+//! other byte (and every newline) stays in place. Rule patterns match
+//! against the masked text, so `"Instant::now"` inside a string or a
+//! comment can never trip a lint. [`comment_text`] is the complement —
+//! only comments survive — and is where `lint:allow` directives are
+//! parsed from. [`test_regions`] marks the lines living inside
+//! `#[cfg(test)]` blocks so rules can exempt test code.
+
+/// Replace string/char-literal and comment contents with spaces,
+/// preserving length and line structure.
+pub fn mask(source: &str) -> String {
+    scan(source).0
+}
+
+/// The complement of [`mask`]: only comment text survives (including
+/// the `//` markers); code and string contents become spaces. Allow
+/// directives are parsed from this view so a `"lint:allow(...)"`
+/// string literal can never act as one.
+pub fn comment_text(source: &str) -> String {
+    scan(source).1
+}
+
+fn scan(source: &str) -> (String, String) {
+    #[derive(Clone, Copy, PartialEq)]
+    enum State {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(u32),
+        CharLit,
+    }
+
+    let bytes: Vec<char> = source.chars().collect();
+    let mut code = String::with_capacity(source.len());
+    let mut comments = String::with_capacity(source.len());
+    let mut state = State::Code;
+    let mut i = 0usize;
+
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+    // Push one resolved char: comments keep comment text, code keeps
+    // everything else; newlines survive in both.
+    let put = |code: &mut String, comments: &mut String, c: char, in_comment: bool| {
+        if c == '\n' {
+            code.push('\n');
+            comments.push('\n');
+        } else if in_comment {
+            code.push(' ');
+            comments.push(c);
+        } else {
+            comments.push(' ');
+            code.push(c);
+        }
+    };
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        match state {
+            State::Code => {
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    put(&mut code, &mut comments, '/', true);
+                    put(&mut code, &mut comments, '/', true);
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    put(&mut code, &mut comments, '/', true);
+                    put(&mut code, &mut comments, '*', true);
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Str;
+                    put(&mut code, &mut comments, ' ', false);
+                    i += 1;
+                } else if (c == 'r' || c == 'b')
+                    && (i == 0 || !is_ident(bytes[i - 1]))
+                    && raw_string_hashes(&bytes, i).is_some()
+                {
+                    let (prefix_len, hashes) = raw_string_hashes(&bytes, i).unwrap();
+                    state = State::RawStr(hashes);
+                    for _ in 0..prefix_len {
+                        put(&mut code, &mut comments, ' ', false);
+                    }
+                    i += prefix_len as usize;
+                } else if c == 'b' && next == Some('"') && (i == 0 || !is_ident(bytes[i - 1])) {
+                    state = State::Str;
+                    put(&mut code, &mut comments, ' ', false);
+                    put(&mut code, &mut comments, ' ', false);
+                    i += 2;
+                } else if c == '\'' {
+                    // Distinguish char literals from lifetimes.
+                    let is_char = match next {
+                        Some('\\') => true,
+                        Some(n) => bytes.get(i + 2) == Some(&'\'') && n != '\'',
+                        None => false,
+                    };
+                    if is_char {
+                        state = State::CharLit;
+                        put(&mut code, &mut comments, ' ', false);
+                        i += 1;
+                    } else {
+                        put(&mut code, &mut comments, c, false);
+                        i += 1;
+                    }
+                } else {
+                    put(&mut code, &mut comments, c, false);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                if c == '\n' {
+                    state = State::Code;
+                }
+                put(&mut code, &mut comments, c, c != '\n');
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    put(&mut code, &mut comments, '*', true);
+                    put(&mut code, &mut comments, '/', true);
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    put(&mut code, &mut comments, '/', true);
+                    put(&mut code, &mut comments, '*', true);
+                    i += 2;
+                } else {
+                    put(
+                        &mut code,
+                        &mut comments,
+                        if c == '\n' { '\n' } else { c },
+                        c != '\n',
+                    );
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' && next.is_some() {
+                    put(&mut code, &mut comments, ' ', false);
+                    put(
+                        &mut code,
+                        &mut comments,
+                        if next == Some('\n') { '\n' } else { ' ' },
+                        false,
+                    );
+                    i += 2;
+                } else {
+                    if c == '"' {
+                        state = State::Code;
+                    }
+                    put(
+                        &mut code,
+                        &mut comments,
+                        if c == '\n' { '\n' } else { ' ' },
+                        false,
+                    );
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw_string(&bytes, i, hashes) {
+                    state = State::Code;
+                    for _ in 0..=hashes {
+                        put(&mut code, &mut comments, ' ', false);
+                    }
+                    i += 1 + hashes as usize;
+                } else {
+                    put(
+                        &mut code,
+                        &mut comments,
+                        if c == '\n' { '\n' } else { ' ' },
+                        false,
+                    );
+                    i += 1;
+                }
+            }
+            State::CharLit => {
+                if c == '\\' && next.is_some() {
+                    put(&mut code, &mut comments, ' ', false);
+                    put(&mut code, &mut comments, ' ', false);
+                    i += 2;
+                } else {
+                    if c == '\'' {
+                        state = State::Code;
+                    }
+                    put(&mut code, &mut comments, ' ', false);
+                    i += 1;
+                }
+            }
+        }
+    }
+    (code, comments)
+}
+
+/// If position `i` starts a raw(-byte) string prefix (`r"`, `r#"`,
+/// `br##"`, …), return `(prefix_len, hash_count)`.
+fn raw_string_hashes(bytes: &[char], i: usize) -> Option<(u32, u32)> {
+    let mut j = i;
+    if bytes.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while bytes.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if bytes.get(j) == Some(&'"') {
+        Some(((j - i + 1) as u32, hashes))
+    } else {
+        None
+    }
+}
+
+/// Whether the quote at `i` is followed by enough `#` to close a raw
+/// string with `hashes` hashes.
+fn closes_raw_string(bytes: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| bytes.get(i + k) == Some(&'#'))
+}
+
+/// Per-line flags marking code inside `#[cfg(test)] { … }` regions,
+/// computed over masked text so braces in strings can't confuse it.
+pub fn test_regions(masked: &str) -> Vec<bool> {
+    let line_count = masked.lines().count();
+    let mut in_test = vec![false; line_count];
+
+    let chars: Vec<char> = masked.chars().collect();
+    let mut line_of = Vec::with_capacity(chars.len());
+    let mut line = 0usize;
+    for &c in &chars {
+        line_of.push(line);
+        if c == '\n' {
+            line += 1;
+        }
+    }
+
+    let text: String = chars.iter().collect();
+    let mut search_from = 0usize;
+    while let Some(found) = text[search_from..].find("#[cfg(test)]") {
+        let attr_pos = search_from + found;
+        // Masked text is produced char-by-char, so byte positions from
+        // `find` must be translated to char indices before walking.
+        let attr_char = text[..attr_pos].chars().count();
+        let mut j = attr_char;
+        let mut open = None;
+        while j < chars.len() {
+            match chars[j] {
+                '{' => {
+                    open = Some(j);
+                    break;
+                }
+                // `#[cfg(test)] mod x;` — out-of-line module, no body.
+                ';' => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        if let Some(start) = open {
+            let mut depth = 0i32;
+            let mut k = start;
+            while k < chars.len() {
+                match chars[k] {
+                    '{' => depth += 1,
+                    '}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            let end_line = line_of.get(k).copied().unwrap_or(line_count - 1);
+            let last = end_line.min(line_count.saturating_sub(1));
+            for flag in &mut in_test[line_of[attr_char]..=last] {
+                *flag = true;
+            }
+        }
+        search_from = attr_pos + 1;
+    }
+    in_test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_strings_and_comments() {
+        let src = "let a = \"Instant::now\"; // HashMap here\nlet b = 1;\n";
+        let m = mask(src);
+        assert!(!m.contains("Instant"));
+        assert!(!m.contains("HashMap"));
+        assert!(m.contains("let a ="));
+        assert!(m.contains("let b = 1;"));
+        assert_eq!(m.len(), src.len());
+    }
+
+    #[test]
+    fn comment_text_is_the_complement() {
+        let src = "let a = \"in a string\"; // in a comment\nlet b = 1;\n";
+        let c = comment_text(src);
+        assert!(c.contains("// in a comment"));
+        assert!(!c.contains("in a string"));
+        assert!(!c.contains("let"));
+        assert_eq!(c.lines().count(), 2);
+    }
+
+    #[test]
+    fn masks_raw_strings_and_chars() {
+        let src = "let s = r#\"panic!(\"x\")\"#; let c = 'x'; let lt: &'static str = \"y\";\n";
+        let m = mask(src);
+        assert!(!m.contains("panic!"));
+        assert!(m.contains("&'static str"));
+    }
+
+    #[test]
+    fn masks_nested_block_comments() {
+        let src = "/* outer /* SystemTime */ still comment */ fn f() {}\n";
+        let m = mask(src);
+        assert!(!m.contains("SystemTime"));
+        assert!(m.contains("fn f() {}"));
+        assert!(comment_text(src).contains("SystemTime"));
+    }
+
+    #[test]
+    fn finds_test_regions() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}\n";
+        let masked = mask(src);
+        let flags = test_regions(&masked);
+        assert_eq!(flags, vec![false, true, true, true, true, false]);
+    }
+}

@@ -1,0 +1,163 @@
+//! End-to-end checks of the lint engine: every rule fires on its
+//! seeded fixture under `crates/xtask/fixtures/`, scoping exempts the
+//! right trees, and the shipped workspace itself lints clean.
+
+use std::path::PathBuf;
+use xtask::lint::{lint_root, lint_source, LintReport};
+
+/// Read a seeded-violation fixture by file name.
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read fixture {}: {e}", path.display()))
+}
+
+/// Lint a fixture as if it lived at the workspace-relative path `rel`.
+fn lint_fixture_at(name: &str, rel: &str) -> LintReport {
+    let mut report = LintReport::default();
+    lint_source(rel, &fixture(name), &mut report);
+    report
+}
+
+/// Assert the fixture, placed at `rel`, trips `rule` (and nothing else).
+fn assert_rule_fires(name: &str, rel: &str, rule: &str) {
+    let report = lint_fixture_at(name, rel);
+    assert!(
+        report.diagnostics.iter().any(|d| d.rule == rule),
+        "{name} at {rel} should trip `{rule}`; got {:?}",
+        report.diagnostics
+    );
+    for d in &report.diagnostics {
+        assert_eq!(
+            d.rule, rule,
+            "{name} should only trip `{rule}`; got {:?}",
+            report.diagnostics
+        );
+    }
+}
+
+#[test]
+fn wall_clock_fires_in_determinism_scope() {
+    assert_rule_fires("wall_clock.rs", "crates/phy/src/seeded.rs", "wall-clock");
+    assert_rule_fires("wall_clock.rs", "crates/server/src/seeded.rs", "wall-clock");
+}
+
+#[test]
+fn ambient_rng_fires_in_determinism_scope() {
+    assert_rule_fires("ambient_rng.rs", "crates/sim/src/seeded.rs", "ambient-rng");
+}
+
+#[test]
+fn unordered_collections_fires_in_determinism_scope() {
+    assert_rule_fires(
+        "unordered_collections.rs",
+        "crates/mesh/src/seeded.rs",
+        "unordered-collections",
+    );
+}
+
+#[test]
+fn server_unwrap_fires_in_server_scope() {
+    assert_rule_fires(
+        "server_unwrap.rs",
+        "crates/server/src/seeded.rs",
+        "server-unwrap",
+    );
+}
+
+#[test]
+fn server_panic_fires_in_server_scope() {
+    assert_rule_fires(
+        "server_panic.rs",
+        "crates/server/src/seeded.rs",
+        "server-panic",
+    );
+}
+
+#[test]
+fn no_todo_fires_everywhere() {
+    assert_rule_fires("no_todo.rs", "src/seeded.rs", "no-todo");
+    assert_rule_fires("no_todo.rs", "crates/dashboard/tests/seeded.rs", "no-todo");
+}
+
+#[test]
+fn no_dbg_fires_everywhere() {
+    assert_rule_fires("no_dbg.rs", "crates/dashboard/src/seeded.rs", "no-dbg");
+}
+
+#[test]
+fn missing_docs_fires_on_sources() {
+    assert_rule_fires(
+        "missing_docs.rs",
+        "crates/core/src/seeded.rs",
+        "missing-docs",
+    );
+}
+
+#[test]
+fn malformed_allow_is_reported_and_does_not_suppress() {
+    let report = lint_fixture_at("malformed_allow.rs", "crates/sim/src/seeded.rs");
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == "malformed-allow"),
+        "reason-less lint:allow must be diagnosed; got {:?}",
+        report.diagnostics
+    );
+    assert!(
+        report.diagnostics.iter().any(|d| d.rule == "wall-clock"),
+        "a malformed allow must not suppress the underlying violation"
+    );
+    assert_eq!(report.suppressed, 0);
+}
+
+#[test]
+fn scoping_exempts_other_crates_and_tests() {
+    // A server-only rule does not fire in sim sources…
+    let report = lint_fixture_at("server_unwrap.rs", "crates/sim/src/seeded.rs");
+    assert!(!report.diagnostics.iter().any(|d| d.rule == "server-unwrap"));
+    // …and determinism rules do not fire in test code.
+    let report = lint_fixture_at("wall_clock.rs", "crates/sim/tests/seeded.rs");
+    assert!(!report.diagnostics.iter().any(|d| d.rule == "wall-clock"));
+}
+
+#[test]
+fn reasoned_allow_suppresses_exactly_one_violation() {
+    let source = fixture("wall_clock.rs").replace(
+        "std::time::Instant::now();",
+        "std::time::Instant::now(); // lint:allow(wall-clock, reason = \"fixture boundary\")",
+    );
+    let mut report = LintReport::default();
+    lint_source("crates/sim/src/seeded.rs", &source, &mut report);
+    assert!(report.is_clean(), "got {:?}", report.diagnostics);
+    assert_eq!(report.suppressed, 1);
+}
+
+#[test]
+fn shipped_workspace_is_violation_free() {
+    let report = lint_root(&xtask::workspace_root()).expect("workspace must be walkable");
+    assert!(
+        report.is_clean(),
+        "shipped tree must lint clean; got {:#?}",
+        report.diagnostics
+    );
+    assert!(
+        report.files_scanned > 50,
+        "walk looks truncated: only {} files",
+        report.files_scanned
+    );
+}
+
+#[test]
+fn fixtures_are_excluded_from_the_walk() {
+    // The seeded violations live under crates/xtask/fixtures/ and must
+    // never leak into the workspace pass.
+    let report = lint_root(&xtask::workspace_root()).expect("workspace must be walkable");
+    assert!(!report
+        .diagnostics
+        .iter()
+        .any(|d| d.file.contains("fixtures/")));
+}

@@ -30,11 +30,7 @@ fn main() {
     let mut config = ScenarioConfig::new(positions, 3, 606)
         .with_duration(Duration::from_secs(1800))
         .with_uplink(UplinkModel::perfect());
-    config.radio = RadioConfig::new(
-        SpreadingFactor::Sf12,
-        Bandwidth::Khz125,
-        CodingRate::Cr4_5,
-    );
+    config.radio = RadioConfig::new(SpreadingFactor::Sf12, Bandwidth::Khz125, CodingRate::Cr4_5);
     // SF12 frames are slow; space the traffic out accordingly.
     config.traffic = Some(loramon::mesh::TrafficPattern::to_gateway(
         config.gateway(),

@@ -24,15 +24,11 @@ fn main() {
     positions.push(loramon::phy::Position::new(0.0, 0.0));
     let gateway_index = positions.len() - 1;
 
-    let mut config = ScenarioConfig::new(positions, gateway_index, 99)
-        .with_duration(Duration::from_secs(3600));
+    let mut config =
+        ScenarioConfig::new(positions, gateway_index, 99).with_duration(Duration::from_secs(3600));
     config.traffic = Some(
-        loramon::mesh::TrafficPattern::to_gateway(
-            config.gateway(),
-            Duration::from_secs(120),
-            24,
-        )
-        .with_reliable(true),
+        loramon::mesh::TrafficPattern::to_gateway(config.gateway(), Duration::from_secs(120), 24)
+            .with_reliable(true),
     );
 
     println!(
@@ -85,7 +81,10 @@ fn main() {
     );
     let path = "campus_dashboard.html";
     std::fs::write(path, &html).expect("write dashboard");
-    println!("\nwrote {path} ({} bytes) — open it in a browser", html.len());
+    println!(
+        "\nwrote {path} ({} bytes) — open it in a browser",
+        html.len()
+    );
 
     println!(
         "\ncompleteness {:.1}%, reports delivered {}, alerts fired {}",
@@ -103,7 +102,11 @@ fn ground_truth_links(
     let mut set = BTreeSet::new();
     for ev in result.sim.trace().iter() {
         if let TraceEvent::FrameDelivered { from, to, .. } = ev {
-            let (a, b) = if from <= to { (*from, *to) } else { (*to, *from) };
+            let (a, b) = if from <= to {
+                (*from, *to)
+            } else {
+                (*to, *from)
+            };
             set.insert((a, b));
         }
     }

@@ -28,7 +28,9 @@ fn main() {
     let http = HttpServer::bind(result.server.clone(), "127.0.0.1:0").expect("bind");
     let addr = http.addr();
     println!("\nserving the dashboard at http://{addr}/");
-    println!("JSON API: http://{addr}/api/nodes  /api/series  /api/links  /api/topology  /api/alerts");
+    println!(
+        "JSON API: http://{addr}/api/nodes  /api/series  /api/links  /api/topology  /api/alerts"
+    );
 
     if once {
         // Self-check: fetch the health endpoint and the page.

@@ -42,7 +42,11 @@ fn report_size_table() {
                 .map(|i| PacketRecord {
                     seq: i,
                     timestamp_ms: 30_000 + i * 250,
-                    direction: if i % 2 == 0 { Direction::In } else { Direction::Out },
+                    direction: if i % 2 == 0 {
+                        Direction::In
+                    } else {
+                        Direction::Out
+                    },
                     node: NodeId(1),
                     counterpart: NodeId(2),
                     ptype: PacketType::Data,

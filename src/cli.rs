@@ -14,9 +14,12 @@
 
 use crate::scenario::{run_scenario, ScenarioConfig};
 use loramon_core::UplinkModel;
-use loramon_server::{archive, HttpServer, MonitorServer, ServerConfig};
+use loramon_server::{
+    archive, Clock, HttpServer, IngestClock, MonitorServer, ServerConfig, WallClock,
+};
 use loramon_sim::placement;
 use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// A parsed CLI invocation.
@@ -229,7 +232,11 @@ fn parse_simulate(args: &[String]) -> Result<SimulateArgs, CliError> {
 /// # Errors
 ///
 /// Returns [`CliError::Runtime`] on I/O or archive failures.
-pub fn run(command: Command, out: &mut dyn std::io::Write, serve_once: bool) -> Result<(), CliError> {
+pub fn run(
+    command: Command,
+    out: &mut dyn std::io::Write,
+    serve_once: bool,
+) -> Result<(), CliError> {
     match command {
         Command::Simulate(args) => run_simulate(args, out),
         Command::Show { archive } => run_show(&archive, out),
@@ -319,10 +326,14 @@ fn write_summary(
 }
 
 fn load_archive(path: &str) -> Result<MonitorServer, CliError> {
+    load_archive_with(path, Arc::new(IngestClock::new()))
+}
+
+fn load_archive_with(path: &str, clock: Arc<dyn Clock>) -> Result<MonitorServer, CliError> {
     let file = std::fs::File::open(path)
         .map_err(|e| CliError::Runtime(format!("cannot open {path}: {e}")))?;
     let entries = archive::read_jsonl(std::io::BufReader::new(file)).map_err(io_err)?;
-    let server = MonitorServer::new(ServerConfig::default());
+    let server = MonitorServer::with_clock(ServerConfig::default(), clock);
     let (accepted, _, invalid) = archive::replay(&server, entries);
     if accepted == 0 {
         return Err(CliError::Runtime(format!(
@@ -346,7 +357,12 @@ fn run_show(path: &str, out: &mut dyn std::io::Write) -> Result<(), CliError> {
     .map_err(io_err)?;
     let series = server.series(None, None, Window::all(), Duration::from_secs(60));
     write!(out, "\n{}", ascii::render_series("packets", &series)).map_err(io_err)?;
-    write!(out, "\n{}", ascii::render_links(&server.link_stats(Window::all()))).map_err(io_err)?;
+    write!(
+        out,
+        "\n{}",
+        ascii::render_links(&server.link_stats(Window::all()))
+    )
+    .map_err(io_err)?;
     write!(
         out,
         "\n{}",
@@ -363,7 +379,10 @@ fn run_serve(
     out: &mut dyn std::io::Write,
     serve_once: bool,
 ) -> Result<(), CliError> {
-    let server = load_archive(path)?;
+    // The serving binary is the one real deployment surface: replay
+    // hands the archive's timeline to a wall clock, so live reports and
+    // alert evaluation keep advancing in real time from there.
+    let server = load_archive_with(path, Arc::new(WallClock::new()))?;
     let http = HttpServer::bind(server, addr)
         .map_err(|e| CliError::Runtime(format!("cannot bind {addr}: {e}")))?;
     writeln!(out, "serving dashboard at http://{}/", http.addr()).map_err(io_err)?;
@@ -414,7 +433,10 @@ mod tests {
     #[test]
     fn parse_rejects_bad_input() {
         assert!(matches!(parse(&argv("")), Err(CliError::Usage(_))));
-        assert!(matches!(parse(&argv("frobnicate")), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse(&argv("frobnicate")),
+            Err(CliError::Usage(_))
+        ));
         assert!(matches!(
             parse(&argv("simulate --nodes")),
             Err(CliError::Usage(_))
@@ -505,7 +527,9 @@ mod tests {
             true,
         )
         .unwrap();
-        assert!(String::from_utf8(out).unwrap().contains("http://127.0.0.1:"));
+        assert!(String::from_utf8(out)
+            .unwrap()
+            .contains("http://127.0.0.1:"));
 
         std::fs::remove_dir_all(&dir).ok();
     }

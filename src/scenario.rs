@@ -11,10 +11,8 @@
 use loramon_core::{MonitorClient, MonitorConfig, ReportingMode, UplinkModel};
 use loramon_mesh::{MeshConfig, MeshNode, MeshStats, TrafficPattern};
 use loramon_phy::{LogDistance, Position, RadioConfig};
-use loramon_sim::{
-    LossReason, NodeId, SimBuilder, SimTime, Simulator, TraceLevel,
-};
 use loramon_server::{Alert, MonitorServer, ServerConfig};
+use loramon_sim::{LossReason, NodeId, SimBuilder, SimTime, Simulator, TraceLevel};
 use std::collections::BTreeMap;
 use std::time::Duration;
 
@@ -104,7 +102,10 @@ impl ScenarioConfig {
     /// Panics if `positions` is empty or `gateway_index` out of range.
     pub fn new(positions: Vec<Position>, gateway_index: usize, seed: u64) -> Self {
         assert!(!positions.is_empty(), "need at least one node");
-        assert!(gateway_index < positions.len(), "gateway index out of range");
+        assert!(
+            gateway_index < positions.len(),
+            "gateway index out of range"
+        );
         let gateway = NodeId(gateway_index as u16 + 1);
         ScenarioConfig {
             seed,
@@ -213,6 +214,7 @@ pub struct ClientStat {
 }
 
 /// The outcome of a scenario run.
+#[derive(Debug)]
 pub struct ScenarioResult {
     /// The populated monitoring server.
     pub server: MonitorServer,
@@ -399,8 +401,7 @@ mod tests {
 
     #[test]
     fn completeness_near_one_on_perfect_uplink() {
-        let config = ScenarioConfig::line(3, 300.0, 7)
-            .with_uplink(UplinkModel::perfect());
+        let config = ScenarioConfig::line(3, 300.0, 7).with_uplink(UplinkModel::perfect());
         let result = run_scenario(&config);
         // Everything captured except what is still buffered client-side
         // at the end of the run.
@@ -453,8 +454,7 @@ mod tests {
             result
                 .alerts
                 .iter()
-                .any(|a| a.node == NodeId(1)
-                    && a.kind == loramon_server::AlertKind::NodeSilent),
+                .any(|a| a.node == NodeId(1) && a.kind == loramon_server::AlertKind::NodeSilent),
             "no silent-node alert: {:?}",
             result.alerts
         );

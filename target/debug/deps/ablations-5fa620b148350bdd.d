@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablations-5fa620b148350bdd.d: crates/bench/benches/ablations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablations-5fa620b148350bdd.rmeta: crates/bench/benches/ablations.rs Cargo.toml
+
+crates/bench/benches/ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

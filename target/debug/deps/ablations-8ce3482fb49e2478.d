@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-8ce3482fb49e2478.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/debug/deps/libablations-8ce3482fb49e2478.rmeta: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-5f087544b017fae2.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-5f087544b017fae2.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-37454f5717ba6ae1.d: tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-37454f5717ba6ae1.rmeta: tests/determinism.rs Cargo.toml
+
+tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-e25a1bc63b271396.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-e25a1bc63b271396: tests/determinism.rs
+
+tests/determinism.rs:

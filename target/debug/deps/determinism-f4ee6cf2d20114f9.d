@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-f4ee6cf2d20114f9.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/libdeterminism-f4ee6cf2d20114f9.rmeta: tests/determinism.rs
+
+tests/determinism.rs:

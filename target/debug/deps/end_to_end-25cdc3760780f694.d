@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-25cdc3760780f694.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-25cdc3760780f694: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-54464e7f69c0c920.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/libend_to_end-54464e7f69c0c920.rmeta: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions-390e930f6d5d24ab.d: tests/extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions-390e930f6d5d24ab.rmeta: tests/extensions.rs Cargo.toml
+
+tests/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-a36bb3b27ace7352.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-a36bb3b27ace7352: tests/extensions.rs
+
+tests/extensions.rs:

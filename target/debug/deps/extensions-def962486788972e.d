@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-def962486788972e.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/libextensions-def962486788972e.rmeta: tests/extensions.rs
+
+tests/extensions.rs:

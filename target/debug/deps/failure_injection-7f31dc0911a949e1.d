@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-7f31dc0911a949e1.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/libfailure_injection-7f31dc0911a949e1.rmeta: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/failure_injection-d7330fa44c21a165.d: tests/failure_injection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfailure_injection-d7330fa44c21a165.rmeta: tests/failure_injection.rs Cargo.toml
+
+tests/failure_injection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

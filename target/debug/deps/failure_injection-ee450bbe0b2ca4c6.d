@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-ee450bbe0b2ca4c6.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-ee450bbe0b2ca4c6: tests/failure_injection.rs
+
+tests/failure_injection.rs:

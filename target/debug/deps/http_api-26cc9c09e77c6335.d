@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/http_api-26cc9c09e77c6335.d: tests/http_api.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhttp_api-26cc9c09e77c6335.rmeta: tests/http_api.rs Cargo.toml
+
+tests/http_api.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/http_api-7a04eaf4483a6a03.d: tests/http_api.rs
+
+/root/repo/target/debug/deps/http_api-7a04eaf4483a6a03: tests/http_api.rs
+
+tests/http_api.rs:

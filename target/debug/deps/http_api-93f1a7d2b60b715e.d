@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/http_api-93f1a7d2b60b715e.d: tests/http_api.rs
+
+/root/repo/target/debug/deps/libhttp_api-93f1a7d2b60b715e.rmeta: tests/http_api.rs
+
+tests/http_api.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lint_rules-954e96f4add6f702.d: crates/xtask/tests/lint_rules.rs
+
+/root/repo/target/debug/deps/liblint_rules-954e96f4add6f702.rmeta: crates/xtask/tests/lint_rules.rs
+
+crates/xtask/tests/lint_rules.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/xtask

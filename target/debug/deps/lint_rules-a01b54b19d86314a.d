@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lint_rules-a01b54b19d86314a.d: crates/xtask/tests/lint_rules.rs
+
+/root/repo/target/debug/deps/lint_rules-a01b54b19d86314a: crates/xtask/tests/lint_rules.rs
+
+crates/xtask/tests/lint_rules.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/xtask

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lint_rules-b3a61633bc6a19d3.d: crates/xtask/tests/lint_rules.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblint_rules-b3a61633bc6a19d3.rmeta: crates/xtask/tests/lint_rules.rs Cargo.toml
+
+crates/xtask/tests/lint_rules.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/xtask
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

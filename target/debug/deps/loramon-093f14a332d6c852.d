@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/loramon-093f14a332d6c852.d: src/lib.rs src/cli.rs src/scenario.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloramon-093f14a332d6c852.rmeta: src/lib.rs src/cli.rs src/scenario.rs Cargo.toml
+
+src/lib.rs:
+src/cli.rs:
+src/scenario.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

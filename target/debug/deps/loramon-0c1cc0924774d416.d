@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/loramon-0c1cc0924774d416.d: src/bin/loramon.rs
+
+/root/repo/target/debug/deps/loramon-0c1cc0924774d416: src/bin/loramon.rs
+
+src/bin/loramon.rs:

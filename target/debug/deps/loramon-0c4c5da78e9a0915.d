@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/loramon-0c4c5da78e9a0915.d: src/lib.rs src/cli.rs src/scenario.rs
+
+/root/repo/target/debug/deps/libloramon-0c4c5da78e9a0915.rmeta: src/lib.rs src/cli.rs src/scenario.rs
+
+src/lib.rs:
+src/cli.rs:
+src/scenario.rs:

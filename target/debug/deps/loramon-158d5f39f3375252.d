@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/loramon-158d5f39f3375252.d: src/bin/loramon.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloramon-158d5f39f3375252.rmeta: src/bin/loramon.rs Cargo.toml
+
+src/bin/loramon.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

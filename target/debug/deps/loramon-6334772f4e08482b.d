@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/loramon-6334772f4e08482b.d: src/lib.rs src/cli.rs src/scenario.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloramon-6334772f4e08482b.rmeta: src/lib.rs src/cli.rs src/scenario.rs Cargo.toml
+
+src/lib.rs:
+src/cli.rs:
+src/scenario.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

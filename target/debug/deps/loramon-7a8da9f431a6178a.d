@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/loramon-7a8da9f431a6178a.d: src/bin/loramon.rs
+
+/root/repo/target/debug/deps/libloramon-7a8da9f431a6178a.rmeta: src/bin/loramon.rs
+
+src/bin/loramon.rs:

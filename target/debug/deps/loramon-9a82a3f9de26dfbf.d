@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/loramon-9a82a3f9de26dfbf.d: src/bin/loramon.rs
+
+/root/repo/target/debug/deps/libloramon-9a82a3f9de26dfbf.rmeta: src/bin/loramon.rs
+
+src/bin/loramon.rs:

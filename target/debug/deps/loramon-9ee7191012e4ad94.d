@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/loramon-9ee7191012e4ad94.d: src/lib.rs src/cli.rs src/scenario.rs
+
+/root/repo/target/debug/deps/libloramon-9ee7191012e4ad94.rmeta: src/lib.rs src/cli.rs src/scenario.rs
+
+src/lib.rs:
+src/cli.rs:
+src/scenario.rs:

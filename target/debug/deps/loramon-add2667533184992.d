@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/loramon-add2667533184992.d: src/lib.rs src/cli.rs src/scenario.rs
+
+/root/repo/target/debug/deps/libloramon-add2667533184992.rlib: src/lib.rs src/cli.rs src/scenario.rs
+
+/root/repo/target/debug/deps/libloramon-add2667533184992.rmeta: src/lib.rs src/cli.rs src/scenario.rs
+
+src/lib.rs:
+src/cli.rs:
+src/scenario.rs:

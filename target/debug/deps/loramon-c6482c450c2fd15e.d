@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/loramon-c6482c450c2fd15e.d: src/lib.rs src/cli.rs src/scenario.rs
+
+/root/repo/target/debug/deps/loramon-c6482c450c2fd15e: src/lib.rs src/cli.rs src/scenario.rs
+
+src/lib.rs:
+src/cli.rs:
+src/scenario.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/loramon-d028de417c5ee927.d: src/bin/loramon.rs
+
+/root/repo/target/debug/deps/loramon-d028de417c5ee927: src/bin/loramon.rs
+
+src/bin/loramon.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/loramon-e8bc16489c2eeaf9.d: src/bin/loramon.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloramon-e8bc16489c2eeaf9.rmeta: src/bin/loramon.rs Cargo.toml
+
+src/bin/loramon.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

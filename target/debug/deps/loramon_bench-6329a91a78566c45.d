@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/loramon_bench-6329a91a78566c45.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libloramon_bench-6329a91a78566c45.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libloramon_bench-6329a91a78566c45.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/loramon_bench-91806956aa939068.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloramon_bench-91806956aa939068.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/loramon_bench-936ca9bee576177c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libloramon_bench-936ca9bee576177c.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/loramon_bench-97c04c2cb4de7a55.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libloramon_bench-97c04c2cb4de7a55.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/loramon_bench-be3c14af0263b11f.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloramon_bench-be3c14af0263b11f.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/loramon_bench-dffe217c506f04ca.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/loramon_bench-dffe217c506f04ca: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

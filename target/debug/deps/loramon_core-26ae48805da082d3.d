@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/loramon_core-26ae48805da082d3.d: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/command.rs crates/core/src/client.rs crates/core/src/record.rs crates/core/src/report.rs crates/core/src/status.rs crates/core/src/uplink.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloramon_core-26ae48805da082d3.rmeta: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/command.rs crates/core/src/client.rs crates/core/src/record.rs crates/core/src/report.rs crates/core/src/status.rs crates/core/src/uplink.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/buffer.rs:
+crates/core/src/command.rs:
+crates/core/src/client.rs:
+crates/core/src/record.rs:
+crates/core/src/report.rs:
+crates/core/src/status.rs:
+crates/core/src/uplink.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

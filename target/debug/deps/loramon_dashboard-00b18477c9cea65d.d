@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/loramon_dashboard-00b18477c9cea65d.d: crates/dashboard/src/lib.rs crates/dashboard/src/ascii.rs crates/dashboard/src/html.rs
+
+/root/repo/target/debug/deps/libloramon_dashboard-00b18477c9cea65d.rlib: crates/dashboard/src/lib.rs crates/dashboard/src/ascii.rs crates/dashboard/src/html.rs
+
+/root/repo/target/debug/deps/libloramon_dashboard-00b18477c9cea65d.rmeta: crates/dashboard/src/lib.rs crates/dashboard/src/ascii.rs crates/dashboard/src/html.rs
+
+crates/dashboard/src/lib.rs:
+crates/dashboard/src/ascii.rs:
+crates/dashboard/src/html.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/loramon_dashboard-1b34c99398c9551d.d: crates/dashboard/src/lib.rs crates/dashboard/src/ascii.rs crates/dashboard/src/html.rs
+
+/root/repo/target/debug/deps/libloramon_dashboard-1b34c99398c9551d.rmeta: crates/dashboard/src/lib.rs crates/dashboard/src/ascii.rs crates/dashboard/src/html.rs
+
+crates/dashboard/src/lib.rs:
+crates/dashboard/src/ascii.rs:
+crates/dashboard/src/html.rs:

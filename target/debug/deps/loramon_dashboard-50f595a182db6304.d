@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/loramon_dashboard-50f595a182db6304.d: crates/dashboard/src/lib.rs crates/dashboard/src/ascii.rs crates/dashboard/src/html.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloramon_dashboard-50f595a182db6304.rmeta: crates/dashboard/src/lib.rs crates/dashboard/src/ascii.rs crates/dashboard/src/html.rs Cargo.toml
+
+crates/dashboard/src/lib.rs:
+crates/dashboard/src/ascii.rs:
+crates/dashboard/src/html.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/loramon_dashboard-ac745ef8f51567f8.d: crates/dashboard/src/lib.rs crates/dashboard/src/ascii.rs crates/dashboard/src/html.rs
+
+/root/repo/target/debug/deps/libloramon_dashboard-ac745ef8f51567f8.rmeta: crates/dashboard/src/lib.rs crates/dashboard/src/ascii.rs crates/dashboard/src/html.rs
+
+crates/dashboard/src/lib.rs:
+crates/dashboard/src/ascii.rs:
+crates/dashboard/src/html.rs:

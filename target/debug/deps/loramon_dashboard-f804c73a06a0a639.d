@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/loramon_dashboard-f804c73a06a0a639.d: crates/dashboard/src/lib.rs crates/dashboard/src/ascii.rs crates/dashboard/src/html.rs
+
+/root/repo/target/debug/deps/loramon_dashboard-f804c73a06a0a639: crates/dashboard/src/lib.rs crates/dashboard/src/ascii.rs crates/dashboard/src/html.rs
+
+crates/dashboard/src/lib.rs:
+crates/dashboard/src/ascii.rs:
+crates/dashboard/src/html.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/loramon_mesh-2c89927940890db8.d: crates/mesh/src/lib.rs crates/mesh/src/config.rs crates/mesh/src/node.rs crates/mesh/src/observer.rs crates/mesh/src/packet.rs crates/mesh/src/routing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloramon_mesh-2c89927940890db8.rmeta: crates/mesh/src/lib.rs crates/mesh/src/config.rs crates/mesh/src/node.rs crates/mesh/src/observer.rs crates/mesh/src/packet.rs crates/mesh/src/routing.rs Cargo.toml
+
+crates/mesh/src/lib.rs:
+crates/mesh/src/config.rs:
+crates/mesh/src/node.rs:
+crates/mesh/src/observer.rs:
+crates/mesh/src/packet.rs:
+crates/mesh/src/routing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

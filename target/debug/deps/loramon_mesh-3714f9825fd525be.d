@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/loramon_mesh-3714f9825fd525be.d: crates/mesh/src/lib.rs crates/mesh/src/config.rs crates/mesh/src/node.rs crates/mesh/src/observer.rs crates/mesh/src/packet.rs crates/mesh/src/routing.rs
+
+/root/repo/target/debug/deps/libloramon_mesh-3714f9825fd525be.rlib: crates/mesh/src/lib.rs crates/mesh/src/config.rs crates/mesh/src/node.rs crates/mesh/src/observer.rs crates/mesh/src/packet.rs crates/mesh/src/routing.rs
+
+/root/repo/target/debug/deps/libloramon_mesh-3714f9825fd525be.rmeta: crates/mesh/src/lib.rs crates/mesh/src/config.rs crates/mesh/src/node.rs crates/mesh/src/observer.rs crates/mesh/src/packet.rs crates/mesh/src/routing.rs
+
+crates/mesh/src/lib.rs:
+crates/mesh/src/config.rs:
+crates/mesh/src/node.rs:
+crates/mesh/src/observer.rs:
+crates/mesh/src/packet.rs:
+crates/mesh/src/routing.rs:

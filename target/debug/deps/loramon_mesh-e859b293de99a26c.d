@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/loramon_mesh-e859b293de99a26c.d: crates/mesh/src/lib.rs crates/mesh/src/config.rs crates/mesh/src/node.rs crates/mesh/src/observer.rs crates/mesh/src/packet.rs crates/mesh/src/routing.rs
+
+/root/repo/target/debug/deps/loramon_mesh-e859b293de99a26c: crates/mesh/src/lib.rs crates/mesh/src/config.rs crates/mesh/src/node.rs crates/mesh/src/observer.rs crates/mesh/src/packet.rs crates/mesh/src/routing.rs
+
+crates/mesh/src/lib.rs:
+crates/mesh/src/config.rs:
+crates/mesh/src/node.rs:
+crates/mesh/src/observer.rs:
+crates/mesh/src/packet.rs:
+crates/mesh/src/routing.rs:

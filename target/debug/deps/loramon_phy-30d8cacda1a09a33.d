@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/loramon_phy-30d8cacda1a09a33.d: crates/phy/src/lib.rs crates/phy/src/adr.rs crates/phy/src/airtime.rs crates/phy/src/collision.rs crates/phy/src/dutycycle.rs crates/phy/src/energy.rs crates/phy/src/params.rs crates/phy/src/propagation.rs crates/phy/src/region.rs crates/phy/src/sensitivity.rs
+
+/root/repo/target/debug/deps/libloramon_phy-30d8cacda1a09a33.rmeta: crates/phy/src/lib.rs crates/phy/src/adr.rs crates/phy/src/airtime.rs crates/phy/src/collision.rs crates/phy/src/dutycycle.rs crates/phy/src/energy.rs crates/phy/src/params.rs crates/phy/src/propagation.rs crates/phy/src/region.rs crates/phy/src/sensitivity.rs
+
+crates/phy/src/lib.rs:
+crates/phy/src/adr.rs:
+crates/phy/src/airtime.rs:
+crates/phy/src/collision.rs:
+crates/phy/src/dutycycle.rs:
+crates/phy/src/energy.rs:
+crates/phy/src/params.rs:
+crates/phy/src/propagation.rs:
+crates/phy/src/region.rs:
+crates/phy/src/sensitivity.rs:

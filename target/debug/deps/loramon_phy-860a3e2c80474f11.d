@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/loramon_phy-860a3e2c80474f11.d: crates/phy/src/lib.rs crates/phy/src/adr.rs crates/phy/src/airtime.rs crates/phy/src/collision.rs crates/phy/src/dutycycle.rs crates/phy/src/energy.rs crates/phy/src/params.rs crates/phy/src/propagation.rs crates/phy/src/region.rs crates/phy/src/sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloramon_phy-860a3e2c80474f11.rmeta: crates/phy/src/lib.rs crates/phy/src/adr.rs crates/phy/src/airtime.rs crates/phy/src/collision.rs crates/phy/src/dutycycle.rs crates/phy/src/energy.rs crates/phy/src/params.rs crates/phy/src/propagation.rs crates/phy/src/region.rs crates/phy/src/sensitivity.rs Cargo.toml
+
+crates/phy/src/lib.rs:
+crates/phy/src/adr.rs:
+crates/phy/src/airtime.rs:
+crates/phy/src/collision.rs:
+crates/phy/src/dutycycle.rs:
+crates/phy/src/energy.rs:
+crates/phy/src/params.rs:
+crates/phy/src/propagation.rs:
+crates/phy/src/region.rs:
+crates/phy/src/sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

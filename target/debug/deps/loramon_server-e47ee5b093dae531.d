@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/loramon_server-e47ee5b093dae531.d: crates/server/src/lib.rs crates/server/src/alert.rs crates/server/src/archive.rs crates/server/src/clock.rs crates/server/src/health.rs crates/server/src/http.rs crates/server/src/ingest.rs crates/server/src/matcher.rs crates/server/src/query.rs crates/server/src/rollup.rs crates/server/src/server.rs crates/server/src/store.rs crates/server/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloramon_server-e47ee5b093dae531.rmeta: crates/server/src/lib.rs crates/server/src/alert.rs crates/server/src/archive.rs crates/server/src/clock.rs crates/server/src/health.rs crates/server/src/http.rs crates/server/src/ingest.rs crates/server/src/matcher.rs crates/server/src/query.rs crates/server/src/rollup.rs crates/server/src/server.rs crates/server/src/store.rs crates/server/src/topology.rs Cargo.toml
+
+crates/server/src/lib.rs:
+crates/server/src/alert.rs:
+crates/server/src/archive.rs:
+crates/server/src/clock.rs:
+crates/server/src/health.rs:
+crates/server/src/http.rs:
+crates/server/src/ingest.rs:
+crates/server/src/matcher.rs:
+crates/server/src/query.rs:
+crates/server/src/rollup.rs:
+crates/server/src/server.rs:
+crates/server/src/store.rs:
+crates/server/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/loramon_sim-a8389b4140f3d65a.d: crates/sim/src/lib.rs crates/sim/src/app.rs crates/sim/src/apps.rs crates/sim/src/channel.rs crates/sim/src/node.rs crates/sim/src/placement.rs crates/sim/src/rng.rs crates/sim/src/sim.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libloramon_sim-a8389b4140f3d65a.rmeta: crates/sim/src/lib.rs crates/sim/src/app.rs crates/sim/src/apps.rs crates/sim/src/channel.rs crates/sim/src/node.rs crates/sim/src/placement.rs crates/sim/src/rng.rs crates/sim/src/sim.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/app.rs:
+crates/sim/src/apps.rs:
+crates/sim/src/channel.rs:
+crates/sim/src/node.rs:
+crates/sim/src/placement.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/sim.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:

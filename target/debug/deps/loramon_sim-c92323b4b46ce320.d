@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/loramon_sim-c92323b4b46ce320.d: crates/sim/src/lib.rs crates/sim/src/app.rs crates/sim/src/apps.rs crates/sim/src/channel.rs crates/sim/src/node.rs crates/sim/src/placement.rs crates/sim/src/rng.rs crates/sim/src/sim.rs crates/sim/src/time.rs crates/sim/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloramon_sim-c92323b4b46ce320.rmeta: crates/sim/src/lib.rs crates/sim/src/app.rs crates/sim/src/apps.rs crates/sim/src/channel.rs crates/sim/src/node.rs crates/sim/src/placement.rs crates/sim/src/rng.rs crates/sim/src/sim.rs crates/sim/src/time.rs crates/sim/src/trace.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/app.rs:
+crates/sim/src/apps.rs:
+crates/sim/src/channel.rs:
+crates/sim/src/node.rs:
+crates/sim/src/placement.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/sim.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro-d83dfa493b9d508e.d: crates/bench/benches/micro.rs
+
+/root/repo/target/debug/deps/libmicro-d83dfa493b9d508e.rmeta: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/monitoring_overhead-5bbea75b149445e3.d: crates/bench/benches/monitoring_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmonitoring_overhead-5bbea75b149445e3.rmeta: crates/bench/benches/monitoring_overhead.rs Cargo.toml
+
+crates/bench/benches/monitoring_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/monitoring_overhead-7e498bbe7208184e.d: crates/bench/benches/monitoring_overhead.rs
+
+/root/repo/target/debug/deps/libmonitoring_overhead-7e498bbe7208184e.rmeta: crates/bench/benches/monitoring_overhead.rs
+
+crates/bench/benches/monitoring_overhead.rs:

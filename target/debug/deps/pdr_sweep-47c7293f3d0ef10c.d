@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pdr_sweep-47c7293f3d0ef10c.d: crates/bench/benches/pdr_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpdr_sweep-47c7293f3d0ef10c.rmeta: crates/bench/benches/pdr_sweep.rs Cargo.toml
+
+crates/bench/benches/pdr_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

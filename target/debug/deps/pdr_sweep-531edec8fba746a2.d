@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pdr_sweep-531edec8fba746a2.d: crates/bench/benches/pdr_sweep.rs
+
+/root/repo/target/debug/deps/libpdr_sweep-531edec8fba746a2.rmeta: crates/bench/benches/pdr_sweep.rs
+
+crates/bench/benches/pdr_sweep.rs:

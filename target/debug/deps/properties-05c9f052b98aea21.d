@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-05c9f052b98aea21.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-05c9f052b98aea21: tests/properties.rs
+
+tests/properties.rs:

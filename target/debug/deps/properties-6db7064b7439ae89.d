@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-6db7064b7439ae89.d: tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-6db7064b7439ae89.rmeta: tests/properties.rs
+
+tests/properties.rs:

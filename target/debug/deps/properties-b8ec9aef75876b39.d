@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-b8ec9aef75876b39.d: tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-b8ec9aef75876b39.rmeta: tests/properties.rs Cargo.toml
+
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/proptest-9e521db0d1d11ab6.d: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs
+
+/root/repo/target/debug/deps/proptest-9e521db0d1d11ab6: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/strategy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report_overhead-5ddecbe6bfc24c40.d: crates/bench/benches/report_overhead.rs
+
+/root/repo/target/debug/deps/libreport_overhead-5ddecbe6bfc24c40.rmeta: crates/bench/benches/report_overhead.rs
+
+crates/bench/benches/report_overhead.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/report_overhead-9ad619db5fdbfa9c.d: crates/bench/benches/report_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreport_overhead-9ad619db5fdbfa9c.rmeta: crates/bench/benches/report_overhead.rs Cargo.toml
+
+crates/bench/benches/report_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

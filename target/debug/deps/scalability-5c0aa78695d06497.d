@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scalability-5c0aa78695d06497.d: crates/bench/benches/scalability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscalability-5c0aa78695d06497.rmeta: crates/bench/benches/scalability.rs Cargo.toml
+
+crates/bench/benches/scalability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

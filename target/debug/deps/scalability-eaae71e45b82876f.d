@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scalability-eaae71e45b82876f.d: crates/bench/benches/scalability.rs
+
+/root/repo/target/debug/deps/libscalability-eaae71e45b82876f.rmeta: crates/bench/benches/scalability.rs
+
+crates/bench/benches/scalability.rs:

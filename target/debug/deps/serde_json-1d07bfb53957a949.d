@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-1d07bfb53957a949.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-1d07bfb53957a949: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/server_ingest-257009f98242aa39.d: crates/bench/benches/server_ingest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserver_ingest-257009f98242aa39.rmeta: crates/bench/benches/server_ingest.rs Cargo.toml
+
+crates/bench/benches/server_ingest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

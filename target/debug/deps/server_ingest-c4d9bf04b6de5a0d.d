@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/server_ingest-c4d9bf04b6de5a0d.d: crates/bench/benches/server_ingest.rs
+
+/root/repo/target/debug/deps/libserver_ingest-c4d9bf04b6de5a0d.rmeta: crates/bench/benches/server_ingest.rs
+
+crates/bench/benches/server_ingest.rs:

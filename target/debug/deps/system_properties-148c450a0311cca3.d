@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/system_properties-148c450a0311cca3.d: tests/system_properties.rs
+
+/root/repo/target/debug/deps/libsystem_properties-148c450a0311cca3.rmeta: tests/system_properties.rs
+
+tests/system_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/system_properties-2993355b783faf43.d: tests/system_properties.rs
+
+/root/repo/target/debug/deps/system_properties-2993355b783faf43: tests/system_properties.rs
+
+tests/system_properties.rs:

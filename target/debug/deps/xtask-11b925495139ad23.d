@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/xtask-11b925495139ad23.d: crates/xtask/src/lib.rs crates/xtask/src/determinism.rs crates/xtask/src/lint/mod.rs crates/xtask/src/lint/rules.rs crates/xtask/src/lint/scanner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxtask-11b925495139ad23.rmeta: crates/xtask/src/lib.rs crates/xtask/src/determinism.rs crates/xtask/src/lint/mod.rs crates/xtask/src/lint/rules.rs crates/xtask/src/lint/scanner.rs Cargo.toml
+
+crates/xtask/src/lib.rs:
+crates/xtask/src/determinism.rs:
+crates/xtask/src/lint/mod.rs:
+crates/xtask/src/lint/rules.rs:
+crates/xtask/src/lint/scanner.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/xtask
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

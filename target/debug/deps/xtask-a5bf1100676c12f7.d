@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xtask-a5bf1100676c12f7.d: crates/xtask/src/main.rs
+
+/root/repo/target/debug/deps/libxtask-a5bf1100676c12f7.rmeta: crates/xtask/src/main.rs
+
+crates/xtask/src/main.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/xtask-ada683b8e6b55181.d: crates/xtask/src/lib.rs crates/xtask/src/determinism.rs crates/xtask/src/lint/mod.rs crates/xtask/src/lint/rules.rs crates/xtask/src/lint/scanner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxtask-ada683b8e6b55181.rmeta: crates/xtask/src/lib.rs crates/xtask/src/determinism.rs crates/xtask/src/lint/mod.rs crates/xtask/src/lint/rules.rs crates/xtask/src/lint/scanner.rs Cargo.toml
+
+crates/xtask/src/lib.rs:
+crates/xtask/src/determinism.rs:
+crates/xtask/src/lint/mod.rs:
+crates/xtask/src/lint/rules.rs:
+crates/xtask/src/lint/scanner.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/xtask
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

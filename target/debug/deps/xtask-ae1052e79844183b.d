@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/xtask-ae1052e79844183b.d: crates/xtask/src/lib.rs crates/xtask/src/determinism.rs crates/xtask/src/lint/mod.rs crates/xtask/src/lint/rules.rs crates/xtask/src/lint/scanner.rs
+
+/root/repo/target/debug/deps/libxtask-ae1052e79844183b.rmeta: crates/xtask/src/lib.rs crates/xtask/src/determinism.rs crates/xtask/src/lint/mod.rs crates/xtask/src/lint/rules.rs crates/xtask/src/lint/scanner.rs
+
+crates/xtask/src/lib.rs:
+crates/xtask/src/determinism.rs:
+crates/xtask/src/lint/mod.rs:
+crates/xtask/src/lint/rules.rs:
+crates/xtask/src/lint/scanner.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/xtask

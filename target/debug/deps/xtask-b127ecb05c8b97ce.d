@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xtask-b127ecb05c8b97ce.d: crates/xtask/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxtask-b127ecb05c8b97ce.rmeta: crates/xtask/src/main.rs Cargo.toml
+
+crates/xtask/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/xtask-d9857b5f33cafe29.d: crates/xtask/src/lib.rs crates/xtask/src/determinism.rs crates/xtask/src/lint/mod.rs crates/xtask/src/lint/rules.rs crates/xtask/src/lint/scanner.rs
+
+/root/repo/target/debug/deps/libxtask-d9857b5f33cafe29.rmeta: crates/xtask/src/lib.rs crates/xtask/src/determinism.rs crates/xtask/src/lint/mod.rs crates/xtask/src/lint/rules.rs crates/xtask/src/lint/scanner.rs
+
+crates/xtask/src/lib.rs:
+crates/xtask/src/determinism.rs:
+crates/xtask/src/lint/mod.rs:
+crates/xtask/src/lint/rules.rs:
+crates/xtask/src/lint/scanner.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/xtask

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xtask-d9d839fadedcbc45.d: crates/xtask/src/main.rs
+
+/root/repo/target/debug/deps/xtask-d9d839fadedcbc45: crates/xtask/src/main.rs
+
+crates/xtask/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xtask-f339674589e9015d.d: crates/xtask/src/main.rs
+
+/root/repo/target/debug/deps/libxtask-f339674589e9015d.rmeta: crates/xtask/src/main.rs
+
+crates/xtask/src/main.rs:

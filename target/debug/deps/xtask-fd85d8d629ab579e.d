@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xtask-fd85d8d629ab579e.d: crates/xtask/src/main.rs
+
+/root/repo/target/debug/deps/xtask-fd85d8d629ab579e: crates/xtask/src/main.rs
+
+crates/xtask/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adr_tuning-0f41540a42bb4fad.d: examples/adr_tuning.rs
+
+/root/repo/target/debug/examples/adr_tuning-0f41540a42bb4fad: examples/adr_tuning.rs
+
+examples/adr_tuning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adr_tuning-884e7e318069ca2d.d: examples/adr_tuning.rs
+
+/root/repo/target/debug/examples/libadr_tuning-884e7e318069ca2d.rmeta: examples/adr_tuning.rs
+
+examples/adr_tuning.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/adr_tuning-bd7f859c9d08c3ec.d: examples/adr_tuning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libadr_tuning-bd7f859c9d08c3ec.rmeta: examples/adr_tuning.rs Cargo.toml
+
+examples/adr_tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/campus_deployment-03919e723287a332.d: examples/campus_deployment.rs
+
+/root/repo/target/debug/examples/libcampus_deployment-03919e723287a332.rmeta: examples/campus_deployment.rs
+
+examples/campus_deployment.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/campus_deployment-c9a80ef37f6a88dd.d: examples/campus_deployment.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcampus_deployment-c9a80ef37f6a88dd.rmeta: examples/campus_deployment.rs Cargo.toml
+
+examples/campus_deployment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/campus_deployment-f4cdb12260727e77.d: examples/campus_deployment.rs
+
+/root/repo/target/debug/examples/campus_deployment-f4cdb12260727e77: examples/campus_deployment.rs
+
+examples/campus_deployment.rs:

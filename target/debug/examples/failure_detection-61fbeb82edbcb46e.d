@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/failure_detection-61fbeb82edbcb46e.d: examples/failure_detection.rs
+
+/root/repo/target/debug/examples/failure_detection-61fbeb82edbcb46e: examples/failure_detection.rs
+
+examples/failure_detection.rs:

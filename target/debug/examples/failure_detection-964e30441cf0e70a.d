@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/failure_detection-964e30441cf0e70a.d: examples/failure_detection.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfailure_detection-964e30441cf0e70a.rmeta: examples/failure_detection.rs Cargo.toml
+
+examples/failure_detection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

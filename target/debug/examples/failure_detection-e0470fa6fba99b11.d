@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/failure_detection-e0470fa6fba99b11.d: examples/failure_detection.rs
+
+/root/repo/target/debug/examples/libfailure_detection-e0470fa6fba99b11.rmeta: examples/failure_detection.rs
+
+examples/failure_detection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/live_server-4bdbb872c50889d5.d: examples/live_server.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblive_server-4bdbb872c50889d5.rmeta: examples/live_server.rs Cargo.toml
+
+examples/live_server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

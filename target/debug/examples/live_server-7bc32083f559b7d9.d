@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/live_server-7bc32083f559b7d9.d: examples/live_server.rs
+
+/root/repo/target/debug/examples/liblive_server-7bc32083f559b7d9.rmeta: examples/live_server.rs
+
+examples/live_server.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/live_server-c763533f2ef27746.d: examples/live_server.rs
+
+/root/repo/target/debug/examples/live_server-c763533f2ef27746: examples/live_server.rs
+
+examples/live_server.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mobile_node-27a2362d281fdc3b.d: examples/mobile_node.rs
+
+/root/repo/target/debug/examples/libmobile_node-27a2362d281fdc3b.rmeta: examples/mobile_node.rs
+
+examples/mobile_node.rs:

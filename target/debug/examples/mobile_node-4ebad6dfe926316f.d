@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mobile_node-4ebad6dfe926316f.d: examples/mobile_node.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmobile_node-4ebad6dfe926316f.rmeta: examples/mobile_node.rs Cargo.toml
+
+examples/mobile_node.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

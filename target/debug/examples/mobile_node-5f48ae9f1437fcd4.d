@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mobile_node-5f48ae9f1437fcd4.d: examples/mobile_node.rs
+
+/root/repo/target/debug/examples/mobile_node-5f48ae9f1437fcd4: examples/mobile_node.rs
+
+examples/mobile_node.rs:

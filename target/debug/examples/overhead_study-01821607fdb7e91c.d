@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/overhead_study-01821607fdb7e91c.d: examples/overhead_study.rs
+
+/root/repo/target/debug/examples/overhead_study-01821607fdb7e91c: examples/overhead_study.rs
+
+examples/overhead_study.rs:

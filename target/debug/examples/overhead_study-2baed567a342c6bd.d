@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/overhead_study-2baed567a342c6bd.d: examples/overhead_study.rs
+
+/root/repo/target/debug/examples/liboverhead_study-2baed567a342c6bd.rmeta: examples/overhead_study.rs
+
+examples/overhead_study.rs:

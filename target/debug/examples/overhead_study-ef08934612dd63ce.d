@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/overhead_study-ef08934612dd63ce.d: examples/overhead_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/liboverhead_study-ef08934612dd63ce.rmeta: examples/overhead_study.rs Cargo.toml
+
+examples/overhead_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-8423acd5ebe72498.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-8423acd5ebe72498: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-bf1e5b921ce1fdd3.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-bf1e5b921ce1fdd3.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

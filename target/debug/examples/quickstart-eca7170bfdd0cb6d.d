@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-eca7170bfdd0cb6d.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-eca7170bfdd0cb6d.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

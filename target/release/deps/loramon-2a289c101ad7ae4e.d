@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/loramon-2a289c101ad7ae4e.d: src/bin/loramon.rs
+
+/root/repo/target/release/deps/loramon-2a289c101ad7ae4e: src/bin/loramon.rs
+
+src/bin/loramon.rs:

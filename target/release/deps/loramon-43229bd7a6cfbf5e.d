@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/loramon-43229bd7a6cfbf5e.d: src/lib.rs src/cli.rs src/scenario.rs
+
+/root/repo/target/release/deps/libloramon-43229bd7a6cfbf5e.rlib: src/lib.rs src/cli.rs src/scenario.rs
+
+/root/repo/target/release/deps/libloramon-43229bd7a6cfbf5e.rmeta: src/lib.rs src/cli.rs src/scenario.rs
+
+src/lib.rs:
+src/cli.rs:
+src/scenario.rs:

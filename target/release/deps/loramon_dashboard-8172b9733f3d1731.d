@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/loramon_dashboard-8172b9733f3d1731.d: crates/dashboard/src/lib.rs crates/dashboard/src/ascii.rs crates/dashboard/src/html.rs
+
+/root/repo/target/release/deps/libloramon_dashboard-8172b9733f3d1731.rlib: crates/dashboard/src/lib.rs crates/dashboard/src/ascii.rs crates/dashboard/src/html.rs
+
+/root/repo/target/release/deps/libloramon_dashboard-8172b9733f3d1731.rmeta: crates/dashboard/src/lib.rs crates/dashboard/src/ascii.rs crates/dashboard/src/html.rs
+
+crates/dashboard/src/lib.rs:
+crates/dashboard/src/ascii.rs:
+crates/dashboard/src/html.rs:

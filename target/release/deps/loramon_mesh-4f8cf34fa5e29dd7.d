@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/loramon_mesh-4f8cf34fa5e29dd7.d: crates/mesh/src/lib.rs crates/mesh/src/config.rs crates/mesh/src/node.rs crates/mesh/src/observer.rs crates/mesh/src/packet.rs crates/mesh/src/routing.rs
+
+/root/repo/target/release/deps/libloramon_mesh-4f8cf34fa5e29dd7.rlib: crates/mesh/src/lib.rs crates/mesh/src/config.rs crates/mesh/src/node.rs crates/mesh/src/observer.rs crates/mesh/src/packet.rs crates/mesh/src/routing.rs
+
+/root/repo/target/release/deps/libloramon_mesh-4f8cf34fa5e29dd7.rmeta: crates/mesh/src/lib.rs crates/mesh/src/config.rs crates/mesh/src/node.rs crates/mesh/src/observer.rs crates/mesh/src/packet.rs crates/mesh/src/routing.rs
+
+crates/mesh/src/lib.rs:
+crates/mesh/src/config.rs:
+crates/mesh/src/node.rs:
+crates/mesh/src/observer.rs:
+crates/mesh/src/packet.rs:
+crates/mesh/src/routing.rs:

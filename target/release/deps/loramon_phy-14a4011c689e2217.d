@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/loramon_phy-14a4011c689e2217.d: crates/phy/src/lib.rs crates/phy/src/adr.rs crates/phy/src/airtime.rs crates/phy/src/collision.rs crates/phy/src/dutycycle.rs crates/phy/src/energy.rs crates/phy/src/params.rs crates/phy/src/propagation.rs crates/phy/src/region.rs crates/phy/src/sensitivity.rs
+
+/root/repo/target/release/deps/libloramon_phy-14a4011c689e2217.rlib: crates/phy/src/lib.rs crates/phy/src/adr.rs crates/phy/src/airtime.rs crates/phy/src/collision.rs crates/phy/src/dutycycle.rs crates/phy/src/energy.rs crates/phy/src/params.rs crates/phy/src/propagation.rs crates/phy/src/region.rs crates/phy/src/sensitivity.rs
+
+/root/repo/target/release/deps/libloramon_phy-14a4011c689e2217.rmeta: crates/phy/src/lib.rs crates/phy/src/adr.rs crates/phy/src/airtime.rs crates/phy/src/collision.rs crates/phy/src/dutycycle.rs crates/phy/src/energy.rs crates/phy/src/params.rs crates/phy/src/propagation.rs crates/phy/src/region.rs crates/phy/src/sensitivity.rs
+
+crates/phy/src/lib.rs:
+crates/phy/src/adr.rs:
+crates/phy/src/airtime.rs:
+crates/phy/src/collision.rs:
+crates/phy/src/dutycycle.rs:
+crates/phy/src/energy.rs:
+crates/phy/src/params.rs:
+crates/phy/src/propagation.rs:
+crates/phy/src/region.rs:
+crates/phy/src/sensitivity.rs:

@@ -11,9 +11,8 @@ use std::time::Duration;
 
 #[test]
 fn every_node_reports_and_all_records_belong_to_their_reporter() {
-    let result = run_scenario(
-        &ScenarioConfig::line(4, 500.0, 1).with_uplink(UplinkModel::perfect()),
-    );
+    let result =
+        run_scenario(&ScenarioConfig::line(4, 500.0, 1).with_uplink(UplinkModel::perfect()));
     assert_eq!(result.server.node_ids().len(), 4);
     for summary in result.server.node_summaries() {
         assert!(summary.reports > 0, "node {} never reported", summary.node);
@@ -43,7 +42,9 @@ fn monitor_reconstructs_multihop_forwarding() {
         pair.delivery_ratio()
     );
     // Multi-hop latency must be positive (at least 2 extra airtimes).
-    let lat = pair.mean_latency().expect("delivered messages have latency");
+    let lat = pair
+        .mean_latency()
+        .expect("delivered messages have latency");
     assert!(lat >= Duration::from_millis(50), "latency {lat:?}");
 
     // Relays reported forwarding in their status snapshots.
@@ -94,8 +95,8 @@ fn lossy_uplink_creates_report_gaps_visible_at_server() {
 
 #[test]
 fn uplink_outage_then_recovery_backfills_nothing_but_counts_losses() {
-    let outage_uplink = UplinkModel::perfect()
-        .with_outage(SimTime::from_secs(300), SimTime::from_secs(900));
+    let outage_uplink =
+        UplinkModel::perfect().with_outage(SimTime::from_secs(300), SimTime::from_secs(900));
     let config = ScenarioConfig::line(2, 300.0, 23)
         .with_duration(Duration::from_secs(1200))
         .with_uplink(outage_uplink);
@@ -201,9 +202,8 @@ fn alert_timeline_is_chronological() {
 
 #[test]
 fn rssi_histogram_covers_observed_links() {
-    let result = run_scenario(
-        &ScenarioConfig::line(3, 900.0, 47).with_uplink(UplinkModel::perfect()),
-    );
+    let result =
+        run_scenario(&ScenarioConfig::line(3, 900.0, 47).with_uplink(UplinkModel::perfect()));
     let hist = result.server.rssi_histogram(None, Window::all(), 5.0);
     assert!(!hist.is_empty());
     let total: u64 = hist.iter().map(|(_, c)| c).sum();
@@ -223,9 +223,8 @@ fn rssi_histogram_covers_observed_links() {
 #[test]
 fn type_breakdown_includes_routing_and_data() {
     use loramon::mesh::PacketType;
-    let result = run_scenario(
-        &ScenarioConfig::line(3, 500.0, 53).with_uplink(UplinkModel::perfect()),
-    );
+    let result =
+        run_scenario(&ScenarioConfig::line(3, 500.0, 53).with_uplink(UplinkModel::perfect()));
     let breakdown = result.server.type_breakdown(None, Window::all());
     assert!(breakdown.get(&PacketType::Routing).copied().unwrap_or(0) > 0);
     assert!(breakdown.get(&PacketType::Data).copied().unwrap_or(0) > 0);

@@ -153,11 +153,10 @@ fn occupancy_estimate_tracks_ground_truth_airtime() {
         .with_duration(Duration::from_secs(1800))
         .with_uplink(UplinkModel::perfect());
     let result = run_scenario(&config);
-    let occ = result.server.channel_occupancy(
-        Window::all(),
-        &config.radio,
-        Duration::from_secs(1800),
-    );
+    let occ =
+        result
+            .server
+            .channel_occupancy(Window::all(), &config.radio, Duration::from_secs(1800));
     let estimated_airtime_s: f64 = occ.iter().map(|(_, f)| f * 1800.0).sum();
     let truth_s = result.ground_truth.airtime_us as f64 / 1e6;
     // The estimate reconstructs airtime from reported Out records; with a
@@ -190,20 +189,16 @@ fn corrupted_foreign_traffic_is_counted_not_crashing() {
     // A non-mesh transmitter shares the channel: mesh nodes must count
     // decode errors and keep working; the monitor sees nothing of the
     // garbage (it records above the decoder, as real firmware would).
-    use loramon::mesh::{MeshConfig, MeshNode};
     use loramon::core::MonitorClient;
+    use loramon::mesh::{MeshConfig, MeshNode};
+    use loramon::phy::RadioConfig;
     use loramon::scenario::MonitoredNode;
     use loramon::sim::{PeriodicSender, SimBuilder};
-    use loramon::phy::RadioConfig;
 
     let mut sim = SimBuilder::new().seed(211).build();
     let cfg = RadioConfig::mesher_default();
-    let make = || {
-        MeshNode::with_observer(
-            MeshConfig::fast(),
-            MonitorClient::new(MonitorConfig::new()),
-        )
-    };
+    let make =
+        || MeshNode::with_observer(MeshConfig::fast(), MonitorClient::new(MonitorConfig::new()));
     let a = sim.add_node(Position::new(0.0, 0.0), cfg, Box::new(make()));
     let b = sim.add_node(Position::new(300.0, 0.0), cfg, Box::new(make()));
     // The foreigner blasts 8-byte frames (too short for a mesh header).

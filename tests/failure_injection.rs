@@ -29,7 +29,11 @@ fn dead_node_triggers_silent_alert_with_bounded_latency() {
     // Detection can't precede failure + threshold, and should not lag by
     // more than a couple of report + evaluation periods.
     let earliest = fail_at + silent_after;
-    assert!(alert.at >= earliest, "alert at {} before possible", alert.at);
+    assert!(
+        alert.at >= earliest,
+        "alert at {} before possible",
+        alert.at
+    );
     let latency = alert.at.saturating_since(fail_at);
     assert!(
         latency <= silent_after + Duration::from_secs(60),
@@ -99,12 +103,8 @@ fn dead_relay_reroutes_and_the_monitor_shows_the_new_path() {
         });
     config.path_loss = loramon::phy::LogDistance::new(30.0, 1.0, 3.8, 2.0);
     config.traffic = Some(
-        loramon::mesh::TrafficPattern::to_gateway(
-            config.gateway(),
-            Duration::from_secs(30),
-            12,
-        )
-        .with_start_delay(Duration::from_secs(120)),
+        loramon::mesh::TrafficPattern::to_gateway(config.gateway(), Duration::from_secs(30), 12)
+            .with_start_delay(Duration::from_secs(120)),
     );
     let result = run_scenario(&config);
 
@@ -174,10 +174,7 @@ fn failed_receiver_losses_show_in_ground_truth_not_in_monitor() {
         });
     let result = run_scenario(&config);
     use loramon::sim::LossReason;
-    let receiver_down = result
-        .sim
-        .trace()
-        .losses(Some(LossReason::ReceiverDown));
+    let receiver_down = result.sim.trace().losses(Some(LossReason::ReceiverDown));
     assert!(receiver_down > 0, "no receiver-down losses in truth");
     assert!(result.completeness() > 0.6);
 }

@@ -8,9 +8,7 @@ use loramon::mesh::{
     MAX_SEGMENT_PAYLOAD,
 };
 use loramon::phy::airtime::time_on_air;
-use loramon::phy::{
-    Bandwidth, CodingRate, DutyCycleRegulator, RadioConfig, SpreadingFactor,
-};
+use loramon::phy::{Bandwidth, CodingRate, DutyCycleRegulator, RadioConfig, SpreadingFactor};
 use loramon::sim::{NodeId, SimTime};
 use proptest::prelude::*;
 use std::time::Duration;
@@ -119,7 +117,11 @@ fn route_entry() -> impl Strategy<Value = RouteEntry> {
 
 fn mesh_packet() -> impl Strategy<Value = Packet> {
     prop_oneof![
-        (node_id(), any::<u16>(), proptest::collection::vec(route_entry(), 0..45))
+        (
+            node_id(),
+            any::<u16>(),
+            proptest::collection::vec(route_entry(), 0..45)
+        )
             .prop_map(|(src, id, entries)| Packet::routing(src, id, entries)),
         (
             node_id(),
@@ -142,7 +144,11 @@ fn mesh_packet() -> impl Strategy<Value = Packet> {
                     ttl,
                     seg,
                     4,
-                    if reliable { loramon::mesh::FLAG_ACK_REQUEST } else { 0 },
+                    if reliable {
+                        loramon::mesh::FLAG_ACK_REQUEST
+                    } else {
+                        0
+                    },
                     Bytes::from(payload),
                 )
             ),

@@ -1,0 +1,293 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements the subset the workspace uses: cheaply-cloneable
+//! [`Bytes`] (shared, sliceable, immutable), [`BytesMut`] as an
+//! append-only builder, and the [`BufMut`] write methods (big-endian,
+//! matching the real crate).
+
+use std::ops::{Deref, Range};
+use std::sync::Arc;
+
+/// A cheaply cloneable, sliceable, immutable byte buffer.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    range: Range<usize>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// A buffer borrowing nothing — copies the static slice once.
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes::copy_from_slice(bytes)
+    }
+
+    /// A buffer copied from a slice.
+    pub fn copy_from_slice(bytes: &[u8]) -> Self {
+        Bytes {
+            data: Arc::from(bytes),
+            range: 0..bytes.len(),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.range.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.range.is_empty()
+    }
+
+    /// A shared sub-slice (no copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is out of bounds.
+    pub fn slice(&self, range: Range<usize>) -> Self {
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "slice {range:?} out of bounds of {}",
+            self.len()
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            range: self.range.start + range.start..self.range.start + range.end,
+        }
+    }
+
+    /// The contents as a plain slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.range.clone()]
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        let len = data.len();
+        Bytes {
+            data: Arc::from(data),
+            range: 0..len,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Bytes::copy_from_slice(data)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            for c in std::ascii::escape_default(b) {
+                write!(f, "{}", c as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl IntoIterator for Bytes {
+    type Item = u8;
+    type IntoIter = std::vec::IntoIter<u8>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().to_vec().into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Bytes {
+    type Item = &'a u8;
+    type IntoIter = std::slice::Iter<'a, u8>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+/// A growable byte builder that freezes into [`Bytes`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty builder.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty builder with reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the builder is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Convert into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Big-endian append operations (the subset of `bytes::BufMut` used by
+/// the workspace's packet codec).
+pub trait BufMut {
+    /// Append one byte.
+    fn put_u8(&mut self, value: u8);
+    /// Append a big-endian `u16`.
+    fn put_u16(&mut self, value: u16);
+    /// Append a big-endian `u32`.
+    fn put_u32(&mut self, value: u32);
+    /// Append a big-endian `u64`.
+    fn put_u64(&mut self, value: u64);
+    /// Append a slice.
+    fn put_slice(&mut self, bytes: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, value: u8) {
+        self.data.push(value);
+    }
+
+    fn put_u16(&mut self, value: u16) {
+        self.data.extend_from_slice(&value.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, value: u32) {
+        self.data.extend_from_slice(&value.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, value: u64) {
+        self.data.extend_from_slice(&value.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, bytes: &[u8]) {
+        self.data.extend_from_slice(bytes);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, value: u8) {
+        self.push(value);
+    }
+
+    fn put_u16(&mut self, value: u16) {
+        self.extend_from_slice(&value.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, value: u32) {
+        self.extend_from_slice(&value.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, value: u64) {
+        self.extend_from_slice(&value.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, bytes: &[u8]) {
+        self.extend_from_slice(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_freeze_slice() {
+        let mut b = BytesMut::with_capacity(8);
+        b.put_u16(0xABCD);
+        b.put_u8(0x01);
+        b.put_slice(&[9, 9]);
+        let frozen = b.freeze();
+        assert_eq!(frozen, &[0xAB, 0xCD, 0x01, 9, 9][..]);
+        let s = frozen.slice(1..3);
+        assert_eq!(s, &[0xCD, 0x01][..]);
+        // Sub-slicing a slice stays relative.
+        assert_eq!(s.slice(1..2), &[0x01][..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_bounds_checked() {
+        Bytes::copy_from_slice(b"ab").slice(1..3);
+    }
+
+    #[test]
+    fn equality_and_empty() {
+        assert!(Bytes::new().is_empty());
+        assert_eq!(Bytes::from(vec![1, 2]), Bytes::copy_from_slice(&[1, 2]));
+    }
+}

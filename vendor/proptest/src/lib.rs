@@ -1,0 +1,395 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset this workspace uses: [`Strategy`] with
+//! `prop_map`, ranges/`any`/`Just`/tuples/`collection::vec`/
+//! `option::of` strategies, and the `proptest!`, `prop_compose!`,
+//! `prop_oneof!` and `prop_assert*!` macros.
+//!
+//! Differences from the real crate, on purpose:
+//! - **Deterministic**: each test's RNG is seeded from the test name,
+//!   so runs are fully reproducible (there is no failure-persistence
+//!   file because none is needed).
+//! - **No shrinking**: a failing case panics with the sampled inputs
+//!   visible in the assertion message instead of being minimized.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod strategy;
+pub use strategy::{BoxedStrategy, Just, Map, OneOf, Strategy};
+
+/// Runner configuration; only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic generator backing all strategies (splitmix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from an explicit value.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Seed deterministically from a test name (FNV-1a).
+    pub fn from_name(name: &str) -> Self {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng::from_seed(hash)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0)");
+        self.next_u64() % bound
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Values with a canonical full-range strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// Draw an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($ty:ty),+) => {
+        $(impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $ty
+            }
+        })+
+    };
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.unit_f64() * 2e9 - 1e9
+    }
+}
+
+/// Strategy producing any value of `T`.
+pub fn any<T: Arbitrary>() -> impl Strategy<Value = T> {
+    strategy::fn_strategy(T::arbitrary)
+}
+
+macro_rules! range_strategy_int {
+    ($($ty:ty),+) => {
+        $(impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $ty
+            }
+        }
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (self.end() - self.start()) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $ty;
+                }
+                self.start() + rng.below(span + 1) as $ty
+            }
+        })+
+    };
+}
+
+range_strategy_int!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start() <= self.end(), "empty range strategy");
+        self.start() + rng.unit_f64() * (self.end() - self.start())
+    }
+}
+
+/// Strategies over collections.
+pub mod collection {
+    use super::{Range, Strategy, TestRng};
+
+    /// Strategy for a `Vec` whose length is drawn from `len` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Strategies over `Option`.
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy yielding `None` about a quarter of the time, otherwise
+    /// `Some` of the inner strategy's value.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
+}
+
+/// Everything a property test file needs.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{any, ProptestConfig, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, prop_oneof,
+        proptest,
+    };
+}
+
+/// Skip the current case when a precondition on the sampled inputs
+/// fails. Expands to `continue` inside the `proptest!` case loop (this
+/// stub skips rather than resampling).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+/// Assert a condition inside a property (panics on failure; this stub
+/// does not shrink).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { ::std::assert!($($args)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { ::std::assert_eq!($($args)*) };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { ::std::assert_ne!($($args)*) };
+}
+
+/// Choose uniformly between strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Define a function returning a composed strategy:
+/// `fn name(args)(binding in strategy, ...) -> T { body }`.
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$attr:meta])*
+        $vis:vis fn $name:ident($($arg:ident: $argty:ty),* $(,)?)
+        ($($field:ident in $strat:expr),+ $(,)?)
+        -> $ret:ty $body:block
+    ) => {
+        $(#[$attr])*
+        $vis fn $name($($arg: $argty),*) -> impl $crate::Strategy<Value = $ret> {
+            let __strats = ($($strat,)+);
+            $crate::strategy::fn_strategy(move |__rng: &mut $crate::TestRng| {
+                let ($($field,)+) = $crate::Strategy::sample(&__strats, __rng);
+                $body
+            })
+        }
+    };
+}
+
+/// Run property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that checks the body over `cases` sampled
+/// inputs (deterministically seeded from the test name).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (
+        ($config:expr)
+        $(#[$attr:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            let mut __rng = $crate::TestRng::from_name(stringify!($name));
+            let __strats = ($($strat,)+);
+            for __case in 0..__config.cases {
+                let ($($pat,)+) = $crate::Strategy::sample(&__strats, &mut __rng);
+                $body
+            }
+        }
+        $crate::__proptest_items!(($config) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_seed(7);
+        for _ in 0..200 {
+            let v = (10u16..20).sample(&mut rng);
+            assert!((10..20).contains(&v));
+            let f = (-1.5f64..=2.5).sample(&mut rng);
+            assert!((-1.5..=2.5).contains(&f));
+            let b = (0u8..=100).sample(&mut rng);
+            assert!(b <= 100);
+        }
+    }
+
+    #[test]
+    fn determinism_same_name_same_stream() {
+        let mut a = TestRng::from_name("x");
+        let mut b = TestRng::from_name("x");
+        assert_eq!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn oneof_and_map_compose() {
+        let strat = prop_oneof![(1u16..100).prop_map(|v| v as u32), Just(0u32),];
+        let mut rng = TestRng::from_seed(3);
+        let mut saw_zero = false;
+        let mut saw_mapped = false;
+        for _ in 0..100 {
+            match strat.sample(&mut rng) {
+                0 => saw_zero = true,
+                v if v < 100 => saw_mapped = true,
+                v => panic!("out of range: {v}"),
+            }
+        }
+        assert!(saw_zero && saw_mapped);
+    }
+
+    #[test]
+    fn collection_and_option() {
+        let strat = crate::collection::vec(crate::option::of(0u8..5), 0..10);
+        let mut rng = TestRng::from_seed(11);
+        for _ in 0..50 {
+            let v = strat.sample(&mut rng);
+            assert!(v.len() < 10);
+            assert!(v.iter().flatten().all(|&x| x < 5));
+        }
+    }
+
+    prop_compose! {
+        fn pair()(a in 0u8..10, b in 0u8..10) -> (u8, u8) {
+            (a, b)
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn composed_pairs_in_range((a, b) in pair().prop_map(|p| p)) {
+            prop_assert!(a < 10);
+            prop_assert!(b < 10);
+            prop_assert_ne!(a + b, 200);
+        }
+    }
+}

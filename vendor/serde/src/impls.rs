@@ -1,0 +1,366 @@
+//! `Serialize`/`Deserialize` implementations for standard types.
+
+use crate::json::{Error, Map, Number, Value};
+use crate::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use std::time::Duration;
+
+// ── booleans and strings ──────────────────────────────────────────────
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_bool()
+            .ok_or_else(|| Error::expected("boolean", value, "bool"))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::expected("string", value, "String"))
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| Error::expected("string", value, "char"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::new("expected a one-character string")),
+        }
+    }
+}
+
+// ── integers and floats ───────────────────────────────────────────────
+
+macro_rules! ser_de_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::from_u64(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n = value
+                    .as_u64()
+                    .ok_or_else(|| Error::expected("unsigned integer", value, stringify!($t)))?;
+                <$t>::try_from(n).map_err(|_| {
+                    Error::new(format!("{n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+ser_de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::from_i64(*self as i64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n = value
+                    .as_i64()
+                    .ok_or_else(|| Error::expected("integer", value, stringify!($t)))?;
+                <$t>::try_from(n).map_err(|_| {
+                    Error::new(format!("{n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+ser_de_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        if self.is_finite() {
+            Value::Number(Number::from_f64(*self))
+        } else {
+            // serde_json refuses non-finite floats; mapping to null keeps
+            // serialization infallible for this workspace (which never
+            // produces them on purpose).
+            Value::Null
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_f64()
+            .ok_or_else(|| Error::expected("number", value, "f64"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        f64::from(*self).to_value()
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        f64::from_value(value).map(|f| f as f32)
+    }
+}
+
+// ── option, unit, sequences, tuples ───────────────────────────────────
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn absent() -> Option<Self> {
+        Some(None)
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(()),
+            other => Err(Error::expected("null", other, "()")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::expected("array", value, "Vec"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let items = value
+                    .as_array()
+                    .ok_or_else(|| Error::expected("array", value, "tuple"))?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(Error::new(format!(
+                        "expected an array of {expected}, found {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+ser_de_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+// ── maps ──────────────────────────────────────────────────────────────
+
+/// JSON object keys are strings; integer-ish and string-ish serialized
+/// keys are rendered the way serde_json renders them (`1`, `"Data"`).
+fn key_string(value: &Value) -> String {
+    match value {
+        Value::String(s) => s.clone(),
+        Value::Number(n) => n.to_string(),
+        Value::Bool(b) => b.to_string(),
+        other => other.to_json_string(),
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (key_string(&k.to_value()), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        // Collecting into the sorted Map keeps output deterministic even
+        // for hash maps.
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (key_string(&k.to_value()), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_object()
+            .ok_or_else(|| Error::expected("object", value, "map"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+// ── std::time::Duration (serde's {secs, nanos} layout) ────────────────
+
+impl Serialize for Duration {
+    fn to_value(&self) -> Value {
+        let mut map = Map::new();
+        map.insert("secs".to_owned(), self.as_secs().to_value());
+        map.insert("nanos".to_owned(), self.subsec_nanos().to_value());
+        Value::Object(map)
+    }
+}
+
+impl Deserialize for Duration {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| Error::expected("object", value, "Duration"))?;
+        let secs = obj
+            .get("secs")
+            .ok_or_else(|| Error::missing_field("secs", "Duration"))
+            .and_then(u64::from_value)?;
+        let nanos = obj
+            .get("nanos")
+            .ok_or_else(|| Error::missing_field("nanos", "Duration"))
+            .and_then(u32::from_value)?;
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
+// ── Value itself ──────────────────────────────────────────────────────
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_absent_reads_none() {
+        assert_eq!(<Option<u32> as Deserialize>::absent(), Some(None));
+        assert_eq!(<u32 as Deserialize>::absent(), None);
+    }
+
+    #[test]
+    fn duration_roundtrip() {
+        let d = Duration::new(3, 250_000_000);
+        assert_eq!(Duration::from_value(&d.to_value()).unwrap(), d);
+    }
+
+    #[test]
+    fn int_range_checks() {
+        let v = Value::Number(Number::from_u64(300));
+        assert!(u8::from_value(&v).is_err());
+        assert_eq!(u16::from_value(&v).unwrap(), 300);
+    }
+
+    #[test]
+    fn float_accepts_integer_text() {
+        let v = Value::Number(Number::from_u64(7));
+        assert_eq!(f64::from_value(&v).unwrap(), 7.0);
+    }
+
+    #[test]
+    fn map_with_numeric_keys_serializes_to_strings() {
+        let mut m = BTreeMap::new();
+        m.insert(3u16, "x");
+        assert_eq!(m.to_value().to_json_string(), r#"{"3":"x"}"#);
+    }
+}

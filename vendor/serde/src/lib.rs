@@ -1,0 +1,75 @@
+//! A minimal, dependency-free stand-in for the `serde` crate.
+//!
+//! The real `serde` could not be vendored in this offline build, so this
+//! crate provides the small slice of its surface that the workspace
+//! actually uses: the [`Serialize`] / [`Deserialize`] traits (via a JSON
+//! [`Value`] intermediate representation rather than serde's
+//! visitor-based data model) and the matching derive macros from the
+//! sibling `serde_derive` stub. The `serde_json` stub builds its public
+//! API on top of the [`json`] module here.
+//!
+//! Behavioural compatibility notes (matching real `serde_json` where the
+//! workspace depends on it):
+//!
+//! * structs serialize to JSON objects, one key per field;
+//! * enums use the externally-tagged representation (`"Unit"`,
+//!   `{"Newtype": v}`, `{"Tuple": [a, b]}`, `{"Struct": {..}}`);
+//! * missing `Option` fields deserialize to `None`;
+//! * unknown object keys are ignored;
+//! * `Duration` maps to `{"secs": u64, "nanos": u32}`.
+
+pub mod json;
+
+mod impls;
+
+pub use json::{Error, Value};
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Types that can be turned into a JSON [`Value`].
+///
+/// This replaces serde's serializer-generic `Serialize` trait: every
+/// serializer in this workspace is JSON, so the intermediate `Value`
+/// representation loses nothing.
+pub trait Serialize {
+    /// The JSON value representing `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Reconstruct from a JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] describing the first mismatch between the
+    /// value and the expected shape.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+
+    /// The value to use when a struct field is absent from its object.
+    ///
+    /// `None` (the default) makes the field required; `Option<T>`
+    /// overrides this so missing fields read as `None`, mirroring
+    /// serde's behaviour.
+    #[doc(hidden)]
+    fn absent() -> Option<Self> {
+        None
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(Box::new)
+    }
+}

@@ -1,0 +1,427 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for
+//! the value-based traits in the sibling `serde` stub. Because the
+//! generated impls only need item/field *names* (never types — trait
+//! dispatch and inference supply those), the input is parsed with a
+//! small hand-rolled token walker instead of `syn`.
+//!
+//! Supported shapes: unit/newtype/tuple/named-field structs and enums
+//! with unit/newtype/tuple/struct variants (externally tagged, like
+//! serde's default). Generics and `#[serde(...)]` attributes are not
+//! supported — the workspace uses neither.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed `struct`/`enum` definition.
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    UnitStruct,
+    TupleStruct(usize),
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Derive `serde::Serialize` (value-based).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derive `serde::Deserialize` (value-based).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated impl parses")
+}
+
+// ── parsing ───────────────────────────────────────────────────────────
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut tokens = input.into_iter().peekable();
+    // Scan past attributes/visibility to the `struct`/`enum` keyword.
+    let is_enum = loop {
+        match tokens.next() {
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break false,
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => break true,
+            Some(_) => continue,
+            None => panic!("derive input has no struct/enum keyword"),
+        }
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    if matches!(&tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive stub does not support generic type `{name}`");
+    }
+    let kind = if is_enum {
+        let body = expect_brace(tokens.next(), &name);
+        Kind::Enum(parse_variants(body))
+    } else {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => panic!("unexpected struct body for `{name}`: {other:?}"),
+        }
+    };
+    Input { name, kind }
+}
+
+fn expect_brace(token: Option<TokenTree>, name: &str) -> TokenStream {
+    match token {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("expected a braced body for `{name}`, found {other:?}"),
+    }
+}
+
+/// Field names from `a: T, pub b: U, ...` (attributes skipped, types
+/// consumed with angle-bracket depth tracking so `Map<K, V>` commas
+/// don't split fields).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("expected field name, found {other}"),
+            None => break,
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected ':' after field `{name}`, found {other:?}"),
+        }
+        skip_type(&mut tokens);
+        fields.push(name);
+    }
+    fields
+}
+
+/// Tuple-struct/-variant arity from `T, U, ...`.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut tokens = stream.into_iter().peekable();
+    let mut count = 0;
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        skip_type(&mut tokens);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("expected variant name, found {other}"),
+            None => break,
+        };
+        let kind = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                VariantKind::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                tokens.next();
+                VariantKind::Tuple(arity)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        for token in tokens.by_ref() {
+            if matches!(&token, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+/// Skip `#[...]` attributes (incl. doc comments) and `pub`/`pub(...)`.
+fn skip_attrs_and_vis(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if matches!(tokens.peek(), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    tokens.next();
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Consume one type, stopping after the comma that ends it (or at the
+/// end of the stream). Tracks `<`/`>` depth; groups arrive as single
+/// trees so parens/brackets need no tracking.
+fn skip_type(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut angle_depth = 0i32;
+    for token in tokens.by_ref() {
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+// ── code generation ───────────────────────────────────────────────────
+
+const VALUE: &str = "::serde::Value";
+const MAP: &str = "::std::collections::BTreeMap<::std::string::String, ::serde::Value>";
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::UnitStruct => format!("{VALUE}::Null"),
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("{VALUE}::Array(::std::vec![{}])", items.join(", "))
+        }
+        Kind::Struct(fields) => gen_fields_to_object(fields, "&self."),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| gen_variant_serialize(name, v))
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+           fn to_value(&self) -> {VALUE} {{ {body} }} \
+         }}"
+    )
+}
+
+/// `{ let mut __m = Map::new(); __m.insert(...); Value::Object(__m) }`
+/// with each field referenced as `{prefix}{field}`.
+fn gen_fields_to_object(fields: &[String], prefix: &str) -> String {
+    let mut out = format!("{{ let mut __m: {MAP} = ::std::collections::BTreeMap::new(); ");
+    for field in fields {
+        out.push_str(&format!(
+            "__m.insert(::std::string::String::from(\"{field}\"), \
+             ::serde::Serialize::to_value({prefix}{field})); "
+        ));
+    }
+    out.push_str(&format!("{VALUE}::Object(__m) }}"));
+    out
+}
+
+fn gen_variant_serialize(name: &str, variant: &Variant) -> String {
+    let vname = &variant.name;
+    match &variant.kind {
+        VariantKind::Unit => {
+            format!("{name}::{vname} => {VALUE}::String(::std::string::String::from(\"{vname}\")),")
+        }
+        VariantKind::Tuple(n) => {
+            let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let payload = if *n == 1 {
+                "::serde::Serialize::to_value(__f0)".to_owned()
+            } else {
+                let items: Vec<String> = binders
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                format!("{VALUE}::Array(::std::vec![{}])", items.join(", "))
+            };
+            format!(
+                "{name}::{vname}({}) => {}, ",
+                binders.join(", "),
+                wrap_tagged(vname, &payload)
+            )
+        }
+        VariantKind::Struct(fields) => {
+            let payload = gen_fields_to_object(fields, "");
+            format!(
+                "{name}::{vname} {{ {} }} => {}, ",
+                fields.join(", "),
+                wrap_tagged(vname, &payload)
+            )
+        }
+    }
+}
+
+/// Externally-tagged wrapper: `{"Variant": payload}`.
+fn wrap_tagged(vname: &str, payload: &str) -> String {
+    format!(
+        "{{ let mut __outer: {MAP} = ::std::collections::BTreeMap::new(); \
+           __outer.insert(::std::string::String::from(\"{vname}\"), {payload}); \
+           {VALUE}::Object(__outer) }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::UnitStruct => format!(
+            "match __v {{ {VALUE}::Null => ::std::result::Result::Ok({name}), \
+               __other => ::std::result::Result::Err(\
+                 ::serde::Error::expected(\"null\", __other, \"{name}\")) }}"
+        ),
+        Kind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "{{ let __items = __v.as_array().ok_or_else(|| \
+                     ::serde::Error::expected(\"array\", __v, \"{name}\"))?; \
+                   if __items.len() != {n} {{ return ::std::result::Result::Err(\
+                     ::serde::Error::new(\"wrong tuple length for {name}\")); }} \
+                   ::std::result::Result::Ok({name}({})) }}",
+                items.join(", ")
+            )
+        }
+        Kind::Struct(fields) => format!(
+            "{{ let __obj = __v.as_object().ok_or_else(|| \
+                 ::serde::Error::expected(\"object\", __v, \"{name}\"))?; \
+               ::std::result::Result::Ok({name} {{ {} }}) }}",
+            gen_fields_from_object(name, fields)
+        ),
+        Kind::Enum(variants) => gen_enum_deserialize(name, variants),
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+           fn from_value(__v: &{VALUE}) -> ::std::result::Result<Self, ::serde::Error> {{ \
+             {body} \
+           }} \
+         }}"
+    )
+}
+
+/// `field: <lookup with Option-aware missing handling>,` per field.
+fn gen_fields_from_object(context: &str, fields: &[String]) -> String {
+    fields
+        .iter()
+        .map(|field| {
+            format!(
+                "{field}: match __obj.get(\"{field}\") {{ \
+                   ::std::option::Option::Some(__x) => \
+                     ::serde::Deserialize::from_value(__x)?, \
+                   ::std::option::Option::None => \
+                     match ::serde::Deserialize::absent() {{ \
+                       ::std::option::Option::Some(__d) => __d, \
+                       ::std::option::Option::None => \
+                         return ::std::result::Result::Err(\
+                           ::serde::Error::missing_field(\"{field}\", \"{context}\")), \
+                     }}, \
+                 }}, "
+            )
+        })
+        .collect()
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .map(|v| {
+            format!(
+                "\"{0}\" => ::std::result::Result::Ok({name}::{0}), ",
+                v.name
+            )
+        })
+        .collect();
+    let tagged_arms: String = variants
+        .iter()
+        .filter_map(|v| match &v.kind {
+            VariantKind::Unit => None,
+            VariantKind::Tuple(1) => Some(format!(
+                "\"{0}\" => ::std::result::Result::Ok(\
+                   {name}::{0}(::serde::Deserialize::from_value(__payload)?)), ",
+                v.name
+            )),
+            VariantKind::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                    .collect();
+                Some(format!(
+                    "\"{0}\" => {{ let __items = __payload.as_array().ok_or_else(|| \
+                         ::serde::Error::expected(\"array\", __payload, \"{name}::{0}\"))?; \
+                       if __items.len() != {n} {{ return ::std::result::Result::Err(\
+                         ::serde::Error::new(\"wrong tuple length for {name}::{0}\")); }} \
+                       ::std::result::Result::Ok({name}::{0}({1})) }} ",
+                    v.name,
+                    items.join(", ")
+                ))
+            }
+            VariantKind::Struct(fields) => Some(format!(
+                "\"{0}\" => {{ let __obj = __payload.as_object().ok_or_else(|| \
+                     ::serde::Error::expected(\"object\", __payload, \"{name}::{0}\"))?; \
+                   ::std::result::Result::Ok({name}::{0} {{ {1} }}) }} ",
+                v.name,
+                gen_fields_from_object(&format!("{name}::{}", v.name), fields)
+            )),
+        })
+        .collect();
+    format!(
+        "match __v {{ \
+           {VALUE}::String(__s) => match __s.as_str() {{ \
+             {unit_arms} \
+             __other => ::std::result::Result::Err(::serde::Error::new(\
+               ::std::format!(\"unknown variant `{{__other}}` of {name}\"))), \
+           }}, \
+           {VALUE}::Object(__m) if __m.len() == 1 => {{ \
+             let (__k, __payload) = __m.iter().next().expect(\"length checked\"); \
+             match __k.as_str() {{ \
+               {tagged_arms} \
+               __other => ::std::result::Result::Err(::serde::Error::new(\
+                 ::std::format!(\"unknown variant `{{__other}}` of {name}\"))), \
+             }} \
+           }} \
+           __other => ::std::result::Result::Err(\
+             ::serde::Error::expected(\"enum value\", __other, \"{name}\")), \
+         }}"
+    )
+}

@@ -1,0 +1,152 @@
+//! Offline stand-in for `serde_json`, backed by the JSON core in the
+//! `serde` stub (`serde::json`).
+//!
+//! Provides the workspace-used surface: [`Value`], [`to_value`],
+//! [`to_string`]/[`to_string_pretty`]/[`to_vec`]/[`to_writer`],
+//! [`from_str`]/[`from_slice`], and the [`json!`] macro.
+
+pub use serde::json::{Error, Map, Number, Value};
+
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Convert any serializable value into a [`Value`].
+///
+/// # Errors
+///
+/// Never fails in this implementation; the `Result` mirrors the real
+/// serde_json signature.
+pub fn to_value<T: Serialize>(value: T) -> Result<Value> {
+    Ok(value.to_value())
+}
+
+/// Reconstruct a typed value from a [`Value`].
+///
+/// # Errors
+///
+/// Returns an [`Error`] when the value does not match `T`'s shape.
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T> {
+    T::from_value(&value)
+}
+
+/// Serialize to compact JSON text.
+///
+/// # Errors
+///
+/// Never fails in this implementation (signature compatibility).
+pub fn to_string<T: Serialize>(value: &T) -> Result<String> {
+    Ok(value.to_value().to_json_string())
+}
+
+/// Serialize to pretty-printed JSON text.
+///
+/// # Errors
+///
+/// Never fails in this implementation (signature compatibility).
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String> {
+    Ok(value.to_value().to_json_string_pretty())
+}
+
+/// Serialize to compact JSON bytes.
+///
+/// # Errors
+///
+/// Never fails in this implementation (signature compatibility).
+pub fn to_vec<T: Serialize>(value: &T) -> Result<Vec<u8>> {
+    Ok(value.to_value().to_json_string().into_bytes())
+}
+
+/// Serialize compact JSON into a writer.
+///
+/// # Errors
+///
+/// Returns an [`Error`] wrapping any I/O failure.
+pub fn to_writer<W: Write, T: Serialize>(mut writer: W, value: &T) -> Result<()> {
+    writer
+        .write_all(value.to_value().to_json_string().as_bytes())
+        .map_err(|e| Error::new(format!("write failed: {e}")))
+}
+
+/// Parse JSON text into a typed value.
+///
+/// # Errors
+///
+/// Returns an [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T> {
+    T::from_value(&serde::json::parse(text)?)
+}
+
+/// Parse JSON bytes into a typed value.
+///
+/// # Errors
+///
+/// Returns an [`Error`] on invalid UTF-8, malformed JSON or a shape
+/// mismatch.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T> {
+    let text = std::str::from_utf8(bytes).map_err(|e| Error::new(format!("invalid utf-8: {e}")))?;
+    from_str(text)
+}
+
+#[doc(hidden)]
+pub fn __to_value_infallible<T: Serialize>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Build a [`Value`] from a JSON-ish literal.
+///
+/// Supports `null`, object literals with string-literal keys and
+/// expression values, array literals of expressions, and bare
+/// serializable expressions — the forms this workspace uses.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($element:expr),* $(,)? ]) => {
+        $crate::Value::Array(::std::vec![
+            $($crate::__to_value_infallible(&$element)),*
+        ])
+    };
+    ({ $($key:literal : $value:expr),* $(,)? }) => {{
+        let mut __map = $crate::Map::new();
+        $(__map.insert(
+            ::std::string::String::from($key),
+            $crate::__to_value_infallible(&$value),
+        );)*
+        $crate::Value::Object(__map)
+    }};
+    ($other:expr) => { $crate::__to_value_infallible(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_forms() {
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!({"ok": true}).to_string(), r#"{"ok":true}"#);
+        assert_eq!(json!([1, 2]).to_string(), "[1,2]");
+        let n = 5u64;
+        assert_eq!(json!({"n": n, "s": "x"})["n"], 5);
+        let nested = json!({"outer": json!({"inner": 1})});
+        assert_eq!(nested["outer"]["inner"], 1);
+    }
+
+    #[test]
+    fn typed_roundtrip_through_text() {
+        let v: Vec<Option<u32>> = vec![Some(1), None, Some(3)];
+        let text = to_string(&v).unwrap();
+        assert_eq!(text, "[1,null,3]");
+        let back: Vec<Option<u32>> = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn error_converts_to_io_error() {
+        let e: Error = from_str::<u32>("x").unwrap_err();
+        let io: std::io::Error = e.into();
+        assert_eq!(io.kind(), std::io::ErrorKind::InvalidData);
+    }
+}
