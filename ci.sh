@@ -9,6 +9,8 @@
 #   3. cargo build --release — tier-1 build
 #   4. cargo test -q         — tier-1 tests (root package)
 #   5. cargo test --workspace -q — every crate's suite
+#   6. cargo xtask determinism — double-run replay gate, both delivery paths
+#   7. cargo xtask chaos     — replayed chaos smoke (loss+outage+crashes)
 set -eu
 
 step() {
@@ -21,5 +23,7 @@ step cargo xtask lint
 step cargo build --release
 step cargo test -q
 step cargo test --workspace -q
+step cargo xtask determinism
+step cargo xtask chaos
 
 printf '\nci.sh: all stages passed\n'

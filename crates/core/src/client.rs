@@ -11,6 +11,7 @@ use crate::buffer::{DropPolicy, RecordBuffer};
 use crate::record::PacketRecord;
 use crate::report::Report;
 use crate::status::NodeStatus;
+use crate::transport::{RetransmitQueue, TransportConfig, TransportStats};
 use bytes::Bytes;
 use loramon_mesh::{Direction, MeshObserver, MeshSnapshot, PacketEvent, PacketType};
 use loramon_sim::{NodeId, SimTime};
@@ -106,6 +107,9 @@ pub struct MonitorConfig {
     pub mode: ReportingMode,
     /// Which packets are recorded at all.
     pub filter: RecordFilter,
+    /// Acknowledged uplink transport configuration; `None` (the
+    /// default) keeps historical fire-and-forget reporting.
+    pub transport: Option<TransportConfig>,
 }
 
 impl MonitorConfig {
@@ -119,6 +123,7 @@ impl MonitorConfig {
             include_status: true,
             mode: ReportingMode::OutOfBand,
             filter: RecordFilter::all(),
+            transport: None,
         }
     }
 
@@ -157,6 +162,12 @@ impl MonitorConfig {
         self.filter = filter;
         self
     }
+
+    /// Enable the acknowledged uplink transport (builder style).
+    pub fn with_transport(mut self, transport: TransportConfig) -> Self {
+        self.transport = Some(transport);
+        self
+    }
 }
 
 impl Default for MonitorConfig {
@@ -173,16 +184,28 @@ pub struct MonitorClient {
     config: MonitorConfig,
     buffer: RecordBuffer<PacketRecord>,
     next_record_seq: u64,
+    /// Next report sequence number; resets to 0 on reboot (the server's
+    /// ingest layer detects the restart and opens a new epoch).
     next_report_seq: u32,
     last_report_at: Option<SimTime>,
-    /// Out-of-band reports awaiting the uplink (drained by the harness).
+    /// Out-of-band reports awaiting the uplink (drained by the harness)
+    /// when no acknowledged transport is configured.
     outbox: Vec<Report>,
     /// Reports received in-band from other nodes (gateway role), with
     /// their mesh arrival time.
     collected: Vec<(SimTime, Report)>,
+    /// The acknowledged uplink transport, when configured.
+    transport: Option<RetransmitQueue>,
     records_captured: u64,
     records_filtered: u64,
     dropped_at_last_report: u64,
+    /// Buffer drops accumulated in previous boots (the live buffer's
+    /// counter resets when the node reboots).
+    dropped_before_reboot: u64,
+    /// Lifetime reports generated, across reboots.
+    reports_generated: u32,
+    /// Reboots observed (crash/recover cycles).
+    reboots: u32,
 }
 
 impl MonitorClient {
@@ -190,6 +213,7 @@ impl MonitorClient {
     pub fn new(config: MonitorConfig) -> Self {
         MonitorClient {
             buffer: RecordBuffer::new(config.buffer_capacity, config.drop_policy),
+            transport: config.transport.map(RetransmitQueue::new),
             config,
             next_record_seq: 0,
             next_report_seq: 0,
@@ -199,6 +223,9 @@ impl MonitorClient {
             records_captured: 0,
             records_filtered: 0,
             dropped_at_last_report: 0,
+            dropped_before_reboot: 0,
+            reports_generated: 0,
+            reboots: 0,
         }
     }
 
@@ -228,14 +255,20 @@ impl MonitorClient {
         self.buffer.len()
     }
 
-    /// Records lost to buffer overflow since boot.
+    /// Records lost to buffer overflow over the client's lifetime
+    /// (including previous boots).
     pub fn records_dropped(&self) -> u64 {
-        self.buffer.dropped()
+        self.dropped_before_reboot + self.buffer.dropped()
     }
 
-    /// Reports generated so far.
+    /// Reports generated over the client's lifetime (across reboots).
     pub fn reports_generated(&self) -> u32 {
-        self.next_report_seq
+        self.reports_generated
+    }
+
+    /// Reboots (crash/recover cycles) this client has been through.
+    pub fn reboots(&self) -> u32 {
+        self.reboots
     }
 
     /// Drain the out-of-band outbox.
@@ -259,6 +292,81 @@ impl MonitorClient {
         &self.collected
     }
 
+    /// Hand a report to the node's uplink: the acknowledged transport
+    /// when configured, the fire-and-forget outbox otherwise. Gateways
+    /// also route reports collected in-band through this path.
+    pub fn enqueue_uplink(&mut self, report: Report, now: SimTime) {
+        match &mut self.transport {
+            Some(t) => t.enqueue(report, now),
+            None => self.outbox.push(report),
+        }
+    }
+
+    /// Uplink sends due at `now`, as `(attempt, report)` pairs. With the
+    /// acknowledged transport this applies the retry/backoff schedule;
+    /// without it the outbox drains as one-shot attempt-0 sends.
+    pub fn uplink_due(&mut self, now: SimTime) -> Vec<(u32, Report)> {
+        match &mut self.transport {
+            Some(t) => t.due(now),
+            None => self.take_outbox().into_iter().map(|r| (0, r)).collect(),
+        }
+    }
+
+    /// Force-send everything still pending, ignoring the backoff
+    /// schedule — the end-of-run drain.
+    pub fn uplink_flush(&mut self, now: SimTime) -> Vec<(u32, Report)> {
+        match &mut self.transport {
+            Some(t) => t.flush(now),
+            None => self.take_outbox().into_iter().map(|r| (0, r)).collect(),
+        }
+    }
+
+    /// The server confirmed `(node, report_seq)`; stop retrying it.
+    pub fn ack_uplink(&mut self, node: NodeId, report_seq: u32) -> bool {
+        self.transport
+            .as_mut()
+            .is_some_and(|t| t.ack(node, report_seq))
+    }
+
+    /// Reports pending (unacked) in the transport queue.
+    pub fn pending_uplink(&self) -> usize {
+        self.transport.as_ref().map_or(0, RetransmitQueue::len)
+    }
+
+    /// Transport counters, when the acknowledged transport is enabled.
+    pub fn transport_stats(&self) -> Option<TransportStats> {
+        self.transport.as_ref().map(RetransmitQueue::stats)
+    }
+
+    /// Re-point in-band reporting at a new gateway (gateway failover).
+    /// A no-op for out-of-band clients.
+    pub fn redirect_gateway(&mut self, gateway: NodeId) {
+        if let ReportingMode::InBand { .. } = self.config.mode {
+            self.config.mode = ReportingMode::InBand { gateway };
+        }
+    }
+
+    /// The node rebooted: all volatile monitor state — record buffer,
+    /// pending transport queue, sequence counters — is lost, exactly
+    /// as a crash would lose it on real hardware. Two kinds of state
+    /// survive: lifetime counters (captured/filtered/dropped/reports),
+    /// which belong to the harness's view of the client rather than
+    /// the client's RAM, and the `outbox`/`collected` mailboxes, which
+    /// hold reports already handed off for transmission — the harness
+    /// treats those as on the wire, not on the device.
+    pub fn reboot(&mut self) {
+        self.dropped_before_reboot += self.buffer.dropped();
+        self.buffer = RecordBuffer::new(self.config.buffer_capacity, self.config.drop_policy);
+        self.next_record_seq = 0;
+        self.next_report_seq = 0;
+        self.last_report_at = None;
+        self.dropped_at_last_report = 0;
+        if let Some(t) = &mut self.transport {
+            t.reset_for_reboot();
+        }
+        self.reboots += 1;
+    }
+
     fn report_due(&self, now: SimTime) -> bool {
         match self.last_report_at {
             Some(last) => now.saturating_since(last) >= self.config.report_period,
@@ -269,10 +377,16 @@ impl MonitorClient {
     fn build_report(&mut self, snapshot: &MeshSnapshot) -> Report {
         let records = self.buffer.drain(self.config.max_records_per_report);
         let dropped_total = self.buffer.dropped();
-        let dropped_records = dropped_total - self.dropped_at_last_report;
+        let mut dropped_records = dropped_total - self.dropped_at_last_report;
         self.dropped_at_last_report = dropped_total;
+        // Fold in records lost to transport eviction/expiry so the
+        // server's loss accounting stays complete under long outages.
+        if let Some(t) = &mut self.transport {
+            dropped_records += t.take_lost_records();
+        }
         let seq = self.next_report_seq;
         self.next_report_seq += 1;
+        self.reports_generated += 1;
         self.last_report_at = Some(snapshot.now);
         Report {
             node: snapshot.node,
@@ -307,13 +421,13 @@ impl MeshObserver for MonitorClient {
         let report = self.build_report(snapshot);
         match self.config.mode {
             ReportingMode::OutOfBand => {
-                self.outbox.push(report);
+                self.enqueue_uplink(report, snapshot.now);
                 Vec::new()
             }
             ReportingMode::InBand { gateway } => {
                 if gateway == snapshot.node {
                     // The gateway's own reports go straight up its uplink.
-                    self.outbox.push(report);
+                    self.enqueue_uplink(report, snapshot.now);
                     Vec::new()
                 } else {
                     vec![(gateway, Bytes::from(report.encode_binary()))]
@@ -328,6 +442,10 @@ impl MeshObserver for MonitorClient {
                 self.collected.push((at, report));
             }
         }
+    }
+
+    fn on_reboot(&mut self) {
+        self.reboot();
     }
 }
 
@@ -514,6 +632,94 @@ mod tests {
         assert!(f.accepts(&ev));
         ev.direction = Direction::Out;
         assert!(!f.accepts(&ev));
+    }
+
+    #[test]
+    fn transport_holds_reports_until_acked() {
+        let cfg = MonitorConfig::new()
+            .with_report_period(Duration::from_secs(10))
+            .with_transport(crate::transport::TransportConfig::new());
+        let mut c = MonitorClient::new(cfg);
+        c.poll(&snapshot(1, SimTime::from_secs(10)));
+        assert!(c.outbox().is_empty(), "transport bypasses the outbox");
+        assert_eq!(c.pending_uplink(), 1);
+        let due = c.uplink_due(SimTime::from_secs(10));
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].0, 0);
+        // Still pending until the ack lands.
+        assert_eq!(c.pending_uplink(), 1);
+        assert!(c.ack_uplink(NodeId(1), 0));
+        assert_eq!(c.pending_uplink(), 0);
+        assert_eq!(c.transport_stats().unwrap().acked, 1);
+    }
+
+    #[test]
+    fn evicted_reports_fold_into_next_dropped_records() {
+        let cfg = MonitorConfig::new()
+            .with_report_period(Duration::from_secs(10))
+            .with_max_records(10)
+            .with_transport(crate::transport::TransportConfig::new().with_capacity(1));
+        let mut c = MonitorClient::new(cfg);
+        // Two reports with one record each: the second enqueue evicts
+        // the first report and its record.
+        c.on_packet(&event(1_000));
+        c.poll(&snapshot(1, SimTime::from_secs(10)));
+        c.on_packet(&event(11_000));
+        c.poll(&snapshot(1, SimTime::from_secs(20)));
+        // The third report accounts the evicted record.
+        c.poll(&snapshot(1, SimTime::from_secs(30)));
+        let pending: Vec<_> = c.uplink_due(SimTime::from_secs(30));
+        let last = pending
+            .iter()
+            .map(|(_, r)| r)
+            .find(|r| r.report_seq == 2)
+            .unwrap();
+        assert_eq!(last.dropped_records, 1, "evicted record not accounted");
+    }
+
+    #[test]
+    fn reboot_resets_protocol_state_but_keeps_lifetime_counters() {
+        let cfg = MonitorConfig::new()
+            .with_report_period(Duration::from_secs(10))
+            .with_buffer_capacity(2)
+            .with_transport(crate::transport::TransportConfig::new());
+        let mut c = MonitorClient::new(cfg);
+        for i in 0..5 {
+            c.on_packet(&event(i));
+        }
+        c.poll(&snapshot(1, SimTime::from_secs(10)));
+        assert_eq!(c.reports_generated(), 1);
+        assert_eq!(c.records_dropped(), 3);
+        c.reboot();
+        assert_eq!(c.pending_uplink(), 0, "pending queue wiped");
+        assert_eq!(c.reboots(), 1);
+        // Lifetime counters survive the reboot…
+        assert_eq!(c.records_captured(), 5);
+        assert_eq!(c.records_dropped(), 3);
+        assert_eq!(c.reports_generated(), 1);
+        // …but the sequence space restarts at zero.
+        c.poll(&snapshot(1, SimTime::from_secs(40)));
+        let due = c.uplink_due(SimTime::from_secs(40));
+        assert_eq!(due[0].1.report_seq, 0, "post-reboot seq must restart");
+        assert_eq!(c.reports_generated(), 2);
+    }
+
+    #[test]
+    fn redirect_gateway_only_affects_in_band_mode() {
+        let mut oob = MonitorClient::new(MonitorConfig::new());
+        oob.redirect_gateway(NodeId(5));
+        assert_eq!(oob.config().mode, ReportingMode::OutOfBand);
+
+        let mut ib = MonitorClient::new(MonitorConfig::new().with_in_band(NodeId(9)));
+        ib.redirect_gateway(NodeId(5));
+        assert_eq!(
+            ib.config().mode,
+            ReportingMode::InBand { gateway: NodeId(5) }
+        );
+        // Reports now address the new gateway.
+        ib.on_packet(&event(1));
+        let out = ib.poll(&snapshot(1, SimTime::from_secs(30)));
+        assert_eq!(out[0].0, NodeId(5));
     }
 
     #[test]

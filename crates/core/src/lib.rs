@@ -38,6 +38,7 @@ pub mod command;
 pub mod record;
 pub mod report;
 pub mod status;
+pub mod transport;
 pub mod uplink;
 
 pub use buffer::{DropPolicy, RecordBuffer};
@@ -46,4 +47,5 @@ pub use command::MonitorCommand;
 pub use record::PacketRecord;
 pub use report::{Report, WireError, BINARY_MAGIC, BINARY_VERSION};
 pub use status::{NodeStatus, ReportedRoute};
+pub use transport::{PendingReport, RetransmitQueue, TransportConfig, TransportStats};
 pub use uplink::{Outage, UplinkModel};

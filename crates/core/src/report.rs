@@ -72,6 +72,7 @@ impl std::error::Error for WireError {}
 impl Report {
     /// Encode as JSON (the out-of-band IP uplink format).
     pub fn encode_json(&self) -> Vec<u8> {
+        // lint:allow(server-unwrap, reason = "serializing an owned in-memory Report is infallible; no input reaches this path")
         serde_json::to_vec(self).expect("report serialization cannot fail")
     }
 
@@ -211,18 +212,23 @@ impl<'a> Reader<'a> {
         Ok(self.bytes(1)?[0])
     }
     fn u16(&mut self) -> Result<u16, WireError> {
+        // lint:allow(server-unwrap, reason = "the preceding bytes call guaranteed the slice length; try_into cannot fail")
         Ok(u16::from_be_bytes(self.bytes(2)?.try_into().unwrap()))
     }
     fn u32(&mut self) -> Result<u32, WireError> {
+        // lint:allow(server-unwrap, reason = "the preceding bytes call guaranteed the slice length; try_into cannot fail")
         Ok(u32::from_be_bytes(self.bytes(4)?.try_into().unwrap()))
     }
     fn u64(&mut self) -> Result<u64, WireError> {
+        // lint:allow(server-unwrap, reason = "the preceding bytes call guaranteed the slice length; try_into cannot fail")
         Ok(u64::from_be_bytes(self.bytes(8)?.try_into().unwrap()))
     }
     fn f32(&mut self) -> Result<f32, WireError> {
+        // lint:allow(server-unwrap, reason = "the preceding bytes call guaranteed the slice length; try_into cannot fail")
         Ok(f32::from_be_bytes(self.bytes(4)?.try_into().unwrap()))
     }
     fn f64(&mut self) -> Result<f64, WireError> {
+        // lint:allow(server-unwrap, reason = "the preceding bytes call guaranteed the slice length; try_into cannot fail")
         Ok(f64::from_be_bytes(self.bytes(8)?.try_into().unwrap()))
     }
 }

@@ -1,0 +1,519 @@
+//! The acknowledged uplink transport.
+//!
+//! Fire-and-forget reporting loses every report the uplink drops. This
+//! module adds the client half of an acknowledged delivery layer: a
+//! [`RetransmitQueue`] keeps each emitted [`Report`] until the server's
+//! ingest outcome comes back as an ack for `(node, report_seq)`,
+//! retrying with exponential backoff plus deterministic jitter. The
+//! queue is bounded: during a long outage it degrades gracefully by
+//! evicting the oldest pending report and folding the loss into the
+//! next report's `dropped_records` counter, so the server still learns
+//! *how much* telemetry was lost even when it cannot learn *what*.
+//!
+//! ## State machine
+//!
+//! ```text
+//!             enqueue                 ack(node, seq)
+//!   report ──────────▶ pending ────────────────────▶ acked (gone)
+//!                        │ ▲
+//!             due(now)   │ │ backoff(attempt) + jitter
+//!                        ▼ │
+//!                      sent (still pending)
+//!                        │
+//!   queue full ──────────┤ max_attempts reached
+//!                        ▼
+//!                     evicted (records counted, reported later)
+//! ```
+//!
+//! ## Determinism
+//!
+//! Backoff jitter is derived with [`Rng::derive`] from
+//! `(seed, node, report_seq, attempt)` — never from ambient time or
+//! global RNG state — so a replay from the same scenario seed produces
+//! byte-identical retry schedules.
+
+use crate::report::Report;
+use loramon_sim::{NodeId, Rng, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// Domain label mixed into every jitter derivation.
+const JITTER_LABEL: u64 = 0x0BAC_0FF5;
+
+/// Configuration of the acknowledged uplink transport.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransportConfig {
+    /// Maximum pending (unacked) reports kept; the oldest is evicted on
+    /// overflow (default 64).
+    pub capacity: usize,
+    /// Backoff before the first retry; doubles per attempt (default 15 s).
+    pub initial_backoff: Duration,
+    /// Ceiling on the exponential backoff (default 240 s).
+    pub max_backoff: Duration,
+    /// Uniform random extra delay in `[0, jitter)` added to every retry
+    /// to decorrelate node retry storms (default 5 s).
+    pub jitter: Duration,
+    /// Give up on a report after this many send attempts; `0` retries
+    /// forever (the default).
+    pub max_attempts: u32,
+    /// Seed of the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl TransportConfig {
+    /// The defaults described in the field docs.
+    pub fn new() -> Self {
+        TransportConfig {
+            capacity: 64,
+            initial_backoff: Duration::from_secs(15),
+            max_backoff: Duration::from_secs(240),
+            jitter: Duration::from_secs(5),
+            max_attempts: 0,
+            seed: 0,
+        }
+    }
+
+    /// Set the pending-queue capacity (builder style).
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Set the initial and maximum backoff (builder style).
+    pub fn with_backoff(mut self, initial: Duration, max: Duration) -> Self {
+        self.initial_backoff = initial;
+        self.max_backoff = max;
+        self
+    }
+
+    /// Set the per-retry jitter bound (builder style).
+    pub fn with_jitter(mut self, jitter: Duration) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Set the attempt cap; `0` retries forever (builder style).
+    pub fn with_max_attempts(mut self, max_attempts: u32) -> Self {
+        self.max_attempts = max_attempts;
+        self
+    }
+
+    /// Set the jitter-stream seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Backoff (without jitter) before retry number `attempt` (1-based).
+    fn backoff(&self, attempt: u32) -> Duration {
+        let shift = attempt.saturating_sub(1).min(24);
+        let scaled = self
+            .initial_backoff
+            .saturating_mul(1u32.checked_shl(shift).unwrap_or(u32::MAX));
+        scaled.min(self.max_backoff)
+    }
+
+    /// Deterministic jitter for `(node, seq, attempt)`.
+    fn jitter_for(&self, node: NodeId, seq: u32, attempt: u32) -> Duration {
+        let jitter_us = self.jitter.as_micros() as u64;
+        if jitter_us == 0 {
+            return Duration::ZERO;
+        }
+        let mut rng = Rng::derive(
+            self.seed,
+            &[
+                JITTER_LABEL,
+                u64::from(node.raw()),
+                u64::from(seq),
+                u64::from(attempt),
+            ],
+        );
+        Duration::from_micros(rng.next_below(jitter_us))
+    }
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig::new()
+    }
+}
+
+/// One report awaiting its ack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingReport {
+    /// The report itself.
+    pub report: Report,
+    /// Send attempts made so far (0 = not yet sent).
+    pub attempts: u32,
+    /// Earliest time of the next send attempt.
+    pub next_attempt_at: SimTime,
+}
+
+/// Transport counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransportStats {
+    /// Reports handed to the transport.
+    pub enqueued: u64,
+    /// Reports confirmed by the server.
+    pub acked: u64,
+    /// Send attempts beyond the first, across all reports.
+    pub retransmissions: u64,
+    /// Reports evicted because the queue was full.
+    pub evicted_reports: u64,
+    /// Reports dropped after exhausting `max_attempts`.
+    pub expired_reports: u64,
+    /// Packet records lost inside evicted/expired reports (including
+    /// their own `dropped_records` tallies, so loss accounting stays
+    /// conserved end to end).
+    pub lost_records: u64,
+    /// High-water mark of the pending queue.
+    pub max_depth: u64,
+}
+
+impl TransportStats {
+    /// Sum of the two merged counter sets (used when aggregating the
+    /// stats of several transports, e.g. across scenario nodes).
+    pub fn merged_with(self, other: TransportStats) -> TransportStats {
+        TransportStats {
+            enqueued: self.enqueued + other.enqueued,
+            acked: self.acked + other.acked,
+            retransmissions: self.retransmissions + other.retransmissions,
+            evicted_reports: self.evicted_reports + other.evicted_reports,
+            expired_reports: self.expired_reports + other.expired_reports,
+            lost_records: self.lost_records + other.lost_records,
+            max_depth: self.max_depth.max(other.max_depth),
+        }
+    }
+}
+
+/// The bounded, acknowledged retransmit queue (client side).
+#[derive(Debug)]
+pub struct RetransmitQueue {
+    config: TransportConfig,
+    pending: VecDeque<PendingReport>,
+    stats: TransportStats,
+    /// Records lost to eviction/expiry since the last report drained
+    /// them (folded into the next report's `dropped_records`).
+    unreported_lost_records: u64,
+}
+
+impl RetransmitQueue {
+    /// An empty queue with the given configuration. A zero capacity is
+    /// treated as 1 — a transport that can hold nothing is just
+    /// fire-and-forget with extra steps.
+    pub fn new(config: TransportConfig) -> Self {
+        let config = TransportConfig {
+            capacity: config.capacity.max(1),
+            ..config
+        };
+        RetransmitQueue {
+            config,
+            pending: VecDeque::new(),
+            stats: TransportStats::default(),
+            unreported_lost_records: 0,
+        }
+    }
+
+    /// The configuration (capacity normalized to at least 1).
+    pub fn config(&self) -> &TransportConfig {
+        &self.config
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> TransportStats {
+        self.stats
+    }
+
+    /// Pending (unacked) reports.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Iterate the pending reports, oldest first.
+    pub fn pending(&self) -> impl Iterator<Item = &PendingReport> {
+        self.pending.iter()
+    }
+
+    /// Accept a fresh report for delivery; it becomes due immediately.
+    /// On overflow the oldest pending report is evicted and its records
+    /// are added to the unreported-loss tally.
+    pub fn enqueue(&mut self, report: Report, now: SimTime) {
+        while self.pending.len() >= self.config.capacity {
+            if let Some(evicted) = self.pending.pop_front() {
+                self.stats.evicted_reports += 1;
+                self.account_loss(&evicted.report);
+            } else {
+                break;
+            }
+        }
+        self.stats.enqueued += 1;
+        self.pending.push_back(PendingReport {
+            report,
+            attempts: 0,
+            next_attempt_at: now,
+        });
+        self.stats.max_depth = self.stats.max_depth.max(self.pending.len() as u64);
+    }
+
+    /// Reports due for a (re)send at `now`, as `(attempt, report)` pairs
+    /// where `attempt` counts prior sends (0 for the first). Each
+    /// returned report has its next retry scheduled by exponential
+    /// backoff + deterministic jitter; reports that exhausted
+    /// `max_attempts` are dropped and counted instead of returned.
+    pub fn due(&mut self, now: SimTime) -> Vec<(u32, Report)> {
+        self.collect_sends(now, false)
+    }
+
+    /// Like [`due`](RetransmitQueue::due) but ignores the backoff
+    /// schedule and sends everything still pending — the end-of-run
+    /// drain used by harnesses to let the tail of a run settle.
+    pub fn flush(&mut self, now: SimTime) -> Vec<(u32, Report)> {
+        self.collect_sends(now, true)
+    }
+
+    fn collect_sends(&mut self, now: SimTime, force: bool) -> Vec<(u32, Report)> {
+        let mut out = Vec::new();
+        let mut kept = VecDeque::with_capacity(self.pending.len());
+        while let Some(mut p) = self.pending.pop_front() {
+            if !force && p.next_attempt_at > now {
+                kept.push_back(p);
+                continue;
+            }
+            if self.config.max_attempts > 0 && p.attempts >= self.config.max_attempts {
+                self.stats.expired_reports += 1;
+                self.account_loss(&p.report);
+                continue;
+            }
+            let attempt = p.attempts;
+            if attempt > 0 {
+                self.stats.retransmissions += 1;
+            }
+            p.attempts += 1;
+            let (node, seq) = (p.report.node, p.report.report_seq);
+            p.next_attempt_at = now
+                + self.config.backoff(p.attempts)
+                + self.config.jitter_for(node, seq, p.attempts);
+            out.push((attempt, p.report.clone()));
+            kept.push_back(p);
+        }
+        self.pending = kept;
+        out
+    }
+
+    /// The server confirmed `(node, report_seq)`; drop it from the
+    /// queue. Returns whether anything was pending under that key.
+    pub fn ack(&mut self, node: NodeId, report_seq: u32) -> bool {
+        let before = self.pending.len();
+        self.pending
+            .retain(|p| !(p.report.node == node && p.report.report_seq == report_seq));
+        let acked = self.pending.len() < before;
+        if acked {
+            self.stats.acked += 1;
+        }
+        acked
+    }
+
+    /// Drain the records-lost tally accumulated by evictions and
+    /// expiries since the last call — the amount the client folds into
+    /// its next report's `dropped_records`.
+    pub fn take_lost_records(&mut self) -> u64 {
+        std::mem::take(&mut self.unreported_lost_records)
+    }
+
+    /// Crash semantics: the node rebooted and all volatile transport
+    /// state is gone. Pending reports vanish without being counted —
+    /// the node that would have counted them no longer remembers them.
+    pub fn reset_for_reboot(&mut self) {
+        self.pending.clear();
+        self.unreported_lost_records = 0;
+    }
+
+    fn account_loss(&mut self, report: &Report) {
+        let lost = report.records.len() as u64 + report.dropped_records;
+        self.stats.lost_records += lost;
+        self.unreported_lost_records += lost;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(node: u16, seq: u32, records: usize) -> Report {
+        Report {
+            node: NodeId(node),
+            report_seq: seq,
+            generated_at_ms: u64::from(seq) * 30_000,
+            dropped_records: 0,
+            status: None,
+            records: (0..records)
+                .map(|i| crate::record::PacketRecord {
+                    seq: i as u64,
+                    timestamp_ms: 0,
+                    direction: loramon_mesh::Direction::In,
+                    node: NodeId(node),
+                    counterpart: NodeId(2),
+                    ptype: loramon_mesh::PacketType::Data,
+                    origin: NodeId(2),
+                    final_dst: NodeId(node),
+                    packet_id: 1,
+                    ttl: 1,
+                    size_bytes: 20,
+                    rssi_dbm: None,
+                    snr_db: None,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn first_send_is_due_immediately_then_backs_off() {
+        let mut q = RetransmitQueue::new(TransportConfig::new().with_jitter(Duration::ZERO));
+        q.enqueue(report(1, 0, 0), SimTime::from_secs(10));
+        let due = q.due(SimTime::from_secs(10));
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].0, 0, "first send is attempt 0");
+        // Not due again until the initial backoff elapses.
+        assert!(q.due(SimTime::from_secs(20)).is_empty());
+        let due = q.due(SimTime::from_secs(25));
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].0, 1, "second send is attempt 1");
+        assert_eq!(q.stats().retransmissions, 1);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let cfg =
+            TransportConfig::new().with_backoff(Duration::from_secs(10), Duration::from_secs(35));
+        assert_eq!(cfg.backoff(1), Duration::from_secs(10));
+        assert_eq!(cfg.backoff(2), Duration::from_secs(20));
+        assert_eq!(cfg.backoff(3), Duration::from_secs(35), "capped");
+        assert_eq!(cfg.backoff(30), Duration::from_secs(35), "shift saturates");
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_attempt_dependent() {
+        let cfg = TransportConfig::new().with_seed(7);
+        let a = cfg.jitter_for(NodeId(1), 5, 1);
+        let b = cfg.jitter_for(NodeId(1), 5, 1);
+        assert_eq!(a, b, "same key, same jitter");
+        let c = cfg.jitter_for(NodeId(1), 5, 2);
+        let d = cfg.jitter_for(NodeId(2), 5, 1);
+        // Different attempts/nodes draw from different streams; equality
+        // would be a (vanishingly unlikely) collision for these keys.
+        assert!(a != c || a != d, "jitter streams not separated");
+        assert!(a < cfg.jitter);
+    }
+
+    #[test]
+    fn ack_removes_pending() {
+        let mut q = RetransmitQueue::new(TransportConfig::new());
+        q.enqueue(report(1, 0, 1), SimTime::ZERO);
+        q.enqueue(report(1, 1, 1), SimTime::ZERO);
+        assert!(q.ack(NodeId(1), 0));
+        assert!(!q.ack(NodeId(1), 0), "double ack is a no-op");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.stats().acked, 1);
+        // The acked report is never sent again.
+        let due = q.due(SimTime::ZERO);
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].1.report_seq, 1);
+    }
+
+    #[test]
+    fn overflow_evicts_oldest_and_counts_records() {
+        let mut q = RetransmitQueue::new(TransportConfig::new().with_capacity(2));
+        q.enqueue(report(1, 0, 3), SimTime::ZERO);
+        q.enqueue(report(1, 1, 4), SimTime::ZERO);
+        q.enqueue(report(1, 2, 5), SimTime::ZERO);
+        assert_eq!(q.len(), 2);
+        let seqs: Vec<u32> = q.pending().map(|p| p.report.report_seq).collect();
+        assert_eq!(seqs, vec![1, 2], "oldest evicted first");
+        assert_eq!(q.stats().evicted_reports, 1);
+        assert_eq!(q.stats().lost_records, 3);
+        assert_eq!(q.take_lost_records(), 3);
+        assert_eq!(q.take_lost_records(), 0, "tally drains once");
+    }
+
+    #[test]
+    fn eviction_preserves_nested_drop_counts() {
+        let mut q = RetransmitQueue::new(TransportConfig::new().with_capacity(1));
+        let mut r = report(1, 0, 2);
+        r.dropped_records = 7;
+        q.enqueue(r, SimTime::ZERO);
+        q.enqueue(report(1, 1, 0), SimTime::ZERO);
+        // 2 carried records + 7 the report itself was accounting for.
+        assert_eq!(q.take_lost_records(), 9);
+    }
+
+    #[test]
+    fn max_attempts_expires_reports() {
+        let cfg = TransportConfig::new()
+            .with_max_attempts(2)
+            .with_backoff(Duration::from_secs(1), Duration::from_secs(1))
+            .with_jitter(Duration::ZERO);
+        let mut q = RetransmitQueue::new(cfg);
+        q.enqueue(report(1, 0, 2), SimTime::ZERO);
+        assert_eq!(q.due(SimTime::from_secs(0)).len(), 1);
+        assert_eq!(q.due(SimTime::from_secs(2)).len(), 1);
+        // Third try: attempts exhausted, the report expires instead.
+        assert!(q.due(SimTime::from_secs(4)).is_empty());
+        assert!(q.is_empty());
+        assert_eq!(q.stats().expired_reports, 1);
+        assert_eq!(q.take_lost_records(), 2);
+    }
+
+    #[test]
+    fn flush_ignores_backoff_schedule() {
+        let mut q = RetransmitQueue::new(TransportConfig::new());
+        q.enqueue(report(1, 0, 0), SimTime::ZERO);
+        let _ = q.due(SimTime::ZERO);
+        // Immediately after a send nothing is due…
+        assert!(q.due(SimTime::from_millis(1)).is_empty());
+        // …but flush sends anyway.
+        assert_eq!(q.flush(SimTime::from_millis(2)).len(), 1);
+    }
+
+    #[test]
+    fn reboot_wipes_pending_silently() {
+        let mut q = RetransmitQueue::new(TransportConfig::new());
+        q.enqueue(report(1, 0, 5), SimTime::ZERO);
+        q.reset_for_reboot();
+        assert!(q.is_empty());
+        assert_eq!(
+            q.take_lost_records(),
+            0,
+            "crash loss is invisible to the node"
+        );
+        assert_eq!(q.stats().evicted_reports, 0);
+    }
+
+    #[test]
+    fn zero_capacity_is_normalized() {
+        let q = RetransmitQueue::new(TransportConfig::new().with_capacity(0));
+        assert_eq!(q.config().capacity, 1);
+    }
+
+    #[test]
+    fn stats_merge() {
+        let a = TransportStats {
+            enqueued: 1,
+            max_depth: 3,
+            ..TransportStats::default()
+        };
+        let b = TransportStats {
+            enqueued: 2,
+            max_depth: 2,
+            ..TransportStats::default()
+        };
+        let m = a.merged_with(b);
+        assert_eq!(m.enqueued, 3);
+        assert_eq!(m.max_depth, 3);
+    }
+}

@@ -84,19 +84,38 @@ impl UplinkModel {
     }
 
     /// Decide the delivery time of a report sent at `sent_at`, or `None`
-    /// if the uplink loses it. Deterministic per `(node, report_seq)`.
+    /// if the uplink loses it. Deterministic per `(node, report_seq)`;
+    /// equivalent to [`deliver_attempt_at`](UplinkModel::deliver_attempt_at)
+    /// with `attempt == 0`.
     pub fn deliver_at(&self, sent_at: SimTime, report: &Report) -> Option<SimTime> {
+        self.deliver_attempt_at(sent_at, report, 0)
+    }
+
+    /// Decide the delivery time of send attempt `attempt` of a report,
+    /// or `None` if the uplink loses it.
+    ///
+    /// The attempt counter is mixed into the RNG derivation so each
+    /// retransmission rolls fresh loss/latency dice — without it, a
+    /// report unlucky enough to be lost once would be deterministically
+    /// re-lost on every retry, forever. Attempt 0 keeps the historical
+    /// `(node, report_seq)`-only key so golden fingerprints of
+    /// fire-and-forget runs stay explainable.
+    pub fn deliver_attempt_at(
+        &self,
+        sent_at: SimTime,
+        report: &Report,
+        attempt: u32,
+    ) -> Option<SimTime> {
         if self.outages.iter().any(|o| o.contains(sent_at)) {
             return None;
         }
-        let mut rng = Rng::derive(
-            self.seed,
-            &[
-                0x0B41,
-                u64::from(report.node.raw()),
-                u64::from(report.report_seq),
-            ],
-        );
+        let node = u64::from(report.node.raw());
+        let seq = u64::from(report.report_seq);
+        let mut rng = if attempt == 0 {
+            Rng::derive(self.seed, &[0x0B41, node, seq])
+        } else {
+            Rng::derive(self.seed, &[0x0B41, node, seq, u64::from(attempt)])
+        };
         if rng.chance(self.loss_prob) {
             return None;
         }
@@ -171,6 +190,37 @@ mod tests {
         let a = u.deliver_at(SimTime::from_secs(5), &report(3, 9));
         let b = u.deliver_at(SimTime::from_secs(5), &report(3, 9));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn attempt_zero_matches_legacy_key() {
+        let u = UplinkModel::flaky(0.4, 11);
+        for seq in 0..200 {
+            let r = report(1, seq);
+            assert_eq!(
+                u.deliver_at(SimTime::from_secs(5), &r),
+                u.deliver_attempt_at(SimTime::from_secs(5), &r, 0),
+            );
+        }
+    }
+
+    #[test]
+    fn retransmissions_roll_fresh_dice() {
+        // With the seq-only derivation a report lost at attempt 0 was
+        // re-lost forever. With the attempt counter mixed in, some
+        // retry must eventually get through for every report.
+        let u = UplinkModel::flaky(0.5, 13);
+        let mut rescued = 0;
+        for seq in 0..100 {
+            let r = report(1, seq);
+            if u.deliver_at(SimTime::from_secs(1), &r).is_some() {
+                continue; // not lost in the first place
+            }
+            if (1..=8).any(|a| u.deliver_attempt_at(SimTime::from_secs(1), &r, a).is_some()) {
+                rescued += 1;
+            }
+        }
+        assert!(rescued > 0, "no lost report was ever rescued by a retry");
     }
 
     #[test]

@@ -100,6 +100,7 @@ pub fn render_node_summaries(summaries: &[NodeSummary]) -> String {
                 s.node.to_string(),
                 s.reports.to_string(),
                 s.missing_reports.to_string(),
+                s.restarts.to_string(),
                 s.records.to_string(),
                 s.battery_percent
                     .map_or_else(|| "–".into(), |b| format!("{b}%")),
@@ -117,6 +118,7 @@ pub fn render_node_summaries(summaries: &[NodeSummary]) -> String {
             "node",
             "reports",
             "missing",
+            "restarts",
             "records",
             "battery",
             "queue",
@@ -314,6 +316,7 @@ mod tests {
             last_report_at: Some(SimTime::from_secs(10)),
             reports: 3,
             missing_reports: 1,
+            restarts: 0,
             records: 42,
             client_dropped: 0,
             battery_percent: None,

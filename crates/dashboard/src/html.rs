@@ -58,15 +58,16 @@ pub fn generate(server: &MonitorServer, options: &HtmlOptions) -> String {
     // Node table.
     html.push_str(
         "<h2>Nodes</h2><table><tr><th>node</th><th>reports</th><th>missing</th>\
-                   <th>records</th><th>battery</th><th>queue</th><th>reachable</th></tr>",
+                   <th>restarts</th><th>records</th><th>battery</th><th>queue</th><th>reachable</th></tr>",
     );
     for s in &summaries {
         let _ = write!(
             html,
-            "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+            "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
             s.node,
             s.reports,
             s.missing_reports,
+            s.restarts,
             s.records,
             s.battery_percent
                 .map_or_else(|| "–".into(), |b| format!("{b}%")),

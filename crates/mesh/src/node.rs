@@ -612,6 +612,24 @@ impl<O: MeshObserver + 'static> Application for MeshNode<O> {
         }
     }
 
+    fn on_recover(&mut self, ctx: &mut Context<'_>) {
+        // A recovery is a cold boot: every piece of volatile protocol
+        // state — routes, queued frames, pending end-to-end ACKs,
+        // half-reassembled payloads, the duplicate cache, counters — is
+        // gone, and the observer gets the same treatment before the
+        // node starts over.
+        self.routing = RoutingTable::new();
+        self.queue.clear();
+        self.in_flight = None;
+        self.pending_acks.clear();
+        self.reassembly.clear();
+        self.seen.clear();
+        self.inbox.clear();
+        self.stats = MeshStats::default();
+        self.observer.on_reboot();
+        self.on_start(ctx);
+    }
+
     fn on_frame(&mut self, ctx: &mut Context<'_>, frame: &ReceivedFrame) {
         let packet = match Packet::decode(&frame.payload) {
             Ok(p) => p,

@@ -91,6 +91,12 @@ pub trait MeshObserver {
     fn on_message(&mut self, from: NodeId, payload: &Bytes, at: SimTime) {
         let _ = (from, payload, at);
     }
+
+    /// The node crashed and came back: volatile observer state (buffers,
+    /// pending queues, sequence counters) is gone, exactly as a power
+    /// cycle would lose it on real hardware. Observers that model
+    /// persistent storage may keep state across this call.
+    fn on_reboot(&mut self) {}
 }
 
 /// The do-nothing observer.
@@ -108,6 +114,8 @@ pub struct RecordingObserver {
     pub messages: Vec<(NodeId, Bytes)>,
     /// Number of polls received.
     pub polls: usize,
+    /// Number of reboot notifications received.
+    pub reboots: usize,
 }
 
 impl MeshObserver for RecordingObserver {
@@ -122,6 +130,10 @@ impl MeshObserver for RecordingObserver {
 
     fn on_message(&mut self, from: NodeId, payload: &Bytes, _at: SimTime) {
         self.messages.push((from, payload.clone()));
+    }
+
+    fn on_reboot(&mut self) {
+        self.reboots += 1;
     }
 }
 

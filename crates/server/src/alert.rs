@@ -214,7 +214,10 @@ impl AlertEngine {
                 &mut fired,
             );
 
-            // Report gaps: fire whenever the missing count grows.
+            // Report gaps: fire whenever the missing count grows. The
+            // count *heals* as late retransmissions fill holes; the
+            // watermark follows it down so a later loss re-fires, and
+            // the condition clears once nothing is missing.
             let missing = data.missing_reports();
             let watermark = self.gap_watermark.entry(node).or_insert(0);
             if missing > *watermark {
@@ -228,8 +231,14 @@ impl AlertEngine {
                     ),
                 };
                 *watermark = missing;
+                self.active.insert((node, AlertKind::ReportGap));
                 self.history.push(alert.clone());
                 fired.push(alert);
+            } else {
+                *watermark = missing;
+                if missing == 0 {
+                    self.active.remove(&(node, AlertKind::ReportGap));
+                }
             }
         }
         fired
@@ -357,6 +366,38 @@ mod tests {
         store.insert(&report(1, 4, 100, 0), SimTime::from_secs(70));
         let fired = engine.evaluate(&store, SimTime::from_secs(71));
         assert!(!fired.iter().any(|a| a.kind == AlertKind::ReportGap));
+    }
+
+    #[test]
+    fn report_gap_clears_when_retries_heal_it() {
+        let mut store = Store::new(Retention::default());
+        store.insert(&report(1, 0, 100, 0), SimTime::from_secs(10));
+        let mut engine = AlertEngine::new(AlertRules::default());
+        engine.evaluate(&store, SimTime::from_secs(11));
+        // Seq jumps 0 → 3: the gap fires and stays active.
+        store.insert(&report(1, 3, 100, 0), SimTime::from_secs(40));
+        let fired = engine.evaluate(&store, SimTime::from_secs(41));
+        assert!(fired.iter().any(|a| a.kind == AlertKind::ReportGap));
+        assert!(engine.active().contains(&(NodeId(1), AlertKind::ReportGap)));
+        // The lost reports arrive late via retransmission: partially
+        // healed but still gapped → stays active, no re-fire.
+        store.insert(&report(1, 1, 100, 0), SimTime::from_secs(50));
+        let fired = engine.evaluate(&store, SimTime::from_secs(51));
+        assert!(fired.is_empty());
+        assert!(engine.active().contains(&(NodeId(1), AlertKind::ReportGap)));
+        // Fully healed → the condition clears.
+        store.insert(&report(1, 2, 100, 0), SimTime::from_secs(60));
+        engine.evaluate(&store, SimTime::from_secs(61));
+        assert!(!engine.active().contains(&(NodeId(1), AlertKind::ReportGap)));
+        // A fresh loss after healing is a new episode and re-fires.
+        store.insert(&report(1, 6, 100, 0), SimTime::from_secs(100));
+        let fired = engine.evaluate(&store, SimTime::from_secs(101));
+        let gap: Vec<&Alert> = fired
+            .iter()
+            .filter(|a| a.kind == AlertKind::ReportGap)
+            .collect();
+        assert_eq!(gap.len(), 1);
+        assert!(gap[0].message.contains('2'), "{:?}", gap[0].message);
     }
 
     #[test]

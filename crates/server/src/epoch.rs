@@ -1,0 +1,275 @@
+//! Restart-aware report sequence accounting.
+//!
+//! A monitoring client numbers its reports with a `report_seq` that
+//! starts at 0 and resets to 0 when the node power-cycles (volatile
+//! counters are gone after a crash). The server therefore cannot treat
+//! `(node, report_seq)` as globally unique: seq 0 arriving twice may be
+//! a retransmission duplicate — or a legitimate report from a rebooted
+//! node. The [`EpochTracker`] disambiguates the two using the report's
+//! `generated_at_ms` timestamp, which survives retransmission unchanged
+//! and is monotone in `report_seq` within one incarnation of the node.
+//!
+//! Each incarnation is an *epoch*. A report opens a new epoch when its
+//! generation time is newer than everything seen so far while its
+//! sequence number regressed — a node moving forward in time cannot
+//! reuse an old sequence number unless its counter was reset. Late
+//! retransmissions from an earlier incarnation keep their old
+//! generation time and are filed back into the epoch whose time range
+//! they fall in, which lets sequence gaps *heal* when a lost-then-
+//! retried report finally arrives.
+
+use std::collections::BTreeMap;
+
+/// One incarnation of a reporting node.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct Epoch {
+    /// Generation time of the earliest report observed for this epoch.
+    /// Lowered retroactively when an earlier report of the same epoch
+    /// arrives late (out of order).
+    start_gen_ms: u64,
+    /// Sequence numbers observed, each with its generation time.
+    seen: BTreeMap<u32, u64>,
+    /// Highest sequence observed in this epoch.
+    max_seq: u32,
+}
+
+impl Epoch {
+    fn first(seq: u32, gen_ms: u64) -> Self {
+        let mut seen = BTreeMap::new();
+        seen.insert(seq, gen_ms);
+        Epoch {
+            start_gen_ms: gen_ms,
+            seen,
+            max_seq: seq,
+        }
+    }
+
+    /// Reports this epoch is still missing: holes below `max_seq`.
+    fn missing(&self) -> u64 {
+        u64::from(self.max_seq) + 1 - self.seen.len() as u64
+    }
+}
+
+/// What [`EpochTracker::observe`] concluded about one report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Observation {
+    /// First time this `(epoch, seq)` was seen — the report is new data.
+    pub fresh: bool,
+    /// The report opened a new epoch: the node restarted.
+    pub restart: bool,
+}
+
+/// Per-node epoch bookkeeping. See the module docs for the model.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EpochTracker {
+    epochs: Vec<Epoch>,
+    /// Newest generation time observed across all epochs.
+    max_gen_ms: u64,
+}
+
+impl EpochTracker {
+    /// A tracker that has seen nothing.
+    pub fn new() -> Self {
+        EpochTracker::default()
+    }
+
+    /// Account for one report and classify it.
+    pub fn observe(&mut self, seq: u32, gen_ms: u64) -> Observation {
+        let Some(last) = self.epochs.last() else {
+            self.epochs.push(Epoch::first(seq, gen_ms));
+            self.max_gen_ms = gen_ms;
+            return Observation {
+                fresh: true,
+                restart: false,
+            };
+        };
+
+        // Restart rule: strictly newer generation time with a sequence
+        // number at or below what the current incarnation already
+        // reached means the counter was reset.
+        if gen_ms > self.max_gen_ms && seq <= last.max_seq {
+            self.epochs.push(Epoch::first(seq, gen_ms));
+            self.max_gen_ms = gen_ms;
+            return Observation {
+                fresh: true,
+                restart: true,
+            };
+        }
+
+        // File the report into the epoch whose time range covers it:
+        // the last epoch that started at or before its generation time.
+        let mut idx = match self.epochs.iter().rposition(|e| e.start_gen_ms <= gen_ms) {
+            Some(i) => i,
+            None => {
+                // Earlier than the first epoch's first-observed report:
+                // same epoch, observed out of order. Widen it.
+                self.epochs[0].start_gen_ms = gen_ms;
+                0
+            }
+        };
+
+        // If the candidate epoch already holds this seq with a
+        // *different* generation time, this report is from a later
+        // incarnation whose recorded start is too high (its first
+        // reports arrived out of order). Shift forward and widen.
+        while let Some(&g) = self.epochs[idx].seen.get(&seq) {
+            if g == gen_ms || idx + 1 >= self.epochs.len() {
+                break;
+            }
+            idx += 1;
+            let e = &mut self.epochs[idx];
+            e.start_gen_ms = e.start_gen_ms.min(gen_ms);
+        }
+
+        let epoch = &mut self.epochs[idx];
+        let fresh = if epoch.seen.contains_key(&seq) {
+            false
+        } else {
+            epoch.seen.insert(seq, gen_ms);
+            epoch.max_seq = epoch.max_seq.max(seq);
+            true
+        };
+        self.max_gen_ms = self.max_gen_ms.max(gen_ms);
+        Observation {
+            fresh,
+            restart: false,
+        }
+    }
+
+    /// Reports still missing across all epochs — the healable gap
+    /// count. Shrinks when a lost-then-retried report arrives late.
+    pub fn missing_total(&self) -> u64 {
+        self.epochs.iter().map(Epoch::missing).sum()
+    }
+
+    /// Restarts detected (epochs beyond the first).
+    pub fn restarts(&self) -> u64 {
+        self.epochs.len().saturating_sub(1) as u64
+    }
+
+    /// Highest sequence observed in the current (latest) epoch.
+    pub fn current_max_seq(&self) -> Option<u32> {
+        self.epochs.last().map(|e| e.max_seq)
+    }
+
+    /// Total distinct reports observed across all epochs.
+    pub fn distinct_reports(&self) -> u64 {
+        self.epochs.iter().map(|e| e.seen.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_stream_has_no_gaps() {
+        let mut t = EpochTracker::new();
+        for seq in 0..10 {
+            let o = t.observe(seq, 1000 * u64::from(seq));
+            assert!(o.fresh && !o.restart);
+        }
+        assert_eq!(t.missing_total(), 0);
+        assert_eq!(t.restarts(), 0);
+        assert_eq!(t.current_max_seq(), Some(9));
+    }
+
+    #[test]
+    fn gap_opens_then_heals_on_late_arrival() {
+        let mut t = EpochTracker::new();
+        t.observe(0, 0);
+        t.observe(3, 3000);
+        assert_eq!(t.missing_total(), 2);
+        // The lost reports are retried and finally land.
+        assert!(t.observe(1, 1000).fresh);
+        assert_eq!(t.missing_total(), 1);
+        assert!(t.observe(2, 2000).fresh);
+        assert_eq!(t.missing_total(), 0);
+    }
+
+    #[test]
+    fn duplicate_is_not_fresh() {
+        let mut t = EpochTracker::new();
+        assert!(t.observe(0, 500).fresh);
+        let o = t.observe(0, 500);
+        assert!(!o.fresh && !o.restart);
+        assert_eq!(t.distinct_reports(), 1);
+    }
+
+    #[test]
+    fn seq_reset_with_newer_time_is_a_restart() {
+        let mut t = EpochTracker::new();
+        t.observe(0, 1000);
+        t.observe(1, 31_000);
+        let o = t.observe(0, 61_000);
+        assert!(o.fresh && o.restart);
+        assert_eq!(t.restarts(), 1);
+        assert_eq!(t.current_max_seq(), Some(0));
+        // Both epochs are complete: nothing missing.
+        assert_eq!(t.missing_total(), 0);
+    }
+
+    #[test]
+    fn old_epoch_retransmit_after_restart_heals_old_gap() {
+        let mut t = EpochTracker::new();
+        t.observe(0, 1000);
+        t.observe(1, 31_000);
+        t.observe(3, 91_000); // seq 2 lost pre-crash
+        assert_eq!(t.missing_total(), 1);
+        t.observe(0, 200_000); // reboot
+        assert_eq!(t.restarts(), 1);
+        // The pre-crash report finally arrives, keeping its old
+        // generation time: it must heal the *old* epoch, not collide
+        // with the new one.
+        let o = t.observe(2, 61_000);
+        assert!(o.fresh && !o.restart);
+        assert_eq!(t.missing_total(), 0);
+    }
+
+    #[test]
+    fn out_of_order_first_reports_of_a_new_epoch() {
+        let mut t = EpochTracker::new();
+        t.observe(0, 1000);
+        t.observe(1, 31_000);
+        // Post-reboot seq 1 overtakes post-reboot seq 0 in flight.
+        let o = t.observe(1, 230_000);
+        assert!(o.fresh && o.restart);
+        // Seq 0 of the same new epoch arrives late with an earlier
+        // generation time; it collides with the old epoch's seq 0 at a
+        // different time, so it must shift into the new epoch.
+        let o = t.observe(0, 200_000);
+        assert!(o.fresh && !o.restart, "late epoch-opener misfiled: {o:?}");
+        assert_eq!(t.missing_total(), 0);
+        assert_eq!(t.restarts(), 1);
+    }
+
+    #[test]
+    fn starting_at_nonzero_seq_counts_the_prefix_missing() {
+        let mut t = EpochTracker::new();
+        t.observe(5, 5000);
+        assert_eq!(t.missing_total(), 5);
+    }
+
+    #[test]
+    fn earlier_than_first_observation_widens_first_epoch() {
+        let mut t = EpochTracker::new();
+        t.observe(1, 31_000);
+        assert_eq!(t.missing_total(), 1);
+        let o = t.observe(0, 1000);
+        assert!(o.fresh && !o.restart);
+        assert_eq!(t.missing_total(), 0);
+    }
+
+    #[test]
+    fn double_restart() {
+        let mut t = EpochTracker::new();
+        t.observe(0, 1000);
+        t.observe(1, 31_000);
+        t.observe(0, 100_000);
+        t.observe(1, 131_000);
+        t.observe(0, 200_000);
+        assert_eq!(t.restarts(), 2);
+        assert_eq!(t.missing_total(), 0);
+        assert_eq!(t.distinct_reports(), 5);
+    }
+}

@@ -428,7 +428,7 @@ const DASHBOARD_HTML: &str = r##"<!doctype html>
 </style></head><body>
 <h1>loramon — LoRa mesh monitoring dashboard</h1>
 <h2>Nodes</h2><table id="nodes"><thead><tr>
-<th>node</th><th>reports</th><th>missing</th><th>records</th><th>battery %</th>
+<th>node</th><th>reports</th><th>missing</th><th>restarts</th><th>records</th><th>battery %</th>
 <th>queue</th><th>duty %</th><th>reachable</th></tr></thead><tbody></tbody></table>
 <h2>Packets over time (all nodes, 60&nbsp;s buckets)</h2>
 <svg id="chart" width="900" height="180"></svg>
@@ -443,6 +443,7 @@ async function refresh(){
  const nodes=await j('/api/nodes');
  document.querySelector('#nodes tbody').innerHTML=nodes.map(n=>
   `<tr><td>${fmtNode(n.node)}</td><td>${n.reports}</td><td>${n.missing_reports}</td>
+   <td>${n.restarts}</td>
    <td>${n.records}</td><td>${n.battery_percent??'–'}</td><td>${n.queue_len??'–'}</td>
    <td>${n.duty_cycle_utilization!=null?(100*n.duty_cycle_utilization).toFixed(1):'–'}</td>
    <td>${n.reachable??'–'}</td></tr>`).join('');

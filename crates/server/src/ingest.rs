@@ -2,13 +2,18 @@
 //!
 //! Clients may retransmit reports when their uplink flaps, and in-band
 //! reports can be duplicated by mesh retransmissions, so ingestion is
-//! idempotent on `(node, report_seq)`. Malformed or inconsistent reports
-//! are rejected and counted rather than silently stored.
+//! idempotent on `(node, report_seq)` *within one incarnation of the
+//! node*: a crashed node restarts its sequence counter at 0, and the
+//! [`EpochTracker`](crate::epoch::EpochTracker) tells that apart from a
+//! retransmission by the report's generation time. Malformed or
+//! inconsistent reports are rejected and counted rather than silently
+//! stored.
 
+use crate::epoch::EpochTracker;
 use loramon_core::Report;
 use loramon_sim::NodeId;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+use std::collections::BTreeMap;
 
 /// Result of offering one report to the ingester.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -60,12 +65,14 @@ pub struct IngestStats {
     pub invalid: u64,
     /// Packet records accepted inside accepted reports.
     pub records: u64,
+    /// Node restarts detected from sequence resets.
+    pub restarts: u64,
 }
 
 /// Validating, deduplicating report gate.
 #[derive(Debug, Default)]
 pub struct Ingestor {
-    seen: BTreeSet<(NodeId, u32)>,
+    seen: BTreeMap<NodeId, EpochTracker>,
     stats: IngestStats,
 }
 
@@ -91,9 +98,17 @@ impl Ingestor {
             self.stats.invalid += 1;
             return IngestOutcome::Invalid(reason);
         }
-        if !self.seen.insert((report.node, report.report_seq)) {
+        let observed = self
+            .seen
+            .entry(report.node)
+            .or_default()
+            .observe(report.report_seq, report.generated_at_ms);
+        if !observed.fresh {
             self.stats.duplicates += 1;
             return IngestOutcome::Duplicate;
+        }
+        if observed.restart {
+            self.stats.restarts += 1;
         }
         self.stats.accepted += 1;
         self.stats.records += report.records.len() as u64;
@@ -249,6 +264,61 @@ mod tests {
             ing.offer(&report(1, 0)),
             IngestOutcome::Accepted { .. }
         ));
+    }
+
+    #[test]
+    fn acked_report_retransmit_is_suppressed() {
+        // The ack can be lost even when the report got through; the
+        // client then retransmits a report the server already stored.
+        let mut ing = Ingestor::new();
+        assert!(matches!(
+            ing.offer(&report(1, 4)),
+            IngestOutcome::Accepted { .. }
+        ));
+        for _ in 0..3 {
+            assert_eq!(ing.offer(&report(1, 4)), IngestOutcome::Duplicate);
+        }
+        let s = ing.stats();
+        assert_eq!((s.accepted, s.duplicates), (1, 3));
+    }
+
+    #[test]
+    fn same_report_in_band_and_out_of_band_counts_once() {
+        // A gateway-relayed (in-band) copy and a WiFi (out-of-band)
+        // copy of the same report are byte-identical; the second one to
+        // arrive is a duplicate regardless of path.
+        let mut ing = Ingestor::new();
+        let r = report(7, 0);
+        assert!(matches!(ing.offer(&r), IngestOutcome::Accepted { .. }));
+        assert_eq!(ing.offer(&r), IngestOutcome::Duplicate);
+        assert_eq!(ing.stats().records, 1);
+    }
+
+    #[test]
+    fn reboot_seq_reset_is_accepted_not_duplicate() {
+        let mut ing = Ingestor::new();
+        let mut first = report(1, 0);
+        first.generated_at_ms = 30_000;
+        first.records[0].timestamp_ms = 10_000;
+        let mut second = report(1, 1);
+        second.generated_at_ms = 60_000;
+        second.records[0].timestamp_ms = 40_000;
+        assert!(matches!(ing.offer(&first), IngestOutcome::Accepted { .. }));
+        assert!(matches!(ing.offer(&second), IngestOutcome::Accepted { .. }));
+        // Crash, reboot: the counter restarts at 0 with a newer
+        // generation time. Not a duplicate, not time travel.
+        let mut rebooted = report(1, 0);
+        rebooted.generated_at_ms = 120_000;
+        rebooted.records[0].timestamp_ms = 110_000;
+        assert!(matches!(
+            ing.offer(&rebooted),
+            IngestOutcome::Accepted { .. }
+        ));
+        let s = ing.stats();
+        assert_eq!((s.accepted, s.duplicates, s.invalid), (3, 0, 0));
+        assert_eq!(s.restarts, 1);
+        // And a retransmit of the *rebooted* seq 0 is still a duplicate.
+        assert_eq!(ing.offer(&rebooted), IngestOutcome::Duplicate);
     }
 
     #[test]

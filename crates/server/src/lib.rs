@@ -32,6 +32,7 @@
 pub mod alert;
 pub mod archive;
 pub mod clock;
+pub mod epoch;
 pub mod health;
 pub mod http;
 pub mod ingest;
@@ -45,6 +46,7 @@ pub mod topology;
 pub use alert::{Alert, AlertEngine, AlertKind, AlertRules};
 pub use archive::{ArchiveEntry, ArchiveError};
 pub use clock::{Clock, IngestClock, WallClock};
+pub use epoch::{EpochTracker, Observation};
 pub use health::{HealthLevel, HealthRules, NodeHealth};
 pub use http::HttpServer;
 pub use ingest::{IngestOutcome, IngestStats, Ingestor, InvalidReason};

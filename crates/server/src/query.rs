@@ -226,8 +226,10 @@ pub struct NodeSummary {
     pub last_report_at: Option<SimTime>,
     /// Reports accepted.
     pub reports: u64,
-    /// Reports inferred missing (sequence gaps).
+    /// Reports currently missing (unhealed sequence gaps).
     pub missing_reports: u64,
+    /// Node restarts detected from sequence resets.
+    pub restarts: u64,
     /// Records ever accepted.
     pub records: u64,
     /// Client-side buffer drops reported.
@@ -357,6 +359,7 @@ pub fn node_summaries(store: &Store) -> Vec<NodeSummary> {
                 last_report_at: data.last_report_at(),
                 reports: data.reports_received(),
                 missing_reports: data.missing_reports(),
+                restarts: data.restarts(),
                 records: data.records_total(),
                 client_dropped: data.client_dropped(),
                 battery_percent: latest.map(|s| s.battery_percent),

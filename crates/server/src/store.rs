@@ -4,6 +4,7 @@
 //! received so far, with time-based and count-based retention. This is
 //! the substrate every query, topology inference and alert rule reads.
 
+use crate::epoch::EpochTracker;
 use loramon_core::{NodeStatus, PacketRecord, Report};
 use loramon_sim::{NodeId, SimTime};
 use serde::{Deserialize, Serialize};
@@ -41,7 +42,7 @@ pub struct NodeData {
     statuses: Vec<(SimTime, NodeStatus)>,
     /// Server time the last report arrived.
     last_report_at: Option<SimTime>,
-    /// Highest report sequence seen.
+    /// Highest report sequence seen (across all epochs).
     last_report_seq: Option<u32>,
     /// Reports accepted from this node.
     reports_received: u64,
@@ -49,8 +50,9 @@ pub struct NodeData {
     records_total: u64,
     /// Sum of client-reported buffer drops.
     client_dropped: u64,
-    /// Reports missing, inferred from sequence gaps.
-    missing_reports: u64,
+    /// Restart-aware sequence accounting: missing-report gaps that heal
+    /// when late retransmissions arrive, and restart detection.
+    epochs: EpochTracker,
 }
 
 impl NodeData {
@@ -94,19 +96,21 @@ impl NodeData {
         self.client_dropped
     }
 
-    /// Reports inferred missing from sequence gaps.
+    /// Reports currently missing, inferred from sequence gaps. Unlike a
+    /// monotone counter this *heals*: a lost-then-retried report that
+    /// finally arrives closes its gap.
     pub fn missing_reports(&self) -> u64 {
-        self.missing_reports
+        self.epochs.missing_total()
+    }
+
+    /// Node restarts detected from sequence resets.
+    pub fn restarts(&self) -> u64 {
+        self.epochs.restarts()
     }
 
     fn insert_report(&mut self, report: &Report, received_at: SimTime) {
-        if let Some(prev) = self.last_report_seq {
-            if report.report_seq > prev + 1 {
-                self.missing_reports += u64::from(report.report_seq - prev - 1);
-            }
-        } else if report.report_seq > 0 {
-            self.missing_reports += u64::from(report.report_seq);
-        }
+        self.epochs
+            .observe(report.report_seq, report.generated_at_ms);
         self.last_report_seq = Some(
             self.last_report_seq
                 .map_or(report.report_seq, |p| p.max(report.report_seq)),
@@ -292,6 +296,35 @@ mod tests {
         let mut store2 = Store::new(Retention::default());
         store2.insert(&report(2, 5, vec![]), SimTime::from_secs(1));
         assert_eq!(store2.node(NodeId(2)).unwrap().missing_reports(), 5);
+    }
+
+    #[test]
+    fn missing_reports_heal_when_late_reports_arrive() {
+        let mut store = Store::new(Retention::default());
+        store.insert(&report(1, 0, vec![]), SimTime::from_secs(1));
+        store.insert(&report(1, 3, vec![]), SimTime::from_secs(2));
+        assert_eq!(store.node(NodeId(1)).unwrap().missing_reports(), 2);
+        // The lost reports are retried and finally land: gaps close.
+        store.insert(&report(1, 2, vec![]), SimTime::from_secs(3));
+        assert_eq!(store.node(NodeId(1)).unwrap().missing_reports(), 1);
+        store.insert(&report(1, 1, vec![]), SimTime::from_secs(4));
+        assert_eq!(store.node(NodeId(1)).unwrap().missing_reports(), 0);
+    }
+
+    #[test]
+    fn seq_reset_after_reboot_is_a_restart_not_a_gap() {
+        let mut store = Store::new(Retention::default());
+        store.insert(&report(1, 0, vec![]), SimTime::from_secs(1));
+        store.insert(&report(1, 1, vec![]), SimTime::from_secs(31));
+        // Node power-cycles; its counter restarts at 0 with a newer
+        // generation time.
+        let mut rebooted = report(1, 0, vec![]);
+        rebooted.generated_at_ms = 100_000;
+        store.insert(&rebooted, SimTime::from_secs(101));
+        let d = store.node(NodeId(1)).unwrap();
+        assert_eq!(d.restarts(), 1);
+        assert_eq!(d.missing_reports(), 0, "a reboot is not telemetry loss");
+        assert_eq!(d.reports_received(), 3);
     }
 
     #[test]

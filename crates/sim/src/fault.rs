@@ -1,0 +1,189 @@
+//! Declarative crash/reboot fault plans.
+//!
+//! A [`FaultPlan`] describes, ahead of a run, which nodes crash when,
+//! whether they come back, and whether the monitoring gateway role
+//! fails over to another node mid-run. Plans address nodes by *index*
+//! (creation order) rather than [`NodeId`] so they can be built before
+//! the simulator exists; [`FaultPlan::schedule`] resolves indices once
+//! the ids are known. Plans derive from a seed via [`Rng::derive`], so
+//! a chaos run is exactly reproducible.
+
+use crate::rng::Rng;
+use crate::sim::Simulator;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Domain-separation label for fault-plan randomness.
+const FAULT_LABEL: u64 = 0x0FA0_17ED;
+
+/// One node crash, with an optional reboot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashEvent {
+    /// Which node, by creation order.
+    pub node_index: usize,
+    /// When the node loses power.
+    pub at: SimTime,
+    /// When it boots again; `None` means it stays dark.
+    pub recover_at: Option<SimTime>,
+}
+
+/// A mid-run change of which node acts as the monitoring gateway.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GatewayFailover {
+    /// When the failover takes effect.
+    pub at: SimTime,
+    /// The node (by creation order) that takes over the gateway role.
+    pub to_index: usize,
+}
+
+/// A deterministic schedule of faults to inject into a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Node crashes, in no particular order.
+    pub crashes: Vec<CrashEvent>,
+    /// At most one gateway failover.
+    pub failover: Option<GatewayFailover>,
+}
+
+impl FaultPlan {
+    /// An empty plan: nothing fails.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Add a crash at `at`, rebooting at `recover_at` (builder style).
+    pub fn with_crash(
+        mut self,
+        node_index: usize,
+        at: SimTime,
+        recover_at: Option<SimTime>,
+    ) -> Self {
+        self.crashes.push(CrashEvent {
+            node_index,
+            at,
+            recover_at,
+        });
+        self
+    }
+
+    /// Set a gateway failover (builder style).
+    pub fn with_failover(mut self, at: SimTime, to_index: usize) -> Self {
+        self.failover = Some(GatewayFailover { at, to_index });
+        self
+    }
+
+    /// A reproducible chaos plan: `crashes` crash/reboot cycles spread
+    /// over the middle of a run of length `duration` across
+    /// `node_count` nodes. Node index 0 — the conventional gateway
+    /// slot — is spared so the plan composes with gateway-failover
+    /// experiments that handle that role explicitly.
+    pub fn random(seed: u64, node_count: usize, duration: Duration, crashes: usize) -> Self {
+        let mut plan = FaultPlan::new();
+        if node_count < 2 {
+            return plan;
+        }
+        let span_ms = duration.as_millis() as u64;
+        for i in 0..crashes {
+            let mut rng = Rng::derive(seed, &[FAULT_LABEL, i as u64]);
+            let node_index = 1 + rng.next_below(node_count as u64 - 1) as usize;
+            // Crash somewhere in the first 60% of the run, stay dark
+            // for 5–20% of it, so every reboot happens on-screen.
+            let at_ms = span_ms / 10 + rng.next_below(span_ms / 2 + 1);
+            let dark_ms = span_ms / 20 + rng.next_below(span_ms * 3 / 20 + 1);
+            plan.crashes.push(CrashEvent {
+                node_index,
+                at: SimTime::ZERO + Duration::from_millis(at_ms),
+                recover_at: Some(SimTime::ZERO + Duration::from_millis(at_ms + dark_ms)),
+            });
+        }
+        plan
+    }
+
+    /// Resolve indices against `ids` (creation order) and schedule
+    /// every crash and recovery on the simulator. Entries whose index
+    /// is out of range are skipped; the failover is *not* scheduled
+    /// here — redirecting the gateway role is the harness's job — it
+    /// is only carried by the plan. Returns how many sim events were
+    /// scheduled.
+    pub fn schedule(&self, sim: &mut Simulator, ids: &[crate::node::NodeId]) -> usize {
+        let mut scheduled = 0;
+        for c in &self.crashes {
+            let Some(&id) = ids.get(c.node_index) else {
+                continue;
+            };
+            sim.schedule_failure(id, c.at);
+            scheduled += 1;
+            if let Some(back) = c.recover_at {
+                sim.schedule_recovery(id, back);
+                scheduled += 1;
+            }
+        }
+        scheduled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::IdleApp;
+    use crate::sim::SimBuilder;
+
+    #[test]
+    fn builders_accumulate() {
+        let plan = FaultPlan::new()
+            .with_crash(2, SimTime::from_secs(100), Some(SimTime::from_secs(200)))
+            .with_crash(3, SimTime::from_secs(50), None)
+            .with_failover(SimTime::from_secs(120), 1);
+        assert_eq!(plan.crashes.len(), 2);
+        assert_eq!(plan.failover.unwrap().to_index, 1);
+    }
+
+    #[test]
+    fn random_plans_are_deterministic_and_spare_the_gateway_slot() {
+        let a = FaultPlan::random(7, 6, Duration::from_secs(3600), 4);
+        let b = FaultPlan::random(7, 6, Duration::from_secs(3600), 4);
+        assert_eq!(a, b);
+        assert_eq!(a.crashes.len(), 4);
+        for c in &a.crashes {
+            assert_ne!(c.node_index, 0);
+            assert!(c.node_index < 6);
+            let back = c.recover_at.expect("random plans always reboot");
+            assert!(c.at < back);
+            assert!(back <= SimTime::from_secs(3600));
+        }
+        let c = FaultPlan::random(8, 6, Duration::from_secs(3600), 4);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn single_node_random_plan_is_empty() {
+        assert!(FaultPlan::random(1, 1, Duration::from_secs(60), 3)
+            .crashes
+            .is_empty());
+    }
+
+    #[test]
+    fn schedule_drives_failures_and_recoveries() {
+        let mut sim = SimBuilder::new().seed(1).build();
+        let cfg = loramon_phy::RadioConfig::mesher_default();
+        let ids: Vec<_> = (0..3)
+            .map(|i| {
+                sim.add_node(
+                    loramon_phy::Position::new(100.0 * f64::from(i), 0.0),
+                    cfg,
+                    Box::new(IdleApp::default()),
+                )
+            })
+            .collect();
+        let plan = FaultPlan::new()
+            .with_crash(1, SimTime::from_secs(10), Some(SimTime::from_secs(20)))
+            .with_crash(99, SimTime::from_secs(5), None); // out of range: skipped
+        assert_eq!(plan.schedule(&mut sim, &ids), 2);
+        sim.run_until(SimTime::from_secs(15));
+        assert!(sim.is_failed(ids[1]));
+        assert!(!sim.is_failed(ids[0]));
+        sim.run_until(SimTime::from_secs(25));
+        assert!(!sim.is_failed(ids[1]));
+    }
+}

@@ -28,6 +28,7 @@
 pub mod app;
 pub mod apps;
 pub mod channel;
+pub mod fault;
 pub mod node;
 pub mod placement;
 pub mod rng;
@@ -38,6 +39,7 @@ pub mod trace;
 pub use app::{Application, IdleApp, ReceivedFrame, TxResult, TxToken};
 pub use apps::{Jammer, PeriodicSender};
 pub use channel::ChannelParams;
+pub use fault::{CrashEvent, FaultPlan, GatewayFailover};
 pub use node::{NodeId, NodeStats};
 pub use rng::Rng;
 pub use sim::{Context, SimBuilder, Simulator};

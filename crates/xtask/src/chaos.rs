@@ -1,0 +1,153 @@
+//! `cargo xtask chaos`: a reproducible chaos smoke run.
+//!
+//! One scenario throws everything the robustness work defends against
+//! at the pipeline at once — a lossy uplink with a mid-run outage,
+//! random node crash/reboot cycles, and the acked transport retrying
+//! through all of it. The run executes twice from one seed (chaos must
+//! replay exactly), then a handful of sanity gates check the system
+//! actually rode the faults out: reports still overwhelmingly arrive,
+//! and the server noticed every reboot.
+
+use crate::determinism::RunDigest;
+use loramon::core::{TransportConfig, UplinkModel};
+use loramon::scenario::{run_scenario, ScenarioConfig, ScenarioResult};
+use loramon::sim::{FaultPlan, SimTime, TraceLevel};
+use std::time::Duration;
+
+/// Knobs for the chaos smoke run.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosCheck {
+    /// Seed for the simulation, the uplink dice and the fault plan.
+    pub seed: u64,
+    /// Number of nodes in the line topology.
+    pub nodes: usize,
+    /// Simulated duration in seconds.
+    pub secs: u64,
+    /// Crash/reboot cycles injected by the fault plan.
+    pub crashes: usize,
+}
+
+impl Default for ChaosCheck {
+    fn default() -> Self {
+        ChaosCheck {
+            seed: 1337,
+            nodes: 5,
+            secs: 1800,
+            crashes: 2,
+        }
+    }
+}
+
+/// What the chaos run is judged on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosOutcome {
+    /// The (replayed-identical) run digest.
+    pub digest: RunDigest,
+    /// Fraction of generated reports that reached the server.
+    pub delivery_ratio: f64,
+    /// Reboots the server detected from report seq/clock resets.
+    pub restarts: u64,
+    /// Transport retransmissions across all clients.
+    pub retransmissions: u64,
+}
+
+fn chaos_config(check: &ChaosCheck) -> ScenarioConfig {
+    let positions = loramon::sim::placement::line(check.nodes, 350.0);
+    let outage_start = check.secs / 3;
+    let mut config = ScenarioConfig::new(positions, check.nodes - 1, check.seed)
+        .with_duration(Duration::from_secs(check.secs))
+        .with_uplink(UplinkModel::flaky(0.10, check.seed ^ 0xC4A0).with_outage(
+            SimTime::from_secs(outage_start),
+            SimTime::from_secs(outage_start + check.secs / 6),
+        ))
+        .with_transport(TransportConfig::new())
+        .with_fault_plan(FaultPlan::random(
+            check.seed,
+            check.nodes,
+            Duration::from_secs(check.secs),
+            check.crashes,
+        ));
+    config.trace_level = TraceLevel::Verbose;
+    config
+}
+
+fn digest_of(result: &ScenarioResult) -> RunDigest {
+    let t = result.transport.unwrap_or_default();
+    RunDigest {
+        trace_fingerprint: result.sim.trace().fingerprint(),
+        trace_len: result.sim.trace().len(),
+        reports_delivered: result.reports_delivered,
+        total_records: result.server.total_records(),
+        transport: (t.enqueued, t.retransmissions, t.acked),
+    }
+}
+
+/// Run the chaos scenario twice and gate on replay equality plus the
+/// survival properties.
+///
+/// # Errors
+///
+/// Returns a human-readable description when the replays diverge or a
+/// sanity gate fails (delivery collapsed, or reboots went unnoticed).
+pub fn chaos_run(check: &ChaosCheck) -> Result<ChaosOutcome, String> {
+    let first = run_scenario(&chaos_config(check));
+    let second = run_scenario(&chaos_config(check));
+    let digest = digest_of(&first);
+    if digest != digest_of(&second) {
+        return Err(format!(
+            "chaos replay diverged for seed {}:\n  first:  {:?}\n  second: {:?}",
+            check.seed,
+            digest,
+            digest_of(&second)
+        ));
+    }
+
+    let outcome = ChaosOutcome {
+        delivery_ratio: first.delivery_ratio(),
+        restarts: first.server.ingest_stats().restarts,
+        retransmissions: digest.transport.1,
+        digest,
+    };
+
+    // Crashed nodes lose whatever sat in their volatile queues, but
+    // the retrying transport must still land the overwhelming bulk.
+    if outcome.delivery_ratio < 0.80 {
+        return Err(format!(
+            "chaos delivery collapsed: ratio {:.3} < 0.80 (seed {})",
+            outcome.delivery_ratio, check.seed
+        ));
+    }
+    // Every crash in the random plan reboots; the server must notice.
+    if check.crashes > 0 && outcome.restarts == 0 {
+        return Err(format!(
+            "server detected no restarts despite {} crash/reboot cycles (seed {})",
+            check.crashes, check.seed
+        ));
+    }
+    // A 10% lossy uplink with an outage must exercise the retry path.
+    if outcome.retransmissions == 0 {
+        return Err(format!(
+            "no transport retransmissions under a lossy uplink (seed {})",
+            check.seed
+        ));
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_chaos_run_passes_the_gates() {
+        let check = ChaosCheck {
+            seed: 11,
+            nodes: 3,
+            secs: 600,
+            crashes: 1,
+        };
+        let outcome = chaos_run(&check).expect("chaos smoke must pass");
+        assert!(outcome.digest.reports_delivered > 0);
+        assert!(outcome.restarts >= 1);
+    }
+}

@@ -1,11 +1,13 @@
 //! `cargo xtask determinism`: the runtime complement to the static
-//! lint pass. Runs one representative scenario twice from the same
-//! seed and checks that the two runs are indistinguishable: identical
-//! trace fingerprints and identical end-to-end accounting.
+//! lint pass. Runs representative scenarios twice from the same seed
+//! and checks that the two runs are indistinguishable: identical trace
+//! fingerprints and identical end-to-end accounting. Both delivery
+//! paths are covered — the legacy fire-and-forget drain and the acked
+//! uplink transport (with a crash/reboot fault plan in the mix).
 
-use loramon::core::UplinkModel;
+use loramon::core::{TransportConfig, UplinkModel};
 use loramon::scenario::{run_scenario, ScenarioConfig};
-use loramon::sim::TraceLevel;
+use loramon::sim::{FaultPlan, TraceLevel};
 use std::time::Duration;
 
 /// Knobs for the double-run check.
@@ -40,42 +42,77 @@ pub struct RunDigest {
     pub reports_delivered: usize,
     /// Packet records stored by the server.
     pub total_records: usize,
+    /// Acked-transport counters (enqueued, retransmissions, acked);
+    /// all zero on the fire-and-forget path.
+    pub transport: (u64, u64, u64),
 }
 
-/// Run the scenario once and digest the observable outcome.
-pub fn digest(check: &DeterminismCheck) -> RunDigest {
+/// Run the scenario once and digest the observable outcome. With
+/// `transport` the run uses the acked uplink transport over a lossy
+/// uplink plus a random crash/reboot fault plan, so retry/backoff,
+/// ack bookkeeping and fault injection are all inside the replayed
+/// surface.
+pub fn digest(check: &DeterminismCheck, transport: bool) -> RunDigest {
     let positions = loramon::sim::placement::line(check.nodes, 400.0);
     let mut config = ScenarioConfig::new(positions, check.nodes - 1, check.seed)
-        .with_duration(Duration::from_secs(check.secs))
-        .with_uplink(UplinkModel::perfect());
+        .with_duration(Duration::from_secs(check.secs));
+    config = if transport {
+        config
+            .with_uplink(UplinkModel::flaky(0.15, check.seed ^ 0xF1A))
+            .with_transport(TransportConfig::new())
+            .with_fault_plan(FaultPlan::random(
+                check.seed,
+                check.nodes,
+                Duration::from_secs(check.secs),
+                1,
+            ))
+    } else {
+        config.with_uplink(UplinkModel::perfect())
+    };
     config.trace_level = TraceLevel::Verbose;
     let result = run_scenario(&config);
+    let t = result.transport.unwrap_or_default();
     RunDigest {
         trace_fingerprint: result.sim.trace().fingerprint(),
         trace_len: result.sim.trace().len(),
         reports_delivered: result.reports_delivered,
         total_records: result.server.total_records(),
+        transport: (t.enqueued, t.retransmissions, t.acked),
     }
 }
 
-/// Run twice from the same seed; `Ok` carries the digest both runs
+/// Run each delivery path twice from the same seed; `Ok` carries the
+/// digests (fire-and-forget first, acked transport second) both runs
 /// produced, `Err` describes the divergence.
 ///
 /// # Errors
 ///
 /// Returns a human-readable description when the runs diverge — which
-/// means a determinism bug was introduced somewhere in sim/phy/mesh.
-pub fn double_run(check: &DeterminismCheck) -> Result<RunDigest, String> {
-    let first = digest(check);
-    let second = digest(check);
-    if first == second {
-        Ok(first)
-    } else {
-        Err(format!(
-            "replay diverged for seed {}:\n  first:  {:?}\n  second: {:?}",
-            check.seed, first, second
-        ))
+/// means a determinism bug was introduced somewhere in
+/// sim/phy/mesh/core.
+pub fn double_run(check: &DeterminismCheck) -> Result<[RunDigest; 2], String> {
+    let mut digests = Vec::with_capacity(2);
+    for transport in [false, true] {
+        let first = digest(check, transport);
+        let second = digest(check, transport);
+        if first != second {
+            return Err(format!(
+                "replay diverged for seed {} ({} path):\n  first:  {:?}\n  second: {:?}",
+                check.seed,
+                if transport {
+                    "acked transport"
+                } else {
+                    "fire-and-forget"
+                },
+                first,
+                second
+            ));
+        }
+        digests.push(first);
     }
+    let transport = digests.pop().expect("pushed above");
+    let legacy = digests.pop().expect("pushed above");
+    Ok([legacy, transport])
 }
 
 #[cfg(test)]
@@ -89,7 +126,8 @@ mod tests {
             nodes: 3,
             secs: 120,
         };
-        let digest = double_run(&check).expect("replay must be deterministic");
-        assert!(digest.trace_len > 0, "verbose trace must record events");
+        let [legacy, transport] = double_run(&check).expect("replay must be deterministic");
+        assert!(legacy.trace_len > 0, "verbose trace must record events");
+        assert!(transport.transport.0 > 0, "transport path enqueued nothing");
     }
 }

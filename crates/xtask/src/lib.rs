@@ -1,11 +1,15 @@
 //! Workspace task-runner library backing the `cargo xtask` alias.
 //!
-//! Two subsystems:
+//! Three subsystems:
 //! - [`lint`] — the dependency-free static-analysis pass enforcing the
 //!   determinism and robustness contracts (see DESIGN.md).
 //! - [`determinism`] — the runtime double-run harness asserting that
-//!   one seed replays to byte-identical traces.
+//!   one seed replays to byte-identical traces, on both delivery
+//!   paths (fire-and-forget and the acked transport).
+//! - [`chaos`] — a replayed chaos smoke run (loss + outage + crashes +
+//!   retries) with survival gates.
 
+pub mod chaos;
 pub mod determinism;
 pub mod lint;
 

@@ -23,6 +23,9 @@ pub enum Scope {
     DeterminismAndServer,
     /// `crates/server` sources.
     Server,
+    /// `crates/server` and `crates/core` sources — the no-panic
+    /// surface: server ingest paths plus the on-node client/transport.
+    ServerAndCore,
     /// Every scanned file, including tests, benches and examples.
     Everywhere,
     /// Non-test library/binary sources of every crate.
@@ -78,16 +81,16 @@ pub const RULES: &[Rule] = &[
     Rule {
         id: "server-unwrap",
         patterns: &[".unwrap()", ".expect("],
-        scope: Scope::Server,
+        scope: Scope::ServerAndCore,
         include_tests: false,
-        message: "request/ingest paths must not panic; map the error to a 4xx/5xx response",
+        message: "ingest/client paths must not panic; map the error to a response or drop the record",
     },
     Rule {
         id: "server-panic",
         patterns: &["panic!", "unreachable!"],
-        scope: Scope::Server,
+        scope: Scope::ServerAndCore,
         include_tests: false,
-        message: "request/ingest paths must not panic; return an error response instead",
+        message: "ingest/client paths must not panic; return an error instead",
     },
     Rule {
         id: "no-todo",
@@ -121,10 +124,12 @@ pub fn applies(rule_scope: Scope, include_tests: bool, rel: &str, is_test: bool)
         .iter()
         .any(|p| rel.starts_with(p));
     let server_crate = rel.starts_with("crates/server/");
+    let core_crate = rel.starts_with("crates/core/");
     match rule_scope {
         Scope::Determinism => in_src && determinism_crate,
         Scope::DeterminismAndServer => in_src && (determinism_crate || server_crate),
         Scope::Server => in_src && server_crate,
+        Scope::ServerAndCore => in_src && (server_crate || core_crate),
         Scope::Everywhere => true,
         Scope::Sources => in_src,
     }
@@ -164,6 +169,24 @@ mod tests {
             Scope::DeterminismAndServer,
             false,
             "crates/server/src/clock.rs",
+            false
+        ));
+        assert!(applies(
+            Scope::ServerAndCore,
+            false,
+            "crates/core/src/transport.rs",
+            false
+        ));
+        assert!(applies(
+            Scope::ServerAndCore,
+            false,
+            "crates/server/src/ingest.rs",
+            false
+        ));
+        assert!(!applies(
+            Scope::ServerAndCore,
+            false,
+            "crates/mesh/src/node.rs",
             false
         ));
         assert!(applies(

@@ -3,10 +3,15 @@
 //! Commands:
 //! - `lint` — static-analysis pass for determinism/robustness/hygiene
 //!   (exit 1 on any violation).
-//! - `determinism` — run a scenario twice from one seed and require
-//!   identical trace fingerprints (exit 1 on divergence).
+//! - `determinism` — run a scenario twice from one seed on both
+//!   delivery paths and require identical trace fingerprints (exit 1
+//!   on divergence).
+//! - `chaos` — replayed chaos smoke run: loss + outage + crash/reboot
+//!   cycles + acked-transport retries, with survival gates (exit 1 on
+//!   divergence or a failed gate).
 
 use std::process::ExitCode;
+use xtask::chaos::{chaos_run, ChaosCheck};
 use xtask::determinism::{double_run, DeterminismCheck};
 
 const USAGE: &str = "\
@@ -14,10 +19,15 @@ usage: cargo xtask <command>
 
 commands:
   lint                      run the determinism/robustness/hygiene lint pass
-  determinism [options]     double-run a scenario, compare trace fingerprints
+  determinism [options]     double-run both delivery paths, compare fingerprints
       --seed N              seed shared by both runs (default 42)
       --nodes N             nodes in the line topology (default 6)
       --secs N              simulated seconds (default 600)
+  chaos [options]           replayed chaos smoke run with survival gates
+      --seed N              seed for sim, uplink dice and fault plan (default 1337)
+      --nodes N             nodes in the line topology (default 5)
+      --secs N              simulated seconds (default 1800)
+      --crashes N           crash/reboot cycles to inject (default 2)
   help                      show this message
 ";
 
@@ -26,6 +36,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => run_lint(),
         Some("determinism") => run_determinism(&args[1..]),
+        Some("chaos") => run_chaos(&args[1..]),
         Some("help") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -81,19 +92,59 @@ fn run_determinism(args: &[String]) -> ExitCode {
         }
     }
     match double_run(&check) {
-        Ok(digest) => {
+        Ok([legacy, transport]) => {
             println!(
-                "determinism OK: seed {} → trace fingerprint {:#018x} ({} events, {} reports, {} records) on both runs",
+                "determinism OK: seed {} → fire-and-forget fingerprint {:#018x} ({} events), \
+                 acked-transport fingerprint {:#018x} ({} events, {} reports, {} retransmissions) \
+                 on both runs",
                 check.seed,
-                digest.trace_fingerprint,
-                digest.trace_len,
-                digest.reports_delivered,
-                digest.total_records
+                legacy.trace_fingerprint,
+                legacy.trace_len,
+                transport.trace_fingerprint,
+                transport.trace_len,
+                transport.reports_delivered,
+                transport.transport.1,
             );
             ExitCode::SUCCESS
         }
         Err(e) => {
             eprintln!("determinism FAILED: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_chaos(args: &[String]) -> ExitCode {
+    let mut check = ChaosCheck::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let value = it.next().and_then(|v| v.parse::<u64>().ok());
+        match (flag.as_str(), value) {
+            ("--seed", Some(v)) => check.seed = v,
+            ("--nodes", Some(v)) => check.nodes = v as usize,
+            ("--secs", Some(v)) => check.secs = v,
+            ("--crashes", Some(v)) => check.crashes = v as usize,
+            _ => {
+                eprintln!("bad chaos arguments\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match chaos_run(&check) {
+        Ok(outcome) => {
+            println!(
+                "chaos OK: seed {} replayed identically → delivery {:.3}, {} restarts detected, \
+                 {} retransmissions, fingerprint {:#018x}",
+                check.seed,
+                outcome.delivery_ratio,
+                outcome.restarts,
+                outcome.retransmissions,
+                outcome.digest.trace_fingerprint,
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("chaos FAILED: {e}");
             ExitCode::FAILURE
         }
     }

@@ -1,0 +1,40 @@
+//! Delivery ratio vs uplink loss, with the acked transport off and on.
+//!
+//! Sweeps the flaky-uplink loss probability and runs the same 3-node
+//! line scenario twice per point: once fire-and-forget (each report
+//! gets exactly one delivery attempt) and once with the acknowledged
+//! transport (bounded retransmit queue, exponential backoff, server
+//! acks). Prints the R-Tab-4 table of EXPERIMENTS.md.
+//!
+//! Run with: `cargo run --release --example reliable_uplink`
+
+use loramon::core::{TransportConfig, UplinkModel};
+use loramon::scenario::{run_scenario, ScenarioConfig};
+use std::time::Duration;
+
+fn config(loss: f64, seed: u64) -> ScenarioConfig {
+    ScenarioConfig::line(3, 300.0, seed)
+        .with_duration(Duration::from_secs(3600))
+        .with_uplink(UplinkModel::flaky(loss, seed ^ 0x10_55))
+}
+
+fn main() {
+    println!("| uplink loss | fire-and-forget | acked transport | retransmissions |");
+    println!("|---|---|---|---|");
+    for &loss_pct in &[0u32, 5, 10, 20, 30, 40] {
+        let loss = f64::from(loss_pct) / 100.0;
+        let seed = 2024 + u64::from(loss_pct);
+
+        let baseline = run_scenario(&config(loss, seed));
+        let acked = run_scenario(&config(loss, seed).with_transport(TransportConfig::new()));
+        let stats = acked.transport.expect("transport stats present");
+
+        println!(
+            "| {:>2} % | {:.3} | {:.3} | {} |",
+            loss_pct,
+            baseline.delivery_ratio(),
+            acked.delivery_ratio(),
+            stats.retransmissions,
+        );
+    }
+}

@@ -8,11 +8,14 @@
 //! monitoring system can be judged against reality. Every example and
 //! bench builds on this harness.
 
-use loramon_core::{MonitorClient, MonitorConfig, ReportingMode, UplinkModel};
+use loramon_core::{
+    MonitorClient, MonitorConfig, Report, ReportingMode, TransportConfig, TransportStats,
+    UplinkModel,
+};
 use loramon_mesh::{MeshConfig, MeshNode, MeshStats, TrafficPattern};
 use loramon_phy::{LogDistance, Position, RadioConfig};
 use loramon_server::{Alert, MonitorServer, ServerConfig};
-use loramon_sim::{LossReason, NodeId, SimBuilder, SimTime, Simulator, TraceLevel};
+use loramon_sim::{FaultPlan, LossReason, NodeId, SimBuilder, SimTime, Simulator, TraceLevel};
 use std::collections::BTreeMap;
 use std::time::Duration;
 
@@ -77,10 +80,19 @@ pub struct ScenarioConfig {
     pub failures: Vec<Failure>,
     /// Scheduled walks (mobility).
     pub walks: Vec<Walk>,
+    /// A declarative crash/reboot + gateway-failover plan, layered on
+    /// top of `failures`. The failover part only takes effect when the
+    /// acked transport is enabled (it needs the stepping delivery
+    /// loop).
+    pub fault_plan: Option<FaultPlan>,
     /// Simulated duration.
     pub duration: Duration,
     /// How often server alert rules are evaluated.
     pub alert_period: Duration,
+    /// Granularity of the transport pump loop: how often pending
+    /// uplink sends and acks are exchanged when the acked transport is
+    /// enabled. Ignored in fire-and-forget mode.
+    pub uplink_step: Duration,
     /// Simulator trace verbosity.
     pub trace_level: TraceLevel,
 }
@@ -125,8 +137,10 @@ impl ScenarioConfig {
             duty_cycle: 0.01,
             failures: Vec::new(),
             walks: Vec::new(),
+            fault_plan: None,
             duration: Duration::from_secs(600),
             alert_period: Duration::from_secs(10),
+            uplink_step: Duration::from_secs(5),
             trace_level: TraceLevel::Normal,
         }
     }
@@ -181,6 +195,28 @@ impl ScenarioConfig {
         self.monitor = monitor;
         self
     }
+
+    /// Enable the acknowledged uplink transport on every client
+    /// (builder style). Switches report delivery from the one-shot
+    /// fire-and-forget drain to the stepping pump loop with retries,
+    /// backoff and server acks.
+    pub fn with_transport(mut self, transport: TransportConfig) -> Self {
+        self.monitor.transport = Some(transport);
+        self
+    }
+
+    /// Set the fault plan (builder style).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Set the transport pump granularity (builder style).
+    pub fn with_uplink_step(mut self, step: Duration) -> Self {
+        assert!(!step.is_zero(), "uplink step must be positive");
+        self.uplink_step = step;
+        self
+    }
 }
 
 /// Ground truth extracted from the simulator, for judging the monitor.
@@ -228,10 +264,14 @@ pub struct ScenarioResult {
     pub ground_truth: GroundTruth,
     /// Per-node client statistics.
     pub client_stats: Vec<ClientStat>,
-    /// Reports that reached the server.
+    /// Distinct reports that reached the server (retransmission
+    /// duplicates count once).
     pub reports_delivered: usize,
     /// Reports lost on the uplink (or in-band path pre-gateway).
     pub reports_lost: usize,
+    /// Aggregate acked-transport counters across all clients; `None`
+    /// when the run used fire-and-forget delivery.
+    pub transport: Option<TransportStats>,
     /// Alerts fired during the run, in firing order.
     pub alerts: Vec<Alert>,
     /// The simulator (for trace inspection).
@@ -243,6 +283,15 @@ impl ScenarioResult {
     /// ground-truth transmissions.
     pub fn completeness(&self) -> f64 {
         self.server.completeness(self.ground_truth.transmissions)
+    }
+
+    /// Fraction of generated reports that reached the server.
+    pub fn delivery_ratio(&self) -> f64 {
+        let expected = self.reports_delivered + self.reports_lost;
+        if expected == 0 {
+            return 1.0;
+        }
+        self.reports_delivered as f64 / expected as f64
     }
 }
 
@@ -283,18 +332,91 @@ pub fn run_scenario(config: &ScenarioConfig) -> ScenarioResult {
             sim.schedule_recovery(node_ids[f.node_index], recover_at);
         }
     }
+    if let Some(plan) = &config.fault_plan {
+        plan.schedule(&mut sim, &node_ids);
+    }
     for w in &config.walks {
         sim.schedule_walk(node_ids[w.node_index], w.depart, w.to, w.speed_mps, w.step);
     }
 
+    let outcome = if config.monitor.transport.is_some() {
+        pump_reports(config, &mut sim, &node_ids)
+    } else {
+        drain_reports(config, &mut sim, &node_ids)
+    };
+    let DeliveryOutcome {
+        server,
+        alerts,
+        client_stats,
+        reports_delivered,
+        reports_lost,
+        transport,
+    } = outcome;
+
+    // Ground truth.
+    let trace = sim.trace();
+    let mut ground_truth = GroundTruth {
+        transmissions: trace.transmissions(None) as u64,
+        deliveries: trace.deliveries(None) as u64,
+        collision_losses: trace.losses(Some(LossReason::Collision)) as u64,
+        half_duplex_losses: trace.losses(Some(LossReason::HalfDuplex)) as u64,
+        airtime_us: 0,
+        mesh_stats: BTreeMap::new(),
+    };
+    for &id in &node_ids {
+        ground_truth.airtime_us += sim.stats(id).airtime_us;
+        let node = sim.app_as::<MonitoredNode>(id).expect("typed above");
+        ground_truth.mesh_stats.insert(id, node.stats());
+    }
+
+    let positions = node_ids
+        .iter()
+        .zip(&config.positions)
+        .map(|(&id, &p)| (id, p))
+        .collect();
+
+    ScenarioResult {
+        server,
+        node_ids,
+        gateway,
+        positions,
+        ground_truth,
+        client_stats,
+        reports_delivered,
+        reports_lost,
+        transport,
+        alerts,
+        sim,
+    }
+}
+
+/// What a delivery path hands back to [`run_scenario`].
+struct DeliveryOutcome {
+    server: MonitorServer,
+    alerts: Vec<Alert>,
+    client_stats: Vec<ClientStat>,
+    reports_delivered: usize,
+    reports_lost: usize,
+    transport: Option<TransportStats>,
+}
+
+/// The historical fire-and-forget path: run the whole simulation, then
+/// drain every client once and push the surviving reports through the
+/// uplink model in one batch. Each report gets exactly one delivery
+/// attempt; nothing is acknowledged or retried.
+fn drain_reports(
+    config: &ScenarioConfig,
+    sim: &mut Simulator,
+    node_ids: &[NodeId],
+) -> DeliveryOutcome {
     sim.run_for(config.duration);
 
     // Drain clients: out-of-band outboxes stamped with generation time,
     // gateway-collected in-band reports stamped with mesh arrival time.
-    let mut pending: Vec<(SimTime, loramon_core::Report)> = Vec::new();
+    let mut pending: Vec<(SimTime, Report)> = Vec::new();
     let mut client_stats = Vec::new();
     let mut expected_reports = 0usize;
-    for &id in &node_ids {
+    for &id in node_ids {
         let node = sim
             .app_as_mut::<MonitoredNode>(id)
             .expect("scenario nodes are MeshNode<MonitorClient>");
@@ -344,39 +466,199 @@ pub fn run_scenario(config: &ScenarioConfig) -> ScenarioResult {
         server.ingest(&report, at);
     }
 
-    // Ground truth.
-    let trace = sim.trace();
-    let mut ground_truth = GroundTruth {
-        transmissions: trace.transmissions(None) as u64,
-        deliveries: trace.deliveries(None) as u64,
-        collision_losses: trace.losses(Some(LossReason::Collision)) as u64,
-        half_duplex_losses: trace.losses(Some(LossReason::HalfDuplex)) as u64,
-        airtime_us: 0,
-        mesh_stats: BTreeMap::new(),
-    };
-    for &id in &node_ids {
-        ground_truth.airtime_us += sim.stats(id).airtime_us;
-        let node = sim.app_as::<MonitoredNode>(id).expect("typed above");
-        ground_truth.mesh_stats.insert(id, node.stats());
-    }
-
-    let positions = node_ids
-        .iter()
-        .zip(&config.positions)
-        .map(|(&id, &p)| (id, p))
-        .collect();
-
-    ScenarioResult {
+    DeliveryOutcome {
         server,
-        node_ids,
-        gateway,
-        positions,
-        ground_truth,
+        alerts,
         client_stats,
         reports_delivered,
         reports_lost,
+        transport: None,
+    }
+}
+
+/// Reports waiting out their uplink latency, keyed by delivery time
+/// (with a tie-breaking counter) and carrying the sending node.
+type Inflight = BTreeMap<(SimTime, u64), (NodeId, Report)>;
+
+/// Bound on post-run retransmission rounds, so a permanently dead
+/// uplink cannot spin the flush loop forever.
+const MAX_FLUSH_ROUNDS: usize = 64;
+
+/// The acknowledged-transport path: step the simulation in
+/// `uplink_step` increments, and at each step exchange pending sends
+/// and acknowledgements between clients and server. Reports ride the
+/// uplink model per *attempt*, unacked reports back off and retry, and
+/// the server sees retransmissions as duplicates. After the simulated
+/// duration, live clients get a bounded number of extra flush rounds
+/// to finish retransmitting.
+fn pump_reports(
+    config: &ScenarioConfig,
+    sim: &mut Simulator,
+    node_ids: &[NodeId],
+) -> DeliveryOutcome {
+    let server = MonitorServer::new(config.server);
+    let mut alerts = Vec::new();
+    let step = config.uplink_step;
+    let end = SimTime::ZERO + config.duration;
+    let mut eval_at = SimTime::ZERO + config.alert_period;
+    let mut inflight: Inflight = BTreeMap::new();
+    let mut counter = 0u64;
+    let mut failover_pending = config.fault_plan.as_ref().and_then(|p| p.failover);
+    let mut now = SimTime::ZERO;
+
+    while now < end {
+        now = (now + step).min(end);
+        sim.run_until(now);
+
+        // Gateway failover: repoint every in-band client at the new
+        // collector once the failover time passes.
+        if let Some(fo) = failover_pending {
+            if fo.at <= now {
+                failover_pending = None;
+                if let Some(&new_gw) = node_ids.get(fo.to_index) {
+                    for &id in node_ids {
+                        if let Some(node) = sim.app_as_mut::<MonitoredNode>(id) {
+                            node.observer_mut().redirect_gateway(new_gw);
+                        }
+                    }
+                }
+            }
+        }
+
+        pump_step(
+            config,
+            sim,
+            node_ids,
+            now,
+            false,
+            &mut counter,
+            &mut inflight,
+        );
+        deliver_due(sim, &server, now, &mut inflight);
+
+        while eval_at <= now {
+            alerts.extend(server.evaluate_alerts(eval_at));
+            eval_at += config.alert_period;
+        }
+    }
+
+    // Post-run flush: give live clients a bounded chance to finish.
+    for _ in 0..MAX_FLUSH_ROUNDS {
+        let outstanding: usize = node_ids
+            .iter()
+            .filter(|&&id| !sim.is_failed(id))
+            .filter_map(|&id| sim.app_as::<MonitoredNode>(id))
+            .map(|n| n.observer().pending_uplink())
+            .sum();
+        if outstanding == 0 && inflight.is_empty() {
+            break;
+        }
+        now = now + step;
+        pump_step(
+            config,
+            sim,
+            node_ids,
+            now,
+            true,
+            &mut counter,
+            &mut inflight,
+        );
+        deliver_due(sim, &server, now, &mut inflight);
+    }
+    // Whatever is still in the air lands; anything still queued on a
+    // client after the bounded flush counts as lost.
+    for ((at, _), (_owner, report)) in std::mem::take(&mut inflight) {
+        server.ingest(&report, at);
+    }
+    alerts.extend(server.evaluate_alerts(now + Duration::from_secs(5)));
+
+    let mut client_stats = Vec::new();
+    let mut expected_reports = 0usize;
+    let mut transport = TransportStats::default();
+    for &id in node_ids {
+        let Some(node) = sim.app_as::<MonitoredNode>(id) else {
+            continue;
+        };
+        let client = node.observer();
+        client_stats.push(ClientStat {
+            node: id,
+            captured: client.records_captured(),
+            dropped: client.records_dropped(),
+            reports: client.reports_generated(),
+        });
+        expected_reports += client.reports_generated() as usize;
+        if let Some(stats) = client.transport_stats() {
+            transport = transport.merged_with(stats);
+        }
+    }
+    let reports_delivered = server.ingest_stats().accepted as usize;
+    DeliveryOutcome {
+        server,
         alerts,
-        sim,
+        client_stats,
+        reports_delivered,
+        reports_lost: expected_reports.saturating_sub(reports_delivered),
+        transport: Some(transport),
+    }
+}
+
+/// One exchange round: every live client hands its gateway-collected
+/// reports to its own transport queue, then puts its due (or, when
+/// `force`, *all* pending) reports on the uplink.
+fn pump_step(
+    config: &ScenarioConfig,
+    sim: &mut Simulator,
+    node_ids: &[NodeId],
+    now: SimTime,
+    force: bool,
+    counter: &mut u64,
+    inflight: &mut Inflight,
+) {
+    for &id in node_ids {
+        if sim.is_failed(id) {
+            continue;
+        }
+        let Some(node) = sim.app_as_mut::<MonitoredNode>(id) else {
+            continue;
+        };
+        let client = node.observer_mut();
+        for (_arrived_at, report) in client.take_collected() {
+            client.enqueue_uplink(report, now);
+        }
+        let sends = if force {
+            client.uplink_flush(now)
+        } else {
+            client.uplink_due(now)
+        };
+        for (attempt, report) in sends {
+            if let Some(at) = config.uplink.deliver_attempt_at(now, &report, attempt) {
+                *counter += 1;
+                inflight.insert((at, *counter), (id, report));
+            }
+        }
+    }
+}
+
+/// Land every in-flight report whose delivery time has passed, and
+/// acknowledge it back to its sender — any server response (accepted,
+/// duplicate, or invalid) confirms receipt, so the client stops
+/// retrying. Crashed senders get no ack; their volatile queue is gone
+/// anyway.
+fn deliver_due(sim: &mut Simulator, server: &MonitorServer, now: SimTime, inflight: &mut Inflight) {
+    while inflight
+        .first_key_value()
+        .is_some_and(|(&(at, _), _)| at <= now)
+    {
+        let Some(((at, _), (owner, report))) = inflight.pop_first() else {
+            break;
+        };
+        server.ingest(&report, at);
+        if !sim.is_failed(owner) {
+            if let Some(node) = sim.app_as_mut::<MonitoredNode>(owner) {
+                node.observer_mut()
+                    .ack_uplink(report.node, report.report_seq);
+            }
+        }
     }
 }
 

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/loramon_core-767badb8e3760e16.d: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/client.rs crates/core/src/command.rs crates/core/src/record.rs crates/core/src/report.rs crates/core/src/status.rs crates/core/src/uplink.rs
+/root/repo/target/debug/deps/loramon_core-767badb8e3760e16.d: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/client.rs crates/core/src/command.rs crates/core/src/record.rs crates/core/src/report.rs crates/core/src/status.rs crates/core/src/transport.rs crates/core/src/uplink.rs
 
-/root/repo/target/debug/deps/loramon_core-767badb8e3760e16: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/client.rs crates/core/src/command.rs crates/core/src/record.rs crates/core/src/report.rs crates/core/src/status.rs crates/core/src/uplink.rs
+/root/repo/target/debug/deps/loramon_core-767badb8e3760e16: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/client.rs crates/core/src/command.rs crates/core/src/record.rs crates/core/src/report.rs crates/core/src/status.rs crates/core/src/transport.rs crates/core/src/uplink.rs
 
 crates/core/src/lib.rs:
 crates/core/src/buffer.rs:
@@ -9,4 +9,5 @@ crates/core/src/command.rs:
 crates/core/src/record.rs:
 crates/core/src/report.rs:
 crates/core/src/status.rs:
+crates/core/src/transport.rs:
 crates/core/src/uplink.rs:

@@ -1,13 +1,14 @@
-/root/repo/target/debug/deps/loramon_server-0e62cdb34eab31a1.d: crates/server/src/lib.rs crates/server/src/alert.rs crates/server/src/archive.rs crates/server/src/clock.rs crates/server/src/health.rs crates/server/src/http.rs crates/server/src/ingest.rs crates/server/src/matcher.rs crates/server/src/query.rs crates/server/src/rollup.rs crates/server/src/server.rs crates/server/src/store.rs crates/server/src/topology.rs
+/root/repo/target/debug/deps/loramon_server-0e62cdb34eab31a1.d: crates/server/src/lib.rs crates/server/src/alert.rs crates/server/src/archive.rs crates/server/src/clock.rs crates/server/src/epoch.rs crates/server/src/health.rs crates/server/src/http.rs crates/server/src/ingest.rs crates/server/src/matcher.rs crates/server/src/query.rs crates/server/src/rollup.rs crates/server/src/server.rs crates/server/src/store.rs crates/server/src/topology.rs
 
-/root/repo/target/debug/deps/libloramon_server-0e62cdb34eab31a1.rlib: crates/server/src/lib.rs crates/server/src/alert.rs crates/server/src/archive.rs crates/server/src/clock.rs crates/server/src/health.rs crates/server/src/http.rs crates/server/src/ingest.rs crates/server/src/matcher.rs crates/server/src/query.rs crates/server/src/rollup.rs crates/server/src/server.rs crates/server/src/store.rs crates/server/src/topology.rs
+/root/repo/target/debug/deps/libloramon_server-0e62cdb34eab31a1.rlib: crates/server/src/lib.rs crates/server/src/alert.rs crates/server/src/archive.rs crates/server/src/clock.rs crates/server/src/epoch.rs crates/server/src/health.rs crates/server/src/http.rs crates/server/src/ingest.rs crates/server/src/matcher.rs crates/server/src/query.rs crates/server/src/rollup.rs crates/server/src/server.rs crates/server/src/store.rs crates/server/src/topology.rs
 
-/root/repo/target/debug/deps/libloramon_server-0e62cdb34eab31a1.rmeta: crates/server/src/lib.rs crates/server/src/alert.rs crates/server/src/archive.rs crates/server/src/clock.rs crates/server/src/health.rs crates/server/src/http.rs crates/server/src/ingest.rs crates/server/src/matcher.rs crates/server/src/query.rs crates/server/src/rollup.rs crates/server/src/server.rs crates/server/src/store.rs crates/server/src/topology.rs
+/root/repo/target/debug/deps/libloramon_server-0e62cdb34eab31a1.rmeta: crates/server/src/lib.rs crates/server/src/alert.rs crates/server/src/archive.rs crates/server/src/clock.rs crates/server/src/epoch.rs crates/server/src/health.rs crates/server/src/http.rs crates/server/src/ingest.rs crates/server/src/matcher.rs crates/server/src/query.rs crates/server/src/rollup.rs crates/server/src/server.rs crates/server/src/store.rs crates/server/src/topology.rs
 
 crates/server/src/lib.rs:
 crates/server/src/alert.rs:
 crates/server/src/archive.rs:
 crates/server/src/clock.rs:
+crates/server/src/epoch.rs:
 crates/server/src/health.rs:
 crates/server/src/http.rs:
 crates/server/src/ingest.rs:

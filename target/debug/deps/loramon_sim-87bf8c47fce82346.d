@@ -1,13 +1,14 @@
-/root/repo/target/debug/deps/loramon_sim-87bf8c47fce82346.d: crates/sim/src/lib.rs crates/sim/src/app.rs crates/sim/src/apps.rs crates/sim/src/channel.rs crates/sim/src/node.rs crates/sim/src/placement.rs crates/sim/src/rng.rs crates/sim/src/sim.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+/root/repo/target/debug/deps/loramon_sim-87bf8c47fce82346.d: crates/sim/src/lib.rs crates/sim/src/app.rs crates/sim/src/apps.rs crates/sim/src/channel.rs crates/sim/src/fault.rs crates/sim/src/node.rs crates/sim/src/placement.rs crates/sim/src/rng.rs crates/sim/src/sim.rs crates/sim/src/time.rs crates/sim/src/trace.rs
 
-/root/repo/target/debug/deps/libloramon_sim-87bf8c47fce82346.rlib: crates/sim/src/lib.rs crates/sim/src/app.rs crates/sim/src/apps.rs crates/sim/src/channel.rs crates/sim/src/node.rs crates/sim/src/placement.rs crates/sim/src/rng.rs crates/sim/src/sim.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+/root/repo/target/debug/deps/libloramon_sim-87bf8c47fce82346.rlib: crates/sim/src/lib.rs crates/sim/src/app.rs crates/sim/src/apps.rs crates/sim/src/channel.rs crates/sim/src/fault.rs crates/sim/src/node.rs crates/sim/src/placement.rs crates/sim/src/rng.rs crates/sim/src/sim.rs crates/sim/src/time.rs crates/sim/src/trace.rs
 
-/root/repo/target/debug/deps/libloramon_sim-87bf8c47fce82346.rmeta: crates/sim/src/lib.rs crates/sim/src/app.rs crates/sim/src/apps.rs crates/sim/src/channel.rs crates/sim/src/node.rs crates/sim/src/placement.rs crates/sim/src/rng.rs crates/sim/src/sim.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+/root/repo/target/debug/deps/libloramon_sim-87bf8c47fce82346.rmeta: crates/sim/src/lib.rs crates/sim/src/app.rs crates/sim/src/apps.rs crates/sim/src/channel.rs crates/sim/src/fault.rs crates/sim/src/node.rs crates/sim/src/placement.rs crates/sim/src/rng.rs crates/sim/src/sim.rs crates/sim/src/time.rs crates/sim/src/trace.rs
 
 crates/sim/src/lib.rs:
 crates/sim/src/app.rs:
 crates/sim/src/apps.rs:
 crates/sim/src/channel.rs:
+crates/sim/src/fault.rs:
 crates/sim/src/node.rs:
 crates/sim/src/placement.rs:
 crates/sim/src/rng.rs:

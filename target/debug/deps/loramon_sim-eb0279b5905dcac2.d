@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/loramon_sim-eb0279b5905dcac2.d: crates/sim/src/lib.rs crates/sim/src/app.rs crates/sim/src/apps.rs crates/sim/src/channel.rs crates/sim/src/node.rs crates/sim/src/placement.rs crates/sim/src/rng.rs crates/sim/src/sim.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+/root/repo/target/debug/deps/loramon_sim-eb0279b5905dcac2.d: crates/sim/src/lib.rs crates/sim/src/app.rs crates/sim/src/apps.rs crates/sim/src/channel.rs crates/sim/src/fault.rs crates/sim/src/node.rs crates/sim/src/placement.rs crates/sim/src/rng.rs crates/sim/src/sim.rs crates/sim/src/time.rs crates/sim/src/trace.rs
 
-/root/repo/target/debug/deps/loramon_sim-eb0279b5905dcac2: crates/sim/src/lib.rs crates/sim/src/app.rs crates/sim/src/apps.rs crates/sim/src/channel.rs crates/sim/src/node.rs crates/sim/src/placement.rs crates/sim/src/rng.rs crates/sim/src/sim.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+/root/repo/target/debug/deps/loramon_sim-eb0279b5905dcac2: crates/sim/src/lib.rs crates/sim/src/app.rs crates/sim/src/apps.rs crates/sim/src/channel.rs crates/sim/src/fault.rs crates/sim/src/node.rs crates/sim/src/placement.rs crates/sim/src/rng.rs crates/sim/src/sim.rs crates/sim/src/time.rs crates/sim/src/trace.rs
 
 crates/sim/src/lib.rs:
 crates/sim/src/app.rs:
 crates/sim/src/apps.rs:
 crates/sim/src/channel.rs:
+crates/sim/src/fault.rs:
 crates/sim/src/node.rs:
 crates/sim/src/placement.rs:
 crates/sim/src/rng.rs:

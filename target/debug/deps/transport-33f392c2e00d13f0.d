@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transport-33f392c2e00d13f0.d: tests/transport.rs
+
+/root/repo/target/debug/deps/transport-33f392c2e00d13f0: tests/transport.rs
+
+tests/transport.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/xtask-5477fadf9c429777.d: crates/xtask/src/lib.rs crates/xtask/src/determinism.rs crates/xtask/src/lint/mod.rs crates/xtask/src/lint/rules.rs crates/xtask/src/lint/scanner.rs
+/root/repo/target/debug/deps/xtask-5477fadf9c429777.d: crates/xtask/src/lib.rs crates/xtask/src/chaos.rs crates/xtask/src/determinism.rs crates/xtask/src/lint/mod.rs crates/xtask/src/lint/rules.rs crates/xtask/src/lint/scanner.rs
 
-/root/repo/target/debug/deps/libxtask-5477fadf9c429777.rlib: crates/xtask/src/lib.rs crates/xtask/src/determinism.rs crates/xtask/src/lint/mod.rs crates/xtask/src/lint/rules.rs crates/xtask/src/lint/scanner.rs
+/root/repo/target/debug/deps/libxtask-5477fadf9c429777.rlib: crates/xtask/src/lib.rs crates/xtask/src/chaos.rs crates/xtask/src/determinism.rs crates/xtask/src/lint/mod.rs crates/xtask/src/lint/rules.rs crates/xtask/src/lint/scanner.rs
 
-/root/repo/target/debug/deps/libxtask-5477fadf9c429777.rmeta: crates/xtask/src/lib.rs crates/xtask/src/determinism.rs crates/xtask/src/lint/mod.rs crates/xtask/src/lint/rules.rs crates/xtask/src/lint/scanner.rs
+/root/repo/target/debug/deps/libxtask-5477fadf9c429777.rmeta: crates/xtask/src/lib.rs crates/xtask/src/chaos.rs crates/xtask/src/determinism.rs crates/xtask/src/lint/mod.rs crates/xtask/src/lint/rules.rs crates/xtask/src/lint/scanner.rs
 
 crates/xtask/src/lib.rs:
+crates/xtask/src/chaos.rs:
 crates/xtask/src/determinism.rs:
 crates/xtask/src/lint/mod.rs:
 crates/xtask/src/lint/rules.rs:

@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/xtask-d4807bfd0bedb07e.d: crates/xtask/src/lib.rs crates/xtask/src/determinism.rs crates/xtask/src/lint/mod.rs crates/xtask/src/lint/rules.rs crates/xtask/src/lint/scanner.rs
+/root/repo/target/debug/deps/xtask-d4807bfd0bedb07e.d: crates/xtask/src/lib.rs crates/xtask/src/chaos.rs crates/xtask/src/determinism.rs crates/xtask/src/lint/mod.rs crates/xtask/src/lint/rules.rs crates/xtask/src/lint/scanner.rs
 
-/root/repo/target/debug/deps/xtask-d4807bfd0bedb07e: crates/xtask/src/lib.rs crates/xtask/src/determinism.rs crates/xtask/src/lint/mod.rs crates/xtask/src/lint/rules.rs crates/xtask/src/lint/scanner.rs
+/root/repo/target/debug/deps/xtask-d4807bfd0bedb07e: crates/xtask/src/lib.rs crates/xtask/src/chaos.rs crates/xtask/src/determinism.rs crates/xtask/src/lint/mod.rs crates/xtask/src/lint/rules.rs crates/xtask/src/lint/scanner.rs
 
 crates/xtask/src/lib.rs:
+crates/xtask/src/chaos.rs:
 crates/xtask/src/determinism.rs:
 crates/xtask/src/lint/mod.rs:
 crates/xtask/src/lint/rules.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/failover_dbg-e57f214d4b757dbf.d: examples/failover_dbg.rs
+
+/root/repo/target/debug/examples/failover_dbg-e57f214d4b757dbf: examples/failover_dbg.rs
+
+examples/failover_dbg.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/reliable_uplink-13d71b67dd93caf2.d: examples/reliable_uplink.rs
+
+/root/repo/target/debug/examples/reliable_uplink-13d71b67dd93caf2: examples/reliable_uplink.rs
+
+examples/reliable_uplink.rs:

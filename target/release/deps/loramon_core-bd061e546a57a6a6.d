@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/loramon_core-bd061e546a57a6a6.d: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/client.rs crates/core/src/command.rs crates/core/src/record.rs crates/core/src/report.rs crates/core/src/status.rs crates/core/src/uplink.rs
+/root/repo/target/release/deps/loramon_core-bd061e546a57a6a6.d: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/client.rs crates/core/src/command.rs crates/core/src/record.rs crates/core/src/report.rs crates/core/src/status.rs crates/core/src/transport.rs crates/core/src/uplink.rs
 
-/root/repo/target/release/deps/libloramon_core-bd061e546a57a6a6.rlib: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/client.rs crates/core/src/command.rs crates/core/src/record.rs crates/core/src/report.rs crates/core/src/status.rs crates/core/src/uplink.rs
+/root/repo/target/release/deps/libloramon_core-bd061e546a57a6a6.rlib: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/client.rs crates/core/src/command.rs crates/core/src/record.rs crates/core/src/report.rs crates/core/src/status.rs crates/core/src/transport.rs crates/core/src/uplink.rs
 
-/root/repo/target/release/deps/libloramon_core-bd061e546a57a6a6.rmeta: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/client.rs crates/core/src/command.rs crates/core/src/record.rs crates/core/src/report.rs crates/core/src/status.rs crates/core/src/uplink.rs
+/root/repo/target/release/deps/libloramon_core-bd061e546a57a6a6.rmeta: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/client.rs crates/core/src/command.rs crates/core/src/record.rs crates/core/src/report.rs crates/core/src/status.rs crates/core/src/transport.rs crates/core/src/uplink.rs
 
 crates/core/src/lib.rs:
 crates/core/src/buffer.rs:
@@ -11,4 +11,5 @@ crates/core/src/command.rs:
 crates/core/src/record.rs:
 crates/core/src/report.rs:
 crates/core/src/status.rs:
+crates/core/src/transport.rs:
 crates/core/src/uplink.rs:

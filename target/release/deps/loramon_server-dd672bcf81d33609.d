@@ -1,13 +1,14 @@
-/root/repo/target/release/deps/loramon_server-dd672bcf81d33609.d: crates/server/src/lib.rs crates/server/src/alert.rs crates/server/src/archive.rs crates/server/src/clock.rs crates/server/src/health.rs crates/server/src/http.rs crates/server/src/ingest.rs crates/server/src/matcher.rs crates/server/src/query.rs crates/server/src/rollup.rs crates/server/src/server.rs crates/server/src/store.rs crates/server/src/topology.rs
+/root/repo/target/release/deps/loramon_server-dd672bcf81d33609.d: crates/server/src/lib.rs crates/server/src/alert.rs crates/server/src/archive.rs crates/server/src/clock.rs crates/server/src/epoch.rs crates/server/src/health.rs crates/server/src/http.rs crates/server/src/ingest.rs crates/server/src/matcher.rs crates/server/src/query.rs crates/server/src/rollup.rs crates/server/src/server.rs crates/server/src/store.rs crates/server/src/topology.rs
 
-/root/repo/target/release/deps/libloramon_server-dd672bcf81d33609.rlib: crates/server/src/lib.rs crates/server/src/alert.rs crates/server/src/archive.rs crates/server/src/clock.rs crates/server/src/health.rs crates/server/src/http.rs crates/server/src/ingest.rs crates/server/src/matcher.rs crates/server/src/query.rs crates/server/src/rollup.rs crates/server/src/server.rs crates/server/src/store.rs crates/server/src/topology.rs
+/root/repo/target/release/deps/libloramon_server-dd672bcf81d33609.rlib: crates/server/src/lib.rs crates/server/src/alert.rs crates/server/src/archive.rs crates/server/src/clock.rs crates/server/src/epoch.rs crates/server/src/health.rs crates/server/src/http.rs crates/server/src/ingest.rs crates/server/src/matcher.rs crates/server/src/query.rs crates/server/src/rollup.rs crates/server/src/server.rs crates/server/src/store.rs crates/server/src/topology.rs
 
-/root/repo/target/release/deps/libloramon_server-dd672bcf81d33609.rmeta: crates/server/src/lib.rs crates/server/src/alert.rs crates/server/src/archive.rs crates/server/src/clock.rs crates/server/src/health.rs crates/server/src/http.rs crates/server/src/ingest.rs crates/server/src/matcher.rs crates/server/src/query.rs crates/server/src/rollup.rs crates/server/src/server.rs crates/server/src/store.rs crates/server/src/topology.rs
+/root/repo/target/release/deps/libloramon_server-dd672bcf81d33609.rmeta: crates/server/src/lib.rs crates/server/src/alert.rs crates/server/src/archive.rs crates/server/src/clock.rs crates/server/src/epoch.rs crates/server/src/health.rs crates/server/src/http.rs crates/server/src/ingest.rs crates/server/src/matcher.rs crates/server/src/query.rs crates/server/src/rollup.rs crates/server/src/server.rs crates/server/src/store.rs crates/server/src/topology.rs
 
 crates/server/src/lib.rs:
 crates/server/src/alert.rs:
 crates/server/src/archive.rs:
 crates/server/src/clock.rs:
+crates/server/src/epoch.rs:
 crates/server/src/health.rs:
 crates/server/src/http.rs:
 crates/server/src/ingest.rs:

@@ -1,13 +1,14 @@
-/root/repo/target/release/deps/loramon_sim-4246ffdfef197d2e.d: crates/sim/src/lib.rs crates/sim/src/app.rs crates/sim/src/apps.rs crates/sim/src/channel.rs crates/sim/src/node.rs crates/sim/src/placement.rs crates/sim/src/rng.rs crates/sim/src/sim.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+/root/repo/target/release/deps/loramon_sim-4246ffdfef197d2e.d: crates/sim/src/lib.rs crates/sim/src/app.rs crates/sim/src/apps.rs crates/sim/src/channel.rs crates/sim/src/fault.rs crates/sim/src/node.rs crates/sim/src/placement.rs crates/sim/src/rng.rs crates/sim/src/sim.rs crates/sim/src/time.rs crates/sim/src/trace.rs
 
-/root/repo/target/release/deps/libloramon_sim-4246ffdfef197d2e.rlib: crates/sim/src/lib.rs crates/sim/src/app.rs crates/sim/src/apps.rs crates/sim/src/channel.rs crates/sim/src/node.rs crates/sim/src/placement.rs crates/sim/src/rng.rs crates/sim/src/sim.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+/root/repo/target/release/deps/libloramon_sim-4246ffdfef197d2e.rlib: crates/sim/src/lib.rs crates/sim/src/app.rs crates/sim/src/apps.rs crates/sim/src/channel.rs crates/sim/src/fault.rs crates/sim/src/node.rs crates/sim/src/placement.rs crates/sim/src/rng.rs crates/sim/src/sim.rs crates/sim/src/time.rs crates/sim/src/trace.rs
 
-/root/repo/target/release/deps/libloramon_sim-4246ffdfef197d2e.rmeta: crates/sim/src/lib.rs crates/sim/src/app.rs crates/sim/src/apps.rs crates/sim/src/channel.rs crates/sim/src/node.rs crates/sim/src/placement.rs crates/sim/src/rng.rs crates/sim/src/sim.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+/root/repo/target/release/deps/libloramon_sim-4246ffdfef197d2e.rmeta: crates/sim/src/lib.rs crates/sim/src/app.rs crates/sim/src/apps.rs crates/sim/src/channel.rs crates/sim/src/fault.rs crates/sim/src/node.rs crates/sim/src/placement.rs crates/sim/src/rng.rs crates/sim/src/sim.rs crates/sim/src/time.rs crates/sim/src/trace.rs
 
 crates/sim/src/lib.rs:
 crates/sim/src/app.rs:
 crates/sim/src/apps.rs:
 crates/sim/src/channel.rs:
+crates/sim/src/fault.rs:
 crates/sim/src/node.rs:
 crates/sim/src/placement.rs:
 crates/sim/src/rng.rs:

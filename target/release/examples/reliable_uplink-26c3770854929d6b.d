@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/reliable_uplink-26c3770854929d6b.d: examples/reliable_uplink.rs
+
+/root/repo/target/release/examples/reliable_uplink-26c3770854929d6b: examples/reliable_uplink.rs
+
+examples/reliable_uplink.rs:

@@ -1,0 +1,191 @@
+//! End-to-end tests of the acknowledged uplink transport: retries under
+//! loss and outages, gap healing from late retransmissions, crash/reboot
+//! fault injection, gateway failover, and determinism with the
+//! transport enabled.
+
+use loramon::core::{TransportConfig, UplinkModel};
+use loramon::scenario::{run_scenario, ScenarioConfig};
+use loramon::server::AlertKind;
+use loramon::sim::{FaultPlan, NodeId, SimTime};
+use std::time::Duration;
+
+/// The acceptance scenario: 10% uplink loss plus a 10-minute total
+/// outage. Fire-and-forget loses what the dice and the outage eat;
+/// the acked transport retries until essentially everything lands.
+fn lossy_outage_config(seed: u64) -> ScenarioConfig {
+    ScenarioConfig::line(3, 300.0, seed)
+        .with_duration(Duration::from_secs(3600))
+        .with_uplink(
+            UplinkModel::flaky(0.10, seed ^ 0x5EED)
+                .with_outage(SimTime::from_secs(1200), SimTime::from_secs(1800)),
+        )
+}
+
+#[test]
+fn acked_transport_beats_fire_and_forget_under_loss_and_outage() {
+    // Baseline: one delivery attempt per report.
+    let baseline = run_scenario(&lossy_outage_config(101));
+    let baseline_ratio = baseline.delivery_ratio();
+    assert!(
+        baseline_ratio < 0.92,
+        "baseline unexpectedly healthy ({baseline_ratio}); the uplink \
+         model is not stressing the transport"
+    );
+
+    // Same network, same uplink dice — plus the acked transport.
+    let acked = run_scenario(&lossy_outage_config(101).with_transport(TransportConfig::new()));
+    let ratio = acked.delivery_ratio();
+    assert!(
+        ratio >= 0.99,
+        "acked transport delivered only {ratio} (baseline {baseline_ratio})"
+    );
+    assert!(ratio > baseline_ratio);
+
+    // The transport actually worked for its living.
+    let stats = acked.transport.expect("transport stats present");
+    assert!(stats.retransmissions > 0, "no retries under 10% loss?");
+    assert_eq!(stats.evicted_reports, 0, "queue overflowed unexpectedly");
+
+    // Every gap opened by a lost-then-retried report must have healed:
+    // no ReportGap condition is still active at the end of the run.
+    let active = acked.server.active_alerts();
+    assert!(
+        !active.iter().any(|(_, k)| *k == AlertKind::ReportGap),
+        "unhealed report gaps at run end: {active:?}"
+    );
+    for s in acked.server.node_summaries() {
+        assert_eq!(
+            s.missing_reports, 0,
+            "node {} still missing reports at run end",
+            s.node
+        );
+    }
+}
+
+#[test]
+fn late_retransmits_heal_report_gaps() {
+    // Heavy loss so first attempts fail often: gaps open when a later
+    // report overtakes a lost one, then close when the retry lands.
+    let config = ScenarioConfig::line(2, 300.0, 57)
+        .with_duration(Duration::from_secs(1200))
+        .with_uplink(UplinkModel::flaky(0.30, 99))
+        .with_transport(TransportConfig::new());
+    let result = run_scenario(&config);
+
+    // Gaps opened mid-run…
+    assert!(
+        result.alerts.iter().any(|a| a.kind == AlertKind::ReportGap),
+        "30% loss never opened a report gap; alerts: {:?}",
+        result.alerts
+    );
+    // …and all healed by the end.
+    for s in result.server.node_summaries() {
+        assert_eq!(s.missing_reports, 0, "node {} gap never healed", s.node);
+    }
+    assert!(!result
+        .server
+        .active_alerts()
+        .iter()
+        .any(|(_, k)| *k == AlertKind::ReportGap));
+    assert_eq!(result.delivery_ratio(), 1.0);
+}
+
+#[test]
+fn crashed_node_reboots_and_the_server_detects_the_restart() {
+    let config = ScenarioConfig::line(3, 300.0, 31)
+        .with_duration(Duration::from_secs(1800))
+        .with_uplink(UplinkModel::perfect())
+        .with_transport(TransportConfig::new())
+        .with_fault_plan(FaultPlan::new().with_crash(
+            0,
+            SimTime::from_secs(600),
+            Some(SimTime::from_secs(900)),
+        ));
+    let result = run_scenario(&config);
+
+    let summary = result
+        .server
+        .node_summaries()
+        .into_iter()
+        .find(|s| s.node == NodeId(1))
+        .expect("node 1 reported");
+    assert_eq!(summary.restarts, 1, "server missed the restart");
+    // The post-reboot seq reset must not be misread as duplicates or
+    // clock trouble.
+    let stats = result.server.ingest_stats();
+    assert_eq!(stats.invalid, 0, "reboot produced invalid reports");
+    assert_eq!(stats.restarts, 1);
+    // Reports resumed after the reboot.
+    assert!(
+        summary.last_report_at.expect("has reports") > SimTime::from_secs(950),
+        "no reports after reboot"
+    );
+    // Other nodes did not restart.
+    for s in result.server.node_summaries() {
+        if s.node != NodeId(1) {
+            assert_eq!(s.restarts, 0, "phantom restart on {}", s.node);
+        }
+    }
+}
+
+#[test]
+fn gateway_failover_keeps_in_band_reports_flowing() {
+    // The in-band collector (node 3) dies at 600 s; the plan fails the
+    // gateway role over to node 1. Every client gets re-pointed, and
+    // reports keep reaching the server through the new collector.
+    let mut config = ScenarioConfig::line(3, 300.0, 41)
+        .with_in_band_monitoring()
+        // Monitoring-only network: keep app telemetry out of the way so
+        // the test exercises the failover, not mesh congestion from
+        // traffic still addressed at the dead gateway.
+        .with_traffic(None)
+        .with_duration(Duration::from_secs(1800))
+        .with_uplink(UplinkModel::perfect())
+        .with_transport(TransportConfig::new())
+        .with_fault_plan(
+            FaultPlan::new()
+                .with_crash(2, SimTime::from_secs(600), None)
+                .with_failover(SimTime::from_secs(600), 0),
+        );
+    // In-band reports are airtime-hungry; run on a 10% sub-band (EU
+    // 869.4–869.65 style) so the hourly duty budget outlasts the run.
+    config.duty_cycle = 0.10;
+    let result = run_scenario(&config);
+
+    // The non-gateway relay node's reports kept arriving well after
+    // the old gateway died.
+    let summary = result
+        .server
+        .node_summaries()
+        .into_iter()
+        .find(|s| s.node == NodeId(2))
+        .expect("node 2 reported");
+    let last = summary.last_report_at.expect("has reports");
+    assert!(
+        last > SimTime::from_secs(1700),
+        "reports stopped at {last} after gateway failover"
+    );
+}
+
+#[test]
+fn transport_runs_are_deterministic() {
+    let run = || {
+        let result = run_scenario(
+            &ScenarioConfig::line(4, 400.0, 17)
+                .with_duration(Duration::from_secs(900))
+                .with_uplink(UplinkModel::flaky(0.15, 3))
+                .with_transport(TransportConfig::new())
+                .with_fault_plan(FaultPlan::random(17, 4, Duration::from_secs(900), 1)),
+        );
+        let stats = result.transport.expect("transport stats");
+        (
+            result.sim.trace().fingerprint(),
+            result.reports_delivered,
+            result.server.total_records(),
+            stats.enqueued,
+            stats.retransmissions,
+            stats.acked,
+        )
+    };
+    assert_eq!(run(), run());
+}
