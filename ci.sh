@@ -5,12 +5,13 @@
 #
 # Stages, in order (each must pass):
 #   1. cargo fmt --check     — formatting is canonical
-#   2. cargo xtask lint      — determinism/robustness/hygiene static pass
-#   3. cargo build --release — tier-1 build
-#   4. cargo test -q         — tier-1 tests (root package)
-#   5. cargo test --workspace -q — every crate's suite
-#   6. cargo xtask determinism — double-run replay gate, both delivery paths
-#   7. cargo xtask chaos     — replayed chaos smoke (loss+outage+crashes)
+#   2. cargo xtask lint --format json — machine-readable pass, kept at target/lint.json
+#   3. cargo xtask lint      — determinism/layering/schema/hygiene static pass
+#   4. cargo build --release — tier-1 build
+#   5. cargo test -q         — tier-1 tests (root package)
+#   6. cargo test --workspace -q — every crate's suite
+#   7. cargo xtask determinism — double-run replay gate, both delivery paths
+#   8. cargo xtask chaos     — replayed chaos smoke (loss+outage+crashes)
 set -eu
 
 step() {
@@ -19,6 +20,13 @@ step() {
 }
 
 step cargo fmt --all --check
+
+# Machine-readable lint first: the JSON report lands in target/lint.json
+# for tooling to pick up even when the human-readable pass below fails.
+mkdir -p target
+printf '\n==> cargo xtask lint --format json > target/lint.json\n'
+cargo xtask lint --format json > target/lint.json || true
+
 step cargo xtask lint
 step cargo build --release
 step cargo test -q

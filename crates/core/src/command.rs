@@ -28,7 +28,7 @@ impl MonitorCommand {
     /// A command that changes only the report period.
     pub fn set_report_period(period: Duration) -> Self {
         MonitorCommand {
-            report_period_s: Some(period.as_secs() as u32),
+            report_period_s: Some(u32::try_from(period.as_secs()).unwrap_or(u32::MAX)),
             ..MonitorCommand::default()
         }
     }

@@ -54,7 +54,7 @@ impl PacketRecord {
             final_dst: event.final_dst,
             packet_id: event.packet_id,
             ttl: event.ttl,
-            size_bytes: event.size_bytes as u32,
+            size_bytes: u32::try_from(event.size_bytes).unwrap_or(u32::MAX),
             rssi_dbm: event.rssi_dbm,
             snr_db: event.snr_db,
         }

@@ -101,8 +101,11 @@ impl Report {
                 encode_status(&mut w, s);
             }
         }
-        w.u32(self.records.len() as u32);
-        for r in &self.records {
+        // Saturate and truncate together so the count prefix always
+        // matches the number of records actually written.
+        let record_count = u32::try_from(self.records.len()).unwrap_or(u32::MAX);
+        w.u32(record_count);
+        for r in self.records.iter().take(record_count as usize) {
             encode_record(&mut w, r);
         }
         w.into_vec()
@@ -150,7 +153,7 @@ impl Report {
     /// Whether a byte buffer looks like a binary report (used by in-band
     /// gateways to pick monitoring payloads out of the data stream).
     pub fn is_binary_report(bytes: &[u8]) -> bool {
-        bytes.len() >= 5 && bytes[..4] == BINARY_MAGIC
+        bytes.len() >= 5 && bytes.starts_with(&BINARY_MAGIC)
     }
 }
 
@@ -201,15 +204,13 @@ impl<'a> Reader<'a> {
         Reader { buf, pos: 0 }
     }
     fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
-        if self.pos + n > self.buf.len() {
-            return Err(WireError::Truncated);
-        }
-        let out = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        let out = self.buf.get(self.pos..end).ok_or(WireError::Truncated)?;
+        self.pos = end;
         Ok(out)
     }
     fn u8(&mut self) -> Result<u8, WireError> {
-        Ok(self.bytes(1)?[0])
+        self.bytes(1)?.first().copied().ok_or(WireError::Truncated)
     }
     fn u16(&mut self) -> Result<u16, WireError> {
         // lint:allow(server-unwrap, reason = "the preceding bytes call guaranteed the slice length; try_into cannot fail")
@@ -328,8 +329,11 @@ fn encode_status(w: &mut Writer, s: &NodeStatus) {
     w.u32(s.queue_len);
     w.f64(s.duty_cycle_utilization);
     encode_mesh_stats(w, &s.mesh);
-    w.u16(s.routes.len() as u16);
-    for route in &s.routes {
+    // Saturate and truncate together so the count prefix always
+    // matches the number of routes actually written.
+    let route_count = u16::try_from(s.routes.len()).unwrap_or(u16::MAX);
+    w.u16(route_count);
+    for route in s.routes.iter().take(usize::from(route_count)) {
         w.u16(route.address.raw());
         w.u16(route.next_hop.raw());
         w.u8(route.metric);
@@ -401,32 +405,30 @@ fn encode_mesh_stats(w: &mut Writer, s: &MeshStats) {
 }
 
 fn decode_mesh_stats(r: &mut Reader<'_>) -> Result<MeshStats, WireError> {
-    let mut f = [0u64; 21];
-    for v in &mut f {
-        *v = r.u64()?;
-    }
+    // Field initializers run top-to-bottom, so the reads below consume
+    // the wire exactly in `mesh_stats_fields` order.
     Ok(MeshStats {
-        messages_sent: f[0],
-        messages_delivered: f[1],
-        messages_acked: f[2],
-        drops_unacked: f[3],
-        data_sent: f[4],
-        data_received: f[5],
-        routing_sent: f[6],
-        routing_received: f[7],
-        acks_sent: f[8],
-        acks_received: f[9],
-        forwarded: f[10],
-        retransmissions: f[11],
-        drops_ttl: f[12],
-        drops_no_route: f[13],
-        drops_queue_full: f[14],
-        drops_csma: f[15],
-        decode_errors: f[16],
-        overheard: f[17],
-        duplicates: f[18],
-        packets_heard: f[19],
-        weak_link_rejections: f[20],
+        messages_sent: r.u64()?,
+        messages_delivered: r.u64()?,
+        messages_acked: r.u64()?,
+        drops_unacked: r.u64()?,
+        data_sent: r.u64()?,
+        data_received: r.u64()?,
+        routing_sent: r.u64()?,
+        routing_received: r.u64()?,
+        acks_sent: r.u64()?,
+        acks_received: r.u64()?,
+        forwarded: r.u64()?,
+        retransmissions: r.u64()?,
+        drops_ttl: r.u64()?,
+        drops_no_route: r.u64()?,
+        drops_queue_full: r.u64()?,
+        drops_csma: r.u64()?,
+        decode_errors: r.u64()?,
+        overheard: r.u64()?,
+        duplicates: r.u64()?,
+        packets_heard: r.u64()?,
+        weak_link_rejections: r.u64()?,
     })
 }
 

@@ -50,7 +50,7 @@ impl NodeStatus {
             node: snapshot.node,
             uptime_ms: snapshot.now.as_millis(),
             battery_percent: snapshot.battery_percent,
-            queue_len: snapshot.queue_len as u32,
+            queue_len: u32::try_from(snapshot.queue_len).unwrap_or(u32::MAX),
             duty_cycle_utilization: snapshot.duty_cycle_utilization,
             mesh: snapshot.stats,
             routes: snapshot

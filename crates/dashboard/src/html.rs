@@ -7,6 +7,7 @@
 //! page.
 
 use loramon_phy::Position;
+// lint:allow(layering-restricted, reason = "the archival HTML page renders straight off a live MonitorServer; this is the one sanctioned reach past the server's query surface")
 use loramon_server::{Alert, LinkStats, MonitorServer, SeriesPoint, StatusPoint, Topology, Window};
 use loramon_sim::NodeId;
 use std::collections::BTreeMap;

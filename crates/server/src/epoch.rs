@@ -103,6 +103,7 @@ impl EpochTracker {
             None => {
                 // Earlier than the first epoch's first-observed report:
                 // same epoch, observed out of order. Widen it.
+                // lint:allow(slice-index, reason = "`last` above proves the tracker holds at least one epoch")
                 self.epochs[0].start_gen_ms = gen_ms;
                 0
             }
@@ -112,15 +113,18 @@ impl EpochTracker {
         // *different* generation time, this report is from a later
         // incarnation whose recorded start is too high (its first
         // reports arrived out of order). Shift forward and widen.
+        // lint:allow(slice-index, reason = "idx starts at an rposition hit or at 0 of a non-empty vec, and only increments behind the bounds check below")
         while let Some(&g) = self.epochs[idx].seen.get(&seq) {
             if g == gen_ms || idx + 1 >= self.epochs.len() {
                 break;
             }
             idx += 1;
+            // lint:allow(slice-index, reason = "the break above guarantees idx + 1 < len before the increment")
             let e = &mut self.epochs[idx];
             e.start_gen_ms = e.start_gen_ms.min(gen_ms);
         }
 
+        // lint:allow(slice-index, reason = "idx was bounds-checked through every path above")
         let epoch = &mut self.epochs[idx];
         let fresh = if epoch.seen.contains_key(&seq) {
             false

@@ -100,7 +100,8 @@ impl EndToEnd {
             return None;
         }
         let total: Duration = self.latencies.iter().sum();
-        Some(total / self.latencies.len() as u32)
+        let n = u32::try_from(self.latencies.len()).unwrap_or(u32::MAX);
+        Some(total / n)
     }
 }
 

@@ -276,7 +276,7 @@ pub fn status_series(store: &Store, node: NodeId) -> Vec<StatusPoint> {
                     battery_percent: s.battery_percent,
                     queue_len: s.queue_len,
                     duty_cycle_utilization: s.duty_cycle_utilization,
-                    reachable: s.routes.len() as u32,
+                    reachable: u32::try_from(s.routes.len()).unwrap_or(u32::MAX),
                 })
                 .collect()
         })

@@ -1,0 +1,5 @@
+//! Seeded violation: truncating integer cast on the no-panic surface.
+
+fn seeded(n: u64) -> u32 {
+    n as u32
+}

@@ -1,0 +1,3 @@
+//! Seeded violation: the server reaching past the sim vocabulary.
+
+use loramon_sim::{NodeId, Simulator};

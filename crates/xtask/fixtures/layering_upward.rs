@@ -1,0 +1,7 @@
+//! Seeded violation: a lower-layer crate importing upward.
+
+use loramon_server::MonitorServer;
+
+fn seeded() {
+    let _ = loramon_dashboard::render_page;
+}

@@ -1,0 +1,28 @@
+//! Clean fixture: lifetimes, loop labels, char literals, raw strings
+//! with hashes and nested block comments must not confuse the scanner,
+//! the lexer or any rule built on them.
+
+/// Borrows text for a lifetime.
+pub struct Holder<'a> {
+    /// Borrowed text.
+    pub text: &'a str,
+}
+
+/// A 'static str constant whose value contains tricky quoting.
+pub const RAW: &'static str = r#"has "quotes" and # marks"#;
+
+/* A nested /* block */ comment mentioning Instant::now() freely. */
+
+/// Scans with labeled loops, char literals and escapes.
+pub fn scan<'b>(items: &'b [&'b str]) -> Option<&'b str> {
+    let mut found: Option<&'b str> = None;
+    'outer: for item in items {
+        for c in item.chars() {
+            if c == '"' || c == '\\' || c == '\n' || c == 'x' {
+                found = Some(*item);
+                break 'outer;
+            }
+        }
+    }
+    found
+}

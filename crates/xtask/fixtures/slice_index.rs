@@ -1,0 +1,5 @@
+//! Seeded violation: panicking slice indexing on the no-panic surface.
+
+fn seeded(buf: &[u8]) -> u8 {
+    buf[0]
+}

@@ -1,0 +1,991 @@
+//! Lightweight item parser over the token stream.
+//!
+//! Consumes the output of [`super::lex`] and recovers the item-level
+//! structure the analyses need: `fn`/`struct`/`enum`/`impl`/`mod`
+//! spans, `use` declarations expanded to leaf paths, struct fields and
+//! enum variants with canonical type strings, and `const` items. It is
+//! *not* a Rust parser: expressions are skipped as balanced token
+//! groups, items are only recognized in item position (top level and
+//! inside `mod`/`impl`/`trait` bodies, never inside `fn` bodies), and
+//! anything unrecognized is skipped one token at a time. The parser
+//! must never panic or loop on arbitrary input — the lint engine runs
+//! over mid-edit sources.
+
+use super::lex::{Tok, TokKind};
+
+/// What kind of item a span describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    /// A function (free or associated).
+    Fn,
+    /// A struct definition.
+    Struct,
+    /// An enum definition.
+    Enum,
+    /// An `impl` block.
+    Impl,
+    /// An inline or out-of-line module.
+    Mod,
+    /// A trait definition.
+    Trait,
+    /// A `use` declaration.
+    Use,
+    /// A `const` or `static` item.
+    Const,
+    /// A `type` alias.
+    TypeAlias,
+}
+
+/// One parsed item span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Item {
+    /// Item classification.
+    pub kind: ItemKind,
+    /// Item name (`impl` blocks use the implemented type's first path
+    /// segment; anonymous items use `_`).
+    pub name: String,
+    /// 1-based line the item starts on (its keyword token).
+    pub line: usize,
+    /// 1-based line the item ends on (closing brace or semicolon).
+    pub end_line: usize,
+    /// Whether the item is `pub` (any visibility restriction counts).
+    pub public: bool,
+}
+
+/// One named (or tuple-positional) field of a struct.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Field name; tuple fields are named by position (`0`, `1`, …).
+    pub name: String,
+    /// Canonical type text (see [`render_tokens`]).
+    pub ty: String,
+    /// 1-based line of the field.
+    pub line: usize,
+}
+
+/// A parsed struct definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructDef {
+    /// Struct name.
+    pub name: String,
+    /// 1-based line of the `struct` keyword.
+    pub line: usize,
+    /// Whether the struct is `pub`.
+    pub public: bool,
+    /// Whether a `#[derive(...)]`/attribute on it mentions serde
+    /// (`Serialize`/`Deserialize`/`serde`).
+    pub serde: bool,
+    /// Fields in declaration order.
+    pub fields: Vec<Field>,
+}
+
+/// One enum variant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Variant {
+    /// Variant name.
+    pub name: String,
+    /// Canonical payload text (`(u8)`, `{ a: u8 }`), if any.
+    pub payload: Option<String>,
+    /// 1-based line of the variant.
+    pub line: usize,
+}
+
+/// A parsed enum definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnumDef {
+    /// Enum name.
+    pub name: String,
+    /// 1-based line of the `enum` keyword.
+    pub line: usize,
+    /// Whether the enum is `pub`.
+    pub public: bool,
+    /// Whether an attribute on it mentions serde.
+    pub serde: bool,
+    /// Variants in declaration order.
+    pub variants: Vec<Variant>,
+}
+
+/// A parsed `const`/`static` item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConstDef {
+    /// Item name.
+    pub name: String,
+    /// 1-based line of the declaration.
+    pub line: usize,
+    /// 1-based line of the terminating semicolon.
+    pub end_line: usize,
+    /// Whether the item is `pub`.
+    pub public: bool,
+    /// Canonical type text.
+    pub ty: String,
+}
+
+/// One expanded leaf of a `use` tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsePath {
+    /// Path segments, e.g. `["loramon_sim", "NodeId"]`. A glob import
+    /// ends with `*`.
+    pub segments: Vec<String>,
+    /// 1-based line of the leaf.
+    pub line: usize,
+}
+
+/// Everything recovered from one file.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ParsedFile {
+    /// Flat list of item spans, in source order (nested items included).
+    pub items: Vec<Item>,
+    /// Struct definitions, in source order.
+    pub structs: Vec<StructDef>,
+    /// Enum definitions, in source order.
+    pub enums: Vec<EnumDef>,
+    /// Const/static items, in source order.
+    pub consts: Vec<ConstDef>,
+    /// `use` declarations expanded to leaf paths.
+    pub uses: Vec<UsePath>,
+}
+
+/// Parse a lexed (masked) file into its item structure.
+pub fn parse(toks: &[Tok]) -> ParsedFile {
+    let mut out = ParsedFile::default();
+    let mut i = 0usize;
+    parse_items(toks, &mut i, &mut out, 0);
+    out
+}
+
+/// Join tokens into a canonical type/payload string: spaces between
+/// word-like tokens and after commas/semicolons, none elsewhere.
+pub fn render_tokens(toks: &[Tok]) -> String {
+    let mut s = String::new();
+    let wordish = |t: &Tok| matches!(t.kind, TokKind::Ident | TokKind::Number | TokKind::Lifetime);
+    for (k, t) in toks.iter().enumerate() {
+        if k > 0 {
+            let prev = &toks[k - 1];
+            if (wordish(prev) && wordish(t)) || prev.is_punct(',') || prev.is_punct(';') {
+                s.push(' ');
+            }
+        }
+        s.push_str(&t.text);
+    }
+    s
+}
+
+const OPEN: [char; 3] = ['(', '[', '{'];
+const CLOSE: [char; 3] = [')', ']', '}'];
+
+fn is_open(t: &Tok) -> bool {
+    OPEN.iter().any(|&c| t.is_punct(c))
+}
+
+fn is_close(t: &Tok) -> bool {
+    CLOSE.iter().any(|&c| t.is_punct(c))
+}
+
+/// Advance past one balanced bracket group starting at the opener at
+/// `*i`; on malformed input, stops at end of tokens.
+fn skip_group(toks: &[Tok], i: &mut usize) {
+    let mut depth = 0usize;
+    while *i < toks.len() {
+        let t = &toks[*i];
+        if is_open(t) {
+            depth += 1;
+        } else if is_close(t) {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                *i += 1;
+                return;
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Skip a generics group `<...>` if one starts at `*i`. `->` arrows do
+/// not occur in generic parameter lists, so `<`/`>` counting suffices.
+fn skip_generics(toks: &[Tok], i: &mut usize) {
+    if !toks.get(*i).is_some_and(|t| t.is_punct('<')) {
+        return;
+    }
+    let mut depth = 0isize;
+    while *i < toks.len() {
+        let t = &toks[*i];
+        if t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct('>') {
+            depth -= 1;
+            if depth <= 0 {
+                *i += 1;
+                return;
+            }
+        } else if is_open(t) {
+            skip_group(toks, i);
+            continue;
+        }
+        *i += 1;
+    }
+}
+
+/// Collect type tokens until a `,` at nesting depth 0 or the end of the
+/// enclosing group. Understands `<...>` nesting and skips `->` arrows.
+fn take_type(toks: &[Tok], i: &mut usize) -> Vec<Tok> {
+    let mut ty = Vec::new();
+    let mut angle = 0isize;
+    let mut depth = 0isize;
+    while *i < toks.len() {
+        let t = &toks[*i];
+        if t.is_punct('-') && toks.get(*i + 1).is_some_and(|n| n.is_punct('>')) {
+            ty.push(t.clone());
+            ty.push(toks[*i + 1].clone());
+            *i += 2;
+            continue;
+        }
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle -= 1;
+        } else if is_open(t) {
+            depth += 1;
+        } else if is_close(t) {
+            if depth == 0 {
+                break;
+            }
+            depth -= 1;
+        } else if (t.is_punct(',') || t.is_punct(';') || t.is_punct('='))
+            && depth == 0
+            && angle <= 0
+        {
+            break;
+        }
+        ty.push(t.clone());
+        *i += 1;
+    }
+    ty
+}
+
+/// Whether a run of attribute tokens mentions serde.
+fn attr_mentions_serde(toks: &[Tok]) -> bool {
+    toks.iter().any(|t| {
+        t.kind == TokKind::Ident && matches!(t.text.as_str(), "Serialize" | "Deserialize" | "serde")
+    })
+}
+
+/// Parse items until the matching `}` of the current item context (or
+/// end of input at nesting 0). `depth` guards against runaway recursion
+/// on pathological input.
+fn parse_items(toks: &[Tok], i: &mut usize, out: &mut ParsedFile, depth: usize) {
+    let mut serde_attr = false;
+    while *i < toks.len() {
+        let t = &toks[*i];
+        // End of the enclosing mod/impl/trait body.
+        if t.is_punct('}') {
+            return;
+        }
+        // Attribute: `#` `[...]` or `#` `!` `[...]`.
+        if t.is_punct('#') {
+            *i += 1;
+            if toks.get(*i).is_some_and(|t| t.is_punct('!')) {
+                *i += 1;
+            }
+            let start = *i;
+            if toks.get(*i).is_some_and(|t| t.is_punct('[')) {
+                skip_group(toks, i);
+                serde_attr |= attr_mentions_serde(toks.get(start..*i).unwrap_or(&[]));
+            }
+            continue;
+        }
+        if t.kind != TokKind::Ident {
+            *i += 1;
+            continue;
+        }
+        let line = t.line;
+        let mut public = false;
+        let mut j = *i;
+        if toks[j].is_ident("pub") {
+            public = true;
+            j += 1;
+            if toks.get(j).is_some_and(|t| t.is_punct('(')) {
+                skip_group(toks, &mut j);
+            }
+        }
+        // Skip item qualifiers.
+        while toks.get(j).is_some_and(|t| {
+            ["unsafe", "async", "default", "extern"]
+                .iter()
+                .any(|q| t.is_ident(q))
+        }) {
+            j += 1;
+        }
+        let Some(kw) = toks.get(j) else {
+            return;
+        };
+        let kw_text = if kw.kind == TokKind::Ident {
+            kw.text.as_str()
+        } else {
+            ""
+        };
+        match kw_text {
+            "fn" => {
+                *i = j + 1;
+                let name = ident_at(toks, *i).unwrap_or_else(|| "_".into());
+                // Scan to the body `{` (or `;` for a bare signature),
+                // skipping balanced groups so closures/defaults in the
+                // signature cannot fool us.
+                while *i < toks.len() {
+                    let t = &toks[*i];
+                    if t.is_punct('{') {
+                        let start_line = t.line;
+                        skip_group(toks, i);
+                        let end_line = toks.get(i.saturating_sub(1)).map_or(start_line, |t| t.line);
+                        out.items.push(Item {
+                            kind: ItemKind::Fn,
+                            name,
+                            line,
+                            end_line,
+                            public,
+                        });
+                        break;
+                    }
+                    if t.is_punct(';') {
+                        out.items.push(Item {
+                            kind: ItemKind::Fn,
+                            name,
+                            line,
+                            end_line: t.line,
+                            public,
+                        });
+                        *i += 1;
+                        break;
+                    }
+                    if t.is_punct('(') {
+                        skip_group(toks, i);
+                        continue;
+                    }
+                    *i += 1;
+                }
+            }
+            "struct" => {
+                *i = j + 1;
+                let name = ident_at(toks, *i).unwrap_or_else(|| "_".into());
+                if ident_at(toks, *i).is_some() {
+                    *i += 1;
+                }
+                skip_generics(toks, i);
+                // Optional where clause before the body.
+                while toks
+                    .get(*i)
+                    .is_some_and(|t| !t.is_punct('{') && !t.is_punct('(') && !t.is_punct(';'))
+                {
+                    *i += 1;
+                }
+                let mut def = StructDef {
+                    name,
+                    line,
+                    public,
+                    serde: serde_attr,
+                    fields: Vec::new(),
+                };
+                let end_line = match toks.get(*i) {
+                    Some(t) if t.is_punct('{') => {
+                        *i += 1;
+                        parse_named_fields(toks, i, &mut def.fields);
+                        toks.get(i.saturating_sub(1)).map_or(line, |t| t.line)
+                    }
+                    Some(t) if t.is_punct('(') => {
+                        *i += 1;
+                        parse_tuple_fields(toks, i, &mut def.fields);
+                        // Trailing `;`.
+                        if toks.get(*i).is_some_and(|t| t.is_punct(';')) {
+                            *i += 1;
+                        }
+                        toks.get(i.saturating_sub(1)).map_or(line, |t| t.line)
+                    }
+                    Some(t) if t.is_punct(';') => {
+                        *i += 1;
+                        t.line
+                    }
+                    _ => line,
+                };
+                out.items.push(Item {
+                    kind: ItemKind::Struct,
+                    name: def.name.clone(),
+                    line,
+                    end_line,
+                    public,
+                });
+                out.structs.push(def);
+            }
+            "enum" => {
+                *i = j + 1;
+                let name = ident_at(toks, *i).unwrap_or_else(|| "_".into());
+                if ident_at(toks, *i).is_some() {
+                    *i += 1;
+                }
+                skip_generics(toks, i);
+                while toks
+                    .get(*i)
+                    .is_some_and(|t| !t.is_punct('{') && !t.is_punct(';'))
+                {
+                    *i += 1;
+                }
+                let mut def = EnumDef {
+                    name,
+                    line,
+                    public,
+                    serde: serde_attr,
+                    variants: Vec::new(),
+                };
+                if toks.get(*i).is_some_and(|t| t.is_punct('{')) {
+                    *i += 1;
+                    parse_variants(toks, i, &mut def.variants);
+                }
+                let end_line = toks.get(i.saturating_sub(1)).map_or(line, |t| t.line);
+                out.items.push(Item {
+                    kind: ItemKind::Enum,
+                    name: def.name.clone(),
+                    line,
+                    end_line,
+                    public,
+                });
+                out.enums.push(def);
+            }
+            "impl" | "mod" | "trait" => {
+                let kind = match kw_text {
+                    "impl" => ItemKind::Impl,
+                    "mod" => ItemKind::Mod,
+                    _ => ItemKind::Trait,
+                };
+                *i = j + 1;
+                skip_generics(toks, i);
+                let name = ident_at(toks, *i).unwrap_or_else(|| "_".into());
+                // Scan to the body `{` or `;`, skipping groups (the
+                // impl header may contain parenthesized types).
+                while *i < toks.len() {
+                    let t = &toks[*i];
+                    if t.is_punct('{') {
+                        *i += 1;
+                        let body_start = out.items.len();
+                        if depth < 64 {
+                            parse_items(toks, i, out, depth + 1);
+                        } else {
+                            skip_to_close(toks, i);
+                        }
+                        // Consume the closing `}`.
+                        let end_line = toks.get(*i).map_or(line, |t| t.line);
+                        if toks.get(*i).is_some_and(|t| t.is_punct('}')) {
+                            *i += 1;
+                        }
+                        out.items.insert(
+                            body_start,
+                            Item {
+                                kind,
+                                name,
+                                line,
+                                end_line,
+                                public,
+                            },
+                        );
+                        break;
+                    }
+                    if t.is_punct(';') {
+                        out.items.push(Item {
+                            kind,
+                            name,
+                            line,
+                            end_line: t.line,
+                            public,
+                        });
+                        *i += 1;
+                        break;
+                    }
+                    if is_open(t) {
+                        skip_group(toks, i);
+                        continue;
+                    }
+                    *i += 1;
+                }
+            }
+            "use" => {
+                *i = j + 1;
+                let start = out.uses.len();
+                parse_use_tree(toks, i, &mut Vec::new(), out);
+                if toks.get(*i).is_some_and(|t| t.is_punct(';')) {
+                    *i += 1;
+                }
+                let end_line = out
+                    .uses
+                    .get(start..)
+                    .and_then(|s| s.last())
+                    .map_or(line, |u| u.line);
+                out.items.push(Item {
+                    kind: ItemKind::Use,
+                    name: out
+                        .uses
+                        .get(start)
+                        .map_or_else(|| "_".into(), |u| u.segments.join("::")),
+                    line,
+                    end_line,
+                    public,
+                });
+            }
+            "const" | "static" => {
+                *i = j + 1;
+                // `const fn` / `const unsafe fn`: re-dispatch as a fn.
+                if toks.get(*i).is_some_and(|t| {
+                    t.is_ident("fn")
+                        || t.is_ident("unsafe")
+                        || t.is_ident("async")
+                        || t.is_ident("extern")
+                }) {
+                    continue;
+                }
+                if toks.get(*i).is_some_and(|t| t.is_ident("mut")) {
+                    *i += 1;
+                }
+                let name = ident_at(toks, *i).unwrap_or_else(|| "_".into());
+                if ident_at(toks, *i).is_some() {
+                    *i += 1;
+                }
+                let mut ty = String::new();
+                if toks.get(*i).is_some_and(|t| t.is_punct(':')) {
+                    *i += 1;
+                    ty = render_tokens(&take_type(toks, i));
+                }
+                // Skip the initializer to the terminating `;`.
+                while *i < toks.len() {
+                    let t = &toks[*i];
+                    if t.is_punct(';') {
+                        break;
+                    }
+                    if is_open(t) {
+                        skip_group(toks, i);
+                        continue;
+                    }
+                    *i += 1;
+                }
+                let end_line = toks.get(*i).map_or(line, |t| t.line);
+                if toks.get(*i).is_some_and(|t| t.is_punct(';')) {
+                    *i += 1;
+                }
+                out.items.push(Item {
+                    kind: ItemKind::Const,
+                    name: name.clone(),
+                    line,
+                    end_line,
+                    public,
+                });
+                out.consts.push(ConstDef {
+                    name,
+                    line,
+                    end_line,
+                    public,
+                    ty,
+                });
+            }
+            "type" => {
+                *i = j + 1;
+                let name = ident_at(toks, *i).unwrap_or_else(|| "_".into());
+                while *i < toks.len() && !toks[*i].is_punct(';') {
+                    if is_open(&toks[*i]) {
+                        skip_group(toks, i);
+                        continue;
+                    }
+                    *i += 1;
+                }
+                let end_line = toks.get(*i).map_or(line, |t| t.line);
+                if toks.get(*i).is_some_and(|t| t.is_punct(';')) {
+                    *i += 1;
+                }
+                out.items.push(Item {
+                    kind: ItemKind::TypeAlias,
+                    name,
+                    line,
+                    end_line,
+                    public,
+                });
+            }
+            "macro_rules" => {
+                // `macro_rules! name { ... }` — skip entirely.
+                *i = j + 1;
+                while *i < toks.len() && !toks[*i].is_punct('{') {
+                    *i += 1;
+                }
+                if *i < toks.len() {
+                    skip_group(toks, i);
+                }
+            }
+            _ => {
+                // Macro invocation at item position (`foo! { ... }`,
+                // `foo!(...);`): skip its body as one balanced group so
+                // the contents cannot desync item context.
+                if toks.get(j + 1).is_some_and(|t| t.is_punct('!')) {
+                    *i = j + 2;
+                    if ident_at(toks, *i).is_some() {
+                        *i += 1;
+                    }
+                    if toks.get(*i).is_some_and(is_open) {
+                        skip_group(toks, i);
+                    }
+                } else {
+                    // Unrecognized token: skip one and resync.
+                    *i += 1;
+                }
+            }
+        }
+        serde_attr = false;
+    }
+}
+
+/// Skip to (but not past) the `}` closing the current context.
+fn skip_to_close(toks: &[Tok], i: &mut usize) {
+    let mut depth = 0usize;
+    while *i < toks.len() {
+        let t = &toks[*i];
+        if is_open(t) {
+            depth += 1;
+        } else if is_close(t) {
+            if depth == 0 {
+                return;
+            }
+            depth -= 1;
+        }
+        *i += 1;
+    }
+}
+
+fn ident_at(toks: &[Tok], i: usize) -> Option<String> {
+    toks.get(i)
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.clone())
+}
+
+/// Parse `{ name: Ty, ... }` named fields; consumes through the
+/// closing `}`.
+fn parse_named_fields(toks: &[Tok], i: &mut usize, fields: &mut Vec<Field>) {
+    while *i < toks.len() {
+        let t = &toks[*i];
+        if t.is_punct('}') {
+            *i += 1;
+            return;
+        }
+        if t.is_punct('#') {
+            *i += 1;
+            if toks.get(*i).is_some_and(|t| t.is_punct('[')) {
+                skip_group(toks, i);
+            }
+            continue;
+        }
+        if t.is_ident("pub") {
+            *i += 1;
+            if toks.get(*i).is_some_and(|t| t.is_punct('(')) {
+                skip_group(toks, i);
+            }
+            continue;
+        }
+        if t.kind == TokKind::Ident && toks.get(*i + 1).is_some_and(|n| n.is_punct(':')) {
+            let name = t.text.clone();
+            let field_line = t.line;
+            *i += 2;
+            let ty = render_tokens(&take_type(toks, i));
+            fields.push(Field {
+                name,
+                ty,
+                line: field_line,
+            });
+            continue;
+        }
+        if t.is_punct(',') {
+            *i += 1;
+            continue;
+        }
+        // Unexpected token (malformed source): resync.
+        *i += 1;
+    }
+}
+
+/// Parse `(Ty, Ty)` tuple fields; consumes through the closing `)`.
+fn parse_tuple_fields(toks: &[Tok], i: &mut usize, fields: &mut Vec<Field>) {
+    let mut index = 0usize;
+    while *i < toks.len() {
+        let t = &toks[*i];
+        if t.is_punct(')') {
+            *i += 1;
+            return;
+        }
+        if t.is_punct('#') {
+            *i += 1;
+            if toks.get(*i).is_some_and(|t| t.is_punct('[')) {
+                skip_group(toks, i);
+            }
+            continue;
+        }
+        if t.is_ident("pub") {
+            *i += 1;
+            if toks.get(*i).is_some_and(|t| t.is_punct('(')) {
+                skip_group(toks, i);
+            }
+            continue;
+        }
+        if t.is_punct(',') {
+            *i += 1;
+            continue;
+        }
+        let line = t.line;
+        let ty = render_tokens(&take_type(toks, i));
+        if ty.is_empty() {
+            *i += 1;
+            continue;
+        }
+        fields.push(Field {
+            name: index.to_string(),
+            ty,
+            line,
+        });
+        index += 1;
+    }
+}
+
+/// Parse `Name`, `Name(..)`, `Name { .. }`, `Name = expr` variants;
+/// consumes through the closing `}` of the enum body.
+fn parse_variants(toks: &[Tok], i: &mut usize, variants: &mut Vec<Variant>) {
+    while *i < toks.len() {
+        let t = &toks[*i];
+        if t.is_punct('}') {
+            *i += 1;
+            return;
+        }
+        if t.is_punct('#') {
+            *i += 1;
+            if toks.get(*i).is_some_and(|t| t.is_punct('[')) {
+                skip_group(toks, i);
+            }
+            continue;
+        }
+        if t.kind == TokKind::Ident {
+            let name = t.text.clone();
+            let line = t.line;
+            *i += 1;
+            let payload = match toks.get(*i) {
+                Some(p) if p.is_punct('(') || p.is_punct('{') => {
+                    let start = *i;
+                    skip_group(toks, i);
+                    Some(render_tokens(toks.get(start..*i).unwrap_or(&[])))
+                }
+                _ => None,
+            };
+            // Skip an explicit discriminant.
+            if toks.get(*i).is_some_and(|t| t.is_punct('=')) {
+                while *i < toks.len() && !toks[*i].is_punct(',') && !toks[*i].is_punct('}') {
+                    if is_open(&toks[*i]) {
+                        skip_group(toks, i);
+                        continue;
+                    }
+                    *i += 1;
+                }
+            }
+            variants.push(Variant {
+                name,
+                payload,
+                line,
+            });
+            continue;
+        }
+        *i += 1;
+    }
+}
+
+/// Expand a `use` tree into leaf paths. `prefix` carries the segments
+/// accumulated so far; stops before the terminating `;` (or the `,`/`}`
+/// closing this branch of the tree).
+fn parse_use_tree(toks: &[Tok], i: &mut usize, prefix: &mut Vec<String>, out: &mut ParsedFile) {
+    let depth_in = prefix.len();
+    loop {
+        let Some(t) = toks.get(*i) else { break };
+        let line = t.line;
+        if t.kind == TokKind::Ident {
+            prefix.push(t.text.clone());
+            *i += 1;
+            match toks.get(*i) {
+                Some(n) if n.kind == TokKind::PathSep => {
+                    *i += 1;
+                    continue;
+                }
+                Some(n) if n.is_ident("as") => {
+                    // `path as alias` — the original path is the leaf.
+                    *i += 1;
+                    if ident_at(toks, *i).is_some() {
+                        *i += 1;
+                    }
+                }
+                _ => {}
+            }
+            out.uses.push(UsePath {
+                segments: prefix.clone(),
+                line,
+            });
+            prefix.truncate(depth_in);
+            break;
+        }
+        if t.is_punct('*') {
+            prefix.push("*".into());
+            out.uses.push(UsePath {
+                segments: prefix.clone(),
+                line,
+            });
+            prefix.truncate(depth_in);
+            *i += 1;
+            break;
+        }
+        if t.is_punct('{') {
+            *i += 1;
+            loop {
+                match toks.get(*i) {
+                    Some(t) if t.is_punct('}') => {
+                        *i += 1;
+                        break;
+                    }
+                    Some(t) if t.is_punct(',') => {
+                        *i += 1;
+                    }
+                    Some(_) => {
+                        let before = *i;
+                        parse_use_tree(toks, i, prefix, out);
+                        if *i == before {
+                            *i += 1; // malformed: force progress
+                        }
+                    }
+                    None => break,
+                }
+            }
+            prefix.truncate(depth_in);
+            break;
+        }
+        break;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::lex::lex;
+    use crate::lint::scanner::mask;
+
+    fn parse_src(src: &str) -> ParsedFile {
+        parse(&lex(&mask(src)))
+    }
+
+    #[test]
+    fn parses_struct_fields_in_order() {
+        let src = "/// Doc.\n#[derive(Debug, Serialize)]\npub struct P {\n    pub seq: u64,\n    pub rssi: Option<f64>,\n    pub map: BTreeMap<u8, Vec<u16>>,\n}\n";
+        let p = parse_src(src);
+        assert_eq!(p.structs.len(), 1);
+        let s = &p.structs[0];
+        assert_eq!(s.name, "P");
+        assert!(s.public);
+        assert!(s.serde);
+        assert_eq!(s.line, 3);
+        let fields: Vec<(&str, &str)> = s
+            .fields
+            .iter()
+            .map(|f| (f.name.as_str(), f.ty.as_str()))
+            .collect();
+        assert_eq!(
+            fields,
+            vec![
+                ("seq", "u64"),
+                ("rssi", "Option<f64>"),
+                ("map", "BTreeMap<u8, Vec<u16>>"),
+            ]
+        );
+        assert_eq!(s.fields[1].line, 5);
+    }
+
+    #[test]
+    fn parses_tuple_and_unit_structs() {
+        let p = parse_src("pub struct T(pub u16, Vec<u8>);\nstruct U;\n");
+        assert_eq!(p.structs.len(), 2);
+        assert_eq!(p.structs[0].fields[0].name, "0");
+        assert_eq!(p.structs[0].fields[1].ty, "Vec<u8>");
+        assert!(p.structs[1].fields.is_empty());
+    }
+
+    #[test]
+    fn parses_enum_variants() {
+        let src = "pub enum E {\n    A,\n    B(u8),\n    C { x: u64 },\n    D = 4,\n}\n";
+        let p = parse_src(src);
+        let e = &p.enums[0];
+        let names: Vec<&str> = e.variants.iter().map(|v| v.name.as_str()).collect();
+        assert_eq!(names, vec!["A", "B", "C", "D"]);
+        assert_eq!(e.variants[1].payload.as_deref(), Some("(u8)"));
+        assert_eq!(e.variants[2].line, 4);
+    }
+
+    #[test]
+    fn expands_use_trees() {
+        let src = "use loramon_sim::{NodeId, SimTime};\nuse loramon_server::query::{self, Window as W};\nuse loramon_phy::*;\n";
+        let p = parse_src(src);
+        let paths: Vec<String> = p.uses.iter().map(|u| u.segments.join("::")).collect();
+        assert_eq!(
+            paths,
+            vec![
+                "loramon_sim::NodeId",
+                "loramon_sim::SimTime",
+                "loramon_server::query::self",
+                "loramon_server::query::Window",
+                "loramon_phy::*",
+            ]
+        );
+        assert_eq!(p.uses[1].line, 1);
+        assert_eq!(p.uses[3].line, 2);
+    }
+
+    #[test]
+    fn finds_fns_inside_impls_and_mods() {
+        let src = "impl Foo {\n    pub fn a(&self) -> u8 { self.x[0] }\n}\nmod inner {\n    fn b() {}\n}\n";
+        let p = parse_src(src);
+        let fns: Vec<(&str, usize)> = p
+            .items
+            .iter()
+            .filter(|i| i.kind == ItemKind::Fn)
+            .map(|i| (i.name.as_str(), i.line))
+            .collect();
+        assert_eq!(fns, vec![("a", 2), ("b", 5)]);
+        assert!(p.items.iter().any(|i| i.kind == ItemKind::Impl));
+        assert!(p.items.iter().any(|i| i.kind == ItemKind::Mod));
+    }
+
+    #[test]
+    fn fn_bodies_do_not_leak_items() {
+        // `struct`-looking tokens inside a fn body are skipped with it.
+        let src =
+            "fn f() {\n    let struct_like = 1;\n    if x { y } else { z }\n}\nstruct Real;\n";
+        let p = parse_src(src);
+        assert_eq!(p.structs.len(), 1);
+        assert_eq!(p.structs[0].name, "Real");
+    }
+
+    #[test]
+    fn consts_carry_types_and_spans() {
+        let src = "pub const MAGIC: [u8; 4] = *b\"LMRB\";\nconst VERSION: u8 = 1;\n";
+        let p = parse_src(src);
+        assert_eq!(p.consts.len(), 2);
+        assert_eq!(p.consts[0].name, "MAGIC");
+        assert_eq!(p.consts[0].ty, "[u8; 4]");
+        assert!(p.consts[0].public);
+        assert_eq!(p.consts[1].end_line, 2);
+    }
+
+    #[test]
+    fn survives_malformed_input() {
+        // Must terminate without panicking on garbage.
+        for src in [
+            "struct",
+            "use ::{{{",
+            "fn (",
+            "enum E { (",
+            "pub pub pub",
+            "impl {",
+        ] {
+            let _ = parse_src(src);
+        }
+    }
+}

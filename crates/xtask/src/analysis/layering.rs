@@ -1,0 +1,516 @@
+//! The crate-layering gate.
+//!
+//! The workspace is a strict layer cake:
+//!
+//! ```text
+//! phy < sim < mesh < core < server < dashboard
+//! ```
+//!
+//! plus the root `loramon` package (the scenario driver, above
+//! everything), `loramon-bench` and `xtask` (tooling, above the root).
+//! A crate may depend only on strictly lower layers. Two edges are
+//! additionally *restricted*: `server` and `dashboard` may use only the
+//! simulator's vocabulary types (`NodeId`, `SimTime`) — never its
+//! machinery — and `dashboard` may read only the server's query/result
+//! surface, not its ingest or mutation API.
+//!
+//! The gate enforces the direction twice: over `Cargo.toml`
+//! `[dependencies]` sections (`layering-cargo`) and over every
+//! `loramon*::` path in non-test sources (`layering-import`,
+//! `layering-restricted`). A crate referencing an allowed layer it
+//! never declared (e.g. leaking a dev-dependency into library code) is
+//! `layering-undeclared`.
+
+use super::lex::{Tok, TokKind};
+use super::Finding;
+use crate::lint::Diagnostic;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Rule id: a `Cargo.toml` dependency against the layering.
+pub const LAYERING_CARGO: &str = "layering-cargo";
+/// Rule id: a source import against the layering.
+pub const LAYERING_IMPORT: &str = "layering-import";
+/// Rule id: a source import over a restricted edge outside its allowlist.
+pub const LAYERING_RESTRICTED: &str = "layering-restricted";
+/// Rule id: a source import of an allowed crate that Cargo.toml does not declare.
+pub const LAYERING_UNDECLARED: &str = "layering-undeclared";
+
+/// One workspace crate and its allowed internal dependencies.
+#[derive(Debug, Clone, Copy)]
+pub struct CrateInfo {
+    /// Source directory prefix, workspace-relative (`crates/phy` or `src`).
+    pub dir: &'static str,
+    /// Crate name as it appears in paths (underscored).
+    pub name: &'static str,
+    /// Manifest path, workspace-relative.
+    pub manifest: &'static str,
+    /// Internal crates this one may depend on (underscored names).
+    pub deps: &'static [&'static str],
+    /// Per-dependency item allowlists: `(dep, allowed first path
+    /// segments)`. A dep absent from this list is unrestricted.
+    pub restricted: &'static [(&'static str, &'static [&'static str])],
+}
+
+/// Vocabulary types the upper layers may take from the simulator: the
+/// node identity and the clock, nothing else. Everything above the
+/// simulator speaks in terms of these; the simulator's machinery
+/// (`Simulator`, `Channel`, `Rng`, fault plans) stays below `core`.
+const SIM_VOCABULARY: &[&str] = &["NodeId", "SimTime"];
+
+/// The server's query/read surface — what a renderer may consume.
+/// Ingest, configuration and the live `MonitorServer` object are not
+/// part of it (the one sanctioned exception carries a reasoned
+/// `lint:allow` in `crates/dashboard/src/html.rs`).
+const SERVER_QUERY_SURFACE: &[&str] = &[
+    "Alert",
+    "AlertKind",
+    "HealthLevel",
+    "LinkDelivery",
+    "LinkStats",
+    "NodeHealth",
+    "NodeSummary",
+    "SeriesPoint",
+    "StatusPoint",
+    "Topology",
+    "Window",
+];
+
+/// The workspace layering table, lowest layer first.
+pub const CRATES: &[CrateInfo] = &[
+    CrateInfo {
+        dir: "crates/phy",
+        name: "loramon_phy",
+        manifest: "crates/phy/Cargo.toml",
+        deps: &[],
+        restricted: &[],
+    },
+    CrateInfo {
+        dir: "crates/sim",
+        name: "loramon_sim",
+        manifest: "crates/sim/Cargo.toml",
+        deps: &["loramon_phy"],
+        restricted: &[],
+    },
+    CrateInfo {
+        dir: "crates/mesh",
+        name: "loramon_mesh",
+        manifest: "crates/mesh/Cargo.toml",
+        deps: &["loramon_phy", "loramon_sim"],
+        restricted: &[],
+    },
+    CrateInfo {
+        dir: "crates/core",
+        name: "loramon_core",
+        manifest: "crates/core/Cargo.toml",
+        deps: &["loramon_phy", "loramon_sim", "loramon_mesh"],
+        restricted: &[],
+    },
+    CrateInfo {
+        dir: "crates/server",
+        name: "loramon_server",
+        manifest: "crates/server/Cargo.toml",
+        deps: &["loramon_phy", "loramon_sim", "loramon_mesh", "loramon_core"],
+        restricted: &[("loramon_sim", SIM_VOCABULARY)],
+    },
+    CrateInfo {
+        dir: "crates/dashboard",
+        name: "loramon_dashboard",
+        manifest: "crates/dashboard/Cargo.toml",
+        deps: &[
+            "loramon_phy",
+            "loramon_sim",
+            "loramon_mesh",
+            "loramon_core",
+            "loramon_server",
+        ],
+        restricted: &[
+            ("loramon_sim", SIM_VOCABULARY),
+            ("loramon_server", SERVER_QUERY_SURFACE),
+        ],
+    },
+    CrateInfo {
+        dir: "src",
+        name: "loramon",
+        manifest: "Cargo.toml",
+        deps: &[
+            "loramon_phy",
+            "loramon_sim",
+            "loramon_mesh",
+            "loramon_core",
+            "loramon_server",
+            "loramon_dashboard",
+        ],
+        restricted: &[],
+    },
+    CrateInfo {
+        dir: "crates/bench",
+        name: "loramon_bench",
+        manifest: "crates/bench/Cargo.toml",
+        deps: &[
+            "loramon",
+            "loramon_phy",
+            "loramon_sim",
+            "loramon_mesh",
+            "loramon_core",
+            "loramon_server",
+            "loramon_dashboard",
+        ],
+        restricted: &[],
+    },
+    CrateInfo {
+        dir: "crates/xtask",
+        name: "xtask",
+        manifest: "crates/xtask/Cargo.toml",
+        deps: &["loramon"],
+        restricted: &[],
+    },
+];
+
+/// The crate owning a workspace-relative source path, per the table.
+pub fn crate_for_path(rel: &str) -> Option<&'static CrateInfo> {
+    CRATES
+        .iter()
+        .filter(|c| rel.starts_with(&format!("{}/", c.dir)) || rel == c.dir)
+        .max_by_key(|c| c.dir.len())
+}
+
+/// Whether an identifier names a workspace crate (in path position).
+fn internal_crate(name: &str) -> bool {
+    name == "loramon" || name.starts_with("loramon_") || name == "xtask"
+}
+
+/// Declared internal `[dependencies]` of every crate, keyed by crate
+/// name, read from the manifests. Used for the `layering-undeclared`
+/// check; files of crates absent from the map skip that check.
+pub type DeclaredDeps = BTreeMap<&'static str, BTreeSet<String>>;
+
+/// Parse the internal crates out of a manifest's `[dependencies]`
+/// section (dev- and build-dependencies deliberately exempt: tests may
+/// reach across layers).
+pub fn declared_internal_deps(manifest: &str) -> BTreeSet<String> {
+    parse_dependency_lines(manifest)
+        .into_iter()
+        .map(|(name, _)| name)
+        .collect()
+}
+
+/// `(underscored dep name, 1-based line)` for every internal dependency
+/// in the `[dependencies]` section.
+fn parse_dependency_lines(manifest: &str) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    let mut in_deps = false;
+    for (idx, line) in manifest.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.starts_with('[') {
+            in_deps = trimmed == "[dependencies]";
+            continue;
+        }
+        if !in_deps || trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let key: String = trimmed
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '-' || *c == '_')
+            .collect();
+        let name = key.replace('-', "_");
+        if internal_crate(&name) {
+            out.push((name, idx + 1));
+        }
+    }
+    out
+}
+
+/// Check one manifest against the layering table, emitting
+/// `layering-cargo` diagnostics (file = the manifest path).
+pub fn manifest_diagnostics(info: &CrateInfo, manifest: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (dep, line) in parse_dependency_lines(manifest) {
+        if dep != info.name && !info.deps.contains(&dep.as_str()) {
+            out.push(Diagnostic {
+                file: info.manifest.to_string(),
+                line,
+                rule: LAYERING_CARGO.to_string(),
+                message: format!(
+                    "`{}` must not depend on `{}`: the workspace layers are \
+                     phy < sim < mesh < core < server < dashboard (allowed here: {})",
+                    info.name,
+                    dep,
+                    allowed_list(info)
+                ),
+            });
+        }
+    }
+    out
+}
+
+fn allowed_list(info: &CrateInfo) -> String {
+    if info.deps.is_empty() {
+        "no internal crates".to_string()
+    } else {
+        info.deps.join(", ")
+    }
+}
+
+/// Scan a file's tokens for `loramon*::` paths and check each against
+/// the layering table (and, when `declared` covers the crate, against
+/// its manifest). Test code must be filtered by the caller via the
+/// returned line numbers.
+pub fn check_tokens(rel: &str, toks: &[Tok], declared: Option<&DeclaredDeps>) -> Vec<Finding> {
+    let Some(info) = crate_for_path(rel) else {
+        return Vec::new();
+    };
+    let declared_here = declared.and_then(|d| d.get(info.name));
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || !internal_crate(&t.text) || t.text == info.name {
+            i += 1;
+            continue;
+        }
+        // Only path-position references count: `loramon_x::…`, or a
+        // bare `use loramon_x;`/`pub use … as loramon_x` style mention
+        // immediately after `use`/`crate` keywords.
+        let is_path = toks.get(i + 1).is_some_and(|n| n.kind == TokKind::PathSep);
+        let after_use = i > 0
+            && toks
+                .get(i - 1)
+                .is_some_and(|p| p.is_ident("use") || p.is_ident("extern"));
+        if !is_path && !after_use {
+            i += 1;
+            continue;
+        }
+        let dep = t.text.clone();
+        let line = t.line;
+        if !info.deps.contains(&dep.as_str()) {
+            out.push((
+                line,
+                LAYERING_IMPORT,
+                format!(
+                    "`{}` must not import `{dep}`: the workspace layers are \
+                     phy < sim < mesh < core < server < dashboard (allowed here: {})",
+                    info.name,
+                    allowed_list(info)
+                ),
+            ));
+            i += 1;
+            continue;
+        }
+        if let Some(set) = declared_here {
+            if !set.contains(&dep) {
+                out.push((
+                    line,
+                    LAYERING_UNDECLARED,
+                    format!(
+                        "`{dep}` is used here but not declared under [dependencies] in {}",
+                        info.manifest
+                    ),
+                ));
+            }
+        }
+        if let Some((_, allowed)) = info
+            .restricted
+            .iter()
+            .find(|(restricted_dep, _)| *restricted_dep == dep)
+        {
+            for (segment, seg_line) in first_segments(toks, i + 1) {
+                if !allowed.contains(&segment.as_str()) {
+                    out.push((
+                        seg_line,
+                        LAYERING_RESTRICTED,
+                        format!(
+                            "`{}` may use only {{{}}} from `{dep}`; `{segment}` crosses the \
+                             layer boundary",
+                            info.name,
+                            allowed.join(", ")
+                        ),
+                    ));
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// The first path segments referenced after the crate name at `i`
+/// (which is followed by `::`): a single ident, or each element of a
+/// `{...}` use-group, or `*` for a glob.
+fn first_segments(toks: &[Tok], path_sep: usize) -> Vec<(String, usize)> {
+    if !toks
+        .get(path_sep)
+        .is_some_and(|t| t.kind == TokKind::PathSep)
+    {
+        return Vec::new();
+    }
+    let mut i = path_sep + 1;
+    match toks.get(i) {
+        Some(t) if t.kind == TokKind::Ident => vec![(t.text.clone(), t.line)],
+        Some(t) if t.is_punct('*') => vec![("*".to_string(), t.line)],
+        Some(t) if t.is_punct('{') => {
+            // Collect the first ident (or `*`) of every top-level
+            // element of the group.
+            let mut out = Vec::new();
+            let mut depth = 1usize;
+            let mut element_head = true;
+            i += 1;
+            while let Some(t) = toks.get(i) {
+                if t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if t.is_punct(',') {
+                    if depth == 1 {
+                        element_head = true;
+                    }
+                } else if element_head && depth == 1 {
+                    if t.kind == TokKind::Ident || t.is_punct('*') {
+                        out.push((t.text.clone(), t.line));
+                    }
+                    element_head = false;
+                }
+                i += 1;
+            }
+            out
+        }
+        _ => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::lex::lex;
+    use crate::lint::scanner::mask;
+
+    fn findings(rel: &str, src: &str) -> Vec<Finding> {
+        check_tokens(rel, &lex(&mask(src)), None)
+    }
+
+    #[test]
+    fn table_is_a_strict_layering() {
+        // Every allowed dep must itself be a lower-indexed crate (no
+        // cycles), and within the product crates the allowed sets are
+        // transitively closed. `xtask` is tooling: it sees only the
+        // `loramon` facade on purpose, so transitivity stops there.
+        for (idx, c) in CRATES.iter().enumerate() {
+            for dep in c.deps {
+                let dep_idx = CRATES
+                    .iter()
+                    .position(|o| o.name == *dep)
+                    .unwrap_or_else(|| panic!("{dep} missing from table"));
+                assert!(dep_idx < idx, "{} -> {dep} is not downward", c.name);
+                if c.name == "xtask" {
+                    continue;
+                }
+                for transitive in CRATES[dep_idx].deps {
+                    assert!(
+                        c.deps.contains(transitive),
+                        "{} allows {dep} but not its dep {transitive}",
+                        c.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crate_for_path_resolves_dirs() {
+        assert_eq!(
+            crate_for_path("crates/phy/src/adr.rs").unwrap().name,
+            "loramon_phy"
+        );
+        assert_eq!(crate_for_path("src/scenario.rs").unwrap().name, "loramon");
+        assert_eq!(
+            crate_for_path("src/bin/loramon.rs").unwrap().name,
+            "loramon"
+        );
+        assert_eq!(
+            crate_for_path("crates/xtask/src/main.rs").unwrap().name,
+            "xtask"
+        );
+        assert!(crate_for_path("tests/determinism.rs").is_none());
+    }
+
+    #[test]
+    fn upward_import_is_flagged_with_line() {
+        let src = "//! Doc.\nuse loramon_server::MonitorServer;\n";
+        let f = findings("crates/phy/src/bad.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!((f[0].0, f[0].1), (2, LAYERING_IMPORT));
+    }
+
+    #[test]
+    fn downward_import_is_clean() {
+        assert!(findings("crates/mesh/src/ok.rs", "use loramon_phy::RadioConfig;\n").is_empty());
+        assert!(findings("crates/server/src/ok.rs", "use loramon_core::Report;\n").is_empty());
+    }
+
+    #[test]
+    fn restricted_edge_allows_vocabulary_only() {
+        let ok = findings(
+            "crates/server/src/ok.rs",
+            "use loramon_sim::{NodeId, SimTime};\nfn f(t: loramon_sim::SimTime) {}\n",
+        );
+        assert!(ok.is_empty(), "{ok:?}");
+        let bad = findings(
+            "crates/server/src/bad.rs",
+            "use loramon_sim::{NodeId, Rng};\n",
+        );
+        assert_eq!(bad.len(), 1);
+        assert_eq!((bad[0].0, bad[0].1), (1, LAYERING_RESTRICTED));
+        assert!(bad[0].2.contains("`Rng`"));
+    }
+
+    #[test]
+    fn glob_over_restricted_edge_is_flagged() {
+        let f = findings("crates/dashboard/src/bad.rs", "use loramon_sim::*;\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].1, LAYERING_RESTRICTED);
+    }
+
+    #[test]
+    fn dashboard_reads_only_query_types() {
+        let ok = findings(
+            "crates/dashboard/src/ok.rs",
+            "use loramon_server::{Alert, Topology};\n",
+        );
+        assert!(ok.is_empty(), "{ok:?}");
+        let bad = findings(
+            "crates/dashboard/src/bad.rs",
+            "use loramon_server::MonitorServer;\n",
+        );
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].1, LAYERING_RESTRICTED);
+    }
+
+    #[test]
+    fn undeclared_dep_is_flagged_when_manifest_known() {
+        let mut declared = DeclaredDeps::new();
+        declared.insert("loramon_mesh", BTreeSet::from(["loramon_phy".to_string()]));
+        let toks = lex(&mask("use loramon_sim::NodeId;\n"));
+        let f = check_tokens("crates/mesh/src/x.rs", &toks, Some(&declared));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].1, LAYERING_UNDECLARED);
+    }
+
+    #[test]
+    fn manifest_upward_dep_is_flagged() {
+        let info = CRATES.iter().find(|c| c.name == "loramon_phy").unwrap();
+        let manifest = "[package]\nname = \"loramon-phy\"\n\n[dependencies]\nserde.workspace = true\nloramon-server.workspace = true\n\n[dev-dependencies]\nloramon-sim.workspace = true\n";
+        let d = manifest_diagnostics(info, manifest);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, LAYERING_CARGO);
+        assert_eq!(d[0].line, 6);
+        assert_eq!(d[0].file, "crates/phy/Cargo.toml");
+    }
+
+    #[test]
+    fn mentions_in_strings_and_comments_do_not_count() {
+        let src = "// loramon_server::MonitorServer in prose\nlet s = \"loramon_server::X\";\n";
+        assert!(findings("crates/phy/src/ok.rs", src).is_empty());
+    }
+}

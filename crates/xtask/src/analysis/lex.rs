@@ -1,0 +1,203 @@
+//! Token-level lexer over masked source.
+//!
+//! The scanner ([`crate::lint::scanner::mask`]) has already blanked
+//! string/char-literal contents and comments, so what remains is pure
+//! code: identifiers, numbers, lifetimes and punctuation. This lexer
+//! turns that residue into a flat token stream with line numbers — the
+//! substrate the item parser ([`super::items`]) and the token-level
+//! rules ([`super::panic_surface`]) operate on.
+//!
+//! Deliberately simple: single-character punctuation except `::`
+//! (which matters for path parsing), no float recognition (a float
+//! lexes as `Number . Number`, which is fine for every analysis built
+//! on top), and no keyword table (keywords are plain `Ident`s; the
+//! parser decides what is a keyword in context).
+
+/// What kind of token this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `PacketRecord`, `r#raw`).
+    Ident,
+    /// Lifetime or loop label (`'a`, `'static`, `'outer`).
+    Lifetime,
+    /// Integer-ish literal (`42`, `0xFF`, `1_000u64`).
+    Number,
+    /// The `::` path separator.
+    PathSep,
+    /// Any other single punctuation character.
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Token classification.
+    pub kind: TokKind,
+    /// Exact source text of the token.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: usize,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == word
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex masked source into a token stream.
+///
+/// Input must already be masked: any `'` left in the text is a
+/// lifetime/label quote (char-literal quotes are blanked by the
+/// scanner), and there are no string or comment contents to trip on.
+pub fn lex(masked: &str) -> Vec<Tok> {
+    let chars: Vec<char> = masked.chars().collect();
+    let mut toks = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if is_ident_start(c) {
+            let start = i;
+            while i < chars.len() && is_ident_continue(chars[i]) {
+                i += 1;
+            }
+            // Raw identifiers (`r#match`) keep their prefix attached.
+            let mut text: String = chars[start..i].iter().collect();
+            if (text == "r" || text == "b") && chars.get(i) == Some(&'#') {
+                if let Some(&after) = chars.get(i + 1) {
+                    if is_ident_start(after) {
+                        i += 1;
+                        let tail_start = i;
+                        while i < chars.len() && is_ident_continue(chars[i]) {
+                            i += 1;
+                        }
+                        text.push('#');
+                        text.extend(&chars[tail_start..i]);
+                    }
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < chars.len() && is_ident_continue(chars[i]) {
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Number,
+                text: chars[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        if c == '\'' && chars.get(i + 1).copied().is_some_and(is_ident_start) {
+            let start = i;
+            i += 1;
+            while i < chars.len() && is_ident_continue(chars[i]) {
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Lifetime,
+                text: chars[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        if c == ':' && chars.get(i + 1) == Some(&':') {
+            toks.push(Tok {
+                kind: TokKind::PathSep,
+                text: "::".to_string(),
+                line,
+            });
+            i += 2;
+            continue;
+        }
+        toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn lexes_idents_numbers_and_paths() {
+        let toks = kinds("use loramon_core::PacketRecord;");
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Ident, "use".into()),
+                (TokKind::Ident, "loramon_core".into()),
+                (TokKind::PathSep, "::".into()),
+                (TokKind::Ident, "PacketRecord".into()),
+                (TokKind::Punct, ";".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_lifetimes_and_labels() {
+        let toks = kinds("fn f<'a>(x: &'a u8) { 'outer: loop {} }");
+        assert!(toks.contains(&(TokKind::Lifetime, "'a".into())));
+        assert!(toks.contains(&(TokKind::Lifetime, "'outer".into())));
+    }
+
+    #[test]
+    fn tracks_lines() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<usize> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn numbers_keep_suffixes() {
+        let toks = kinds("let x = 1_000u64 + 0xFF;");
+        assert!(toks.contains(&(TokKind::Number, "1_000u64".into())));
+        assert!(toks.contains(&(TokKind::Number, "0xFF".into())));
+    }
+
+    #[test]
+    fn raw_identifiers_stay_one_token() {
+        let toks = kinds("let r#match = 1;");
+        assert!(toks.contains(&(TokKind::Ident, "r#match".into())));
+    }
+}

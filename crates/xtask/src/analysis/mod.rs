@@ -1,0 +1,32 @@
+//! Item-aware structural analysis for `cargo xtask lint`.
+//!
+//! Layered on the lint scanner's masked view of each source file:
+//!
+//! ```text
+//! source ──mask──▶ masked text ──lex──▶ tokens ──items──▶ item spans
+//!                       │                  │                  │
+//!                  pattern rules      panic_surface        layering
+//!                  (lint::rules)      slice-index /        import gate
+//!                                     as-truncation            │
+//!                                                           schema
+//!                                                      wire-schema lock
+//! ```
+//!
+//! Everything here is dependency-free and line-number-preserving: the
+//! scanner blanks literals and comments in place, the lexer keeps
+//! 1-based lines on every token, and the item parser only recognizes
+//! items in item position so findings always anchor to real source
+//! lines. [`json`] is the self-contained reader/writer behind the
+//! committed `wire.schema.json` baseline and `--format json` output.
+
+pub mod items;
+pub mod json;
+pub mod layering;
+pub mod lex;
+pub mod panic_surface;
+pub mod schema;
+
+/// A token-level finding before allow-filtering: `(line, rule id,
+/// message)`. The lint engine routes these through the `lint:allow`
+/// machinery and test-code scoping.
+pub type Finding = (usize, &'static str, String);

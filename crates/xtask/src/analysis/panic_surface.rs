@@ -1,0 +1,159 @@
+//! Token-level panic-surface rules.
+//!
+//! The no-panic scope (server, core, and the root scenario driver —
+//! code a deployed monitoring server actually runs) already bans
+//! `unwrap`/`expect`/`panic!`. Two quieter panic/corruption sources
+//! remain visible only at the token level:
+//!
+//! - **`slice-index`** — `expr[...]` indexing panics on out-of-range;
+//!   report decoding must use `get`/iterators or carry a reasoned
+//!   `lint:allow` proving the bound.
+//! - **`as-truncation`** — `expr as u8/u16/u32/i8/i16/i32` silently
+//!   wraps; wire counters must use `try_from` with an explicit
+//!   saturation/error policy instead.
+//!
+//! Widening or same-width casts (`as u64`, `as usize`, `as f64`) are
+//! deliberately out of scope: they cannot lose integer range on the
+//! 64-bit targets this workspace supports.
+
+use super::lex::{Tok, TokKind};
+use super::Finding;
+
+/// Rule id: panicking slice/array indexing.
+pub const SLICE_INDEX: &str = "slice-index";
+/// Rule id: truncating `as` integer cast.
+pub const AS_TRUNCATION: &str = "as-truncation";
+
+/// Keywords after which a `[` starts an expression or pattern, not an
+/// index into the preceding value.
+const NON_VALUE_KEYWORDS: &[&str] = &[
+    "as", "box", "break", "continue", "crate", "dyn", "else", "enum", "extern", "fn", "for", "if",
+    "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref", "return", "self",
+    "static", "struct", "trait", "type", "unsafe", "use", "where", "while",
+];
+
+/// Target widths a cast can truncate into.
+const NARROW_INTS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Scan a token stream for panic-surface findings. The caller filters
+/// test code by line and routes findings through the `lint:allow`
+/// machinery.
+pub fn check(toks: &[Tok]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_punct('[') {
+            if let Some(prev) = i.checked_sub(1).and_then(|p| toks.get(p)) {
+                let indexes_value = match prev.kind {
+                    TokKind::Ident => {
+                        !NON_VALUE_KEYWORDS.contains(&prev.text.as_str())
+                            // `self` as a receiver (`self[i]`) never occurs
+                            // here, but `self.buf[i]` ends on an Ident anyway.
+                            && prev.text != "Self"
+                    }
+                    TokKind::Punct => matches!(prev.text.as_str(), "]" | ")" | "?"),
+                    _ => false,
+                };
+                if indexes_value {
+                    out.push((
+                        t.line,
+                        SLICE_INDEX,
+                        format!(
+                            "indexing after `{}` can panic out-of-range; use `get`/iterators \
+                             or add a reasoned lint:allow proving the bound",
+                            prev.text
+                        ),
+                    ));
+                }
+            }
+        } else if t.is_ident("as") {
+            // `expr as u32` — only when the left side is a value (an
+            // ident, number, `)`, `]` or `?`), so `use x as y` and
+            // trait casts don't trip.
+            let value_lhs =
+                i.checked_sub(1)
+                    .and_then(|p| toks.get(p))
+                    .is_some_and(|p| match p.kind {
+                        TokKind::Ident => !NON_VALUE_KEYWORDS.contains(&p.text.as_str()),
+                        TokKind::Number => true,
+                        TokKind::Punct => matches!(p.text.as_str(), ")" | "]" | "?"),
+                        _ => false,
+                    });
+            if let Some(target) = toks.get(i + 1) {
+                if value_lhs
+                    && target.kind == TokKind::Ident
+                    && NARROW_INTS.contains(&target.text.as_str())
+                {
+                    out.push((
+                        t.line,
+                        AS_TRUNCATION,
+                        format!(
+                            "`as {}` silently truncates; use `{}::try_from` with an explicit \
+                             saturation or error policy",
+                            target.text, target.text
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::lex::lex;
+    use crate::lint::scanner::mask;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        check(&lex(&mask(src)))
+    }
+
+    #[test]
+    fn flags_slice_indexing() {
+        let f = findings("let x = buf[4];\nlet y = self.fields[i + 1];\n");
+        assert_eq!(f.len(), 2);
+        assert_eq!((f[0].0, f[0].1), (1, SLICE_INDEX));
+        assert_eq!(f[1].0, 2);
+    }
+
+    #[test]
+    fn flags_indexing_after_call_and_try() {
+        let f = findings("let a = decode(x)?[0];\nlet b = grid[r][c];\n");
+        // `?[`, `ident[` and `][` all index values.
+        assert_eq!(f.len(), 3, "{f:?}");
+    }
+
+    #[test]
+    fn array_types_and_literals_are_not_indexing() {
+        let clean = "let a: [u8; 4] = [0; 4];\nfn f(x: &[u8]) -> Vec<[u8; 2]> { vec![] }\nstatic T: [u8; 1] = [9];\nlet m = matches!(x, [1, ..]);\nfor [a, b] in pairs {}\nlet s = &buf[..];\n";
+        let f = findings(clean);
+        // `&buf[..]` is still indexing (range-indexing a value); the
+        // rest must be clean.
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].0, 6);
+    }
+
+    #[test]
+    fn vec_macro_is_not_indexing() {
+        assert!(findings("let v = vec![1, 2];\n").is_empty());
+    }
+
+    #[test]
+    fn flags_truncating_casts_only() {
+        let f = findings(
+            "let a = n as u32;\nlet b = n as u64;\nlet c = n as usize;\nlet d = x.len() as u16;\nlet e = n as f64;\nlet g = 300 as u8;\n",
+        );
+        let lines: Vec<usize> = f.iter().map(|x| x.0).collect();
+        assert_eq!(lines, vec![1, 4, 6], "{f:?}");
+        assert!(f.iter().all(|x| x.1 == AS_TRUNCATION));
+    }
+
+    #[test]
+    fn use_alias_is_not_a_cast() {
+        assert!(
+            findings("use std::io::Result as IoResult;\npub use loramon_core as core;\n")
+                .is_empty()
+        );
+    }
+}

@@ -1,0 +1,668 @@
+//! Wire-schema compatibility lock.
+//!
+//! The monitoring pipeline persists and exchanges a small set of wire
+//! types (`PacketRecord`, `Report`, `NodeStatus`, `MonitorCommand`, …)
+//! whose binary layout is positional: the report reader decodes fields
+//! in declaration order, and the gateway/server pair must agree on
+//! that order across versions. Renaming, reordering, retyping or
+//! deleting a field is therefore a *compatibility event*, not a
+//! refactor.
+//!
+//! This module extracts the canonical shape of every public
+//! serde-carrying struct/enum (plus the public wire constants) from
+//! the watched core sources, fingerprints it, and diffs it against the
+//! committed baseline `wire.schema.json`. Any drift is reported as
+//! `schema-drift` — a rule that deliberately has **no** `lint:allow`
+//! escape: the only way to accept a change is to regenerate the
+//! baseline with `cargo xtask lint --bless-schema`, which puts the new
+//! schema in front of a reviewer as its own diff hunk.
+
+use super::items::{self, ParsedFile};
+use super::json::{self, Value};
+use super::lex;
+use crate::lint::scanner::mask;
+use crate::lint::Diagnostic;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Rule id for any divergence from the committed wire schema.
+pub const SCHEMA_DRIFT: &str = "schema-drift";
+
+/// Baseline file name, at the workspace root.
+pub const BASELINE_FILE: &str = "wire.schema.json";
+
+/// Format version of the baseline file itself.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// The core sources that define the wire surface.
+pub const WATCHED_FILES: &[&str] = &[
+    "crates/core/src/command.rs",
+    "crates/core/src/record.rs",
+    "crates/core/src/report.rs",
+    "crates/core/src/status.rs",
+];
+
+/// One named entry of a wire type: a struct field, an enum variant
+/// (with its rendered payload as the "type"), or a const's
+/// `type`/`value` rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Entry name.
+    pub name: String,
+    /// Canonical type / payload / value text.
+    pub ty: String,
+    /// 1-based source line (0 for baseline entries, which carry none).
+    pub line: usize,
+}
+
+/// One wire type in the schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireType {
+    /// Type name.
+    pub name: String,
+    /// `struct`, `enum` or `const`.
+    pub kind: String,
+    /// Defining file, workspace-relative.
+    pub file: String,
+    /// 1-based line of the definition (0 for baseline entries).
+    pub line: usize,
+    /// Entries in declaration order.
+    pub entries: Vec<Entry>,
+}
+
+/// The extracted wire schema: types sorted by name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schema {
+    /// Wire types, sorted by name for canonical output.
+    pub types: Vec<WireType>,
+}
+
+/// Extract the wire schema from in-memory `(path, source)` pairs.
+/// Included: `pub` structs/enums whose attributes mention serde, and
+/// `pub` consts (the binary magic and version). Sorted by type name.
+pub fn extract_sources(sources: &[(&str, &str)]) -> Schema {
+    let mut types = Vec::new();
+    for (rel, source) in sources {
+        let masked = mask(source);
+        let parsed: ParsedFile = items::parse(&lex::lex(&masked));
+        let raw_lines: Vec<&str> = source.lines().collect();
+        for s in &parsed.structs {
+            if !(s.public && s.serde) {
+                continue;
+            }
+            types.push(WireType {
+                name: s.name.clone(),
+                kind: "struct".into(),
+                file: (*rel).to_string(),
+                line: s.line,
+                entries: s
+                    .fields
+                    .iter()
+                    .map(|f| Entry {
+                        name: f.name.clone(),
+                        ty: f.ty.clone(),
+                        line: f.line,
+                    })
+                    .collect(),
+            });
+        }
+        for e in &parsed.enums {
+            if !(e.public && e.serde) {
+                continue;
+            }
+            types.push(WireType {
+                name: e.name.clone(),
+                kind: "enum".into(),
+                file: (*rel).to_string(),
+                line: e.line,
+                entries: e
+                    .variants
+                    .iter()
+                    .map(|v| Entry {
+                        name: v.name.clone(),
+                        ty: v.payload.clone().unwrap_or_default(),
+                        line: v.line,
+                    })
+                    .collect(),
+            });
+        }
+        for c in &parsed.consts {
+            if !c.public {
+                continue;
+            }
+            types.push(WireType {
+                name: c.name.clone(),
+                kind: "const".into(),
+                file: (*rel).to_string(),
+                line: c.line,
+                entries: vec![
+                    Entry {
+                        name: "type".into(),
+                        ty: c.ty.clone(),
+                        line: c.line,
+                    },
+                    Entry {
+                        name: "value".into(),
+                        ty: const_value_text(&raw_lines, c.line, c.end_line),
+                        line: c.line,
+                    },
+                ],
+            });
+        }
+    }
+    types.sort_by(|a, b| a.name.cmp(&b.name));
+    Schema { types }
+}
+
+/// The initializer text of a const spanning `line..=end_line` (1-based)
+/// in the raw source: everything between the first `=` and the final
+/// `;`, whitespace-normalized. Works on the *unmasked* source so
+/// string/byte literals keep their contents.
+fn const_value_text(raw_lines: &[&str], line: usize, end_line: usize) -> String {
+    let lo = line.saturating_sub(1);
+    let hi = end_line.min(raw_lines.len());
+    let span = raw_lines.get(lo..hi).unwrap_or(&[]).join(" ");
+    let Some(eq) = span.find('=') else {
+        return String::new();
+    };
+    let tail = &span[eq + 1..];
+    let body = tail.rfind(';').map_or(tail, |semi| &tail[..semi]);
+    body.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// FNV-1a 64 over the canonical flat rendering of the schema.
+pub fn fingerprint(schema: &Schema) -> u64 {
+    let mut flat = String::new();
+    for t in &schema.types {
+        flat.push_str(&t.name);
+        flat.push('|');
+        flat.push_str(&t.kind);
+        flat.push('|');
+        flat.push_str(&t.file);
+        flat.push('|');
+        for e in &t.entries {
+            flat.push_str(&e.name);
+            flat.push(':');
+            flat.push_str(&e.ty);
+            flat.push(';');
+        }
+        flat.push('\n');
+    }
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in flat.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Render the schema as the committed baseline JSON document.
+pub fn to_json(schema: &Schema) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
+    out.push_str(&format!(
+        "  \"fingerprint\": {},\n",
+        json::quote(&format!("{:#018x}", fingerprint(schema)))
+    ));
+    out.push_str("  \"types\": {\n");
+    for (k, t) in schema.types.iter().enumerate() {
+        out.push_str(&format!("    {}: {{\n", json::quote(&t.name)));
+        out.push_str(&format!("      \"file\": {},\n", json::quote(&t.file)));
+        out.push_str(&format!("      \"kind\": {},\n", json::quote(&t.kind)));
+        out.push_str("      \"entries\": [\n");
+        for (j, e) in t.entries.iter().enumerate() {
+            out.push_str(&format!(
+                "        [{}, {}]{}\n",
+                json::quote(&e.name),
+                json::quote(&e.ty),
+                if j + 1 < t.entries.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("      ]\n");
+        out.push_str(&format!(
+            "    }}{}\n",
+            if k + 1 < schema.types.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n");
+    out.push_str("}\n");
+    out
+}
+
+/// Parse a committed baseline document back into a [`Schema`] plus its
+/// stored fingerprint string.
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem.
+pub fn parse_baseline(text: &str) -> Result<(String, Schema), String> {
+    let doc = json::parse(text)?;
+    let version = doc
+        .get("schema_version")
+        .and_then(|v| match v {
+            Value::Number(n) => n.parse::<u64>().ok(),
+            _ => None,
+        })
+        .ok_or("missing schema_version")?;
+    if version != SCHEMA_VERSION {
+        return Err(format!(
+            "unsupported schema_version {version} (expected {SCHEMA_VERSION})"
+        ));
+    }
+    let stored = doc
+        .get("fingerprint")
+        .and_then(Value::as_str)
+        .ok_or("missing fingerprint")?
+        .to_string();
+    let mut types = Vec::new();
+    for (name, body) in doc
+        .get("types")
+        .and_then(Value::as_object)
+        .ok_or("missing types object")?
+    {
+        let file = body
+            .get("file")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("type {name}: missing file"))?
+            .to_string();
+        let kind = body
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("type {name}: missing kind"))?
+            .to_string();
+        let mut entries = Vec::new();
+        for pair in body
+            .get("entries")
+            .and_then(Value::as_array)
+            .ok_or_else(|| format!("type {name}: missing entries"))?
+        {
+            let row = pair
+                .as_array()
+                .filter(|r| r.len() == 2)
+                .ok_or_else(|| format!("type {name}: malformed entry"))?;
+            entries.push(Entry {
+                name: row[0]
+                    .as_str()
+                    .ok_or_else(|| format!("type {name}: non-string entry name"))?
+                    .to_string(),
+                ty: row[1]
+                    .as_str()
+                    .ok_or_else(|| format!("type {name}: non-string entry type"))?
+                    .to_string(),
+                line: 0,
+            });
+        }
+        types.push(WireType {
+            name: name.clone(),
+            kind,
+            file,
+            line: 0,
+            entries,
+        });
+    }
+    types.sort_by(|a, b| a.name.cmp(&b.name));
+    Ok((stored, Schema { types }))
+}
+
+/// Diff the current extraction against the committed baseline. Every
+/// divergence becomes one `schema-drift` diagnostic anchored at the
+/// current source (or the baseline's file at line 1 for removals).
+pub fn diff(current: &Schema, baseline: &Schema) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let drift = |file: &str, line: usize, message: String| Diagnostic {
+        file: file.to_string(),
+        line: line.max(1),
+        rule: SCHEMA_DRIFT.to_string(),
+        message,
+    };
+    for base in &baseline.types {
+        let Some(cur) = current.types.iter().find(|t| t.name == base.name) else {
+            out.push(drift(
+                &base.file,
+                1,
+                format!(
+                    "wire type `{}` was removed from the committed schema; if intentional, \
+                     run `cargo xtask lint --bless-schema`",
+                    base.name
+                ),
+            ));
+            continue;
+        };
+        if cur.kind != base.kind {
+            out.push(drift(
+                &cur.file,
+                cur.line,
+                format!(
+                    "wire type `{}` changed kind from {} to {}",
+                    base.name, base.kind, cur.kind
+                ),
+            ));
+            continue;
+        }
+        diff_entries(base, cur, &mut out, &drift);
+    }
+    for cur in &current.types {
+        if !baseline.types.iter().any(|t| t.name == cur.name) {
+            out.push(drift(
+                &cur.file,
+                cur.line,
+                format!(
+                    "new wire type `{}` is not in the committed schema; run \
+                     `cargo xtask lint --bless-schema` to accept it",
+                    cur.name
+                ),
+            ));
+        }
+    }
+    out
+}
+
+fn diff_entries(
+    base: &WireType,
+    cur: &WireType,
+    out: &mut Vec<Diagnostic>,
+    drift: &impl Fn(&str, usize, String) -> Diagnostic,
+) {
+    let noun = if base.kind == "enum" {
+        "variant"
+    } else {
+        "field"
+    };
+    for (idx, be) in base.entries.iter().enumerate() {
+        match cur.entries.iter().position(|ce| ce.name == be.name) {
+            None => {
+                // Same slot, same type, different name: a rename.
+                if let Some(ce) = cur.entries.get(idx) {
+                    let renamed =
+                        ce.ty == be.ty && !base.entries.iter().any(|other| other.name == ce.name);
+                    if renamed {
+                        out.push(drift(
+                            &cur.file,
+                            ce.line,
+                            format!(
+                                "wire {noun} `{}.{}` was renamed to `{}` (same position and \
+                                 type); serialized data keyed by the old name will not decode",
+                                base.name, be.name, ce.name
+                            ),
+                        ));
+                        continue;
+                    }
+                }
+                out.push(drift(
+                    &cur.file,
+                    cur.line,
+                    format!(
+                        "wire {noun} `{}.{}` ({}) was removed; binary decoding is positional, \
+                         so every later {noun} shifts",
+                        base.name, be.name, be.ty
+                    ),
+                ));
+            }
+            Some(pos) => {
+                let ce = &cur.entries[pos];
+                if ce.ty != be.ty {
+                    out.push(drift(
+                        &cur.file,
+                        ce.line,
+                        format!(
+                            "wire {noun} `{}.{}` changed type from `{}` to `{}`",
+                            base.name, be.name, be.ty, ce.ty
+                        ),
+                    ));
+                }
+                if pos != idx {
+                    out.push(drift(
+                        &cur.file,
+                        ce.line,
+                        format!(
+                            "wire {noun} `{}.{}` moved from position {idx} to {pos}; \
+                             binary layout is declaration-order",
+                            base.name, be.name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    for ce in &cur.entries {
+        let known = base.entries.iter().any(|be| be.name == ce.name);
+        let rename_target = cur
+            .entries
+            .iter()
+            .position(|e| e.name == ce.name)
+            .and_then(|pos| base.entries.get(pos))
+            .is_some_and(|be| be.ty == ce.ty && !cur.entries.iter().any(|e| e.name == be.name));
+        if !known && !rename_target {
+            out.push(drift(
+                &cur.file,
+                ce.line,
+                format!(
+                    "new wire {noun} `{}.{}` ({}) is not in the committed schema; run \
+                     `cargo xtask lint --bless-schema` to accept it",
+                    cur.name, ce.name, ce.ty
+                ),
+            ));
+        }
+    }
+}
+
+/// Read the watched files under `root` and extract the current schema.
+/// Unreadable watched files produce diagnostics (the wire surface must
+/// stay where the lock can see it).
+pub fn extract_workspace(root: &Path, out_diags: &mut Vec<Diagnostic>) -> Schema {
+    let mut sources: Vec<(String, String)> = Vec::new();
+    for rel in WATCHED_FILES {
+        match fs::read_to_string(root.join(rel)) {
+            Ok(text) => sources.push(((*rel).to_string(), text)),
+            Err(err) => out_diags.push(Diagnostic {
+                file: (*rel).to_string(),
+                line: 1,
+                rule: SCHEMA_DRIFT.to_string(),
+                message: format!("watched wire source is unreadable: {err}"),
+            }),
+        }
+    }
+    let borrowed: Vec<(&str, &str)> = sources
+        .iter()
+        .map(|(r, s)| (r.as_str(), s.as_str()))
+        .collect();
+    extract_sources(&borrowed)
+}
+
+/// Check the workspace against the committed baseline, appending
+/// `schema-drift` diagnostics. These bypass `lint:allow` by design.
+pub fn check(root: &Path) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let current = extract_workspace(root, &mut diags);
+    let baseline_path = root.join(BASELINE_FILE);
+    let text = match fs::read_to_string(&baseline_path) {
+        Ok(text) => text,
+        Err(_) => {
+            diags.push(Diagnostic {
+                file: BASELINE_FILE.to_string(),
+                line: 1,
+                rule: SCHEMA_DRIFT.to_string(),
+                message: "committed wire schema is missing; run `cargo xtask lint \
+                          --bless-schema` to create it"
+                    .to_string(),
+            });
+            return diags;
+        }
+    };
+    match parse_baseline(&text) {
+        Ok((stored, baseline)) => {
+            diags.extend(diff(&current, &baseline));
+            let recomputed = format!("{:#018x}", fingerprint(&baseline));
+            if stored != recomputed {
+                diags.push(Diagnostic {
+                    file: BASELINE_FILE.to_string(),
+                    line: 1,
+                    rule: SCHEMA_DRIFT.to_string(),
+                    message: format!(
+                        "baseline fingerprint {stored} does not match its own contents \
+                         ({recomputed}); the file was hand-edited — regenerate it with \
+                         `cargo xtask lint --bless-schema`"
+                    ),
+                });
+            }
+        }
+        Err(err) => diags.push(Diagnostic {
+            file: BASELINE_FILE.to_string(),
+            line: 1,
+            rule: SCHEMA_DRIFT.to_string(),
+            message: format!(
+                "committed wire schema is malformed ({err}); regenerate it with \
+                 `cargo xtask lint --bless-schema`"
+            ),
+        }),
+    }
+    diags
+}
+
+/// Regenerate the committed baseline from the current sources.
+///
+/// # Errors
+///
+/// Propagates I/O failures reading the watched files or writing the
+/// baseline.
+pub fn bless(root: &Path) -> io::Result<String> {
+    let mut diags = Vec::new();
+    let current = extract_workspace(root, &mut diags);
+    if let Some(d) = diags.first() {
+        return Err(io::Error::other(format!("{}: {}", d.file, d.message)));
+    }
+    let rendered = to_json(&current);
+    fs::write(root.join(BASELINE_FILE), &rendered)?;
+    Ok(format!("{:#018x}", fingerprint(&current)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RECORD: &str = "//! Wire record.\n#[derive(Debug, Serialize, Deserialize)]\npub struct PacketRecord {\n    pub seq: u64,\n    pub rssi_dbm: Option<f64>,\n}\n\n#[derive(Serialize)]\npub enum Direction {\n    Tx,\n    Rx,\n}\n\npub const BINARY_MAGIC: [u8; 4] = *b\"LMRB\";\nstruct Private;\n";
+
+    fn schema_of(src: &str) -> Schema {
+        extract_sources(&[("crates/core/src/record.rs", src)])
+    }
+
+    #[test]
+    fn extracts_serde_types_and_pub_consts_only() {
+        let s = schema_of(RECORD);
+        let names: Vec<&str> = s.types.iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(names, vec!["BINARY_MAGIC", "Direction", "PacketRecord"]);
+        let magic = &s.types[0];
+        assert_eq!(magic.kind, "const");
+        assert_eq!(magic.entries[0].ty, "[u8; 4]");
+        assert_eq!(magic.entries[1].ty, "*b\"LMRB\"");
+        let rec = &s.types[2];
+        assert_eq!(rec.entries[1].name, "rssi_dbm");
+        assert_eq!(rec.entries[1].line, 5);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive() {
+        let a = fingerprint(&schema_of(RECORD));
+        let b = fingerprint(&schema_of(RECORD));
+        assert_eq!(a, b);
+        let changed = RECORD.replace("rssi_dbm", "rssi");
+        assert_ne!(a, fingerprint(&schema_of(&changed)));
+    }
+
+    #[test]
+    fn baseline_roundtrips_through_json() {
+        let s = schema_of(RECORD);
+        let (stored, parsed) = parse_baseline(&to_json(&s)).unwrap();
+        assert_eq!(stored, format!("{:#018x}", fingerprint(&s)));
+        // Lines are not persisted; compare everything else.
+        assert_eq!(parsed.types.len(), s.types.len());
+        for (p, o) in parsed.types.iter().zip(&s.types) {
+            assert_eq!((&p.name, &p.kind, &p.file), (&o.name, &o.kind, &o.file));
+            let pe: Vec<(&str, &str)> = p
+                .entries
+                .iter()
+                .map(|e| (e.name.as_str(), e.ty.as_str()))
+                .collect();
+            let oe: Vec<(&str, &str)> = o
+                .entries
+                .iter()
+                .map(|e| (e.name.as_str(), e.ty.as_str()))
+                .collect();
+            assert_eq!(pe, oe);
+        }
+        assert!(diff(&s, &parsed).is_empty());
+    }
+
+    #[test]
+    fn rename_is_detected_as_rename() {
+        let base = schema_of(RECORD);
+        let cur = schema_of(&RECORD.replace("rssi_dbm", "rssi"));
+        let d = diff(&cur, &base);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, SCHEMA_DRIFT);
+        assert!(
+            d[0].message.contains("renamed to `rssi`"),
+            "{}",
+            d[0].message
+        );
+        assert_eq!(d[0].line, 5);
+    }
+
+    #[test]
+    fn type_change_and_removal_are_distinct() {
+        let base = schema_of(RECORD);
+        let retyped = schema_of(&RECORD.replace("Option<f64>", "f64"));
+        let d = diff(&retyped, &base);
+        assert_eq!(d.len(), 1);
+        assert!(d[0]
+            .message
+            .contains("changed type from `Option<f64>` to `f64`"));
+
+        let removed = schema_of(&RECORD.replace("    pub rssi_dbm: Option<f64>,\n", ""));
+        let d = diff(&removed, &base);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("was removed"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn reorder_and_addition_are_reported() {
+        let swapped = "#[derive(Serialize)]\npub struct PacketRecord {\n    pub rssi_dbm: Option<f64>,\n    pub seq: u64,\n}\n#[derive(Serialize)]\npub enum Direction { Tx, Rx }\npub const BINARY_MAGIC: [u8; 4] = *b\"LMRB\";\n";
+        let base = schema_of(RECORD);
+        let d = diff(&schema_of(swapped), &base);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().all(|x| x.message.contains("moved from position")));
+
+        let grown = RECORD.replace(
+            "    pub seq: u64,\n",
+            "    pub seq: u64,\n    pub hop: u8,\n",
+        );
+        let d = diff(&schema_of(&grown), &base);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d
+            .iter()
+            .any(|x| x.message.contains("new wire field `PacketRecord.hop`")));
+        assert!(d.iter().any(|x| x.message.contains("moved from position")));
+    }
+
+    #[test]
+    fn const_value_change_is_drift() {
+        let base = schema_of(RECORD);
+        let bumped = RECORD.replace("*b\"LMRB\"", "*b\"LMRC\"");
+        let d = diff(&schema_of(&bumped), &base);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0]
+            .message
+            .contains("changed type from `*b\"LMRB\"` to `*b\"LMRC\"`"));
+    }
+
+    #[test]
+    fn missing_type_is_reported_at_baseline_file() {
+        let base = schema_of(RECORD);
+        let gone = schema_of(&RECORD.replace("pub enum Direction", "enum Direction"));
+        let d = diff(&gone, &base);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("wire type `Direction` was removed"));
+    }
+}

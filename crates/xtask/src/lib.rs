@@ -1,14 +1,18 @@
 //! Workspace task-runner library backing the `cargo xtask` alias.
 //!
-//! Three subsystems:
+//! Four subsystems:
 //! - [`lint`] — the dependency-free static-analysis pass enforcing the
 //!   determinism and robustness contracts (see DESIGN.md).
+//! - [`analysis`] — the structural layer under the lint pass: lexer,
+//!   item parser, crate-layering gate, panic-surface token rules and
+//!   the wire-schema compatibility lock.
 //! - [`determinism`] — the runtime double-run harness asserting that
 //!   one seed replays to byte-identical traces, on both delivery
 //!   paths (fire-and-forget and the acked transport).
 //! - [`chaos`] — a replayed chaos smoke run (loss + outage + crashes +
 //!   retries) with survival gates.
 
+pub mod analysis;
 pub mod chaos;
 pub mod determinism;
 pub mod lint;

@@ -6,14 +6,18 @@
 //! The engine deliberately avoids a full parser: sources are masked by
 //! a string/comment-aware scanner ([`scanner`]) and rules are
 //! word-bounded token patterns with per-crate scope ([`rules`]), plus
-//! one structural rule (doc comments on public items). That keeps the
-//! pass fast, dependency-free and — like everything else in this
+//! one structural rule (doc comments on public items). On top of the
+//! masked view, the [`crate::analysis`] layer lexes each file once and
+//! contributes the token-level panic-surface rules, the crate-layering
+//! gate (sources *and* manifests), and the wire-schema lock. All of it
+//! stays fast, dependency-free and — like everything else in this
 //! workspace — fully deterministic: files are walked in sorted order
 //! and diagnostics are emitted in (file, line, rule) order.
 
 pub mod rules;
 pub mod scanner;
 
+use crate::analysis::{self, layering, panic_surface, schema};
 use rules::{Scope, MALFORMED_ALLOW, MISSING_DOCS, RULES};
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -73,16 +77,35 @@ pub fn lint_root(root: &Path) -> std::io::Result<LintReport> {
     files.sort();
 
     let mut report = LintReport::default();
+    let declared = collect_manifests(root, &mut report);
     for rel in files {
         let source = std::fs::read_to_string(root.join(&rel))?;
         let rel = rel.to_string_lossy().replace('\\', "/");
-        lint_source(&rel, &source, &mut report);
+        lint_source_with(&rel, &source, &mut report, Some(&declared));
         report.files_scanned += 1;
     }
+    report.diagnostics.extend(schema::check(root));
     report
         .diagnostics
         .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
     Ok(report)
+}
+
+/// Read every crate manifest in the layering table: collect the
+/// declared internal dependencies (for `layering-undeclared`) and
+/// check each manifest against the allowed layers (`layering-cargo`).
+fn collect_manifests(root: &Path, report: &mut LintReport) -> layering::DeclaredDeps {
+    let mut declared = layering::DeclaredDeps::new();
+    for info in layering::CRATES {
+        let Ok(text) = std::fs::read_to_string(root.join(info.manifest)) else {
+            continue;
+        };
+        report
+            .diagnostics
+            .extend(layering::manifest_diagnostics(info, &text));
+        declared.insert(info.name, layering::declared_internal_deps(&text));
+    }
+    declared
 }
 
 fn collect_rust_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
@@ -111,8 +134,21 @@ fn collect_rust_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::i
 }
 
 /// Lint one in-memory source file, appending to `report`. `rel` is the
-/// workspace-relative path used for scoping.
+/// workspace-relative path used for scoping. Manifest-aware checks
+/// (`layering-undeclared`) are skipped; [`lint_root`] runs them via
+/// [`lint_source_with`].
 pub fn lint_source(rel: &str, source: &str, report: &mut LintReport) {
+    lint_source_with(rel, source, report, None);
+}
+
+/// [`lint_source`] with the workspace's declared-dependency map, so the
+/// layering gate can also flag imports the manifest never declared.
+pub fn lint_source_with(
+    rel: &str,
+    source: &str,
+    report: &mut LintReport,
+    declared: Option<&layering::DeclaredDeps>,
+) {
     let masked = scanner::mask(source);
     let comments = scanner::comment_text(source);
     let test_flags = scanner::test_regions(&masked);
@@ -134,6 +170,22 @@ pub fn lint_source(rel: &str, source: &str, report: &mut LintReport) {
                 continue;
             }
             emit(report, &allows, rel, line_no, rule.id, rule.message);
+        }
+    }
+
+    // Token-level analyses share one lex of the masked text. Each
+    // finding is test-filtered by its own line before emission.
+    let toks = analysis::lex::lex(&masked);
+    let line_is_test =
+        |line_no: usize| test_like || test_flags.get(line_no - 1).copied().unwrap_or(false);
+    for (line_no, rule, message) in panic_surface::check(&toks) {
+        if rules::applies(Scope::NoPanic, false, rel, line_is_test(line_no)) {
+            emit(report, &allows, rel, line_no, rule, &message);
+        }
+    }
+    for (line_no, rule, message) in layering::check_tokens(rel, &toks, declared) {
+        if rules::applies(Scope::Sources, false, rel, line_is_test(line_no)) {
+            emit(report, &allows, rel, line_no, rule, &message);
         }
     }
 

@@ -1,18 +1,26 @@
 //! The lint rule set and its per-crate scoping.
 //!
-//! Three families, mirroring the workspace's layering:
+//! Four families, mirroring the workspace's layering:
 //!
-//! - **determinism** (`crates/{sim,phy,mesh}`, plus wall-clock in
-//!   `crates/server`): the simulator's replay contract — no ambient
-//!   time, no ambient randomness, no iteration-order-dependent
-//!   collections.
-//! - **robustness** (`crates/server`): request/ingest paths must not
-//!   panic; malformed input becomes an error response, not a crash.
+//! - **determinism** (`crates/{sim,phy,mesh}` and the root scenario
+//!   driver, plus wall-clock in `crates/server`): the replay contract —
+//!   no ambient time, no ambient randomness, no
+//!   iteration-order-dependent collections.
+//! - **robustness** (`crates/server`, `crates/core`, root `src/`): the
+//!   no-panic surface — ingest/client/driver paths must not panic;
+//!   malformed input becomes an error response, not a crash. The
+//!   token-level rules `slice-index` and `as-truncation` (see
+//!   [`crate::analysis::panic_surface`]) share this scope.
+//! - **structure** ([`crate::analysis`]): the crate-layering gate
+//!   (`layering-*`) and the wire-schema lock (`schema-drift`).
 //! - **hygiene** (workspace-wide): no leftover `todo!`/`dbg!`, doc
 //!   comments on public items.
 //!
 //! Escape hatch: `// lint:allow(<rule-id>, reason = "…")` on the same
 //! line or a comment line directly above; the reason is mandatory.
+//! `schema-drift` and `layering-cargo` deliberately have no allow
+//! escape: schema changes go through `cargo xtask lint --bless-schema`,
+//! and manifest layering is fixed by fixing the manifest.
 
 /// Where a rule applies, expressed over workspace-relative paths.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,9 +31,10 @@ pub enum Scope {
     DeterminismAndServer,
     /// `crates/server` sources.
     Server,
-    /// `crates/server` and `crates/core` sources — the no-panic
-    /// surface: server ingest paths plus the on-node client/transport.
-    ServerAndCore,
+    /// The no-panic surface: `crates/server`, `crates/core` and the
+    /// root package's `src/` — server ingest paths, the on-node
+    /// client/transport, and the scenario driver.
+    NoPanic,
     /// Every scanned file, including tests, benches and examples.
     Everywhere,
     /// Non-test library/binary sources of every crate.
@@ -81,14 +90,14 @@ pub const RULES: &[Rule] = &[
     Rule {
         id: "server-unwrap",
         patterns: &[".unwrap()", ".expect("],
-        scope: Scope::ServerAndCore,
+        scope: Scope::NoPanic,
         include_tests: false,
         message: "ingest/client paths must not panic; map the error to a response or drop the record",
     },
     Rule {
         id: "server-panic",
         patterns: &["panic!", "unreachable!"],
-        scope: Scope::ServerAndCore,
+        scope: Scope::NoPanic,
         include_tests: false,
         message: "ingest/client paths must not panic; return an error instead",
     },
@@ -108,9 +117,24 @@ pub const RULES: &[Rule] = &[
     },
 ];
 
+/// Analysis-layer rule ids that accept a reasoned `lint:allow`.
+/// `schema-drift` and `layering-cargo` are intentionally absent: the
+/// former is escaped only by `--bless-schema`, the latter only by
+/// fixing the manifest.
+pub const ANALYSIS_ALLOWED_RULES: &[&str] = &[
+    "slice-index",
+    "as-truncation",
+    "layering-import",
+    "layering-restricted",
+    "layering-undeclared",
+];
+
 /// All known rule identifiers (for validating `lint:allow`).
 pub fn known_rule(id: &str) -> bool {
-    id == MISSING_DOCS || id == MALFORMED_ALLOW || RULES.iter().any(|r| r.id == id)
+    id == MISSING_DOCS
+        || id == MALFORMED_ALLOW
+        || ANALYSIS_ALLOWED_RULES.contains(&id)
+        || RULES.iter().any(|r| r.id == id)
 }
 
 /// Whether `rule` applies to the file at workspace-relative path
@@ -125,11 +149,15 @@ pub fn applies(rule_scope: Scope, include_tests: bool, rel: &str, is_test: bool)
         .any(|p| rel.starts_with(p));
     let server_crate = rel.starts_with("crates/server/");
     let core_crate = rel.starts_with("crates/core/");
+    // The root package's `src/` is the scenario driver: it replays
+    // seeded runs (determinism scope) and is part of the deployed
+    // surface (no-panic scope).
+    let root_crate = rel.starts_with("src/");
     match rule_scope {
-        Scope::Determinism => in_src && determinism_crate,
-        Scope::DeterminismAndServer => in_src && (determinism_crate || server_crate),
+        Scope::Determinism => in_src && (determinism_crate || root_crate),
+        Scope::DeterminismAndServer => in_src && (determinism_crate || server_crate || root_crate),
         Scope::Server => in_src && server_crate,
-        Scope::ServerAndCore => in_src && (server_crate || core_crate),
+        Scope::NoPanic => in_src && (server_crate || core_crate || root_crate),
         Scope::Everywhere => true,
         Scope::Sources => in_src,
     }
@@ -172,21 +200,29 @@ mod tests {
             false
         ));
         assert!(applies(
-            Scope::ServerAndCore,
+            Scope::NoPanic,
             false,
             "crates/core/src/transport.rs",
             false
         ));
         assert!(applies(
-            Scope::ServerAndCore,
+            Scope::NoPanic,
             false,
             "crates/server/src/ingest.rs",
             false
         ));
+        assert!(applies(Scope::NoPanic, false, "src/scenario.rs", false));
         assert!(!applies(
-            Scope::ServerAndCore,
+            Scope::NoPanic,
             false,
             "crates/mesh/src/node.rs",
+            false
+        ));
+        assert!(applies(Scope::Determinism, false, "src/cli.rs", false));
+        assert!(!applies(
+            Scope::Determinism,
+            false,
+            "crates/bench/benches/e2e.rs",
             false
         ));
         assert!(applies(
@@ -212,5 +248,10 @@ mod tests {
         }
         assert!(known_rule(MISSING_DOCS));
         assert!(!known_rule("made-up"));
+        assert!(known_rule("slice-index"));
+        assert!(known_rule("layering-restricted"));
+        // No allow escape for the schema lock or manifest layering.
+        assert!(!known_rule("schema-drift"));
+        assert!(!known_rule("layering-cargo"));
     }
 }

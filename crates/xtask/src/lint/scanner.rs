@@ -183,10 +183,19 @@ fn scan(source: &str) -> (String, String) {
                 }
             }
             State::CharLit => {
-                if c == '\\' && next.is_some() {
+                if c == '\\' && next.is_some() && next != Some('\n') {
                     put(&mut code, &mut comments, ' ', false);
                     put(&mut code, &mut comments, ' ', false);
                     i += 2;
+                } else if c == '\n' {
+                    // Char literals cannot span lines. A quote that looked
+                    // like a char literal but reaches end-of-line (possible
+                    // in mid-edit or invalid sources) must not swallow the
+                    // rest of the file: terminate the state and keep the
+                    // newline so line numbering survives.
+                    state = State::Code;
+                    put(&mut code, &mut comments, '\n', false);
+                    i += 1;
                 } else {
                     if c == '\'' {
                         state = State::Code;
@@ -333,6 +342,49 @@ mod tests {
         assert!(!m.contains("SystemTime"));
         assert!(m.contains("fn f() {}"));
         assert!(comment_text(src).contains("SystemTime"));
+    }
+
+    #[test]
+    fn lifetimes_and_labels_survive_masking() {
+        let cases = [
+            "let x: &'a str = y;",
+            "fn f<'a,'b>(x: &'a u8) -> &'b u8 { x }",
+            "'outer: loop { break 'outer; }",
+            "'l: for i in 0..n { continue 'l; }",
+            "impl<'de> Visit<'de> for X {}",
+            "let v: Vec<&'static str> = vec![];",
+            "struct W<'a>(&'a [u8]);",
+            "match c { 'a'..='z' => {} _ => {} }",
+        ];
+        for src in cases {
+            let m = mask(src);
+            assert_eq!(m.chars().count(), src.chars().count(), "{src:?} -> {m:?}");
+            // No case may leak into an unterminated literal state: the
+            // trailing code structure must survive.
+            let last = src.chars().next_back().unwrap();
+            assert_eq!(m.chars().next_back(), Some(last), "{src:?} -> {m:?}");
+        }
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_are_masked() {
+        let src = "let a = r#\"one \" quote\"#; let b = r##\"two \"# quotes\"##; let c = 1;\n";
+        let m = mask(src);
+        assert!(!m.contains("quote"));
+        assert!(m.contains("let c = 1;"));
+    }
+
+    #[test]
+    fn stray_char_literal_cannot_swallow_following_lines() {
+        // Mid-edit source: the backslash makes the quote look like a char
+        // literal that never closes. It must be contained to its line.
+        let src = "let a = '\\x\nInstant::now();\n";
+        let m = mask(src);
+        assert_eq!(m.lines().count(), src.lines().count());
+        assert!(
+            m.contains("Instant::now();"),
+            "code after a stray quote must stay visible: {m:?}"
+        );
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! `cargo xtask` — workspace task runner.
 //!
 //! Commands:
-//! - `lint` — static-analysis pass for determinism/robustness/hygiene
-//!   (exit 1 on any violation).
+//! - `lint` — static-analysis pass for determinism/robustness/layering/
+//!   hygiene plus the wire-schema lock (exit 1 on any violation).
+//!   `--format json` emits machine-readable diagnostics on stdout;
+//!   `--bless-schema` regenerates the committed `wire.schema.json`.
 //! - `determinism` — run a scenario twice from one seed on both
 //!   delivery paths and require identical trace fingerprints (exit 1
 //!   on divergence).
@@ -18,7 +20,10 @@ const USAGE: &str = "\
 usage: cargo xtask <command>
 
 commands:
-  lint                      run the determinism/robustness/hygiene lint pass
+  lint [options]            run the static-analysis pass (determinism, no-panic
+                            surface, crate layering, wire-schema lock, hygiene)
+      --format json         print diagnostics as a JSON document on stdout
+      --bless-schema        regenerate wire.schema.json from the current sources
   determinism [options]     double-run both delivery paths, compare fingerprints
       --seed N              seed shared by both runs (default 42)
       --nodes N             nodes in the line topology (default 6)
@@ -34,7 +39,7 @@ commands:
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => run_lint(),
+        Some("lint") => run_lint(&args[1..]),
         Some("determinism") => run_determinism(&args[1..]),
         Some("chaos") => run_chaos(&args[1..]),
         Some("help") | None => {
@@ -48,8 +53,43 @@ fn main() -> ExitCode {
     }
 }
 
-fn run_lint() -> ExitCode {
+fn run_lint(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut bless = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--format" => match it.next().map(String::as_str) {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                _ => {
+                    eprintln!("--format takes `json` or `text`\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--bless-schema" => bless = true,
+            _ => {
+                eprintln!("bad lint arguments\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
     let root = xtask::workspace_root();
+    if bless {
+        return match xtask::analysis::schema::bless(&root) {
+            Ok(fingerprint) => {
+                println!(
+                    "blessed {}: fingerprint {fingerprint}",
+                    xtask::analysis::schema::BASELINE_FILE
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("lint: failed to bless wire schema: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let report = match xtask::lint::lint_root(&root) {
         Ok(report) => report,
         Err(e) => {
@@ -57,14 +97,23 @@ fn run_lint() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    for diagnostic in &report.diagnostics {
-        eprintln!("{diagnostic}");
+    if json {
+        // Machine-readable mode: the JSON document is the only stdout
+        // output, so `cargo xtask lint --format json > lint.json` is
+        // directly consumable.
+        print!("{}", render_json(&report));
+    } else {
+        for diagnostic in &report.diagnostics {
+            eprintln!("{diagnostic}");
+        }
     }
     if report.is_clean() {
-        println!(
-            "lint OK: {} files scanned, 0 violations ({} suppressed by lint:allow)",
-            report.files_scanned, report.suppressed
-        );
+        if !json {
+            println!(
+                "lint OK: {} files scanned, 0 violations ({} suppressed by lint:allow)",
+                report.files_scanned, report.suppressed
+            );
+        }
         ExitCode::SUCCESS
     } else {
         eprintln!(
@@ -74,6 +123,37 @@ fn run_lint() -> ExitCode {
         );
         ExitCode::FAILURE
     }
+}
+
+/// Render a lint report as a stable JSON document: summary fields plus
+/// one object per diagnostic, in the report's (file, line, rule) order.
+fn render_json(report: &xtask::lint::LintReport) -> String {
+    use xtask::analysis::json::quote;
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"files_scanned\": {},\n  \"suppressed\": {},\n  \"violations\": {},\n",
+        report.files_scanned,
+        report.suppressed,
+        report.diagnostics.len()
+    ));
+    out.push_str("  \"diagnostics\": [\n");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}{}\n",
+            quote(&d.file),
+            d.line,
+            quote(&d.rule),
+            quote(&d.message),
+            if i + 1 < report.diagnostics.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 fn run_determinism(args: &[String]) -> ExitCode {

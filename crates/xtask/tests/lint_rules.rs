@@ -137,6 +137,150 @@ fn reasoned_allow_suppresses_exactly_one_violation() {
 }
 
 #[test]
+fn layering_gate_flags_upward_imports_with_exact_locations() {
+    let report = lint_fixture_at("layering_upward.rs", "crates/phy/src/seeded.rs");
+    let got: Vec<(usize, &str)> = report
+        .diagnostics
+        .iter()
+        .map(|d| (d.line, d.rule.as_str()))
+        .collect();
+    assert_eq!(
+        got,
+        vec![(3, "layering-import"), (6, "layering-import")],
+        "{:?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn layering_gate_flags_restricted_edge_with_exact_location() {
+    let report = lint_fixture_at("layering_restricted.rs", "crates/server/src/seeded.rs");
+    assert_eq!(report.diagnostics.len(), 1, "{:?}", report.diagnostics);
+    let d = &report.diagnostics[0];
+    assert_eq!((d.line, d.rule.as_str()), (3, "layering-restricted"));
+    assert!(d.message.contains("`Simulator`"), "{}", d.message);
+}
+
+#[test]
+fn layering_gate_ignores_the_same_fixture_outside_its_scope() {
+    // The same upward import is legal from the root driver, which sits
+    // above every crate…
+    let report = lint_fixture_at("layering_upward.rs", "src/seeded.rs");
+    assert!(
+        !report
+            .diagnostics
+            .iter()
+            .any(|d| d.rule.starts_with("layering")),
+        "{:?}",
+        report.diagnostics
+    );
+    // …and test targets may reach across layers freely.
+    let report = lint_fixture_at("layering_upward.rs", "crates/phy/tests/seeded.rs");
+    assert!(!report
+        .diagnostics
+        .iter()
+        .any(|d| d.rule.starts_with("layering")));
+}
+
+#[test]
+fn slice_index_fires_on_no_panic_surface_with_exact_location() {
+    let report = lint_fixture_at("slice_index.rs", "crates/core/src/seeded.rs");
+    let got: Vec<(usize, &str)> = report
+        .diagnostics
+        .iter()
+        .map(|d| (d.line, d.rule.as_str()))
+        .collect();
+    assert_eq!(got, vec![(4, "slice-index")], "{:?}", report.diagnostics);
+    // Out of scope: the mesh crate may index (determinism scope, not
+    // no-panic scope).
+    let report = lint_fixture_at("slice_index.rs", "crates/mesh/src/seeded.rs");
+    assert!(report.is_clean(), "{:?}", report.diagnostics);
+}
+
+#[test]
+fn as_truncation_fires_on_no_panic_surface_with_exact_location() {
+    let report = lint_fixture_at("as_cast.rs", "src/seeded.rs");
+    let got: Vec<(usize, &str)> = report
+        .diagnostics
+        .iter()
+        .map(|d| (d.line, d.rule.as_str()))
+        .collect();
+    assert_eq!(got, vec![(4, "as-truncation")], "{:?}", report.diagnostics);
+}
+
+#[test]
+fn lifetimes_labels_and_raw_strings_lint_clean() {
+    // Placed in the strictest scopes on purpose: nothing in the clean
+    // fixture may be mistaken for a violation by the scanner/lexer.
+    for rel in ["crates/sim/src/seeded.rs", "crates/server/src/seeded.rs"] {
+        let report = lint_fixture_at("lifetimes.rs", rel);
+        assert!(report.is_clean(), "at {rel}: {:?}", report.diagnostics);
+    }
+}
+
+#[test]
+fn renamed_wire_field_is_schema_drift_with_exact_location() {
+    use xtask::analysis::schema::{diff, extract_sources};
+    let before = "#[derive(Serialize)]\npub struct PacketRecord {\n    pub seq: u64,\n    pub rssi_dbm: Option<f64>,\n}\n";
+    let after = before.replace("rssi_dbm", "rssi");
+    let base = extract_sources(&[("crates/core/src/record.rs", before)]);
+    let cur = extract_sources(&[("crates/core/src/record.rs", &after)]);
+    let drift = diff(&cur, &base);
+    assert_eq!(drift.len(), 1, "{drift:?}");
+    let d = &drift[0];
+    assert_eq!(d.rule, "schema-drift");
+    assert_eq!((d.file.as_str(), d.line), ("crates/core/src/record.rs", 4));
+    assert!(
+        d.message
+            .contains("`PacketRecord.rssi_dbm` was renamed to `rssi`"),
+        "{}",
+        d.message
+    );
+}
+
+#[test]
+fn schema_drift_has_no_allow_escape() {
+    // A lint:allow naming schema-drift must itself be rejected as
+    // malformed: the only sanctioned escape is --bless-schema.
+    let src =
+        "// lint:allow(schema-drift, reason = \"trying to sneak one past\")\nfn seeded() {}\n";
+    let mut report = LintReport::default();
+    lint_source("crates/core/src/seeded.rs", src, &mut report);
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == "malformed-allow"),
+        "{:?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn committed_schema_matches_the_sources() {
+    // The wire lock end-to-end: the committed baseline must describe
+    // the shipped core sources exactly (fingerprint and structure).
+    use xtask::analysis::schema;
+    let drift = schema::check(&xtask::workspace_root());
+    assert!(
+        drift.is_empty(),
+        "run `cargo xtask lint --bless-schema`? {drift:?}"
+    );
+}
+
+#[test]
+fn shipped_manifests_respect_the_layering() {
+    use xtask::analysis::layering;
+    let root = xtask::workspace_root();
+    for info in layering::CRATES {
+        let manifest = std::fs::read_to_string(root.join(info.manifest))
+            .unwrap_or_else(|e| panic!("{} unreadable: {e}", info.manifest));
+        let diags = layering::manifest_diagnostics(info, &manifest);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}
+
+#[test]
 fn shipped_workspace_is_violation_free() {
     let report = lint_root(&xtask::workspace_root()).expect("workspace must be walkable");
     assert!(

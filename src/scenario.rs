@@ -118,6 +118,7 @@ impl ScenarioConfig {
             gateway_index < positions.len(),
             "gateway index out of range"
         );
+        // lint:allow(as-truncation, reason = "node ids are u16 by construction; the simulator cannot address more nodes than that")
         let gateway = NodeId(gateway_index as u16 + 1);
         ScenarioConfig {
             seed,
@@ -147,6 +148,7 @@ impl ScenarioConfig {
 
     /// The gateway's mesh address.
     pub fn gateway(&self) -> NodeId {
+        // lint:allow(as-truncation, reason = "node ids are u16 by construction; the simulator cannot address more nodes than that")
         NodeId(self.gateway_index as u16 + 1)
     }
 
@@ -324,11 +326,14 @@ pub fn run_scenario(config: &ScenarioConfig) -> ScenarioResult {
         let id = sim.add_node(pos, config.radio, Box::new(node));
         node_ids.push(id);
     }
+    // lint:allow(slice-index, reason = "gateway_index was validated against the position count when the config was built, and node_ids has one entry per position")
     assert_eq!(node_ids[config.gateway_index], gateway);
 
     for f in &config.failures {
+        // lint:allow(slice-index, reason = "a failure plan naming a node outside the declared topology is a scenario-authoring bug; panicking at startup is the intended surface")
         sim.schedule_failure(node_ids[f.node_index], f.at);
         if let Some(recover_at) = f.recover_at {
+            // lint:allow(slice-index, reason = "same bound as the schedule_failure call above")
             sim.schedule_recovery(node_ids[f.node_index], recover_at);
         }
     }
@@ -336,6 +341,7 @@ pub fn run_scenario(config: &ScenarioConfig) -> ScenarioResult {
         plan.schedule(&mut sim, &node_ids);
     }
     for w in &config.walks {
+        // lint:allow(slice-index, reason = "a walk naming a node outside the declared topology is a scenario-authoring bug; panicking at startup is the intended surface")
         sim.schedule_walk(node_ids[w.node_index], w.depart, w.to, w.speed_mps, w.step);
     }
 
@@ -365,6 +371,7 @@ pub fn run_scenario(config: &ScenarioConfig) -> ScenarioResult {
     };
     for &id in &node_ids {
         ground_truth.airtime_us += sim.stats(id).airtime_us;
+        // lint:allow(server-unwrap, reason = "every id in node_ids was added with a MonitoredNode app a few lines up; a type mismatch is unreachable")
         let node = sim.app_as::<MonitoredNode>(id).expect("typed above");
         ground_truth.mesh_stats.insert(id, node.stats());
     }
@@ -419,6 +426,7 @@ fn drain_reports(
     for &id in node_ids {
         let node = sim
             .app_as_mut::<MonitoredNode>(id)
+            // lint:allow(server-unwrap, reason = "every scenario node is constructed as MeshNode<MonitorClient>; a type mismatch is unreachable")
             .expect("scenario nodes are MeshNode<MonitorClient>");
         let client = node.observer_mut();
         client_stats.push(ClientStat {
@@ -453,6 +461,7 @@ fn drain_reports(
     while eval_at <= end {
         while let Some((at, _)) = queue.peek() {
             if *at <= eval_at {
+                // lint:allow(server-unwrap, reason = "peek just returned Some, so next cannot return None")
                 let (at, report) = queue.next().expect("peeked");
                 server.ingest(&report, at);
             } else {

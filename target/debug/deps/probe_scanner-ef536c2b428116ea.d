@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe_scanner-ef536c2b428116ea.d: crates/xtask/tests/probe_scanner.rs
+
+/root/repo/target/debug/deps/probe_scanner-ef536c2b428116ea: crates/xtask/tests/probe_scanner.rs
+
+crates/xtask/tests/probe_scanner.rs:

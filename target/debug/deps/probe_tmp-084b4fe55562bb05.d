@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe_tmp-084b4fe55562bb05.d: crates/xtask/tests/probe_tmp.rs
+
+/root/repo/target/debug/deps/probe_tmp-084b4fe55562bb05: crates/xtask/tests/probe_tmp.rs
+
+crates/xtask/tests/probe_tmp.rs:

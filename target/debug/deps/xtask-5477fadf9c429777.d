@@ -1,10 +1,17 @@
-/root/repo/target/debug/deps/xtask-5477fadf9c429777.d: crates/xtask/src/lib.rs crates/xtask/src/chaos.rs crates/xtask/src/determinism.rs crates/xtask/src/lint/mod.rs crates/xtask/src/lint/rules.rs crates/xtask/src/lint/scanner.rs
+/root/repo/target/debug/deps/xtask-5477fadf9c429777.d: crates/xtask/src/lib.rs crates/xtask/src/analysis/mod.rs crates/xtask/src/analysis/items.rs crates/xtask/src/analysis/json.rs crates/xtask/src/analysis/layering.rs crates/xtask/src/analysis/lex.rs crates/xtask/src/analysis/panic_surface.rs crates/xtask/src/analysis/schema.rs crates/xtask/src/chaos.rs crates/xtask/src/determinism.rs crates/xtask/src/lint/mod.rs crates/xtask/src/lint/rules.rs crates/xtask/src/lint/scanner.rs
 
-/root/repo/target/debug/deps/libxtask-5477fadf9c429777.rlib: crates/xtask/src/lib.rs crates/xtask/src/chaos.rs crates/xtask/src/determinism.rs crates/xtask/src/lint/mod.rs crates/xtask/src/lint/rules.rs crates/xtask/src/lint/scanner.rs
+/root/repo/target/debug/deps/libxtask-5477fadf9c429777.rlib: crates/xtask/src/lib.rs crates/xtask/src/analysis/mod.rs crates/xtask/src/analysis/items.rs crates/xtask/src/analysis/json.rs crates/xtask/src/analysis/layering.rs crates/xtask/src/analysis/lex.rs crates/xtask/src/analysis/panic_surface.rs crates/xtask/src/analysis/schema.rs crates/xtask/src/chaos.rs crates/xtask/src/determinism.rs crates/xtask/src/lint/mod.rs crates/xtask/src/lint/rules.rs crates/xtask/src/lint/scanner.rs
 
-/root/repo/target/debug/deps/libxtask-5477fadf9c429777.rmeta: crates/xtask/src/lib.rs crates/xtask/src/chaos.rs crates/xtask/src/determinism.rs crates/xtask/src/lint/mod.rs crates/xtask/src/lint/rules.rs crates/xtask/src/lint/scanner.rs
+/root/repo/target/debug/deps/libxtask-5477fadf9c429777.rmeta: crates/xtask/src/lib.rs crates/xtask/src/analysis/mod.rs crates/xtask/src/analysis/items.rs crates/xtask/src/analysis/json.rs crates/xtask/src/analysis/layering.rs crates/xtask/src/analysis/lex.rs crates/xtask/src/analysis/panic_surface.rs crates/xtask/src/analysis/schema.rs crates/xtask/src/chaos.rs crates/xtask/src/determinism.rs crates/xtask/src/lint/mod.rs crates/xtask/src/lint/rules.rs crates/xtask/src/lint/scanner.rs
 
 crates/xtask/src/lib.rs:
+crates/xtask/src/analysis/mod.rs:
+crates/xtask/src/analysis/items.rs:
+crates/xtask/src/analysis/json.rs:
+crates/xtask/src/analysis/layering.rs:
+crates/xtask/src/analysis/lex.rs:
+crates/xtask/src/analysis/panic_surface.rs:
+crates/xtask/src/analysis/schema.rs:
 crates/xtask/src/chaos.rs:
 crates/xtask/src/determinism.rs:
 crates/xtask/src/lint/mod.rs:
