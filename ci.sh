@@ -34,4 +34,8 @@ step cargo test --workspace -q
 step cargo xtask determinism
 step cargo xtask chaos
 
+# Query-engine smoke: the indexed/naive equivalence asserts run inside
+# the benchmark, and BENCH_query.json lands at the workspace root.
+step env LORAMON_QUERY_BENCH=fast cargo bench -p loramon-bench --bench server_ingest
+
 printf '\nci.sh: all stages passed\n'

@@ -130,5 +130,168 @@ fn bench_queries(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ingest, bench_queries);
+/// A server preloaded for the query hot-path benchmark: `records_per_node`
+/// records per node at a 200 ms cadence (a ~5.6 h capture span for the
+/// default 100 000), shipped in 500-record reports whose generation time
+/// trails the newest record so validation accepts them.
+fn query_corpus(nodes: u16, records_per_node: u64) -> MonitorServer {
+    const REPORT_LEN: u64 = 500;
+    const CADENCE_MS: u64 = 200;
+    let server = MonitorServer::new(ServerConfig::default());
+    for node in 1..=nodes {
+        for seq in 0..records_per_node.div_ceil(REPORT_LEN) {
+            let lo = seq * REPORT_LEN;
+            let hi = (lo + REPORT_LEN).min(records_per_node);
+            let generated_at_ms = hi * CADENCE_MS;
+            let report = Report {
+                node: NodeId(node),
+                report_seq: seq as u32,
+                generated_at_ms,
+                dropped_records: 0,
+                status: None,
+                records: (lo..hi).map(|i| record(node, i)).collect(),
+            };
+            let outcome = server.ingest(
+                &report,
+                SimTime::from_millis(generated_at_ms + u64::from(node)),
+            );
+            assert!(
+                matches!(outcome, loramon_server::IngestOutcome::Accepted { .. }),
+                "corpus report rejected: {outcome:?}"
+            );
+        }
+    }
+    server
+}
+
+/// Best-of-N wall time of one call, in nanoseconds.
+fn best_ns<R>(warmup: u32, iters: u32, mut f: impl FnMut() -> R) -> u64 {
+    for _ in 0..warmup {
+        black_box(f());
+    }
+    let mut best = u64::MAX;
+    for _ in 0..iters {
+        let t = std::time::Instant::now();
+        black_box(f());
+        best = best.min(t.elapsed().as_nanos() as u64);
+    }
+    best
+}
+
+/// R-Tab-5: the indexed query engine vs the `query::naive` full-scan
+/// oracle on a 100 000-records-per-node corpus.
+///
+/// Every measured pair is first checked for equal answers, then timed
+/// best-of-N, and the results land in `BENCH_query.json` at the
+/// workspace root (machine-readable, one entry per query plus the
+/// headline 1 h-window speedup). `LORAMON_QUERY_BENCH=fast` shrinks the
+/// node count and iteration count for CI smoke runs without changing
+/// the per-node corpus size.
+fn bench_query_hotpath(_c: &mut Criterion) {
+    use loramon_server::query::{self, naive};
+
+    let fast = std::env::var("LORAMON_QUERY_BENCH").is_ok_and(|v| v == "fast");
+    let (nodes, warmup, iters) = if fast { (2u16, 1u32, 3u32) } else { (4, 3, 15) };
+    const RECORDS_PER_NODE: u64 = 100_000;
+
+    let server = query_corpus(nodes, RECORDS_PER_NODE);
+    let span_end = SimTime::from_millis(RECORDS_PER_NODE * 200);
+    let hour = Window::last(Duration::from_secs(3600), span_end);
+    let all = Window::all();
+    let bucket = Duration::from_secs(60);
+    println!(
+        "\nR-Tab-5 query corpus: {} records across {} nodes ({})\n",
+        server.total_records(),
+        server.node_ids().len(),
+        if fast { "fast mode" } else { "full mode" },
+    );
+
+    // Correctness first: the indexed engine must agree with the oracle
+    // on exactly the workloads being timed.
+    server.with_store(|store| {
+        for &(name, w) in &[("1h", hour), ("all", all)] {
+            let idx = query::packets_over_time(store, None, None, w, bucket);
+            let naive = naive::packets_over_time(store, None, None, w, bucket);
+            assert_eq!(idx, naive, "series({name}) disagrees with oracle");
+
+            let idx = query::type_breakdown(store, None, w);
+            let naive = naive::type_breakdown(store, None, w);
+            assert_eq!(idx, naive, "type_breakdown({name}) disagrees with oracle");
+
+            let idx = query::link_stats(store, w);
+            let naive = naive::link_stats(store, w);
+            assert_eq!(idx.len(), naive.len(), "link_stats({name}) cardinality");
+            for (a, b) in idx.iter().zip(&naive) {
+                assert_eq!((a.from, a.to, a.packets), (b.from, b.to, b.packets));
+                assert!((a.mean_rssi_dbm - b.mean_rssi_dbm).abs() < 1e-9);
+                assert!((a.mean_snr_db - b.mean_snr_db).abs() < 1e-9);
+            }
+        }
+    });
+
+    // Timing: both engines run under the same `with_store` access path
+    // so only the query algorithm differs.
+    let mut rows: Vec<serde_json::Value> = Vec::new();
+    let mut speedup_1h = f64::INFINITY;
+    let mut time_pair = |name: &str, indexed_ns: u64, naive_ns: u64| {
+        let speedup = naive_ns as f64 / indexed_ns.max(1) as f64;
+        println!(
+            "{name:<24} indexed {indexed_ns:>12} ns   naive {naive_ns:>12} ns   speedup {speedup:>8.1}x"
+        );
+        rows.push(serde_json::json!({
+            "query": name,
+            "indexed_ns": indexed_ns,
+            "naive_ns": naive_ns,
+            "speedup": speedup,
+        }));
+        speedup
+    };
+
+    for &(label, w) in &[("1h", hour), ("all", all)] {
+        let s = time_pair(
+            &format!("series_60s_{label}"),
+            best_ns(warmup, iters, || {
+                server.with_store(|st| query::packets_over_time(st, None, None, w, bucket))
+            }),
+            best_ns(warmup, iters, || {
+                server.with_store(|st| naive::packets_over_time(st, None, None, w, bucket))
+            }),
+        );
+        let l = time_pair(
+            &format!("link_stats_{label}"),
+            best_ns(warmup, iters, || {
+                server.with_store(|st| query::link_stats(st, w))
+            }),
+            best_ns(warmup, iters, || {
+                server.with_store(|st| naive::link_stats(st, w))
+            }),
+        );
+        let t = time_pair(
+            &format!("type_breakdown_{label}"),
+            best_ns(warmup, iters, || {
+                server.with_store(|st| query::type_breakdown(st, None, w))
+            }),
+            best_ns(warmup, iters, || {
+                server.with_store(|st| naive::type_breakdown(st, None, w))
+            }),
+        );
+        if label == "1h" {
+            speedup_1h = s.min(l).min(t);
+        }
+    }
+
+    let out = serde_json::json!({
+        "bench": "query_hotpath",
+        "records_per_node": RECORDS_PER_NODE,
+        "nodes": nodes,
+        "mode": if fast { "fast" } else { "full" },
+        "speedup_1h": speedup_1h,
+        "queries": rows,
+    });
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_query.json");
+    std::fs::write(&path, out.to_string()).expect("write BENCH_query.json");
+    println!("\nBENCH_query.json written: 1h-window speedup {speedup_1h:.1}x\n");
+}
+
+criterion_group!(benches, bench_ingest, bench_queries, bench_query_hotpath);
 criterion_main!(benches);

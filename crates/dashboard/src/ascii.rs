@@ -4,7 +4,9 @@
 //! ASCII twin so every example binary can show the same information in a
 //! terminal.
 
-use loramon_server::{Alert, LinkStats, NodeHealth, NodeSummary, SeriesPoint, Topology};
+use loramon_server::{
+    Alert, LinkStats, NodeHealth, NodeSummary, RollupPoint, SeriesPoint, Topology,
+};
 
 /// Render a box-drawing table.
 ///
@@ -240,6 +242,33 @@ pub fn render_health(health: &[NodeHealth]) -> String {
     out
 }
 
+/// Long-horizon rollup table. Buckets with no RSSI samples show `—`
+/// instead of a number — there is no "no signal" dBm value.
+pub fn render_rollups(rollups: &[RollupPoint]) -> String {
+    if rollups.is_empty() {
+        return "rollups: (none)\n".to_owned();
+    }
+    let rows: Vec<Vec<String>> = rollups
+        .iter()
+        .map(|p| {
+            vec![
+                p.bucket.to_string(),
+                p.node.to_string(),
+                p.in_count.to_string(),
+                p.out_count.to_string(),
+                p.bytes.to_string(),
+                p.mean_rssi_dbm
+                    .map_or_else(|| "—".into(), |r| format!("{r:.1}")),
+                p.rssi_samples.to_string(),
+            ]
+        })
+        .collect();
+    render_table(
+        &["bucket", "node", "in", "out", "bytes", "rssi", "samples"],
+        &rows,
+    )
+}
+
 /// Alert history rendering.
 pub fn render_alerts(alerts: &[Alert]) -> String {
     if alerts.is_empty() {
@@ -377,6 +406,37 @@ mod tests {
         assert!(s.contains("0001 green"));
         assert!(s.contains("0002 red — battery 5%; queue 40"));
         assert!(render_health(&[]).contains("no nodes"));
+    }
+
+    #[test]
+    fn rollups_render_missing_rssi_as_dash() {
+        assert!(render_rollups(&[]).contains("(none)"));
+        let rows = vec![
+            RollupPoint {
+                bucket: SimTime::from_secs(0),
+                node: NodeId(1),
+                in_count: 4,
+                out_count: 2,
+                bytes: 180,
+                mean_rssi_dbm: Some(-93.25),
+                rssi_samples: 4,
+            },
+            RollupPoint {
+                bucket: SimTime::from_secs(900),
+                node: NodeId(1),
+                in_count: 0,
+                out_count: 3,
+                bytes: 90,
+                mean_rssi_dbm: None,
+                rssi_samples: 0,
+            },
+        ];
+        let t = render_rollups(&rows);
+        assert!(t.contains("-93.2") || t.contains("-93.3"), "{t}");
+        assert!(
+            t.contains('—'),
+            "missing-RSSI bucket must render a dash: {t}"
+        );
     }
 
     #[test]

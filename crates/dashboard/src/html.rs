@@ -8,7 +8,8 @@
 
 use loramon_phy::Position;
 // lint:allow(layering-restricted, reason = "the archival HTML page renders straight off a live MonitorServer; this is the one sanctioned reach past the server's query surface")
-use loramon_server::{Alert, LinkStats, MonitorServer, SeriesPoint, StatusPoint, Topology, Window};
+use loramon_server::MonitorServer;
+use loramon_server::{Alert, LinkStats, RollupPoint, SeriesPoint, StatusPoint, Topology, Window};
 use loramon_sim::NodeId;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -100,6 +101,12 @@ pub fn generate(server: &MonitorServer, options: &HtmlOptions) -> String {
         html.push_str(&status_svg(&series));
     }
 
+    let rollups = server.rollup_series(None);
+    if !rollups.is_empty() {
+        html.push_str("<h2>Rollups</h2>");
+        html.push_str(&rollups_table(&rollups));
+    }
+
     html.push_str("<h2>Topology</h2>");
     html.push_str(&topology_svg(&topo, &options.positions));
 
@@ -156,6 +163,30 @@ fn links_table(links: &[LinkStats]) -> String {
             "<tr><td>{} → {}</td><td>{}</td><td>{:.1} dBm</td>\
              <td>{:.1} … {:.1}</td><td>{:.1} dB</td></tr>",
             l.from, l.to, l.packets, l.mean_rssi_dbm, l.min_rssi_dbm, l.max_rssi_dbm, l.mean_snr_db
+        );
+    }
+    html.push_str("</table>");
+    html
+}
+
+/// Long-horizon rollup table; buckets without RSSI samples render `—`
+/// (no 0-dBm sentinel).
+fn rollups_table(rollups: &[RollupPoint]) -> String {
+    let mut html = String::from(
+        "<table><tr><th>bucket</th><th>node</th><th>in</th><th>out</th>\
+         <th>bytes</th><th>mean RSSI</th></tr>",
+    );
+    for p in rollups {
+        let _ = write!(
+            html,
+            "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+            p.bucket,
+            p.node,
+            p.in_count,
+            p.out_count,
+            p.bytes,
+            p.mean_rssi_dbm
+                .map_or_else(|| "—".into(), |r| format!("{r:.1} dBm")),
         );
     }
     html.push_str("</table>");
@@ -463,6 +494,47 @@ mod tests {
         assert_eq!(svg.matches("<polyline").count(), 2);
         assert!(svg.contains("battery"));
         assert_eq!(status_svg(&[]), "<p>(no status history)</p>");
+    }
+
+    #[test]
+    fn rollups_section_renders_dash_for_missing_rssi() {
+        // Disabled rollups → no section at all.
+        let html = generate(&populated_server(), &HtmlOptions::default());
+        assert!(!html.contains("Rollups"));
+
+        let server = MonitorServer::new(ServerConfig {
+            rollup_bucket: Some(Duration::from_secs(60)),
+            ..ServerConfig::default()
+        });
+        let report = Report {
+            node: NodeId(1),
+            report_seq: 0,
+            generated_at_ms: 60_000,
+            dropped_records: 0,
+            status: None,
+            records: vec![PacketRecord {
+                seq: 0,
+                timestamp_ms: 59_000,
+                direction: Direction::Out,
+                node: NodeId(1),
+                counterpart: NodeId(2),
+                ptype: PacketType::Data,
+                origin: NodeId(1),
+                final_dst: NodeId(2),
+                packet_id: 1,
+                ttl: 5,
+                size_bytes: 30,
+                rssi_dbm: None,
+                snr_db: None,
+            }],
+        };
+        server.ingest(&report, SimTime::from_secs(61));
+        let html = generate(&server, &HtmlOptions::default());
+        assert!(html.contains("Rollups"), "{html}");
+        assert!(
+            html.contains("<td>—</td>"),
+            "missing-RSSI bucket must render a dash"
+        );
     }
 
     #[test]

@@ -183,9 +183,9 @@ impl AlertEngine {
             let w_prev = Window::last(self.rules.rssi_window, w_now.from);
             let mean_in = |w: Window| -> Option<(f64, u64)> {
                 let rssis: Vec<f64> = data
-                    .records()
+                    .records_in(w)
                     .iter()
-                    .filter(|r| r.direction == Direction::In && w.contains(r.captured_at()))
+                    .filter(|r| r.direction == Direction::In)
                     .filter_map(|r| r.rssi_dbm)
                     .collect();
                 if rssis.is_empty() {

@@ -57,6 +57,10 @@ pub struct Observation {
     pub fresh: bool,
     /// The report opened a new epoch: the node restarted.
     pub restart: bool,
+    /// The report is fresh but arrived behind newer data — a
+    /// lost-then-retried report finally landing (gap healing), or a
+    /// retransmission from an earlier incarnation.
+    pub late: bool,
 }
 
 /// Per-node epoch bookkeeping. See the module docs for the model.
@@ -81,6 +85,7 @@ impl EpochTracker {
             return Observation {
                 fresh: true,
                 restart: false,
+                late: false,
             };
         };
 
@@ -93,6 +98,7 @@ impl EpochTracker {
             return Observation {
                 fresh: true,
                 restart: true,
+                late: false,
             };
         }
 
@@ -124,8 +130,10 @@ impl EpochTracker {
             e.start_gen_ms = e.start_gen_ms.min(gen_ms);
         }
 
+        let into_past_epoch = idx + 1 < self.epochs.len();
         // lint:allow(slice-index, reason = "idx was bounds-checked through every path above")
         let epoch = &mut self.epochs[idx];
+        let behind_epoch_head = seq < epoch.max_seq;
         let fresh = if epoch.seen.contains_key(&seq) {
             false
         } else {
@@ -137,6 +145,7 @@ impl EpochTracker {
         Observation {
             fresh,
             restart: false,
+            late: fresh && (into_past_epoch || behind_epoch_head),
         }
     }
 
@@ -181,14 +190,30 @@ mod tests {
     #[test]
     fn gap_opens_then_heals_on_late_arrival() {
         let mut t = EpochTracker::new();
-        t.observe(0, 0);
-        t.observe(3, 3000);
+        assert!(!t.observe(0, 0).late);
+        assert!(!t.observe(3, 3000).late);
         assert_eq!(t.missing_total(), 2);
         // The lost reports are retried and finally land.
-        assert!(t.observe(1, 1000).fresh);
+        let o = t.observe(1, 1000);
+        assert!(o.fresh && o.late, "gap-healing arrival is late: {o:?}");
         assert_eq!(t.missing_total(), 1);
-        assert!(t.observe(2, 2000).fresh);
+        let o = t.observe(2, 2000);
+        assert!(o.fresh && o.late);
         assert_eq!(t.missing_total(), 0);
+    }
+
+    #[test]
+    fn retransmit_into_an_old_epoch_is_late() {
+        let mut t = EpochTracker::new();
+        t.observe(0, 1000);
+        t.observe(1, 31_000);
+        t.observe(3, 91_000); // seq 2 lost pre-crash
+        assert!(!t.observe(0, 200_000).late, "a restart is not late data");
+        let o = t.observe(2, 61_000);
+        assert!(o.fresh && o.late, "old-epoch retransmit is late: {o:?}");
+        // Replaying it again is a duplicate, not late new data.
+        let o = t.observe(2, 61_000);
+        assert!(!o.fresh && !o.late);
     }
 
     #[test]

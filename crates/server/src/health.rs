@@ -171,9 +171,9 @@ pub fn assess(store: &Store, rules: &HealthRules, now: SimTime) -> Vec<NodeHealt
             // Link quality: strongest recent incoming link.
             let window = Window::last(rules.link_window, now);
             let best_rssi = data
-                .records()
+                .records_in(window)
                 .iter()
-                .filter(|r| r.direction == Direction::In && window.contains(r.captured_at()))
+                .filter(|r| r.direction == Direction::In)
                 .filter_map(|r| r.rssi_dbm)
                 .fold(f64::NEG_INFINITY, f64::max);
             if best_rssi.is_finite() {

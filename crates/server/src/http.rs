@@ -9,15 +9,15 @@
 //! | GET    | `/api/health`   | `{"ok":true}`                             |
 //! | GET    | `/api/nodes`    | node summaries                            |
 //! | GET    | `/api/stats`    | ingest counters + totals                  |
-//! | GET    | `/api/series`   | `?node=&direction=in|out&bucket_s=60`     |
-//! | GET    | `/api/links`    | per-link RSSI/SNR stats                   |
+//! | GET    | `/api/series`   | `?node=&direction=in|out&bucket_s=60&window_s=` |
+//! | GET    | `/api/links`    | `?window_s=` per-link RSSI/SNR stats      |
 //! | GET    | `/api/pdr`      | per-link delivery ratios                  |
 //! | GET    | `/api/e2e`      | end-to-end delivery + latency             |
 //! | GET    | `/api/topology` | inferred topology                         |
 //! | GET    | `/api/alerts`   | alert history                             |
 //! | GET    | `/api/status_series` | `?node=` battery/queue/duty history  |
-//! | GET    | `/api/occupancy`| estimated channel occupancy per bucket    |
-//! | GET    | `/api/sizes`    | packet-size histogram                     |
+//! | GET    | `/api/occupancy`| `?window_s=` estimated channel occupancy  |
+//! | GET    | `/api/sizes`    | `?window_s=` packet-size histogram        |
 //! | GET    | `/api/rollups`  | `?node=` long-horizon rollup series       |
 //! | POST   | `/api/reports`  | a JSON report body → `{outcome, command}` |
 //! | POST   | `/api/commands` | `?node=` + JSON command body → queued     |
@@ -123,9 +123,28 @@ impl Request {
             .find(|(k, _)| k == key)
             .map(|(_, v)| v.as_str())
     }
+
+    /// The query window from an optional `window_s` parameter: the
+    /// trailing `window_s` seconds anchored at the server clock, or all
+    /// time when absent/unparsable.
+    fn window(&self, server: &MonitorServer) -> Window {
+        match self.param("window_s").and_then(|s| s.parse::<u64>().ok()) {
+            Some(secs) => Window::last(Duration::from_secs(secs.max(1)), server.clock()),
+            None => Window::all(),
+        }
+    }
 }
 
-fn parse_request(stream: &mut TcpStream) -> std::io::Result<Option<Request>> {
+/// What came off the wire: a routable request, or a protocol violation
+/// the caller must answer with `400 Bad Request`.
+enum Parsed {
+    /// A well-formed request.
+    Request(Request),
+    /// A malformed request, with the reason to report.
+    Bad(String),
+}
+
+fn parse_request(stream: &mut TcpStream) -> std::io::Result<Option<Parsed>> {
     stream.set_read_timeout(Some(Duration::from_secs(5)))?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut line = String::new();
@@ -160,7 +179,19 @@ fn parse_request(stream: &mut TcpStream) -> std::io::Result<Option<Request>> {
         }
         if let Some((name, value)) = header.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse().unwrap_or(0);
+                // A Content-Length we cannot parse must be rejected, not
+                // treated as zero: silently dropping the body would turn
+                // a framing error into a confusing empty-payload error
+                // (or worse, desync the connection).
+                match value.trim().parse() {
+                    Ok(n) => content_length = n,
+                    Err(_) => {
+                        return Ok(Some(Parsed::Bad(format!(
+                            "invalid Content-Length: {:?}",
+                            value.trim()
+                        ))));
+                    }
+                }
             }
         }
     }
@@ -168,12 +199,12 @@ fn parse_request(stream: &mut TcpStream) -> std::io::Result<Option<Request>> {
     if content_length > 0 {
         reader.read_exact(&mut body)?;
     }
-    Ok(Some(Request {
+    Ok(Some(Parsed::Request(Request {
         method,
         path,
         query,
         body,
-    }))
+    })))
 }
 
 fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &[u8]) {
@@ -209,10 +240,13 @@ fn respond_serialized<T: serde::Serialize>(stream: &mut TcpStream, value: &T) {
 }
 
 fn handle_connection(mut stream: TcpStream, server: &MonitorServer) -> std::io::Result<()> {
-    let Some(req) = parse_request(&mut stream)? else {
-        return Ok(());
-    };
-    route(&mut stream, &req, server);
+    match parse_request(&mut stream)? {
+        Some(Parsed::Request(req)) => route(&mut stream, &req, server),
+        Some(Parsed::Bad(reason)) => {
+            respond_json(&mut stream, "400 Bad Request", &json!({"error": reason}));
+        }
+        None => {}
+    }
     Ok(())
 }
 
@@ -261,7 +295,7 @@ fn route(stream: &mut TcpStream, req: &Request, server: &MonitorServer) {
             let series = server.series(
                 node,
                 direction,
-                Window::all(),
+                req.window(server),
                 Duration::from_secs(bucket_s),
             );
             let points: Vec<serde_json::Value> = series
@@ -271,7 +305,7 @@ fn route(stream: &mut TcpStream, req: &Request, server: &MonitorServer) {
             respond_json(stream, "200 OK", &json!(points));
         }
         ("GET", "/api/links") => {
-            let links = server.link_stats(Window::all());
+            let links = server.link_stats(req.window(server));
             respond_serialized(stream, &links);
         }
         ("GET", "/api/pdr") => {
@@ -336,7 +370,7 @@ fn route(stream: &mut TcpStream, req: &Request, server: &MonitorServer) {
                 .max(1);
             let radio = loramon_phy::RadioConfig::mesher_default();
             let occ =
-                server.channel_occupancy(Window::all(), &radio, Duration::from_secs(bucket_s));
+                server.channel_occupancy(req.window(server), &radio, Duration::from_secs(bucket_s));
             let rows: Vec<serde_json::Value> = occ
                 .iter()
                 .map(|(t, f)| json!({"t_ms": t.as_millis(), "fraction": f}))
@@ -365,7 +399,7 @@ fn route(stream: &mut TcpStream, req: &Request, server: &MonitorServer) {
                 .and_then(|s| s.parse::<u32>().ok())
                 .unwrap_or(16)
                 .max(1);
-            let hist = server.size_histogram(node, Window::all(), bin);
+            let hist = server.size_histogram(node, req.window(server), bin);
             let rows: Vec<serde_json::Value> = hist
                 .iter()
                 .map(|(b, c)| json!({"bin": b, "count": c}))
@@ -581,6 +615,59 @@ mod tests {
         let (head, body) = post(http.addr(), "/api/reports", b"{broken");
         assert!(head.contains("400"), "{head}");
         assert!(body.contains("error"));
+        http.shutdown();
+    }
+
+    #[test]
+    fn malformed_content_length_is_400_and_nothing_ingested() {
+        let (http, server) = start();
+        let body = sample_report().encode_json();
+        let mut stream = TcpStream::connect(http.addr()).unwrap();
+        write!(
+            stream,
+            "POST /api/reports HTTP/1.1\r\nHost: x\r\nContent-Length: banana\r\n\r\n"
+        )
+        .unwrap();
+        stream.write_all(&body).unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        let (head, resp) = out.split_once("\r\n\r\n").unwrap();
+        assert!(head.contains("400 Bad Request"), "{head}");
+        assert!(resp.contains("Content-Length"), "{resp}");
+        assert_eq!(server.total_records(), 0, "body must not be ingested");
+        http.shutdown();
+    }
+
+    #[test]
+    fn window_param_filters_read_endpoints() {
+        let (http, server) = start();
+        // One record at t = 59 s (capture time), clock advanced to 1000 s.
+        server.ingest(&sample_report(), SimTime::from_secs(61));
+        server.ingest(
+            &Report {
+                report_seq: 1,
+                generated_at_ms: 1_000_000,
+                records: vec![],
+                ..sample_report()
+            },
+            SimTime::from_secs(1_000),
+        );
+
+        // All-time sees the link; a trailing 10 s window does not.
+        let (_, all) = get(http.addr(), "/api/links");
+        let v: serde_json::Value = serde_json::from_str(&all).unwrap();
+        assert_eq!(v.as_array().unwrap().len(), 1);
+        let (_, recent) = get(http.addr(), "/api/links?window_s=10");
+        let v: serde_json::Value = serde_json::from_str(&recent).unwrap();
+        assert!(v.as_array().unwrap().is_empty(), "{recent}");
+
+        // Same for the series and size histogram.
+        let (_, series) = get(http.addr(), "/api/series?bucket_s=60&window_s=10");
+        let v: serde_json::Value = serde_json::from_str(&series).unwrap();
+        assert!(v.as_array().unwrap().is_empty(), "{series}");
+        let (_, sizes) = get(http.addr(), "/api/sizes?window_s=10");
+        let v: serde_json::Value = serde_json::from_str(&sizes).unwrap();
+        assert!(v.as_array().unwrap().is_empty(), "{sizes}");
         http.shutdown();
     }
 

@@ -67,6 +67,10 @@ pub struct IngestStats {
     pub records: u64,
     /// Node restarts detected from sequence resets.
     pub restarts: u64,
+    /// Accepted reports that arrived behind newer data: gap-healing
+    /// retries and old-epoch retransmissions. These land out of order
+    /// in the store, exercising the mid-vector insert path.
+    pub late_reports: u64,
 }
 
 /// Validating, deduplicating report gate.
@@ -109,6 +113,9 @@ impl Ingestor {
         }
         if observed.restart {
             self.stats.restarts += 1;
+        }
+        if observed.late {
+            self.stats.late_reports += 1;
         }
         self.stats.accepted += 1;
         self.stats.records += report.records.len() as u64;
@@ -319,6 +326,33 @@ mod tests {
         assert_eq!(s.restarts, 1);
         // And a retransmit of the *rebooted* seq 0 is still a duplicate.
         assert_eq!(ing.offer(&rebooted), IngestOutcome::Duplicate);
+    }
+
+    #[test]
+    fn late_retries_are_counted() {
+        let mut ing = Ingestor::new();
+        assert!(matches!(
+            ing.offer(&report(1, 0)),
+            IngestOutcome::Accepted { .. }
+        ));
+        let mut ahead = report(1, 3);
+        ahead.generated_at_ms = 90_000;
+        ahead.records[0].timestamp_ms = 80_000;
+        assert!(matches!(ing.offer(&ahead), IngestOutcome::Accepted { .. }));
+        // Seqs 1 and 2 were lost and finally land on retry, behind
+        // newer data.
+        for seq in [1u32, 2] {
+            let mut late = report(1, seq);
+            late.generated_at_ms = 60_000 + 1_000 * u64::from(seq);
+            assert!(matches!(ing.offer(&late), IngestOutcome::Accepted { .. }));
+        }
+        let s = ing.stats();
+        assert_eq!((s.accepted, s.late_reports), (4, 2));
+        // Duplicates of the late reports do not recount.
+        let mut dup = report(1, 1);
+        dup.generated_at_ms = 61_000;
+        assert_eq!(ing.offer(&dup), IngestOutcome::Duplicate);
+        assert_eq!(ing.stats().late_reports, 2);
     }
 
     #[test]

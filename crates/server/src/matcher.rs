@@ -46,8 +46,8 @@ pub fn link_deliveries(store: &Store, window: Window) -> Vec<LinkDelivery> {
     let mut sent: BTreeMap<(NodeId, NodeId), u64> = BTreeMap::new();
     let mut received: BTreeMap<(NodeId, NodeId), u64> = BTreeMap::new();
     for (id, data) in store.iter() {
-        for r in data.records() {
-            if !window.contains(r.captured_at()) || r.counterpart.is_broadcast() {
+        for r in data.records_in(window) {
+            if r.counterpart.is_broadcast() {
                 continue;
             }
             match r.direction {
@@ -114,12 +114,11 @@ pub fn end_to_end(store: &Store, window: Window) -> Vec<EndToEnd> {
     // (origin, final_dst, packet_id) → first tx time at the origin.
     let mut first_tx: BTreeMap<(NodeId, NodeId, u16), SimTime> = BTreeMap::new();
     for (id, data) in store.iter() {
-        for r in data.records() {
+        for r in data.records_in(window) {
             if r.direction == Direction::Out
                 && r.ptype == PacketType::Data
                 && r.origin == id
                 && !r.final_dst.is_broadcast()
-                && window.contains(r.captured_at())
             {
                 let key = (r.origin, r.final_dst, r.packet_id);
                 let at = r.captured_at();
@@ -133,12 +132,8 @@ pub fn end_to_end(store: &Store, window: Window) -> Vec<EndToEnd> {
     // (origin, final_dst, packet_id) → first rx time at the destination.
     let mut first_rx: BTreeMap<(NodeId, NodeId, u16), SimTime> = BTreeMap::new();
     for (id, data) in store.iter() {
-        for r in data.records() {
-            if r.direction == Direction::In
-                && r.ptype == PacketType::Data
-                && r.final_dst == id
-                && window.contains(r.captured_at())
-            {
+        for r in data.records_in(window) {
+            if r.direction == Direction::In && r.ptype == PacketType::Data && r.final_dst == id {
                 let key = (r.origin, r.final_dst, r.packet_id);
                 let at = r.captured_at();
                 first_rx

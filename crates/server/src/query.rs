@@ -2,8 +2,14 @@
 //!
 //! All functions are pure reads over a [`Store`], so they are trivially
 //! testable and can be benchmarked in isolation (R-Tab-3 companion).
+//!
+//! Queries are *indexed*: window filters binary-search the per-node
+//! sorted record vectors ([`crate::store::NodeData::records_in`]), and
+//! whole-window aggregates read the incremental per-bucket index
+//! maintained at ingest instead of re-scanning records. The pre-index
+//! scan implementations live on in [`naive`] as an equivalence oracle.
 
-use crate::store::Store;
+use crate::store::{BucketAgg, LinkAcc, Store};
 use loramon_mesh::{Direction, MeshStats, PacketType};
 use loramon_phy::RadioConfig;
 use loramon_sim::{NodeId, SimTime};
@@ -50,6 +56,51 @@ pub struct SeriesPoint {
     pub count: u64,
 }
 
+/// How a query window decomposes against the index bucket grid: the
+/// half-open range of fully-covered bucket starts (read from the
+/// index), plus up to two partial edge windows that must be read
+/// record-by-record.
+struct WindowParts {
+    /// `[lo, hi)` bucket-start range fully inside the window, if any.
+    full: Option<(u64, u64)>,
+    /// Partial head/tail windows not covered by whole buckets.
+    edges: [Option<Window>; 2],
+}
+
+/// Split `window` into whole index buckets plus partial edges.
+fn split_window(window: Window, bucket_us: u64) -> WindowParts {
+    let f = window.from.as_micros();
+    let t = window.to.as_micros();
+    if f >= t {
+        return WindowParts {
+            full: None,
+            edges: [None, None],
+        };
+    }
+    let lo = f.div_ceil(bucket_us).saturating_mul(bucket_us);
+    let hi = t / bucket_us * bucket_us;
+    if lo >= hi {
+        // The window fits inside one bucket (or between two starts):
+        // no whole bucket is covered, scan the window directly.
+        return WindowParts {
+            full: None,
+            edges: [Some(window), None],
+        };
+    }
+    let head = (f < lo).then_some(Window {
+        from: window.from,
+        to: SimTime::from_micros(lo),
+    });
+    let tail = (hi < t).then_some(Window {
+        from: SimTime::from_micros(hi),
+        to: window.to,
+    });
+    WindowParts {
+        full: Some((lo, hi)),
+        edges: [head, tail],
+    }
+}
+
 /// Packets per time bucket — the dashboard's headline chart (R-Fig-2).
 ///
 /// Filters: a specific node (or all), a direction (or both). Buckets are
@@ -68,21 +119,30 @@ pub fn packets_over_time(
 ) -> Vec<SeriesPoint> {
     assert!(!bucket.is_zero(), "bucket must be non-zero");
     let bucket_us = bucket.as_micros() as u64;
+    let index_us = store.index_bucket_us();
+    // Index buckets roll up exactly into series buckets only when the
+    // series grid is a multiple of the index grid (both align to zero).
+    let indexed = bucket_us >= index_us && bucket_us.is_multiple_of(index_us);
     let mut counts: BTreeMap<u64, u64> = BTreeMap::new();
     for (id, data) in store.iter() {
         if node.is_some_and(|n| n != id) {
             continue;
         }
-        for r in data.records() {
-            if direction.is_some_and(|d| d != r.direction) {
-                continue;
+        if indexed {
+            let parts = split_window(window, index_us);
+            if let Some((lo, hi)) = parts.full {
+                for (&b, agg) in data.index().buckets().range(lo..hi) {
+                    let n = directed_count(agg, direction);
+                    if n > 0 {
+                        *counts.entry(b / bucket_us * bucket_us).or_insert(0) += n;
+                    }
+                }
             }
-            let at = r.captured_at();
-            if !window.contains(at) {
-                continue;
+            for edge in parts.edges.into_iter().flatten() {
+                count_series_records(&mut counts, data.records_in(edge), direction, bucket_us);
             }
-            let b = at.as_micros() / bucket_us * bucket_us;
-            *counts.entry(b).or_insert(0) += 1;
+        } else {
+            count_series_records(&mut counts, data.records_in(window), direction, bucket_us);
         }
     }
     let (&first, &last) = match (counts.keys().next(), counts.keys().next_back()) {
@@ -96,6 +156,31 @@ pub fn packets_over_time(
             count: counts.get(&b).copied().unwrap_or(0),
         })
         .collect()
+}
+
+/// The records an index bucket contributes to a direction filter.
+fn directed_count(agg: &BucketAgg, direction: Option<Direction>) -> u64 {
+    match direction {
+        None => agg.in_count + agg.out_count,
+        Some(Direction::In) => agg.in_count,
+        Some(Direction::Out) => agg.out_count,
+    }
+}
+
+/// Tally already-windowed records into series buckets.
+fn count_series_records(
+    counts: &mut BTreeMap<u64, u64>,
+    records: &[loramon_core::PacketRecord],
+    direction: Option<Direction>,
+    bucket_us: u64,
+) {
+    for r in records {
+        if direction.is_some_and(|d| d != r.direction) {
+            continue;
+        }
+        let b = r.captured_at().as_micros() / bucket_us * bucket_us;
+        *counts.entry(b).or_insert(0) += 1;
+    }
 }
 
 /// Aggregate link quality on a directed radio link (R-Fig-3).
@@ -119,39 +204,39 @@ pub struct LinkStats {
 
 /// Per-link reception statistics, computed from incoming records
 /// (link = record counterpart → reporting node).
+///
+/// Whole index buckets inside the window contribute their pre-summed
+/// [`LinkAcc`]s; only the partial edge buckets touch records.
 pub fn link_stats(store: &Store, window: Window) -> Vec<LinkStats> {
-    #[derive(Default)]
-    struct Acc {
-        n: u64,
-        rssi_sum: f64,
-        rssi_min: f64,
-        rssi_max: f64,
-        snr_sum: f64,
-    }
-    let mut acc: BTreeMap<(NodeId, NodeId), Acc> = BTreeMap::new();
+    let parts = split_window(window, store.index_bucket_us());
+    let mut acc: BTreeMap<(NodeId, NodeId), LinkAcc> = BTreeMap::new();
     for (id, data) in store.iter() {
-        for r in data.records() {
-            if r.direction != Direction::In || !window.contains(r.captured_at()) {
-                continue;
+        if let Some((lo, hi)) = parts.full {
+            for (_, bucket) in data.index().buckets().range(lo..hi) {
+                for (&from, l) in &bucket.links {
+                    merge_link(acc.entry((from, id)).or_default(), l);
+                }
             }
-            let (Some(rssi), Some(snr)) = (r.rssi_dbm, r.snr_db) else {
-                continue;
-            };
-            let a = acc.entry((r.counterpart, id)).or_insert(Acc {
-                n: 0,
-                rssi_sum: 0.0,
-                rssi_min: f64::INFINITY,
-                rssi_max: f64::NEG_INFINITY,
-                snr_sum: 0.0,
-            });
-            a.n += 1;
-            a.rssi_sum += rssi;
-            a.rssi_min = a.rssi_min.min(rssi);
-            a.rssi_max = a.rssi_max.max(rssi);
-            a.snr_sum += snr;
+        }
+        for edge in parts.edges.iter().copied().flatten() {
+            for r in data.records_in(edge) {
+                if r.direction != Direction::In {
+                    continue;
+                }
+                let (Some(rssi), Some(snr)) = (r.rssi_dbm, r.snr_db) else {
+                    continue;
+                };
+                let a = acc.entry((r.counterpart, id)).or_default();
+                a.n += 1;
+                a.rssi_sum += rssi;
+                a.rssi_min = a.rssi_min.min(rssi);
+                a.rssi_max = a.rssi_max.max(rssi);
+                a.snr_sum += snr;
+            }
         }
     }
     acc.into_iter()
+        .filter(|(_, a)| a.n > 0)
         .map(|((from, to), a)| LinkStats {
             from,
             to,
@@ -162,6 +247,15 @@ pub fn link_stats(store: &Store, window: Window) -> Vec<LinkStats> {
             mean_snr_db: a.snr_sum / a.n as f64,
         })
         .collect()
+}
+
+/// Fold one bucket's link accumulator into a running total.
+fn merge_link(into: &mut LinkAcc, l: &LinkAcc) {
+    into.n += l.n;
+    into.rssi_sum += l.rssi_sum;
+    into.rssi_min = into.rssi_min.min(l.rssi_min);
+    into.rssi_max = into.rssi_max.max(l.rssi_max);
+    into.snr_sum += l.snr_sum;
 }
 
 /// RSSI histogram over incoming records.
@@ -183,11 +277,8 @@ pub fn rssi_histogram(
         if node.is_some_and(|n| n != id) {
             continue;
         }
-        for r in data.records() {
+        for r in data.records_in(window) {
             let Some(rssi) = r.rssi_dbm else { continue };
-            if !window.contains(r.captured_at()) {
-                continue;
-            }
             let bin = (rssi / bin_db).floor() as i64;
             *bins.entry(bin).or_insert(0) += 1;
         }
@@ -198,18 +289,29 @@ pub fn rssi_histogram(
 }
 
 /// Packet counts by mesh packet type.
+///
+/// Whole index buckets inside the window contribute their pre-summed
+/// per-type counts; only the partial edge buckets touch records.
 pub fn type_breakdown(
     store: &Store,
     node: Option<NodeId>,
     window: Window,
 ) -> BTreeMap<PacketType, u64> {
+    let parts = split_window(window, store.index_bucket_us());
     let mut out = BTreeMap::new();
     for (id, data) in store.iter() {
         if node.is_some_and(|n| n != id) {
             continue;
         }
-        for r in data.records() {
-            if window.contains(r.captured_at()) {
+        if let Some((lo, hi)) = parts.full {
+            for (_, bucket) in data.index().buckets().range(lo..hi) {
+                for (&ptype, &n) in &bucket.types {
+                    *out.entry(ptype).or_insert(0) += n;
+                }
+            }
+        }
+        for edge in parts.edges.iter().copied().flatten() {
+            for r in data.records_in(edge) {
                 *out.entry(r.ptype).or_insert(0) += 1;
             }
         }
@@ -287,6 +389,11 @@ pub fn status_series(store: &Store, node: NodeId) -> Vec<StatusPoint> {
 /// bucket spent on the air, reconstructed from *outgoing* records'
 /// sizes via the airtime formula for `radio`.
 ///
+/// A frame's time-on-air is split proportionally across every bucket
+/// its transmission overlaps, so a frame straddling a boundary no
+/// longer over-reports one bucket and under-reports the next (which
+/// could push a bucket's fraction above physical limits).
+///
 /// This is the server-side estimate of what the regulator enforces
 /// locally — a disagreement flags a misconfigured node.
 ///
@@ -303,20 +410,36 @@ pub fn channel_occupancy(
     let bucket_us = bucket.as_micros() as u64;
     let mut airtime_us: BTreeMap<u64, u64> = BTreeMap::new();
     for (_, data) in store.iter() {
-        for r in data.records() {
-            if r.direction != Direction::Out || !window.contains(r.captured_at()) {
+        for r in data.records_in(window) {
+            if r.direction != Direction::Out {
                 continue;
             }
             // The record's size covers the whole frame; subtract nothing.
             let toa = loramon_phy::airtime::time_on_air_us(radio, r.size_bytes as usize);
-            let b = r.captured_at().as_micros() / bucket_us * bucket_us;
-            *airtime_us.entry(b).or_insert(0) += toa;
+            add_airtime(&mut airtime_us, r.captured_at().as_micros(), toa, bucket_us);
         }
     }
     airtime_us
         .into_iter()
         .map(|(b, us)| (SimTime::from_micros(b), us as f64 / bucket_us as f64))
         .collect()
+}
+
+/// Credit `toa_us` of airtime starting at `start_us` to every bucket
+/// the transmission overlaps, each receiving only the overlapping
+/// microseconds.
+fn add_airtime(airtime_us: &mut BTreeMap<u64, u64>, start_us: u64, toa_us: u64, bucket_us: u64) {
+    let end = start_us.saturating_add(toa_us);
+    let mut b = start_us / bucket_us * bucket_us;
+    while b < end {
+        let seg_end = end.min(b.saturating_add(bucket_us));
+        let seg_start = b.max(start_us);
+        *airtime_us.entry(b).or_insert(0) += seg_end - seg_start;
+        let Some(next) = b.checked_add(bucket_us) else {
+            break;
+        };
+        b = next;
+    }
 }
 
 /// Packet-size histogram over all records (both directions), as
@@ -337,12 +460,10 @@ pub fn size_histogram(
         if node.is_some_and(|n| n != id) {
             continue;
         }
-        for r in data.records() {
-            if window.contains(r.captured_at()) {
-                *bins
-                    .entry(r.size_bytes / bin_bytes * bin_bytes)
-                    .or_insert(0) += 1;
-            }
+        for r in data.records_in(window) {
+            *bins
+                .entry(r.size_bytes / bin_bytes * bin_bytes)
+                .or_insert(0) += 1;
         }
     }
     bins.into_iter().collect()
@@ -371,6 +492,202 @@ pub fn node_summaries(store: &Store) -> Vec<NodeSummary> {
             }
         })
         .collect()
+}
+
+/// Reference implementations that scan every retained record.
+///
+/// These are the pre-index query semantics, kept alive as an
+/// equivalence oracle: randomized tests and the `query_hotpath`
+/// benchmark run both engines over the same store and require
+/// identical answers. They are not part of the dashboard API — callers
+/// should use the indexed functions in the parent module.
+pub mod naive {
+    use super::*;
+
+    /// Full-scan [`super::packets_over_time`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket` is zero.
+    pub fn packets_over_time(
+        store: &Store,
+        node: Option<NodeId>,
+        direction: Option<Direction>,
+        window: Window,
+        bucket: Duration,
+    ) -> Vec<SeriesPoint> {
+        assert!(!bucket.is_zero(), "bucket must be non-zero");
+        let bucket_us = bucket.as_micros() as u64;
+        let mut counts: BTreeMap<u64, u64> = BTreeMap::new();
+        for (id, data) in store.iter() {
+            if node.is_some_and(|n| n != id) {
+                continue;
+            }
+            for r in data.records() {
+                if direction.is_some_and(|d| d != r.direction) {
+                    continue;
+                }
+                let at = r.captured_at();
+                if !window.contains(at) {
+                    continue;
+                }
+                let b = at.as_micros() / bucket_us * bucket_us;
+                *counts.entry(b).or_insert(0) += 1;
+            }
+        }
+        let (&first, &last) = match (counts.keys().next(), counts.keys().next_back()) {
+            (Some(f), Some(l)) => (f, l),
+            _ => return Vec::new(),
+        };
+        (first..=last)
+            .step_by(bucket_us as usize)
+            .map(|b| SeriesPoint {
+                bucket: SimTime::from_micros(b),
+                count: counts.get(&b).copied().unwrap_or(0),
+            })
+            .collect()
+    }
+
+    /// Full-scan [`super::link_stats`].
+    pub fn link_stats(store: &Store, window: Window) -> Vec<LinkStats> {
+        let mut acc: BTreeMap<(NodeId, NodeId), LinkAcc> = BTreeMap::new();
+        for (id, data) in store.iter() {
+            for r in data.records() {
+                if r.direction != Direction::In || !window.contains(r.captured_at()) {
+                    continue;
+                }
+                let (Some(rssi), Some(snr)) = (r.rssi_dbm, r.snr_db) else {
+                    continue;
+                };
+                let a = acc.entry((r.counterpart, id)).or_default();
+                a.n += 1;
+                a.rssi_sum += rssi;
+                a.rssi_min = a.rssi_min.min(rssi);
+                a.rssi_max = a.rssi_max.max(rssi);
+                a.snr_sum += snr;
+            }
+        }
+        acc.into_iter()
+            .map(|((from, to), a)| LinkStats {
+                from,
+                to,
+                packets: a.n,
+                mean_rssi_dbm: a.rssi_sum / a.n as f64,
+                min_rssi_dbm: a.rssi_min,
+                max_rssi_dbm: a.rssi_max,
+                mean_snr_db: a.snr_sum / a.n as f64,
+            })
+            .collect()
+    }
+
+    /// Full-scan [`super::rssi_histogram`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin_db` is not positive.
+    pub fn rssi_histogram(
+        store: &Store,
+        node: Option<NodeId>,
+        window: Window,
+        bin_db: f64,
+    ) -> Vec<(f64, u64)> {
+        assert!(bin_db > 0.0, "bin width must be positive");
+        let mut bins: BTreeMap<i64, u64> = BTreeMap::new();
+        for (id, data) in store.iter() {
+            if node.is_some_and(|n| n != id) {
+                continue;
+            }
+            for r in data.records() {
+                let Some(rssi) = r.rssi_dbm else { continue };
+                if !window.contains(r.captured_at()) {
+                    continue;
+                }
+                let bin = (rssi / bin_db).floor() as i64;
+                *bins.entry(bin).or_insert(0) += 1;
+            }
+        }
+        bins.into_iter()
+            .map(|(bin, count)| (bin as f64 * bin_db, count))
+            .collect()
+    }
+
+    /// Full-scan [`super::type_breakdown`].
+    pub fn type_breakdown(
+        store: &Store,
+        node: Option<NodeId>,
+        window: Window,
+    ) -> BTreeMap<PacketType, u64> {
+        let mut out = BTreeMap::new();
+        for (id, data) in store.iter() {
+            if node.is_some_and(|n| n != id) {
+                continue;
+            }
+            for r in data.records() {
+                if window.contains(r.captured_at()) {
+                    *out.entry(r.ptype).or_insert(0) += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Full-scan [`super::channel_occupancy`], with the same
+    /// proportional bucket-edge split.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket` is zero.
+    pub fn channel_occupancy(
+        store: &Store,
+        window: Window,
+        radio: &RadioConfig,
+        bucket: Duration,
+    ) -> Vec<(SimTime, f64)> {
+        assert!(!bucket.is_zero(), "bucket must be non-zero");
+        let bucket_us = bucket.as_micros() as u64;
+        let mut airtime_us: BTreeMap<u64, u64> = BTreeMap::new();
+        for (_, data) in store.iter() {
+            for r in data.records() {
+                if r.direction != Direction::Out || !window.contains(r.captured_at()) {
+                    continue;
+                }
+                let toa = loramon_phy::airtime::time_on_air_us(radio, r.size_bytes as usize);
+                add_airtime(&mut airtime_us, r.captured_at().as_micros(), toa, bucket_us);
+            }
+        }
+        airtime_us
+            .into_iter()
+            .map(|(b, us)| (SimTime::from_micros(b), us as f64 / bucket_us as f64))
+            .collect()
+    }
+
+    /// Full-scan [`super::size_histogram`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin_bytes` is zero.
+    pub fn size_histogram(
+        store: &Store,
+        node: Option<NodeId>,
+        window: Window,
+        bin_bytes: u32,
+    ) -> Vec<(u32, u64)> {
+        assert!(bin_bytes > 0, "bin width must be positive");
+        let mut bins: BTreeMap<u32, u64> = BTreeMap::new();
+        for (id, data) in store.iter() {
+            if node.is_some_and(|n| n != id) {
+                continue;
+            }
+            for r in data.records() {
+                if window.contains(r.captured_at()) {
+                    *bins
+                        .entry(r.size_bytes / bin_bytes * bin_bytes)
+                        .or_insert(0) += 1;
+                }
+            }
+        }
+        bins.into_iter().collect()
+    }
 }
 
 #[cfg(test)]
@@ -615,5 +932,203 @@ mod tests {
         assert_eq!(summaries[0].node, NodeId(1));
         assert_eq!(summaries[0].records, 4);
         assert_eq!(summaries[0].battery_percent, None);
+    }
+
+    #[test]
+    fn occupancy_splits_airtime_across_bucket_boundary() {
+        // A 30-byte frame captured 10 ms before the 60 s bucket edge
+        // stays on the air past it (~72 ms time-on-air): both buckets
+        // must be credited, proportionally, with nothing lost.
+        let mut store = Store::new(Retention::default());
+        let rep = Report {
+            node: NodeId(1),
+            report_seq: 0,
+            generated_at_ms: 100_000,
+            dropped_records: 0,
+            status: None,
+            records: vec![record(1, 59_990, Direction::Out, 2, 0.0)],
+        };
+        store.insert(&rep, SimTime::from_secs(101));
+        let radio = RadioConfig::mesher_default();
+        let occ = channel_occupancy(&store, Window::all(), &radio, Duration::from_secs(60));
+        assert_eq!(occ.len(), 2, "airtime spans the boundary: {occ:?}");
+        let toa = loramon_phy::airtime::time_on_air_us(&radio, 30) as f64;
+        let total_us: f64 = occ.iter().map(|(_, f)| f * 60_000_000.0).sum();
+        assert!(
+            (total_us - toa).abs() < 1e-3,
+            "airtime lost: {total_us} vs {toa}"
+        );
+        let head_us = occ[0].1 * 60_000_000.0;
+        assert!(
+            (head_us - 10_000.0).abs() < 1e-3,
+            "first bucket holds exactly the 10 ms before the edge, got {head_us}"
+        );
+    }
+
+    /// A deterministic random store: several nodes, shuffled report
+    /// arrival (out-of-order retransmit-style), random timestamps,
+    /// directions, types, sizes and link metrics, with retention tight
+    /// enough that trims exercise the index decrement path.
+    fn random_store(seed: u64) -> Store {
+        use loramon_sim::Rng;
+        let mut rng = Rng::new(seed);
+        let retention = Retention {
+            max_age: Duration::from_secs(600),
+            max_records_per_node: 400,
+            index_bucket: Duration::from_secs(10),
+            ..Retention::default()
+        };
+        let mut store = Store::new(retention);
+        let mut reports = Vec::new();
+        for node in 1..=3u16 {
+            for seq in 0..30u32 {
+                let n = rng.next_below(9);
+                let records = (0..n)
+                    .map(|_| {
+                        let ts = rng.next_below(900_000);
+                        let dir = if rng.chance(0.5) {
+                            Direction::In
+                        } else {
+                            Direction::Out
+                        };
+                        let from = u16::try_from(1 + rng.next_below(4)).unwrap_or(1);
+                        let mut r = record(node, ts, dir, from, rng.range_f64(-120.0, -60.0));
+                        r.size_bytes = u32::try_from(10 + rng.next_below(200)).unwrap_or(10);
+                        r.ptype = match rng.next_below(3) {
+                            0 => PacketType::Routing,
+                            1 => PacketType::Data,
+                            _ => PacketType::Ack,
+                        };
+                        // Some receptions arrive without link metrics.
+                        if rng.chance(0.2) {
+                            r.rssi_dbm = None;
+                            r.snr_db = None;
+                        }
+                        r
+                    })
+                    .collect();
+                reports.push(Report {
+                    node: NodeId(node),
+                    report_seq: seq,
+                    generated_at_ms: 1_000_000 + 1_000 * u64::from(seq),
+                    dropped_records: 0,
+                    status: None,
+                    records,
+                });
+            }
+        }
+        // Deterministic shuffle: reports land out of order, like live
+        // traffic interleaved with late retransmissions.
+        for i in (1..reports.len()).rev() {
+            let j = rng.next_below(i as u64 + 1) as usize;
+            reports.swap(i, j);
+        }
+        for rep in &reports {
+            store.insert(rep, SimTime::from_secs(2_000));
+        }
+        store
+    }
+
+    /// Assert every query answers identically through the index and
+    /// through the naive full scan. Counts, min/max and bucket keys
+    /// must match exactly; float means may differ only by summation
+    /// order, bounded at 1e-9.
+    fn assert_equiv(store: &Store, window: Window) {
+        let radio = RadioConfig::mesher_default();
+        for bucket_s in [7u64, 10, 30, 60] {
+            let bucket = Duration::from_secs(bucket_s);
+            for node in [None, Some(NodeId(1))] {
+                for dir in [None, Some(Direction::In), Some(Direction::Out)] {
+                    assert_eq!(
+                        packets_over_time(store, node, dir, window, bucket),
+                        naive::packets_over_time(store, node, dir, window, bucket),
+                        "series node={node:?} dir={dir:?} bucket={bucket_s}s window={window:?}"
+                    );
+                }
+            }
+            assert_eq!(
+                channel_occupancy(store, window, &radio, bucket),
+                naive::channel_occupancy(store, window, &radio, bucket),
+                "occupancy bucket={bucket_s}s window={window:?}"
+            );
+        }
+        let indexed = link_stats(store, window);
+        let scanned = naive::link_stats(store, window);
+        assert_eq!(indexed.len(), scanned.len(), "links window={window:?}");
+        for (a, b) in indexed.iter().zip(&scanned) {
+            assert_eq!((a.from, a.to, a.packets), (b.from, b.to, b.packets));
+            assert_eq!(a.min_rssi_dbm, b.min_rssi_dbm, "min {a:?} vs {b:?}");
+            assert_eq!(a.max_rssi_dbm, b.max_rssi_dbm, "max {a:?} vs {b:?}");
+            assert!(
+                (a.mean_rssi_dbm - b.mean_rssi_dbm).abs() < 1e-9,
+                "{a:?} vs {b:?}"
+            );
+            assert!(
+                (a.mean_snr_db - b.mean_snr_db).abs() < 1e-9,
+                "{a:?} vs {b:?}"
+            );
+        }
+        for node in [None, Some(NodeId(2))] {
+            assert_eq!(
+                type_breakdown(store, node, window),
+                naive::type_breakdown(store, node, window),
+                "types node={node:?} window={window:?}"
+            );
+            assert_eq!(
+                rssi_histogram(store, node, window, 5.0),
+                naive::rssi_histogram(store, node, window, 5.0),
+                "rssi node={node:?} window={window:?}"
+            );
+            assert_eq!(
+                size_histogram(store, node, window, 16),
+                naive::size_histogram(store, node, window, 16),
+                "sizes node={node:?} window={window:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn indexed_queries_match_naive_oracle_on_random_workloads() {
+        use loramon_sim::Rng;
+        for seed in [1u64, 7, 42, 1337] {
+            let store = random_store(seed);
+            let fixed = [
+                Window::all(),
+                // Aligned to the 10 s index grid.
+                Window {
+                    from: SimTime::from_secs(20),
+                    to: SimTime::from_secs(600),
+                },
+                // Deliberately unaligned edges.
+                Window {
+                    from: SimTime::from_millis(13_501),
+                    to: SimTime::from_millis(487_303),
+                },
+                // Inside a single index bucket.
+                Window {
+                    from: SimTime::from_secs(15),
+                    to: SimTime::from_secs(18),
+                },
+                // Empty.
+                Window {
+                    from: SimTime::from_secs(50),
+                    to: SimTime::from_secs(50),
+                },
+                Window::last(Duration::from_secs(3600), SimTime::from_secs(400)),
+            ];
+            for w in fixed {
+                assert_equiv(&store, w);
+            }
+            let mut rng = Rng::new(seed ^ 0x00ab_cdef);
+            for _ in 0..8 {
+                let a = rng.next_below(1_000_000_000);
+                let b = rng.next_below(1_000_000_000);
+                let w = Window {
+                    from: SimTime::from_micros(a.min(b)),
+                    to: SimTime::from_micros(a.max(b)),
+                };
+                assert_equiv(&store, w);
+            }
+        }
     }
 }

@@ -26,8 +26,10 @@ pub struct RollupPoint {
     pub out_count: u64,
     /// Bytes across both directions.
     pub bytes: u64,
-    /// Mean RSSI of receptions (0 when none).
-    pub mean_rssi_dbm: f64,
+    /// Mean RSSI of receptions, or `None` (serialized as `null`) when
+    /// the bucket has no RSSI samples — 0 dBm is a plausible
+    /// strong-signal reading, so it cannot double as a sentinel.
+    pub mean_rssi_dbm: Option<f64>,
     /// Receptions contributing to the RSSI mean.
     pub rssi_samples: u64,
 }
@@ -111,11 +113,8 @@ impl Rollups {
                 in_count: acc.in_count,
                 out_count: acc.out_count,
                 bytes: acc.bytes,
-                mean_rssi_dbm: if acc.rssi_samples > 0 {
-                    acc.rssi_sum / acc.rssi_samples as f64
-                } else {
-                    0.0
-                },
+                mean_rssi_dbm: (acc.rssi_samples > 0)
+                    .then(|| acc.rssi_sum / acc.rssi_samples as f64),
                 rssi_samples: acc.rssi_samples,
             })
             .collect()
@@ -182,7 +181,8 @@ mod tests {
         assert_eq!(first.bucket, SimTime::ZERO);
         assert_eq!((first.in_count, first.out_count), (2, 1));
         assert_eq!(first.bytes, 75);
-        assert!((first.mean_rssi_dbm - (-95.0)).abs() < 1e-9);
+        let mean = first.mean_rssi_dbm.expect("bucket has RSSI samples");
+        assert!((mean - (-95.0)).abs() < 1e-9);
         let second = &series[1];
         assert_eq!(second.bucket, SimTime::from_secs(60));
         assert_eq!(second.in_count, 1);
@@ -203,10 +203,27 @@ mod tests {
         let merged = r.series(None);
         assert_eq!(merged.len(), 1);
         assert_eq!(merged[0].in_count, 2);
-        assert!((merged[0].mean_rssi_dbm - (-85.0)).abs() < 1e-9);
+        let mean = merged[0].mean_rssi_dbm.expect("bucket has RSSI samples");
+        assert!((mean - (-85.0)).abs() < 1e-9);
         // Filtered views stay separate.
         assert_eq!(r.series(Some(NodeId(1)))[0].in_count, 1);
         assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn bucket_without_rssi_samples_reads_none_and_serializes_null() {
+        let mut r = Rollups::new(Duration::from_secs(60));
+        // Only transmissions: no RSSI samples in the bucket.
+        r.absorb(&report(vec![record(10_000, Direction::Out, None)]));
+        let series = r.series(Some(NodeId(1)));
+        assert_eq!(series.len(), 1);
+        assert_eq!(series[0].mean_rssi_dbm, None);
+        assert_eq!(series[0].rssi_samples, 0);
+        let json = serde_json::to_string(&series[0]).expect("serializes");
+        assert!(
+            json.contains("\"mean_rssi_dbm\":null"),
+            "empty bucket must be null, not a fake 0 dBm: {json}"
+        );
     }
 
     #[test]

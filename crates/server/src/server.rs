@@ -301,6 +301,15 @@ impl MonitorServer {
         self.inner.read().alerts.active()
     }
 
+    /// Run a closure over the live store under the read lock.
+    ///
+    /// This is the hook equivalence tests and benchmarks use to run
+    /// the [`query::naive`] oracle against the same store the indexed
+    /// facade queries read — not a general data-access API.
+    pub fn with_store<R>(&self, f: impl FnOnce(&Store) -> R) -> R {
+        f(&self.inner.read().store)
+    }
+
     /// Composite per-node health at server time `now`.
     pub fn health(
         &self,

@@ -5,7 +5,9 @@
 //! the substrate every query, topology inference and alert rule reads.
 
 use crate::epoch::EpochTracker;
+use crate::query::Window;
 use loramon_core::{NodeStatus, PacketRecord, Report};
+use loramon_mesh::{Direction, PacketType};
 use loramon_sim::{NodeId, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -21,6 +23,15 @@ pub struct Retention {
     pub max_records_per_node: usize,
     /// Hard cap on status snapshots kept per node. Default 10 000.
     pub max_statuses_per_node: usize,
+    /// Bucket length of the incremental query index maintained at
+    /// ingest: whole-window aggregates (`link_stats`,
+    /// `type_breakdown`, `packets_over_time`) read one pre-summed cell
+    /// per bucket instead of one record at a time. Default 60 s.
+    pub index_bucket: Duration,
+}
+
+fn default_index_bucket() -> Duration {
+    Duration::from_secs(60)
 }
 
 impl Default for Retention {
@@ -29,7 +40,92 @@ impl Default for Retention {
             max_age: Duration::from_secs(24 * 3600),
             max_records_per_node: 100_000,
             max_statuses_per_node: 10_000,
+            index_bucket: default_index_bucket(),
         }
+    }
+}
+
+/// Per-link reception accumulator inside one index bucket: everything
+/// `link_stats` needs, pre-summed at ingest.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct LinkAcc {
+    /// Received packets with both RSSI and SNR present.
+    pub(crate) n: u64,
+    /// Sum of RSSI samples (dBm).
+    pub(crate) rssi_sum: f64,
+    /// Minimum RSSI sample (dBm).
+    pub(crate) rssi_min: f64,
+    /// Maximum RSSI sample (dBm).
+    pub(crate) rssi_max: f64,
+    /// Sum of SNR samples (dB).
+    pub(crate) snr_sum: f64,
+}
+
+impl Default for LinkAcc {
+    fn default() -> Self {
+        LinkAcc {
+            n: 0,
+            rssi_sum: 0.0,
+            rssi_min: f64::INFINITY,
+            rssi_max: f64::NEG_INFINITY,
+            snr_sum: 0.0,
+        }
+    }
+}
+
+/// Incremental aggregates for one index bucket of one node's records.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct BucketAgg {
+    /// Incoming records in the bucket.
+    pub(crate) in_count: u64,
+    /// Outgoing records in the bucket.
+    pub(crate) out_count: u64,
+    /// Record counts by mesh packet type (both directions).
+    pub(crate) types: BTreeMap<PacketType, u64>,
+    /// Link accumulators keyed by transmitting counterpart, fed by
+    /// incoming records that carry both RSSI and SNR — the same
+    /// predicate `link_stats` applies to raw records.
+    pub(crate) links: BTreeMap<NodeId, LinkAcc>,
+}
+
+impl BucketAgg {
+    fn add(&mut self, r: &PacketRecord) {
+        match r.direction {
+            Direction::In => self.in_count += 1,
+            Direction::Out => self.out_count += 1,
+        }
+        *self.types.entry(r.ptype).or_insert(0) += 1;
+        if r.direction == Direction::In {
+            if let (Some(rssi), Some(snr)) = (r.rssi_dbm, r.snr_db) {
+                let acc = self.links.entry(r.counterpart).or_default();
+                acc.n += 1;
+                acc.rssi_sum += rssi;
+                acc.rssi_min = acc.rssi_min.min(rssi);
+                acc.rssi_max = acc.rssi_max.max(rssi);
+                acc.snr_sum += snr;
+            }
+        }
+    }
+}
+
+/// The per-node incremental query index: one [`BucketAgg`] per
+/// `Retention::index_bucket`-aligned time bucket that currently holds
+/// at least one retained record. Maintained additively at insert;
+/// retention trims repair it via [`NodeData::trim_front`].
+#[derive(Debug, Clone, Default)]
+pub(crate) struct NodeIndex {
+    buckets: BTreeMap<u64, BucketAgg>,
+}
+
+impl NodeIndex {
+    /// Aggregates keyed by bucket start (microseconds).
+    pub(crate) fn buckets(&self) -> &BTreeMap<u64, BucketAgg> {
+        &self.buckets
+    }
+
+    fn add(&mut self, r: &PacketRecord, bucket_us: u64) {
+        let b = r.captured_at().as_micros() / bucket_us * bucket_us;
+        self.buckets.entry(b).or_default().add(r);
     }
 }
 
@@ -53,12 +149,34 @@ pub struct NodeData {
     /// Restart-aware sequence accounting: missing-report gaps that heal
     /// when late retransmissions arrive, and restart detection.
     epochs: EpochTracker,
+    /// Incremental per-bucket aggregates over `records`.
+    index: NodeIndex,
 }
 
 impl NodeData {
     /// Records currently retained, sorted by capture time.
     pub fn records(&self) -> &[PacketRecord] {
         &self.records
+    }
+
+    /// The retained records whose capture time falls in `window`.
+    ///
+    /// `records` is sorted by capture time, so the window's bounds are
+    /// located with two binary searches: O(log n) to find the slice,
+    /// then the caller touches only in-window records.
+    pub fn records_in(&self, window: Window) -> &[PacketRecord] {
+        let start = self
+            .records
+            .partition_point(|r| r.captured_at() < window.from);
+        let end = self
+            .records
+            .partition_point(|r| r.captured_at() < window.to);
+        self.records.get(start..end).unwrap_or(&[])
+    }
+
+    /// The incremental query index over the retained records.
+    pub(crate) fn index(&self) -> &NodeIndex {
+        &self.index
     }
 
     /// Status snapshots currently retained (receive time, status).
@@ -108,7 +226,7 @@ impl NodeData {
         self.epochs.restarts()
     }
 
-    fn insert_report(&mut self, report: &Report, received_at: SimTime) {
+    fn insert_report(&mut self, report: &Report, received_at: SimTime, bucket_us: u64) {
         self.epochs
             .observe(report.report_seq, report.generated_at_ms);
         self.last_report_seq = Some(
@@ -124,37 +242,63 @@ impl NodeData {
         self.records_total += report.records.len() as u64;
 
         for r in &report.records {
-            // Records usually arrive in order; insert-sort from the back.
+            // Records usually arrive in order; `partition_point` finds
+            // the insert-after-equals position in O(log n) even for
+            // late retransmit bursts landing in the middle.
             let pos = self
                 .records
-                .iter()
-                .rposition(|x| x.timestamp_ms <= r.timestamp_ms)
-                .map_or(0, |p| p + 1);
+                .partition_point(|x| x.timestamp_ms <= r.timestamp_ms);
             self.records.insert(pos, r.clone());
+            self.index.add(r, bucket_us);
         }
         if let Some(status) = &report.status {
             self.statuses.push((received_at, status.clone()));
         }
     }
 
-    fn enforce_retention(&mut self, retention: &Retention) {
+    fn enforce_retention(&mut self, retention: &Retention, bucket_us: u64) {
+        let mut cut = 0;
         if let Some(newest) = self.records.last().map(|r| r.timestamp_ms) {
             let horizon = newest.saturating_sub(retention.max_age.as_millis() as u64);
-            let keep_from = self
-                .records
-                .iter()
-                .position(|r| r.timestamp_ms >= horizon)
-                .unwrap_or(self.records.len());
-            self.records.drain(..keep_from);
+            cut = self.records.partition_point(|r| r.timestamp_ms < horizon);
         }
-        if self.records.len() > retention.max_records_per_node {
-            let excess = self.records.len() - retention.max_records_per_node;
-            self.records.drain(..excess);
+        if self.records.len() - cut > retention.max_records_per_node {
+            cut = self.records.len() - retention.max_records_per_node;
         }
+        self.trim_front(cut, bucket_us);
         if self.statuses.len() > retention.max_statuses_per_node {
             let excess = self.statuses.len() - retention.max_statuses_per_node;
             self.statuses.drain(..excess);
         }
+    }
+
+    /// Drop the oldest `cut` records and repair the index.
+    ///
+    /// Retention only ever removes a *prefix* of the sorted record
+    /// vector, which makes the decrement exact even for non-invertible
+    /// aggregates (min/max RSSI): buckets wholly inside the dropped
+    /// prefix are discarded, and the single bucket straddling the cut
+    /// is rebuilt from its surviving records.
+    fn trim_front(&mut self, cut: usize, bucket_us: u64) {
+        if cut == 0 {
+            return;
+        }
+        self.records.drain(..cut);
+        let Some(first) = self.records.first() else {
+            self.index.buckets.clear();
+            return;
+        };
+        let boundary = first.captured_at().as_micros() / bucket_us * bucket_us;
+        self.index.buckets = self.index.buckets.split_off(&boundary);
+        let end = boundary.saturating_add(bucket_us);
+        let upto = self
+            .records
+            .partition_point(|r| r.captured_at().as_micros() < end);
+        let mut rebuilt = BucketAgg::default();
+        for r in self.records.iter().take(upto) {
+            rebuilt.add(r);
+        }
+        self.index.buckets.insert(boundary, rebuilt);
     }
 }
 
@@ -176,9 +320,15 @@ impl Store {
 
     /// Insert an accepted report.
     pub fn insert(&mut self, report: &Report, received_at: SimTime) {
+        let bucket_us = self.index_bucket_us();
         let data = self.nodes.entry(report.node).or_default();
-        data.insert_report(report, received_at);
-        data.enforce_retention(&self.retention);
+        data.insert_report(report, received_at, bucket_us);
+        data.enforce_retention(&self.retention, bucket_us);
+    }
+
+    /// The index bucket length in microseconds (never zero).
+    pub fn index_bucket_us(&self) -> u64 {
+        (self.retention.index_bucket.as_micros() as u64).max(1)
     }
 
     /// All known node ids.
@@ -407,6 +557,111 @@ mod tests {
         store.insert(&report(1, 0, vec![]), SimTime::from_secs(10));
         store.insert(&report(2, 0, vec![]), SimTime::from_secs(7));
         assert_eq!(store.latest_receive_time(), Some(SimTime::from_secs(10)));
+    }
+
+    /// Recompute a node's index from its retained records — the ground
+    /// truth the incremental index must always equal.
+    fn recomputed_index(data: &NodeData, bucket_us: u64) -> BTreeMap<u64, BucketAgg> {
+        let mut fresh = NodeIndex::default();
+        for r in data.records() {
+            fresh.add(r, bucket_us);
+        }
+        fresh.buckets
+    }
+
+    fn assert_index_consistent(store: &Store) {
+        for (id, data) in store.iter() {
+            let expect = recomputed_index(data, store.index_bucket_us());
+            assert_eq!(
+                data.index().buckets(),
+                &expect,
+                "index drifted from records for node {id:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn index_tracks_out_of_order_inserts() {
+        let mut store = Store::new(Retention::default());
+        store.insert(&report(1, 1, vec![record(50, 1)]), SimTime::from_secs(1));
+        store.insert(
+            &report(1, 0, vec![record(10, 1), record(30, 1)]),
+            SimTime::from_secs(2),
+        );
+        assert_index_consistent(&store);
+        let d = store.node(NodeId(1)).unwrap();
+        assert_eq!(d.index().buckets().len(), 1, "all three land in bucket 0");
+        let agg = d.index().buckets().get(&0).unwrap();
+        assert_eq!(agg.in_count, 3);
+        assert_eq!(agg.links.get(&NodeId(99)).unwrap().n, 3);
+    }
+
+    #[test]
+    fn index_survives_age_trim_with_boundary_rebuild() {
+        let retention = Retention {
+            max_age: Duration::from_secs(100),
+            index_bucket: Duration::from_secs(60),
+            ..Retention::default()
+        };
+        let mut store = Store::new(retention);
+        // Records at 10 s .. 250 s; the final insert sets the horizon to
+        // 150 s, cutting inside the 120 s bucket.
+        let records: Vec<PacketRecord> = (1..=25).map(|i| record(i * 10_000, 1)).collect();
+        store.insert(&report(1, 0, records), SimTime::from_secs(300));
+        let d = store.node(NodeId(1)).unwrap();
+        assert_eq!(d.records().first().unwrap().timestamp_ms, 150_000);
+        assert_index_consistent(&store);
+        // The straddled 120 s bucket was rebuilt from survivors only.
+        let boundary = d.index().buckets().get(&120_000_000).unwrap();
+        assert_eq!(boundary.in_count, 3, "150 s, 160 s, 170 s survive");
+    }
+
+    #[test]
+    fn index_clears_when_all_records_trim() {
+        let retention = Retention {
+            max_records_per_node: 2,
+            ..Retention::default()
+        };
+        let mut store = Store::new(retention);
+        let records: Vec<PacketRecord> = (0..8).map(|i| record(i * 100, 1)).collect();
+        store.insert(&report(1, 0, records), SimTime::from_secs(1));
+        assert_index_consistent(&store);
+        // A much newer burst ages out everything older in one trim.
+        let retention = Retention {
+            max_age: Duration::from_secs(1),
+            ..Retention::default()
+        };
+        let mut store = Store::new(retention);
+        store.insert(&report(1, 0, vec![record(100, 1)]), SimTime::from_secs(1));
+        store.insert(
+            &report(1, 1, vec![record(10_000_000, 1)]),
+            SimTime::from_secs(2),
+        );
+        assert_index_consistent(&store);
+        let d = store.node(NodeId(1)).unwrap();
+        assert_eq!(d.records().len(), 1);
+        assert_eq!(d.index().buckets().len(), 1);
+    }
+
+    #[test]
+    fn records_in_windows_by_binary_search() {
+        let mut store = Store::new(Retention::default());
+        let records: Vec<PacketRecord> = (0..10).map(|i| record(i * 1_000, 1)).collect();
+        store.insert(&report(1, 0, records), SimTime::from_secs(1));
+        let d = store.node(NodeId(1)).unwrap();
+        let w = Window {
+            from: SimTime::from_millis(2_000),
+            to: SimTime::from_millis(5_000),
+        };
+        let ts: Vec<u64> = d.records_in(w).iter().map(|r| r.timestamp_ms).collect();
+        assert_eq!(ts, vec![2_000, 3_000, 4_000], "half-open [from, to)");
+        assert!(d
+            .records_in(Window {
+                from: w.to,
+                to: w.from
+            })
+            .is_empty());
+        assert_eq!(d.records_in(Window::all()).len(), 10);
     }
 
     #[test]

@@ -112,8 +112,8 @@ pub fn infer(store: &Store, window: Window) -> Topology {
             }
         }
         // Heard view: incoming records.
-        for r in data.records() {
-            if r.direction != Direction::In || !window.contains(r.captured_at()) {
+        for r in data.records_in(window) {
+            if r.direction != Direction::In {
                 continue;
             }
             nodes.insert(r.counterpart);

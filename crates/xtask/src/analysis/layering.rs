@@ -69,6 +69,7 @@ const SERVER_QUERY_SURFACE: &[&str] = &[
     "LinkStats",
     "NodeHealth",
     "NodeSummary",
+    "RollupPoint",
     "SeriesPoint",
     "StatusPoint",
     "Topology",

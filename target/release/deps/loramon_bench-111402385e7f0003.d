@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/loramon_bench-111402385e7f0003.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libloramon_bench-111402385e7f0003.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libloramon_bench-111402385e7f0003.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/server_ingest-51d58947f94fda0d.d: crates/bench/benches/server_ingest.rs
+
+/root/repo/target/release/deps/server_ingest-51d58947f94fda0d: crates/bench/benches/server_ingest.rs
+
+crates/bench/benches/server_ingest.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -14,18 +14,31 @@ use loramon::sim::{placement, TraceLevel};
 use proptest::prelude::*;
 use std::time::Duration;
 
-/// Run the reference scenario once and return every observable digest.
-fn run_digest(seed: u64) -> (u64, usize, usize, usize) {
+/// Run the reference scenario once and return every observable digest,
+/// including serialized query output — the indexed query engine is part
+/// of the determinism contract.
+fn run_digest(seed: u64) -> (u64, usize, usize, usize, String) {
+    use loramon::server::Window;
     let mut config = ScenarioConfig::new(placement::line(5, 400.0), 4, seed)
         .with_duration(Duration::from_secs(400))
         .with_uplink(UplinkModel::perfect());
     config.trace_level = TraceLevel::Verbose;
     let result = run_scenario(&config);
+    let series = result
+        .server
+        .series(None, None, Window::all(), Duration::from_secs(60));
+    let links = result.server.link_stats(Window::all());
+    let queries = format!(
+        "{}|{}",
+        serde_json::to_value(&series).expect("series serializes"),
+        serde_json::to_value(&links).expect("links serialize"),
+    );
     (
         result.sim.trace().fingerprint(),
         result.sim.trace().len(),
         result.reports_delivered,
         result.server.total_records(),
+        queries,
     )
 }
 

@@ -83,6 +83,56 @@ fn scenario_data_is_fully_queryable_over_http() {
 }
 
 #[test]
+fn malformed_content_length_is_rejected_with_400() {
+    use loramon::core::Report;
+    use loramon::server::{MonitorServer, ServerConfig};
+    use loramon::sim::NodeId;
+
+    let server = MonitorServer::new(ServerConfig::default());
+    let http = HttpServer::bind(server.clone(), "127.0.0.1:0").unwrap();
+
+    // A valid report body framed by an unparsable Content-Length must
+    // come back 400 — not be silently treated as an empty body.
+    let report = Report {
+        node: NodeId(1),
+        report_seq: 0,
+        generated_at_ms: 30_000,
+        dropped_records: 0,
+        status: None,
+        records: vec![],
+    };
+    let body = report.encode_json();
+    let mut stream = TcpStream::connect(http.addr()).unwrap();
+    write!(
+        stream,
+        "POST /api/reports HTTP/1.1\r\nHost: t\r\nContent-Length: 12abc\r\n\r\n"
+    )
+    .unwrap();
+    stream.write_all(&body).unwrap();
+    let mut out = String::new();
+    stream.read_to_string(&mut out).unwrap();
+    assert!(out.contains("400 Bad Request"), "{out}");
+    assert!(out.contains("Content-Length"), "{out}");
+    assert_eq!(server.ingest_stats().accepted, 0, "nothing may be ingested");
+
+    // A well-formed retry on a fresh connection still works.
+    let mut stream = TcpStream::connect(http.addr()).unwrap();
+    write!(
+        stream,
+        "POST /api/reports?at_ms=30100 HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .unwrap();
+    stream.write_all(&body).unwrap();
+    let mut out = String::new();
+    stream.read_to_string(&mut out).unwrap();
+    assert!(out.contains("200 OK"), "{out}");
+    assert_eq!(server.ingest_stats().accepted, 1);
+
+    http.shutdown();
+}
+
+#[test]
 fn reports_can_be_posted_over_http_like_a_real_client() {
     use loramon::core::Report;
     use loramon::server::{MonitorServer, ServerConfig};
